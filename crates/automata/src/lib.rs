@@ -1,0 +1,27 @@
+//! # gde-automata
+//!
+//! Classical and data-aware automata substrate for the PODS'17 data-graph
+//! schema-mapping framework:
+//!
+//! * [`Regex`] — regular expressions over an edge alphabet, the language of
+//!   the paper's RPQs (§2), with a parser ([`parser::parse_regex`]) and a
+//!   printer;
+//! * [`Nfa`] — Thompson construction and product-BFS evaluation over data
+//!   graphs, i.e. the classical RPQ semantics
+//!   `e(G) = {(v,v') | ∃π: v →π v', λ(π) ∈ L(e)}`;
+//! * [`register`] — register automata over data paths (§3, after \[25,31\]):
+//!   the operational model underlying regular expressions with memory,
+//!   including configuration-BFS evaluation on graphs and a symbolic
+//!   (partition-based) nonemptiness check with witness extraction.
+
+pub mod dfa;
+pub mod nfa;
+pub mod parser;
+pub mod regex;
+pub mod register;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use parser::{parse_regex, ParseError};
+pub use regex::Regex;
+pub use register::{Cond, Reg, RegisterAutomaton};

@@ -1,0 +1,308 @@
+//! A recursive-descent parser for [`Regex`].
+//!
+//! Grammar (whitespace insensitive):
+//!
+//! ```text
+//! expr   := term ('|' term)*              -- union  (paper: e + e)
+//! term   := factor+                       -- concatenation (paper: e · e)
+//! factor := atom ('*' | '+')*             -- Kleene star / plus
+//! atom   := IDENT | '(' expr ')' | 'eps' | 'ε' | 'empty' | '∅'
+//! IDENT  := [A-Za-z_][A-Za-z0-9_]*  (also single-char symbolic labels like '#')
+//! ```
+//!
+//! The paper writes union as `e + e`; since `+` is also its Kleene-plus, the
+//! concrete syntax here uses `|` for union and postfix `+` for repetition.
+//! Label names are interned into the supplied [`Alphabet`].
+
+use crate::regex::Regex;
+use gde_datagraph::Alphabet;
+use std::fmt;
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position of the failure.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a regular expression, interning label names into `alphabet`.
+pub fn parse_regex(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut p = Parser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        alphabet,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos < p.chars.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            pos: self.chars.get(self.pos).map_or_else(
+                || self.chars.last().map_or(0, |&(i, c)| i + c.len_utf8()),
+                |&(i, _)| i,
+            ),
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace() || c == '·' || c == '.') {
+            self.pos += 1;
+        }
+    }
+
+    fn expr(&mut self) -> Result<Regex, ParseError> {
+        let mut terms = vec![self.term()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                terms.push(self.term()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Regex::Union(terms)
+        })
+    }
+
+    fn term(&mut self) -> Result<Regex, ParseError> {
+        let mut factors = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(c) if c == '|' || c == ')' => break,
+                None => break,
+                _ => factors.push(self.factor()?),
+            }
+        }
+        Ok(match factors.len() {
+            0 => Regex::Epsilon,
+            1 => factors.pop().unwrap(),
+            _ => Regex::Concat(factors),
+        })
+    }
+
+    fn factor(&mut self) -> Result<Regex, ParseError> {
+        let mut e = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    e = Regex::Star(Box::new(e));
+                }
+                Some('+') => {
+                    self.bump();
+                    e = Regex::Plus(Box::new(e));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let e = self.expr()?;
+                self.skip_ws();
+                if self.bump() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some('ε') => {
+                self.bump();
+                Ok(Regex::Epsilon)
+            }
+            Some('∅') => {
+                self.bump();
+                Ok(Regex::Empty)
+            }
+            Some(c) if is_ident_start(c) => {
+                let name = self.ident();
+                match name.as_str() {
+                    "eps" => Ok(Regex::Epsilon),
+                    "empty" => Ok(Regex::Empty),
+                    _ => Ok(Regex::Atom(self.alphabet.intern(&name))),
+                }
+            }
+            Some(c) if is_symbolic_label(c) => {
+                self.bump();
+                Ok(Regex::Atom(self.alphabet.intern(&c.to_string())))
+            }
+            Some('\'') => {
+                self.bump();
+                let mut name = String::new();
+                loop {
+                    match self.bump() {
+                        Some('\'') => break,
+                        Some(c) => name.push(c),
+                        None => return Err(self.err("unterminated quoted label")),
+                    }
+                }
+                Ok(Regex::Atom(self.alphabet.intern(&name)))
+            }
+            Some(_) => Err(self.err("expected an atom")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Single-character labels used by the paper's gadgets: separators such as
+/// `#`, `↔`, arrows and overbarred letters.
+fn is_symbolic_label(c: char) -> bool {
+    matches!(c, '#' | '↔' | '←' | '→' | '⇠' | '⇢' | '$' | '@' | '%' | '^' | '&' | '!' | '~')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Regex, Alphabet) {
+        let mut a = Alphabet::new();
+        let e = parse_regex(s, &mut a).unwrap();
+        (e, a)
+    }
+
+    #[test]
+    fn atoms_and_concat() {
+        let (e, a) = parse("a b c");
+        assert_eq!(
+            e.as_word().unwrap(),
+            vec![
+                a.label("a").unwrap(),
+                a.label("b").unwrap(),
+                a.label("c").unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn explicit_dots_allowed() {
+        let (e, _) = parse("a·b.c");
+        assert_eq!(e.as_word().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn union_and_postfix() {
+        let (e, a) = parse("(a|b)+ c*");
+        let al = a;
+        assert_eq!(e.display(&al), "(a | b)+ c*");
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        let (e, _) = parse("eps");
+        assert_eq!(e, Regex::Epsilon);
+        let (e, _) = parse("ε");
+        assert_eq!(e, Regex::Epsilon);
+        let (e, _) = parse("empty");
+        assert_eq!(e, Regex::Empty);
+        let (e, _) = parse("");
+        assert_eq!(e, Regex::Epsilon);
+    }
+
+    #[test]
+    fn symbolic_labels() {
+        let (e, a) = parse("# ↔");
+        assert_eq!(
+            e.as_word().unwrap(),
+            vec![a.label("#").unwrap(), a.label("↔").unwrap()]
+        );
+    }
+
+    #[test]
+    fn quoted_labels() {
+        let (e, a) = parse("'paid/src' '@amount'");
+        assert_eq!(
+            e.as_word().unwrap(),
+            vec![a.label("paid/src").unwrap(), a.label("@amount").unwrap()]
+        );
+        let mut al = Alphabet::new();
+        assert!(parse_regex("'unterminated", &mut al).is_err());
+    }
+
+    #[test]
+    fn nested_groups() {
+        let (e, al) = parse("((a b) | (b a))+");
+        assert_eq!(e.display(&al), "(a b | b a)+");
+    }
+
+    #[test]
+    fn errors() {
+        let mut a = Alphabet::new();
+        assert!(parse_regex("(a", &mut a).is_err());
+        assert!(parse_regex("a)", &mut a).is_err());
+        assert!(parse_regex("*", &mut a).is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let exprs = ["a", "a b", "(a | b)+", "a* b+ | ε", "(a b | c)* d"];
+        for src in exprs {
+            let mut al = Alphabet::new();
+            let e1 = parse_regex(src, &mut al).unwrap();
+            let printed = e1.display(&al);
+            let e2 = parse_regex(&printed, &mut al).unwrap();
+            assert_eq!(e1.display(&al), e2.display(&al), "roundtrip for {src}");
+        }
+    }
+}

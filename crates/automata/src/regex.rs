@@ -1,0 +1,344 @@
+//! Regular expressions over an edge alphabet: the paper's RPQs (§2).
+//!
+//! An RPQ *is* a regular expression `e` over `Σ`; on a (data) graph it
+//! returns all pairs of nodes connected by a path whose label is in `L(e)`.
+//! Special cases singled out by the paper: *word RPQs* (`e = w ∈ Σ*`),
+//! *atomic RPQs* (`e = a ∈ Σ`) and the *reachability RPQ* (`e = Σ*`).
+
+use gde_datagraph::{Alphabet, Label};
+use std::fmt::Write as _;
+
+/// A regular expression over edge labels.
+///
+/// `Concat`/`Union` are n-ary for convenience; `Star` is kept as a first
+/// class constructor although the paper treats `Σ* = ε + Σ⁺` as sugar.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The empty word `ε`.
+    Epsilon,
+    /// A single letter `a ∈ Σ`.
+    Atom(Label),
+    /// Concatenation `e₁ · e₂ · …` (empty sequence = ε).
+    Concat(Vec<Regex>),
+    /// Union `e₁ + e₂ + …` (empty sequence = ∅).
+    Union(Vec<Regex>),
+    /// One-or-more repetition `e⁺`.
+    Plus(Box<Regex>),
+    /// Zero-or-more repetition `e*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// The word RPQ `a₁…aₙ` (ε when the word is empty).
+    pub fn word(w: &[Label]) -> Regex {
+        match w.len() {
+            0 => Regex::Epsilon,
+            1 => Regex::Atom(w[0]),
+            _ => Regex::Concat(w.iter().map(|&l| Regex::Atom(l)).collect()),
+        }
+    }
+
+    /// The union `a₁ + … + aₙ` of a set of letters.
+    pub fn any_of(labels: impl IntoIterator<Item = Label>) -> Regex {
+        let atoms: Vec<Regex> = labels.into_iter().map(Regex::Atom).collect();
+        match atoms.len() {
+            0 => Regex::Empty,
+            1 => atoms.into_iter().next().unwrap(),
+            _ => Regex::Union(atoms),
+        }
+    }
+
+    /// The reachability RPQ `Σ*` for a whole alphabet.
+    pub fn reachability(alphabet: &Alphabet) -> Regex {
+        Regex::Star(Box::new(Regex::any_of(alphabet.labels())))
+    }
+
+    /// If this expression is a single word `w ∈ Σ*`, return it.
+    ///
+    /// This is the test used to classify mappings as *relational*
+    /// (Definition 3 of the paper: every target query is a word RPQ).
+    pub fn as_word(&self) -> Option<Vec<Label>> {
+        fn go(e: &Regex, out: &mut Vec<Label>) -> bool {
+            match e {
+                Regex::Epsilon => true,
+                Regex::Atom(l) => {
+                    out.push(*l);
+                    true
+                }
+                Regex::Concat(es) => es.iter().all(|e| go(e, out)),
+                _ => false,
+            }
+        }
+        let mut w = Vec::new();
+        if go(self, &mut w) {
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// If this expression is a finite union of words `w₁ + … + wₘ`, return
+    /// them. (Theorem 2's proof allows such right-hand sides in relational
+    /// mappings.)
+    pub fn as_union_of_words(&self) -> Option<Vec<Vec<Label>>> {
+        match self {
+            Regex::Union(es) => {
+                let mut out = Vec::with_capacity(es.len());
+                for e in es {
+                    out.push(e.as_word()?);
+                }
+                Some(out)
+            }
+            e => Some(vec![e.as_word()?]),
+        }
+    }
+
+    /// Is this exactly an atomic RPQ (a single letter)? Used by the LAV /
+    /// GAV classification of mappings (§4).
+    pub fn as_atom(&self) -> Option<Label> {
+        match self {
+            Regex::Atom(l) => Some(*l),
+            Regex::Concat(es) | Regex::Union(es) if es.len() == 1 => es[0].as_atom(),
+            _ => None,
+        }
+    }
+
+    /// Is this the reachability RPQ `Σ*` over the given alphabet (i.e. the
+    /// star of a union containing every letter)? Used to classify
+    /// relational/reachability mappings (§5).
+    pub fn is_reachability(&self, alphabet: &Alphabet) -> bool {
+        let inner = match self {
+            Regex::Star(e) => e,
+            _ => return false,
+        };
+        let mut seen = vec![false; alphabet.len()];
+        fn collect(e: &Regex, seen: &mut [bool]) -> bool {
+            match e {
+                Regex::Atom(l) => {
+                    if l.index() < seen.len() {
+                        seen[l.index()] = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Regex::Union(es) => es.iter().all(|e| collect(e, seen)),
+                _ => false,
+            }
+        }
+        collect(inner, &mut seen) && seen.iter().all(|&b| b)
+    }
+
+    /// Does ε belong to `L(e)`?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Atom(_) | Regex::Plus(_) => match self {
+                Regex::Plus(e) => e.nullable(),
+                _ => false,
+            },
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(es) => es.iter().all(Regex::nullable),
+            Regex::Union(es) => es.iter().any(Regex::nullable),
+        }
+    }
+
+    /// Length of the shortest word in `L(e)`, or `None` if the language is
+    /// empty.
+    pub fn min_word_len(&self) -> Option<usize> {
+        match self {
+            Regex::Empty => None,
+            Regex::Epsilon => Some(0),
+            Regex::Atom(_) => Some(1),
+            Regex::Concat(es) => {
+                let mut total = 0usize;
+                for e in es {
+                    total += e.min_word_len()?;
+                }
+                Some(total)
+            }
+            Regex::Union(es) => es.iter().filter_map(Regex::min_word_len).min(),
+            Regex::Plus(e) => e.min_word_len(),
+            Regex::Star(_) => Some(0),
+        }
+    }
+
+    /// Length of the longest word in `L(e)`, `None` meaning unbounded, when
+    /// the language is nonempty; `Some(0)` for `∅` by convention. Used by
+    /// the mapping-cutting argument of Proposition 5.
+    pub fn max_word_len(&self) -> Option<usize> {
+        match self {
+            Regex::Empty | Regex::Epsilon => Some(0),
+            Regex::Atom(_) => Some(1),
+            Regex::Concat(es) => {
+                let mut total = 0usize;
+                for e in es {
+                    total += e.max_word_len()?;
+                }
+                Some(total)
+            }
+            Regex::Union(es) => {
+                let mut best = 0usize;
+                for e in es {
+                    best = best.max(e.max_word_len()?);
+                }
+                Some(best)
+            }
+            Regex::Plus(e) | Regex::Star(e) => {
+                // unbounded unless the body only matches ε
+                match e.max_word_len() {
+                    Some(0) => Some(0),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Pretty-print against an alphabet (labels are printed by name).
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let mut s = String::new();
+        self.fmt_prec(alphabet, 0, &mut s);
+        s
+    }
+
+    fn fmt_prec(&self, alphabet: &Alphabet, prec: u8, out: &mut String) {
+        // precedence: union=0, concat=1, postfix=2
+        match self {
+            Regex::Empty => out.push('∅'),
+            Regex::Epsilon => out.push('ε'),
+            Regex::Atom(l) => {
+                let _ = write!(out, "{}", alphabet.name(*l));
+            }
+            Regex::Concat(es) if es.len() == 1 => es[0].fmt_prec(alphabet, prec, out),
+            Regex::Concat(es) => {
+                let wrap = prec > 1;
+                if wrap {
+                    out.push('(');
+                }
+                if es.is_empty() {
+                    out.push('ε');
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    e.fmt_prec(alphabet, 1, out);
+                }
+                if wrap {
+                    out.push(')');
+                }
+            }
+            Regex::Union(es) if es.len() == 1 => es[0].fmt_prec(alphabet, prec, out),
+            Regex::Union(es) => {
+                let wrap = prec > 0;
+                if wrap {
+                    out.push('(');
+                }
+                if es.is_empty() {
+                    out.push('∅');
+                }
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" | ");
+                    }
+                    e.fmt_prec(alphabet, 0, out);
+                }
+                if wrap {
+                    out.push(')');
+                }
+            }
+            Regex::Plus(e) => {
+                e.fmt_prec(alphabet, 2, out);
+                out.push('+');
+            }
+            Regex::Star(e) => {
+                e.fmt_prec(alphabet, 2, out);
+                out.push('*');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_datagraph::Alphabet;
+
+    fn ab() -> (Alphabet, Label, Label) {
+        let a = Alphabet::from_labels(["a", "b"]);
+        let la = a.label("a").unwrap();
+        let lb = a.label("b").unwrap();
+        (a, la, lb)
+    }
+
+    #[test]
+    fn word_helpers() {
+        let (_, a, b) = ab();
+        let w = Regex::word(&[a, b, a]);
+        assert_eq!(w.as_word(), Some(vec![a, b, a]));
+        assert_eq!(Regex::word(&[]).as_word(), Some(vec![]));
+        assert_eq!(Regex::word(&[a]).as_atom(), Some(a));
+        assert!(Regex::Plus(Box::new(Regex::Atom(a))).as_word().is_none());
+    }
+
+    #[test]
+    fn union_of_words() {
+        let (_, a, b) = ab();
+        let e = Regex::Union(vec![Regex::word(&[a, b]), Regex::word(&[b])]);
+        assert_eq!(e.as_union_of_words(), Some(vec![vec![a, b], vec![b]]));
+        let bad = Regex::Union(vec![Regex::word(&[a]), Regex::Star(Box::new(Regex::Atom(b)))]);
+        assert!(bad.as_union_of_words().is_none());
+        // single word counts as a 1-union
+        assert_eq!(Regex::word(&[a]).as_union_of_words(), Some(vec![vec![a]]));
+    }
+
+    #[test]
+    fn reachability_detection() {
+        let (al, a, b) = ab();
+        let r = Regex::reachability(&al);
+        assert!(r.is_reachability(&al));
+        let partial = Regex::Star(Box::new(Regex::Atom(a)));
+        assert!(!partial.is_reachability(&al));
+        let manual = Regex::Star(Box::new(Regex::Union(vec![Regex::Atom(a), Regex::Atom(b)])));
+        assert!(manual.is_reachability(&al));
+        assert!(!Regex::Plus(Box::new(Regex::Atom(a))).is_reachability(&al));
+    }
+
+    #[test]
+    fn nullable() {
+        let (_, a, _) = ab();
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::Atom(a).nullable());
+        assert!(Regex::Star(Box::new(Regex::Atom(a))).nullable());
+        assert!(!Regex::Plus(Box::new(Regex::Atom(a))).nullable());
+        assert!(Regex::Concat(vec![Regex::Epsilon, Regex::Star(Box::new(Regex::Atom(a)))])
+            .nullable());
+        assert!(Regex::Union(vec![Regex::Atom(a), Regex::Epsilon]).nullable());
+        assert!(!Regex::Empty.nullable());
+    }
+
+    #[test]
+    fn word_length_bounds() {
+        let (_, a, b) = ab();
+        let e = Regex::Union(vec![Regex::word(&[a, b]), Regex::word(&[b])]);
+        assert_eq!(e.min_word_len(), Some(1));
+        assert_eq!(e.max_word_len(), Some(2));
+        let star = Regex::Star(Box::new(Regex::Atom(a)));
+        assert_eq!(star.min_word_len(), Some(0));
+        assert_eq!(star.max_word_len(), None);
+        assert_eq!(Regex::Empty.min_word_len(), None);
+        // Star of ε stays bounded
+        assert_eq!(Regex::Star(Box::new(Regex::Epsilon)).max_word_len(), Some(0));
+    }
+
+    #[test]
+    fn display_round() {
+        let (al, a, b) = ab();
+        let e = Regex::Concat(vec![
+            Regex::Union(vec![Regex::Atom(a), Regex::Atom(b)]),
+            Regex::Plus(Box::new(Regex::Atom(a))),
+        ]);
+        assert_eq!(e.display(&al), "(a | b) a+");
+    }
+}

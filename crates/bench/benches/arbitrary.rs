@@ -1,0 +1,42 @@
+//! E12 timing: the bounded arbitrary-mapping engine (Prop 5), by word
+//! cutoff length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_automata::parse_regex;
+use gde_core::{certain_answers_arbitrary, ArbitraryOptions, Gsm};
+use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
+use gde_dataquery::{parse_ree, DataQuery};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbitrary_cutting");
+    group.sample_size(10);
+    let mut sa = Alphabet::from_labels(["a"]);
+    let mut ta = Alphabet::from_labels(["x", "y"]);
+    let mut gsm = Gsm::new(sa.clone(), ta.clone());
+    gsm.add_rule(
+        parse_regex("a", &mut sa).unwrap(),
+        parse_regex("(x | y)+", &mut ta).unwrap(),
+    );
+    let mut gs = DataGraph::new();
+    for i in 0..3 {
+        gs.add_node(NodeId(i), Value::int(i as i64)).unwrap();
+    }
+    gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+    gs.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+    for k in [1usize, 2, 3] {
+        let mut ta2 = ta.clone();
+        let q: DataQuery = parse_ree("x y", &mut ta2).unwrap().into();
+        let opts = ArbitraryOptions {
+            max_word_len: k,
+            max_skeletons: 1_000_000,
+            ..ArbitraryOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| certain_answers_arbitrary(&gsm, &q, &gs, opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6 timing: equality-only certain answers via least informative
+//! solutions (Thm 5) — polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_core::certain_answers_least_informative;
+use gde_dataquery::{parse_ree, DataQuery};
+use gde_workload::{random_scenario, GraphConfig, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_eqonly");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let sc = random_scenario(&ScenarioConfig {
+            graph: GraphConfig {
+                nodes: n,
+                edges: n * 2,
+                value_pool: 4,
+                seed: 5,
+                ..GraphConfig::default()
+            },
+            ..ScenarioConfig::default()
+        });
+        let mut ta = sc.gsm.target_alphabet().clone();
+        let q: DataQuery = parse_ree("((x | y)+)= ((x | y)+)=", &mut ta).unwrap().into();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| certain_answers_least_informative(&sc.gsm, &q, &sc.source).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

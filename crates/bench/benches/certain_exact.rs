@@ -1,0 +1,46 @@
+//! E4 timing: the exponential exact engine (Thm 2), by invented-node count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_automata::parse_regex;
+use gde_core::{certain_answers_exact, ExactOptions, Gsm};
+use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
+use gde_dataquery::{parse_ree, DataQuery};
+
+fn chain_scenario(edges: usize) -> (Gsm, DataGraph) {
+    let mut sa = Alphabet::from_labels(["a"]);
+    let mut ta = Alphabet::from_labels(["x", "y"]);
+    let mut gsm = Gsm::new(sa.clone(), ta.clone());
+    gsm.add_rule(
+        parse_regex("a", &mut sa).unwrap(),
+        parse_regex("x y", &mut ta).unwrap(),
+    );
+    let mut g = DataGraph::new();
+    for i in 0..=edges {
+        g.add_node(NodeId(i as u32), Value::int((i % 2) as i64)).unwrap();
+    }
+    for i in 0..edges {
+        g.add_edge_str(NodeId(i as u32), "a", NodeId(i as u32 + 1)).unwrap();
+    }
+    (gsm, g)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_exact");
+    group.sample_size(10);
+    for m in [2usize, 3, 4, 5] {
+        let (gsm, gs) = chain_scenario(m);
+        let mut ta = gsm.target_alphabet().clone();
+        let q: DataQuery = parse_ree("((x y)= | (x y)!=)+", &mut ta).unwrap().into();
+        let opts = ExactOptions {
+            max_invented: 16,
+            max_patterns: 100_000_000,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| certain_answers_exact(&gsm, &q, &gs, opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3 timing: certain answers via universal solutions + SQL nulls (Thm 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_core::certain_answers_nulls;
+use gde_dataquery::{parse_ree, DataQuery};
+use gde_workload::{random_scenario, GraphConfig, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_nulls");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let sc = random_scenario(&ScenarioConfig {
+            graph: GraphConfig {
+                nodes: n,
+                edges: n * 2,
+                value_pool: 6,
+                seed: 3,
+                ..GraphConfig::default()
+            },
+            ..ScenarioConfig::default()
+        });
+        let mut ta = sc.gsm.target_alphabet().clone();
+        let q: DataQuery = parse_ree("(x | y)* ((x | y)+)= (x | y)*", &mut ta)
+            .unwrap()
+            .into();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| certain_answers_nulls(&sc.gsm, &q, &sc.source).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

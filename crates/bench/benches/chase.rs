@@ -1,0 +1,35 @@
+//! E8 timing: the relational chase of M_rel vs the direct graph-side
+//! universal solution (Prop 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_core::translate::{chase_universal, translate_to_relational};
+use gde_core::universal_solution;
+use gde_workload::{random_scenario, GraphConfig, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop1");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let sc = random_scenario(&ScenarioConfig {
+            graph: GraphConfig {
+                nodes: n,
+                edges: n * 2,
+                value_pool: 5,
+                seed: 9,
+                ..GraphConfig::default()
+            },
+            ..ScenarioConfig::default()
+        });
+        let rm = translate_to_relational(&sc.gsm, &sc.source).unwrap();
+        group.bench_with_input(BenchmarkId::new("chase", n), &n, |b, _| {
+            b.iter(|| chase_universal(&rm).unwrap().total_facts())
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| universal_solution(&sc.gsm, &sc.source).unwrap().graph.node_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E10 timing: GXPath-core evaluation (PTime, §9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_gxpath::{eval_path, parse_path_expr};
+use gde_workload::{random_data_graph, GraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gxpath_eval");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let mut g = random_data_graph(&GraphConfig {
+            nodes: n,
+            edges: n * 3,
+            value_pool: 8,
+            seed: 11,
+            ..GraphConfig::default()
+        });
+        let q = parse_path_expr("a* [<b!=>] b", g.alphabet_mut()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| eval_path(&q, &g).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

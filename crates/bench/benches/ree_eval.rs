@@ -1,0 +1,27 @@
+//! E1 timing: REE evaluation scaling (PTime, [31]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_dataquery::parse_ree;
+use gde_workload::{random_data_graph, GraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ree_eval");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let mut g = random_data_graph(&GraphConfig {
+            nodes: n,
+            edges: n * 3,
+            value_pool: n / 5 + 2,
+            seed: 42,
+            ..GraphConfig::default()
+        });
+        let q = parse_ree("(a|b)* ((a|b)+)= (a|b)*", g.alphabet_mut()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| q.eval(&g).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E2 timing: REM evaluation vs register count (PSPACE, [31]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_dataquery::parse_rem;
+use gde_workload::{random_data_graph, GraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rem_registers");
+    group.sample_size(10);
+    let mut g = random_data_graph(&GraphConfig {
+        nodes: 60,
+        edges: 180,
+        value_pool: 12,
+        seed: 7,
+        ..GraphConfig::default()
+    });
+    let queries = [
+        (1usize, "@x.((a|b)+[x=])"),
+        (2, "@x.((a|b)+ @y.((a|b)+[x= & y=]))"),
+        (3, "@x.((a|b)+ @y.((a|b)+ @z.((a|b)+[x= & y= & z=])))"),
+    ];
+    for (k, src) in queries {
+        let ra = parse_rem(src, g.alphabet_mut()).unwrap().compile();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| ra.eval_pairs(&g).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

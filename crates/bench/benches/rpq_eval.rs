@@ -1,0 +1,27 @@
+//! E13 timing: navigational RPQ baseline (§2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_automata::{parse_regex, Nfa};
+use gde_workload::{random_data_graph, GraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpq_eval");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let mut g = random_data_graph(&GraphConfig {
+            nodes: n,
+            edges: n * 3,
+            value_pool: 8,
+            seed: 17,
+            ..GraphConfig::default()
+        });
+        let nfa = Nfa::from_regex(&parse_regex("(a b)+ | a+", g.alphabet_mut()).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| nfa.eval(&g).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Print the experiment tables E1–E14 (see `EXPERIMENTS.md`).
+//!
+//! ```text
+//! cargo run --release -p gde-bench --bin exp_all            # all
+//! cargo run --release -p gde-bench --bin exp_all E3 E4 E5   # a selection
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<String> = args.iter().map(|s| s.to_uppercase()).collect();
+    println!("# Experiment tables — Schema Mappings for Data Graphs (PODS'17 reproduction)\n");
+    for (id, f) in gde_bench::experiments::all() {
+        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        let table = f();
+        table.print();
+    }
+}

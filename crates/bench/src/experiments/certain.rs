@@ -1,0 +1,370 @@
+//! Certain-answer experiments: E3 (tractable via nulls), E4 (exact is
+//! exponential), E6 (equality-only fragment), E7 (approximation quality),
+//! E11 (one-inequality data path queries), E12 (arbitrary mappings,
+//! cutting).
+
+use crate::table::{fmt_ms, time_ms, Table};
+use gde_core::{
+    certain_answers_arbitrary, certain_answers_exact, certain_answers_least_informative,
+    certain_answers_nulls, ArbitraryOptions, ExactOptions,
+};
+use gde_core::certain::CertainAnswers;
+use gde_core::exact::pattern_count;
+use gde_dataquery::{parse_ree, DataQuery};
+use gde_workload::{random_path_test, random_ree, random_scenario, GraphConfig, QueryConfig,
+    ScenarioConfig};
+
+fn scenario(nodes: usize, value_pool: usize, seed: u64) -> gde_workload::ExchangeScenario {
+    scenario_with_edges(nodes, nodes * 2, value_pool, seed)
+}
+
+fn scenario_with_edges(
+    nodes: usize,
+    edges: usize,
+    value_pool: usize,
+    seed: u64,
+) -> gde_workload::ExchangeScenario {
+    random_scenario(&ScenarioConfig {
+        graph: GraphConfig {
+            nodes,
+            edges,
+            labels: vec!["a".into(), "b".into()],
+            value_pool,
+            seed,
+        },
+        target_labels: vec!["x".into(), "y".into()],
+        max_word_len: 2,
+        seed: seed ^ 0xFFFF,
+    })
+}
+
+fn target_query(sc: &gde_workload::ExchangeScenario, src: &str) -> DataQuery {
+    let mut ta = sc.gsm.target_alphabet().clone();
+    parse_ree(src, &mut ta).unwrap().into()
+}
+
+/// E3 — Theorem 3: certain answers over SQL-null targets are tractable;
+/// wall-clock grows mildly with the source.
+pub fn e03_certain_nulls() -> Table {
+    let mut t = Table::new(
+        "E3: certain answers via universal solution + SQL nulls (Thm 3/4)",
+        &["source nodes", "universal soln nodes", "certain pairs", "median time", "ratio"],
+    );
+    let mut prev: Option<f64> = None;
+    for n in [50usize, 100, 200, 400] {
+        let sc = scenario(n, 6, 3);
+        let q = target_query(&sc, "(x | y)* ((x | y)+)= (x | y)*");
+        let sol = gde_core::universal_solution(&sc.gsm, &sc.source).unwrap();
+        let mut count = 0usize;
+        let ms = time_ms(3, || {
+            count = match certain_answers_nulls(&sc.gsm, &q, &sc.source).unwrap() {
+                CertainAnswers::Pairs(p) => p.len(),
+                CertainAnswers::AllVacuously => usize::MAX,
+            };
+        });
+        let ratio = prev.map_or("—".to_string(), |p| format!("{:.2}×", ms / p));
+        prev = Some(ms);
+        t.row(&[
+            n.to_string(),
+            sol.graph.node_count().to_string(),
+            count.to_string(),
+            fmt_ms(ms),
+            ratio,
+        ]);
+    }
+    t
+}
+
+/// E4 — Theorem 2 / Proposition 3: the exact engine is exponential in the
+/// number of invented nodes while the null engine stays flat.
+pub fn e04_exact_vs_nulls() -> Table {
+    let mut t = Table::new(
+        "E4: exact certain answers (coNP) vs SQL-null engine (PTime), by invented nodes",
+        &["invented nodes", "valuation patterns", "exact time", "nulls time"],
+    );
+    for edges in [2usize, 3, 4, 5, 6] {
+        // a chain of `edges` a-edges; mapping (a, x y) ⇒ `edges` invented
+        // middle nodes in the universal solution
+        let sc = {
+            let mut sa = gde_datagraph::Alphabet::from_labels(["a"]);
+            let mut ta = gde_datagraph::Alphabet::from_labels(["x", "y"]);
+            let mut gsm = gde_core::Gsm::new(sa.clone(), ta.clone());
+            gsm.add_rule(
+                gde_automata::parse_regex("a", &mut sa).unwrap(),
+                gde_automata::parse_regex("x y", &mut ta).unwrap(),
+            );
+            let mut g = gde_datagraph::DataGraph::new();
+            for i in 0..=edges {
+                g.add_node(
+                    gde_datagraph::NodeId(i as u32),
+                    gde_datagraph::Value::int((i % 2) as i64),
+                )
+                .unwrap();
+            }
+            for i in 0..edges {
+                g.add_edge_str(
+                    gde_datagraph::NodeId(i as u32),
+                    "a",
+                    gde_datagraph::NodeId(i as u32 + 1),
+                )
+                .unwrap();
+            }
+            gde_workload::ExchangeScenario { gsm, source: g }
+        };
+        let q = target_query(&sc, "((x y)= | (x y)!=)+");
+        let patterns = pattern_count(&sc.gsm, &sc.source).unwrap();
+        let invented = gde_core::universal_solution(&sc.gsm, &sc.source)
+            .unwrap()
+            .invented
+            .len();
+        let opts = ExactOptions {
+            max_invented: 16,
+            max_patterns: 100_000_000,
+        };
+        let exact_ms = time_ms(1, || {
+            let _ = certain_answers_exact(&sc.gsm, &q, &sc.source, opts).unwrap();
+        });
+        let nulls_ms = time_ms(3, || {
+            let _ = certain_answers_nulls(&sc.gsm, &q, &sc.source).unwrap();
+        });
+        t.row(&[
+            invented.to_string(),
+            patterns.to_string(),
+            fmt_ms(exact_ms),
+            fmt_ms(nulls_ms),
+        ]);
+    }
+    t
+}
+
+/// E6 — Theorem 5 / Corollary 1: REE= certain answers via least
+/// informative solutions are PTime and agree with the exact engine.
+pub fn e06_equality_only() -> Table {
+    let mut t = Table::new(
+        "E6: equality-only queries via least informative solutions (Thm 5)",
+        &["seed", "query", "pairs", "agrees with exact", "LI time", "exact time"],
+    );
+    for seed in 0..5u64 {
+        let sc = scenario_with_edges(6, 6, 3, seed);
+        let labels: Vec<_> = sc.gsm.target_alphabet().labels().collect();
+        let e = random_ree(&QueryConfig {
+            labels,
+            depth: 2,
+            test_prob: 0.5,
+            allow_inequality: false,
+            seed,
+        });
+        let q: DataQuery = e.clone().into();
+        let mut li_pairs = Vec::new();
+        let li_ms = time_ms(3, || {
+            li_pairs = certain_answers_least_informative(&sc.gsm, &q, &sc.source)
+                .unwrap()
+                .into_pairs();
+        });
+        let mut exact_pairs = Vec::new();
+        let ex_ms = time_ms(1, || {
+            exact_pairs = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
+                .unwrap()
+                .into_pairs();
+        });
+        t.row(&[
+            seed.to_string(),
+            {
+                let mut ta = sc.gsm.target_alphabet().clone();
+                gde_dataquery::parser::display_ree(&e, &mut ta)
+            },
+            li_pairs.len().to_string(),
+            (li_pairs == exact_pairs).to_string(),
+            fmt_ms(li_ms),
+            fmt_ms(ex_ms),
+        ]);
+    }
+    t
+}
+
+/// E7 — Remark 1: how much of the exact certain answers does the null
+/// underapproximation recover? Containment `2ⁿ ⊆ 2` must never fail.
+pub fn e07_approximation() -> Table {
+    let mut t = Table::new(
+        "E7: approximation quality of 2ⁿ (nulls) vs exact 2 (Remark 1)",
+        &["seed", "query class", "|2ⁿ|", "|2|", "recall", "containment ok"],
+    );
+    let mut agg_n = 0usize;
+    let mut agg_e = 0usize;
+    for seed in 0..8u64 {
+        let sc = scenario_with_edges(6, 6, 2, seed * 3 + 1);
+        let labels: Vec<_> = sc.gsm.target_alphabet().labels().collect();
+        let e = random_ree(&QueryConfig {
+            labels,
+            depth: 2,
+            test_prob: 0.6,
+            allow_inequality: true,
+            seed: seed + 100,
+        });
+        let q: DataQuery = e.into();
+        let nulls = certain_answers_nulls(&sc.gsm, &q, &sc.source)
+            .unwrap()
+            .into_pairs();
+        let exact = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
+            .unwrap()
+            .into_pairs();
+        let contained = nulls.iter().all(|p| exact.contains(p));
+        agg_n += nulls.len();
+        agg_e += exact.len();
+        let recall = if exact.is_empty() {
+            "—".to_string()
+        } else {
+            format!("{:.2}", nulls.len() as f64 / exact.len() as f64)
+        };
+        t.row(&[
+            seed.to_string(),
+            "random REE (mixed =/≠)".into(),
+            nulls.len().to_string(),
+            exact.len().to_string(),
+            recall,
+            contained.to_string(),
+        ]);
+    }
+    t.row(&[
+        "Σ".into(),
+        "aggregate".into(),
+        agg_n.to_string(),
+        agg_e.to_string(),
+        if agg_e > 0 {
+            format!("{:.2}", agg_n as f64 / agg_e as f64)
+        } else {
+            "—".into()
+        },
+        "-".into(),
+    ]);
+    t
+}
+
+/// E11 — Proposition 4: for data path queries with at most one inequality,
+/// the null engine recovers the exact certain answers on every generated
+/// workload (and stays NLogspace-ish cheap).
+pub fn e11_one_inequality() -> Table {
+    let mut t = Table::new(
+        "E11: data path queries with ≤ 1 inequality (Prop 4)",
+        &["seed", "≠ count", "|2ⁿ|", "|2|", "agree", "nulls time", "exact time"],
+    );
+    for seed in 0..8u64 {
+        // all-equal source values make equality tests bite; short words keep
+        // certain answers non-trivial
+        let sc = scenario_with_edges(6, 7, 1, seed * 7 + 2);
+        let labels: Vec<_> = sc.gsm.target_alphabet().labels().collect();
+        let ineq = (seed % 2) as usize;
+        let p = random_path_test(
+            &QueryConfig {
+                labels,
+                depth: 2,
+                test_prob: 0.5,
+                allow_inequality: true,
+                seed: seed + 40,
+            },
+            2,
+            ineq,
+        );
+        let q: DataQuery = p.into();
+        let mut nulls = Vec::new();
+        let n_ms = time_ms(3, || {
+            nulls = certain_answers_nulls(&sc.gsm, &q, &sc.source)
+                .unwrap()
+                .into_pairs();
+        });
+        let mut exact = Vec::new();
+        let e_ms = time_ms(1, || {
+            exact = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
+                .unwrap()
+                .into_pairs();
+        });
+        t.row(&[
+            seed.to_string(),
+            ineq.to_string(),
+            nulls.len().to_string(),
+            exact.len().to_string(),
+            (nulls == exact).to_string(),
+            fmt_ms(n_ms),
+            fmt_ms(e_ms),
+        ]);
+    }
+    t
+}
+
+/// E12 — Proposition 5: data path queries stay decidable under arbitrary
+/// GSMs; the word cutoff at `|Q|` plus one opaque longer word is exact.
+pub fn e12_arbitrary_cutting() -> Table {
+    let mut t = Table::new(
+        "E12: arbitrary mappings + data path queries via cutting (Prop 5)",
+        &["rule target", "query", "certain pairs", "flagged exact", "median time"],
+    );
+    // mapping (a, x+ | y): adversary picks y, an x, or a long x-chain
+    let mut sa = gde_datagraph::Alphabet::from_labels(["a"]);
+    let mut ta = gde_datagraph::Alphabet::from_labels(["x", "y"]);
+    let mut gsm = gde_core::Gsm::new(sa.clone(), ta.clone());
+    gsm.add_rule(
+        gde_automata::parse_regex("a", &mut sa).unwrap(),
+        gde_automata::parse_regex("x+ | y", &mut ta).unwrap(),
+    );
+    let mut gs = gde_datagraph::DataGraph::new();
+    gs.add_node(gde_datagraph::NodeId(0), gde_datagraph::Value::int(1))
+        .unwrap();
+    gs.add_node(gde_datagraph::NodeId(1), gde_datagraph::Value::int(1))
+        .unwrap();
+    gs.add_edge_str(gde_datagraph::NodeId(0), "a", gde_datagraph::NodeId(1))
+        .unwrap();
+    for (qsrc, qlen) in [("x", 1usize), ("x | y", 1), ("x x | y | x", 2)] {
+        // rule target x+ | y: arbitrarily long chains defeat any fixed query
+        let mut ta2 = ta.clone();
+        let e = parse_ree(qsrc, &mut ta2).unwrap();
+        let q: DataQuery = e.into();
+        let opts = ArbitraryOptions {
+            max_word_len: qlen,
+            ..ArbitraryOptions::default()
+        };
+        let mut res = None;
+        let ms = time_ms(3, || {
+            res = Some(certain_answers_arbitrary(&gsm, &q, &gs, opts).unwrap());
+        });
+        let out = res.unwrap();
+        let pairs = match out.answers {
+            CertainAnswers::Pairs(p) => p.len().to_string(),
+            CertainAnswers::AllVacuously => "all".into(),
+        };
+        t.row(&[
+            "x+ | y".into(),
+            qsrc.into(),
+            pairs,
+            out.exact.to_string(),
+            fmt_ms(ms),
+        ]);
+    }
+    // contrast: a finite rule language (x | y): the adversary has only two
+    // choices, so the disjunctive query IS certain
+    let mut sa2 = gde_datagraph::Alphabet::from_labels(["a"]);
+    let mut gsm2 = gde_core::Gsm::new(sa2.clone(), ta.clone());
+    let mut ta3 = ta.clone();
+    gsm2.add_rule(
+        gde_automata::parse_regex("a", &mut sa2).unwrap(),
+        gde_automata::parse_regex("x | y", &mut ta3).unwrap(),
+    );
+    for qsrc in ["x", "x | y"] {
+        let mut ta4 = ta.clone();
+        let q: DataQuery = parse_ree(qsrc, &mut ta4).unwrap().into();
+        let opts = ArbitraryOptions {
+            max_word_len: 1,
+            ..ArbitraryOptions::default()
+        };
+        let mut res = None;
+        let ms = time_ms(3, || {
+            res = Some(certain_answers_arbitrary(&gsm2, &q, &gs, opts).unwrap());
+        });
+        let out = res.unwrap();
+        let pairs = match out.answers {
+            CertainAnswers::Pairs(p) => p.len().to_string(),
+            CertainAnswers::AllVacuously => "all".into(),
+        };
+        t.row(&["x | y".into(), qsrc.into(), pairs, out.exact.to_string(), fmt_ms(ms)]);
+    }
+    t
+}

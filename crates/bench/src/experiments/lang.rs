@@ -1,0 +1,250 @@
+//! Language-evaluation experiments: E1 (REE PTime), E2 (REM register
+//! blowup), E10 (GXPath), E13 (navigational RPQ baseline).
+
+use crate::table::{fmt_ms, time_ms, Table};
+use gde_automata::Nfa;
+use gde_dataquery::{parse_ree, parse_rem};
+use gde_gxpath::{eval_node, parse_node_expr, parse_path_expr};
+use gde_reductions::gxpath_gadget::{phi_delta, phi_g, pcp_tree};
+use gde_reductions::PcpInstance;
+use gde_workload::{random_data_graph, GraphConfig};
+
+fn graph_of(n: usize, seed: u64) -> gde_datagraph::DataGraph {
+    random_data_graph(&GraphConfig {
+        nodes: n,
+        edges: n * 3,
+        labels: vec!["a".into(), "b".into()],
+        value_pool: n / 5 + 2,
+        seed,
+    })
+}
+
+/// E1 — REE evaluation is polynomial (combined PTime, \[31\]): time the
+/// paper's "some value repeats" query while the graph grows.
+pub fn e01_ree_eval() -> Table {
+    let mut t = Table::new(
+        "E1: REE evaluation scaling (query: (a|b)* ((a|b)+)= (a|b)*)",
+        &["nodes", "edges", "answers", "median time", "time ratio vs previous"],
+    );
+    let mut prev: Option<f64> = None;
+    for n in [100usize, 200, 400, 800] {
+        let mut g = graph_of(n, 42);
+        let q = parse_ree("(a|b)* ((a|b)+)= (a|b)*", g.alphabet_mut()).unwrap();
+        let mut answers = 0usize;
+        let ms = time_ms(3, || {
+            answers = q.eval(&g).len();
+        });
+        let ratio = prev.map_or("—".to_string(), |p| format!("{:.2}×", ms / p));
+        prev = Some(ms);
+        t.row(&[
+            n.to_string(),
+            g.edge_count().to_string(),
+            answers.to_string(),
+            fmt_ms(ms),
+            ratio,
+        ]);
+    }
+    t
+}
+
+/// E2 — REM combined complexity is driven by the register count (PSPACE
+/// \[31\]): same graph, queries with 1–3 registers.
+pub fn e02_rem_registers() -> Table {
+    let mut t = Table::new(
+        "E2: REM evaluation vs number of registers (fixed graph, 60 nodes)",
+        &["registers", "query", "answers", "median time", "time ratio vs previous"],
+    );
+    let mut g = graph_of(60, 7);
+    let queries = [
+        (1, "@x.((a|b)+[x=])"),
+        (2, "@x.((a|b)+ @y.((a|b)+[x= & y=]))"),
+        (
+            3,
+            "@x.((a|b)+ @y.((a|b)+ @z.((a|b)+[x= & y= & z=])))",
+        ),
+    ];
+    let mut prev: Option<f64> = None;
+    for (k, src) in queries {
+        let q = parse_rem(src, g.alphabet_mut()).unwrap();
+        let ra = q.compile();
+        let mut answers = 0usize;
+        let ms = time_ms(3, || {
+            answers = ra.eval_pairs(&g).len();
+        });
+        let ratio = prev.map_or("—".to_string(), |p| format!("{:.2}×", ms / p));
+        prev = Some(ms);
+        t.row(&[
+            k.to_string(),
+            src.to_string(),
+            answers.to_string(),
+            fmt_ms(ms),
+            ratio,
+        ]);
+    }
+    // data complexity: the same fixed 1-register query over growing graphs
+    // stays polynomial (the paper's NLogspace data-complexity claim, seen
+    // as a gentle growth curve)
+    let mut prev: Option<f64> = None;
+    for n in [40usize, 80, 160] {
+        let mut g = graph_of(n, 23);
+        let ra = parse_rem("@x.((a|b)+[x=])", g.alphabet_mut())
+            .unwrap()
+            .compile();
+        let mut answers = 0usize;
+        let ms = time_ms(3, || {
+            answers = ra.eval_pairs(&g).len();
+        });
+        let ratio = prev.map_or("—".to_string(), |p| format!("{:.2}×", ms / p));
+        prev = Some(ms);
+        t.row(&[
+            "1 (fixed)".into(),
+            format!("data complexity sweep, {n} nodes"),
+            answers.to_string(),
+            fmt_ms(ms),
+            ratio,
+        ]);
+    }
+    t
+}
+
+/// E10 — GXPath evaluation is PTime (§9); the Lemma-2 tree formulas
+/// `ϕ_G`/`ϕ_δ` evaluate and pin the tree.
+pub fn e10_gxpath() -> Table {
+    let mut t = Table::new(
+        "E10: GXPath evaluation + Lemma 2 / Theorem 7 tree gadget",
+        &["input", "size", "result", "median time"],
+    );
+    // plain GXPath query on random graphs
+    for n in [100usize, 200, 400] {
+        let mut g = graph_of(n, 11);
+        let q = parse_path_expr("a* [<b!=>] b", g.alphabet_mut()).unwrap();
+        let mut answers = 0usize;
+        let ms = time_ms(3, || {
+            answers = gde_gxpath::eval_path(&q, &g).len();
+        });
+        t.row(&[
+            format!("random graph, path query a* [<b!=>] b"),
+            format!("{n} nodes"),
+            format!("{answers} pairs"),
+            fmt_ms(ms),
+        ]);
+    }
+    // node expression with negation
+    {
+        let mut g = graph_of(200, 13);
+        let phi = parse_node_expr("<a> & !<(a a)=>", g.alphabet_mut()).unwrap();
+        let mut count = 0usize;
+        let ms = time_ms(3, || {
+            count = eval_node(&phi, &g).len();
+        });
+        t.row(&[
+            "node expr <a> & !<(a a)=>".into(),
+            "200 nodes".into(),
+            format!("{count} nodes"),
+            fmt_ms(ms),
+        ]);
+    }
+    // Lemma 2 tree + Theorem 7 formulas
+    for tiles in [1usize, 2, 4] {
+        let tile_pool = [("a", "ab"), ("ba", "a"), ("ab", "b"), ("b", "ba")];
+        let inst = PcpInstance::new(&tile_pool[..tiles.min(4)]);
+        let (tree, root) = pcp_tree(&inst);
+        let (pg, pd) = (phi_g(&tree, root), phi_delta(&tree, root));
+        let mut ok = false;
+        let ms = time_ms(3, || {
+            ok = gde_gxpath::eval_node_set(&pg, &tree, root)
+                && gde_gxpath::eval_node_set(&pd, &tree, root);
+        });
+        t.row(&[
+            format!("PCP tree, {} tiles: ϕ_G ∧ ϕ_δ at root", tiles.min(4)),
+            format!("{} nodes", tree.node_count()),
+            format!("pinned: {ok}"),
+            fmt_ms(ms),
+        ]);
+    }
+    t
+}
+
+/// E14 — a realistic LDBC-flavoured workload: the paper's motivating
+/// social-network scenario (§1), run through the property-graph encoding
+/// and a mixed query set.
+pub fn e14_social_workload() -> Table {
+    use gde_workload::{social_data_graph, SocialConfig};
+    let mut t = Table::new(
+        "E14: social-network workload (property graphs → data graphs)",
+        &["persons", "encoded nodes", "query", "answers", "median time"],
+    );
+    for persons in [50usize, 100, 200] {
+        let cfg = SocialConfig {
+            persons,
+            knows_per_person: 4,
+            posts: persons / 2,
+            cities: 4,
+            seed: 0xE14,
+        };
+        let mut g = social_data_graph(&cfg);
+        let queries = [
+            ("same-name 2-hop acquaintances", "(knows knows)="),
+            ("knows-chain to an author", "knows knows created"),
+            (
+                "same-city direct contacts (via GXPath below)",
+                "(knows)=",
+            ),
+        ];
+        for (what, src) in queries {
+            let q = parse_ree(src, g.alphabet_mut()).unwrap();
+            let mut answers = 0usize;
+            let ms = time_ms(3, || {
+                answers = q.eval(&g).len();
+            });
+            t.row(&[
+                persons.to_string(),
+                g.node_count().to_string(),
+                format!("{what} [{src}]"),
+                answers.to_string(),
+                fmt_ms(ms),
+            ]);
+        }
+        // one GXPath query with inverse axes over the @city properties
+        let same_city = gde_gxpath::parse_path_expr(
+            "'@city' ('@city'- knows '@city')= '@city'-",
+            g.alphabet_mut(),
+        )
+        .unwrap();
+        let mut answers = 0usize;
+        let ms = time_ms(3, || {
+            answers = gde_gxpath::eval_path(&same_city, &g).len();
+        });
+        t.row(&[
+            persons.to_string(),
+            g.node_count().to_string(),
+            "same-city contacts [GXPath @city detour]".into(),
+            answers.to_string(),
+            fmt_ms(ms),
+        ]);
+    }
+    t
+}
+
+/// E13 — navigational baseline: classical RPQ evaluation (the §2 setting
+/// of \[8,12\]) scales mildly; data queries in E1/E2 pay for value tests.
+pub fn e13_rpq_baseline() -> Table {
+    let mut t = Table::new(
+        "E13: navigational RPQ baseline (query: (a b)+ | a+)",
+        &["nodes", "answers", "median time", "time ratio vs previous"],
+    );
+    let mut prev: Option<f64> = None;
+    for n in [100usize, 200, 400, 800] {
+        let mut g = graph_of(n, 17);
+        let e = gde_automata::parse_regex("(a b)+ | a+", g.alphabet_mut()).unwrap();
+        let nfa = Nfa::from_regex(&e);
+        let mut answers = 0usize;
+        let ms = time_ms(3, || {
+            answers = nfa.eval(&g).len();
+        });
+        let ratio = prev.map_or("—".to_string(), |p| format!("{:.2}×", ms / p));
+        prev = Some(ms);
+        t.row(&[n.to_string(), answers.to_string(), fmt_ms(ms), ratio]);
+    }
+    t
+}

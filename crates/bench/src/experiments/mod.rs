@@ -1,0 +1,36 @@
+//! The experiments E1–E14 (see `EXPERIMENTS.md` for the paper-result ↔
+//! experiment mapping). Each function returns a [`crate::Table`] and is
+//! deterministic given its built-in seeds.
+
+mod certain;
+mod gadgets;
+mod lang;
+mod relational;
+
+pub use certain::{e03_certain_nulls, e04_exact_vs_nulls, e06_equality_only, e07_approximation,
+    e11_one_inequality, e12_arbitrary_cutting};
+pub use gadgets::{e05_threecol, e09_thm1_gadget};
+pub use lang::{e01_ree_eval, e02_rem_registers, e10_gxpath, e13_rpq_baseline, e14_social_workload};
+pub use relational::e08_prop1_chase;
+
+use crate::Table;
+
+/// All experiments in order, with their ids.
+pub fn all() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("E1", e01_ree_eval as fn() -> Table),
+        ("E2", e02_rem_registers),
+        ("E3", e03_certain_nulls),
+        ("E4", e04_exact_vs_nulls),
+        ("E5", e05_threecol),
+        ("E6", e06_equality_only),
+        ("E7", e07_approximation),
+        ("E8", e08_prop1_chase),
+        ("E9", e09_thm1_gadget),
+        ("E10", e10_gxpath),
+        ("E11", e11_one_inequality),
+        ("E12", e12_arbitrary_cutting),
+        ("E13", e13_rpq_baseline),
+        ("E14", e14_social_workload),
+    ]
+}

@@ -1,0 +1,14 @@
+//! # gde-bench
+//!
+//! The experiment harness regenerating the paper's results as empirical
+//! complexity-shape experiments (see `EXPERIMENTS.md` at the workspace
+//! root for the index E1–E14 and the recorded outputs).
+//!
+//! * `cargo run --release -p gde-bench --bin exp_all` prints every
+//!   experiment table (pass experiment ids like `E3 E4` to select);
+//! * `cargo bench -p gde-bench` runs the criterion timing benches.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{time_ms, Table};

@@ -1,0 +1,116 @@
+//! Markdown tables and wall-clock timing for the experiment harness.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A simple markdown table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id + description, e.g. `E3: certain answers via nulls`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (stringified).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {}\n", self.title);
+        let _ = writeln!(s, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(s, "| {} |", r.join(" | "));
+        }
+        s
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Median wall-clock milliseconds of `runs` executions of `f`.
+pub fn time_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Format milliseconds compactly.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{:.3} ms", ms)
+    } else if ms < 1000.0 {
+        format!("{:.2} ms", ms)
+    } else {
+        format!("{:.2} s", ms / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new("E0: smoke", &["n", "time"]);
+        t.row(&["10".into(), "1 ms".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### E0: smoke"));
+        assert!(md.contains("| n | time |"));
+        assert!(md.contains("| 10 | 1 ms |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn timing_positive() {
+        let ms = time_ms(3, || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            std::hint::black_box(x);
+        });
+        assert!(ms >= 0.0);
+        assert!(fmt_ms(0.5).contains("ms"));
+        assert!(fmt_ms(1500.0).contains("s"));
+    }
+}

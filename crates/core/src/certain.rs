@@ -1,0 +1,299 @@
+//! Tractable certain answers via canonical solutions (Theorems 3–5).
+//!
+//! * [`certain_answers_nulls`] — `2ⁿ_M(Q, G_s)` of §7: evaluate `Q` (under
+//!   SQL-null semantics, which is how all of `gde-dataquery` evaluates) on
+//!   the universal solution and keep tuples without null nodes. Sound and
+//!   complete for `2ⁿ` by Theorem 4 for every query closed under
+//!   null-absorbing homomorphisms — in particular all data RPQs
+//!   (Proposition 6). It *underapproximates* the plain certain answers `2`:
+//!   `2ⁿ ⊆ 2`.
+//! * [`certain_answers_least_informative`] — `2_M(Q, G_s)` of §8, exact for
+//!   REM=/REE= queries (Theorem 5): evaluate on the least informative
+//!   solution and keep tuples over `dom(M, G_s)`.
+
+use crate::gsm::Gsm;
+use crate::solution::{least_informative_solution, universal_solution, SolutionError};
+use gde_datagraph::{DataGraph, FxHashSet, NodeId};
+use gde_dataquery::DataQuery;
+
+/// Errors from the tractable certain-answer engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The mapping is not relational; these engines require word targets.
+    NotRelational,
+    /// The query is outside the fragment the engine is exact for.
+    UnsupportedQuery(&'static str),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotRelational => write!(f, "mapping is not relational"),
+            SolveError::UnsupportedQuery(what) => write!(f, "unsupported query: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The answer of a certain-answer computation: either a set of node pairs,
+/// or *everything* because the mapping admits no solution at all (an ε-rule
+/// conflict — then every tuple is vacuously certain).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertainAnswers {
+    /// The computed set of certain pairs (sorted).
+    Pairs(Vec<(NodeId, NodeId)>),
+    /// No solution exists; certain answers are all tuples, vacuously.
+    AllVacuously,
+}
+
+impl CertainAnswers {
+    /// The pairs, treating the vacuous case as an error in contexts where it
+    /// cannot occur.
+    pub fn into_pairs(self) -> Vec<(NodeId, NodeId)> {
+        match self {
+            CertainAnswers::Pairs(p) => p,
+            CertainAnswers::AllVacuously => {
+                panic!("certain answers are vacuously all tuples (no solution exists)")
+            }
+        }
+    }
+
+    /// Does the result contain the pair?
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        match self {
+            CertainAnswers::Pairs(p) => p.binary_search(&(u, v)).is_ok(),
+            CertainAnswers::AllVacuously => true,
+        }
+    }
+}
+
+/// `2ⁿ_M(Q, G_s)`: certain answers over target graphs with SQL-null values
+/// (Theorem 3/4). Polynomial data complexity.
+pub fn certain_answers_nulls(
+    m: &Gsm,
+    q: &DataQuery,
+    gs: &DataGraph,
+) -> Result<CertainAnswers, SolveError> {
+    let sol = match universal_solution(m, gs) {
+        Ok(s) => s,
+        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
+        Err(SolutionError::NoSolution { .. }) => return Ok(CertainAnswers::AllVacuously),
+    };
+    let invented: FxHashSet<NodeId> = sol.invented.iter().copied().collect();
+    let mut pairs: Vec<(NodeId, NodeId)> = q
+        .eval_pairs(&sol.graph)
+        .into_iter()
+        .filter(|(u, v)| !invented.contains(u) && !invented.contains(v))
+        .collect();
+    pairs.sort();
+    Ok(CertainAnswers::Pairs(pairs))
+}
+
+/// Boolean `2ⁿ`: does `Q` hold (have any match) in every solution over
+/// `D ∪ {n}`? For hom-closed Boolean queries this is just `Q` holding on
+/// the universal solution.
+pub fn certain_boolean_nulls(m: &Gsm, q: &DataQuery, gs: &DataGraph) -> Result<bool, SolveError> {
+    let sol = match universal_solution(m, gs) {
+        Ok(s) => s,
+        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
+        Err(SolutionError::NoSolution { .. }) => return Ok(true),
+    };
+    Ok(q.holds_somewhere(&sol.graph))
+}
+
+/// `2_M(Q, G_s)` for equality-only queries (REM=/REE=, and plain RPQs):
+/// evaluate on the least informative solution, keep tuples over
+/// `dom(M, G_s)` (Theorem 5). Polynomial data complexity; **exact** plain
+/// certain answers for this fragment.
+pub fn certain_answers_least_informative(
+    m: &Gsm,
+    q: &DataQuery,
+    gs: &DataGraph,
+) -> Result<CertainAnswers, SolveError> {
+    if !q.is_equality_only() {
+        return Err(SolveError::UnsupportedQuery(
+            "least-informative engine requires an inequality-free query (REM=/REE=)",
+        ));
+    }
+    let sol = match least_informative_solution(m, gs) {
+        Ok(s) => s,
+        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
+        Err(SolutionError::NoSolution { .. }) => return Ok(CertainAnswers::AllVacuously),
+    };
+    let invented: FxHashSet<NodeId> = sol.invented.iter().copied().collect();
+    let mut pairs: Vec<(NodeId, NodeId)> = q
+        .eval_pairs(&sol.graph)
+        .into_iter()
+        .filter(|(u, v)| !invented.contains(u) && !invented.contains(v))
+        .collect();
+    pairs.sort();
+    Ok(CertainAnswers::Pairs(pairs))
+}
+
+/// Boolean variant of [`certain_answers_least_informative`].
+pub fn certain_boolean_least_informative(
+    m: &Gsm,
+    q: &DataQuery,
+    gs: &DataGraph,
+) -> Result<bool, SolveError> {
+    if !q.is_equality_only() {
+        return Err(SolveError::UnsupportedQuery(
+            "least-informative engine requires an inequality-free query (REM=/REE=)",
+        ));
+    }
+    let sol = match least_informative_solution(m, gs) {
+        Ok(s) => s,
+        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
+        Err(SolutionError::NoSolution { .. }) => return Ok(true),
+    };
+    Ok(q.holds_somewhere(&sol.graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_automata::parse_regex;
+    use gde_datagraph::{Alphabet, Value};
+    use gde_dataquery::parse_ree;
+
+    /// Source: 0(v5) -a-> 1(v5), 1 -a-> 2(v7).
+    /// Mapping: (a, x y) — each a-edge becomes an x·y path with an invented
+    /// middle node.
+    fn scenario() -> (Gsm, DataGraph) {
+        let mut sa = Alphabet::from_labels(["a"]);
+        let mut ta = Alphabet::from_labels(["x", "y"]);
+        let mut m = Gsm::new(sa.clone(), ta.clone());
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            parse_regex("x y", &mut ta).unwrap(),
+        );
+        let mut gs = DataGraph::new();
+        gs.add_node(NodeId(0), Value::int(5)).unwrap();
+        gs.add_node(NodeId(1), Value::int(5)).unwrap();
+        gs.add_node(NodeId(2), Value::int(7)).unwrap();
+        gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        gs.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+        (m, gs)
+    }
+
+    #[test]
+    fn navigational_certain_answers() {
+        let (m, gs) = scenario();
+        let q: DataQuery = parse_regex("x y", &mut m.target_alphabet().clone())
+            .unwrap()
+            .into();
+        let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+        assert_eq!(ans, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn equality_query_on_nulls_underapproximates() {
+        let (m, gs) = scenario();
+        let mut ta = m.target_alphabet().clone();
+        // (x y)=: endpoints equal. For pair (0,1): values 5,5 — matches in
+        // the universal solution (nulls only in the middle).
+        let q: DataQuery = parse_ree("(x y)=", &mut ta).unwrap().into();
+        let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+        assert_eq!(ans, vec![(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn tests_touching_nulls_do_not_fire() {
+        let (m, gs) = scenario();
+        let mut ta = m.target_alphabet().clone();
+        // (x)=: source node vs invented null node — never certain
+        let q: DataQuery = parse_ree("x=", &mut ta).unwrap().into();
+        let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+        assert!(ans.is_empty());
+        // and pairs ending in a null node are filtered anyway
+        let q: DataQuery = parse_ree("x", &mut ta).unwrap().into();
+        let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn least_informative_agrees_on_equality_queries() {
+        let (m, gs) = scenario();
+        let mut ta = m.target_alphabet().clone();
+        let q: DataQuery = parse_ree("(x y)=", &mut ta).unwrap().into();
+        let a1 = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+        let a2 = certain_answers_least_informative(&m, &q, &gs)
+            .unwrap()
+            .into_pairs();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn least_informative_rejects_inequalities() {
+        let (m, gs) = scenario();
+        let mut ta = m.target_alphabet().clone();
+        let q: DataQuery = parse_ree("(x y)!=", &mut ta).unwrap().into();
+        assert!(matches!(
+            certain_answers_least_informative(&m, &q, &gs),
+            Err(SolveError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn inequality_on_nulls_is_conservative() {
+        let (m, gs) = scenario();
+        let mut ta = m.target_alphabet().clone();
+        // (x y)≠: (1,2) has values 5,7 — differs in the universal solution,
+        // and in fact in every solution (dom values are fixed): 2ⁿ finds it.
+        let q: DataQuery = parse_ree("(x y)!=", &mut ta).unwrap().into();
+        let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+        assert_eq!(ans, vec![(NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn boolean_variants() {
+        let (m, gs) = scenario();
+        let mut ta = m.target_alphabet().clone();
+        let q: DataQuery = parse_ree("x y", &mut ta).unwrap().into();
+        assert!(certain_boolean_nulls(&m, &q, &gs).unwrap());
+        assert!(certain_boolean_least_informative(&m, &q, &gs).unwrap());
+        // "y x" holds too: the universal solution chains the two invented
+        // paths through node 1 (0 -x-> m₁ -y-> 1 -x-> m₂ -y-> 2).
+        let q2: DataQuery = parse_ree("y x", &mut ta).unwrap().into();
+        assert!(certain_boolean_nulls(&m, &q2, &gs).unwrap());
+        // "y y" can never appear in any minimal solution
+        let q3: DataQuery = parse_ree("y y", &mut ta).unwrap().into();
+        assert!(!certain_boolean_nulls(&m, &q3, &gs).unwrap());
+    }
+
+    #[test]
+    fn non_relational_mapping_rejected() {
+        let (m, gs) = scenario();
+        let mut m2 = m.clone();
+        let reach = gde_automata::Regex::reachability(m2.target_alphabet());
+        m2.add_rule(
+            gde_automata::Regex::Atom(m2.source_alphabet().label("a").unwrap()),
+            reach,
+        );
+        let mut ta = m.target_alphabet().clone();
+        let q: DataQuery = parse_ree("x", &mut ta).unwrap().into();
+        assert_eq!(
+            certain_answers_nulls(&m2, &q, &gs).err(),
+            Some(SolveError::NotRelational)
+        );
+    }
+
+    #[test]
+    fn vacuous_certainty_when_no_solution() {
+        let mut sa = Alphabet::from_labels(["a"]);
+        let ta = Alphabet::from_labels(["x"]);
+        let mut m = Gsm::new(sa.clone(), ta.clone());
+        m.add_rule(parse_regex("a", &mut sa).unwrap(), gde_automata::Regex::Epsilon);
+        let mut gs = DataGraph::new();
+        gs.add_node(NodeId(0), Value::int(1)).unwrap();
+        gs.add_node(NodeId(1), Value::int(2)).unwrap();
+        gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        let mut ta2 = ta.clone();
+        let q: DataQuery = parse_ree("x", &mut ta2).unwrap().into();
+        let ans = certain_answers_nulls(&m, &q, &gs).unwrap();
+        assert_eq!(ans, CertainAnswers::AllVacuously);
+        assert!(ans.contains(NodeId(0), NodeId(1)));
+        assert!(certain_boolean_nulls(&m, &q, &gs).unwrap());
+    }
+}

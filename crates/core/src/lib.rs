@@ -1,0 +1,52 @@
+//! # gde-core
+//!
+//! Graph schema mappings and certain-answer query answering — the primary
+//! contribution of *Schema Mappings for Data Graphs* (Francis & Libkin,
+//! PODS 2017), §4–§8.
+//!
+//! A graph schema mapping ([`Gsm`]) is a set of RPQ pairs `(q, q')`; a
+//! target graph `G_t` is a *solution* for a source `G_s` when
+//! `q(G_s) ⊆ q'(G_t)` for every rule. Query answering is by *certain
+//! answers*: `certain(Q, G_s) = ⋂ {Q(G_t) | G_t solution}`.
+//!
+//! The paper's map of this problem, and where each result lives here:
+//!
+//! | Result | Statement | Module |
+//! |--------|-----------|--------|
+//! | Thm 1 | undecidable for LAV/GAV relational/reachability mappings + equality RPQs | gadget in `gde-reductions` |
+//! | Thm 2 / Prop 2 | coNP for relational mappings, all data RPQs | [`exact`] (complete enumeration) |
+//! | Prop 3 | coNP-hard already for data path queries (3 inequalities) | gadget in `gde-reductions` |
+//! | Prop 5 | data path queries decidable for arbitrary GSMs | [`arbitrary`] |
+//! | Thm 3/4 | PTime via universal solutions with SQL nulls | [`solution`], [`certain`] |
+//! | Thm 5 / Cor 1 | PTime for REM=/REE= via least informative solutions | [`solution`], [`certain`] |
+//! | Prop 1 | relational GSMs ≡ relational mappings over `D_G` | [`translate`] |
+//!
+//! [`integration`] exposes the LAV virtual-data-integration reading of §4.
+
+pub mod arbitrary;
+pub mod certain;
+pub mod exact;
+pub mod gsm;
+pub mod integration;
+pub mod rel2graph;
+pub mod solution;
+pub mod translate;
+
+pub use arbitrary::{certain_answers_arbitrary, ArbitraryOptions};
+pub use certain::{
+    certain_answers_least_informative, certain_answers_nulls, certain_boolean_least_informative,
+    certain_boolean_nulls, SolveError,
+};
+pub use exact::{certain_answers_exact, certain_boolean_exact, ExactOptions};
+pub use gsm::{Gsm, MappingClass, Rule};
+pub use rel2graph::{RelToGraphMapping, RelToGraphRule};
+pub use solution::{least_informative_solution, universal_solution, CanonicalSolution};
+
+/// Names used by virtually every program built on the library.
+pub mod prelude {
+    pub use crate::certain::{certain_answers_nulls, certain_boolean_nulls};
+    pub use crate::exact::{certain_answers_exact, ExactOptions};
+    pub use crate::gsm::{Gsm, Rule};
+    pub use crate::solution::universal_solution;
+    pub use gde_dataquery::DataQuery;
+}

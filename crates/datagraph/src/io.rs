@@ -1,0 +1,250 @@
+//! A plain-text interchange format for data graphs.
+//!
+//! Line-oriented, whitespace-separated, `#` comments:
+//!
+//! ```text
+//! # nodes: node <id> <value>; values: 42, "text", null
+//! node 0 "ann"
+//! node 1 42
+//! node 2 null
+//! # edges: edge <src> <label> <dst>
+//! edge 0 follows 1
+//! edge 1 "weird label" 2
+//! ```
+//!
+//! Labels and string values may be double-quoted (required when they
+//! contain whitespace; `\"` and `\\` escapes supported). [`parse_graph`]
+//! and [`serialize_graph`] round-trip.
+
+use crate::graph::DataGraph;
+use crate::node::NodeId;
+use crate::value::Value;
+use std::fmt;
+
+/// Parse failure with line number (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IoError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn err(line: usize, msg: impl Into<String>) -> IoError {
+    IoError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Split a line into whitespace-separated tokens, honouring double quotes.
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<String>, IoError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '#' {
+            break;
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::from("\"");
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        other => return Err(err(lineno, format!("bad escape {other:?}"))),
+                    },
+                    Some('"') => break,
+                    Some(c) => s.push(c),
+                    None => return Err(err(lineno, "unterminated string")),
+                }
+            }
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == '#' {
+                    break;
+                }
+                s.push(c);
+                chars.next();
+            }
+            tokens.push(s);
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_value(tok: &str, lineno: usize) -> Result<Value, IoError> {
+    if tok == "null" {
+        Ok(Value::Null)
+    } else if let Some(stripped) = tok.strip_prefix('"') {
+        Ok(Value::str(stripped))
+    } else if let Ok(i) = tok.parse::<i64>() {
+        Ok(Value::Int(i))
+    } else {
+        Err(err(
+            lineno,
+            format!("bad value {tok:?} (want int, \"string\" or null)"),
+        ))
+    }
+}
+
+fn unquote(tok: &str) -> &str {
+    tok.strip_prefix('"').unwrap_or(tok)
+}
+
+/// Parse the text format into a data graph.
+pub fn parse_graph(input: &str) -> Result<DataGraph, IoError> {
+    let mut g = DataGraph::new();
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let tokens = tokenize(line, lineno)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0].as_str() {
+            "node" => {
+                if tokens.len() != 3 {
+                    return Err(err(lineno, "usage: node <id> <value>"));
+                }
+                let id: u32 = tokens[1]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad node id {:?}", tokens[1])))?;
+                let value = parse_value(&tokens[2], lineno)?;
+                g.add_node(NodeId(id), value)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+            "edge" => {
+                if tokens.len() != 4 {
+                    return Err(err(lineno, "usage: edge <src> <label> <dst>"));
+                }
+                let src: u32 = tokens[1]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad node id {:?}", tokens[1])))?;
+                let dst: u32 = tokens[3]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad node id {:?}", tokens[3])))?;
+                g.add_edge_str(NodeId(src), unquote(&tokens[2]), NodeId(dst))
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+    Ok(g)
+}
+
+fn quote_if_needed(s: &str) -> String {
+    if !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '/' | '@' | '.'))
+    {
+        s.to_string()
+    } else {
+        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+/// Serialize a graph to the text format (stable ordering).
+pub fn serialize_graph(g: &DataGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut nodes: Vec<_> = g.nodes().collect();
+    nodes.sort_by_key(|(id, _)| *id);
+    for (id, v) in nodes {
+        let vtxt = match v {
+            Value::Null => "null".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        };
+        let _ = writeln!(out, "node {} {}", id.0, vtxt);
+    }
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.sort();
+    for (u, l, v) in edges {
+        let _ = writeln!(
+            out,
+            "edge {} {} {}",
+            u.0,
+            quote_if_needed(g.alphabet().name(l)),
+            v.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a tiny graph
+node 0 "ann"
+node 1 42
+node 2 null
+edge 0 follows 1
+edge 1 "weird label" 2   # trailing comment
+"#;
+
+    #[test]
+    fn parse_basic() {
+        let g = parse_graph(SAMPLE).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.value(NodeId(0)), Some(&Value::str("ann")));
+        assert_eq!(g.value(NodeId(1)), Some(&Value::int(42)));
+        assert!(g.value(NodeId(2)).unwrap().is_null());
+        assert!(g.alphabet().label("weird label").is_some());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = parse_graph(SAMPLE).unwrap();
+        let text = serialize_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert!(g.is_subgraph_of(&g2) && g2.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let g = parse_graph(r#"node 0 "say \"hi\" \\ ok""#).unwrap();
+        assert_eq!(g.value(NodeId(0)), Some(&Value::str(r#"say "hi" \ ok"#)));
+        let text = serialize_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g2.value(NodeId(0)), g.value(NodeId(0)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_graph("node 0 1\nnode 0 2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("duplicate"));
+        let e = parse_graph("nodule 0 1").unwrap_err();
+        assert!(e.msg.contains("unknown directive"));
+        let e = parse_graph("edge 0 a 1").unwrap_err();
+        assert!(e.msg.contains("unknown node"));
+        let e = parse_graph("node 0").unwrap_err();
+        assert!(e.msg.contains("usage"));
+        let e = parse_graph("node 0 \"oops").unwrap_err();
+        assert!(e.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn negative_ints_and_bare_labels() {
+        let g = parse_graph("node 0 -5\nnode 1 -5\nedge 0 a/b 1").unwrap();
+        assert_eq!(g.value(NodeId(0)), Some(&Value::int(-5)));
+        assert!(g.alphabet().label("a/b").is_some());
+        // serialization keeps a/b unquoted
+        assert!(serialize_graph(&g).contains("edge 0 a/b 1"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Edge labels and alphabets.
+//!
+//! The paper fixes a finite alphabet `Σ` of edge labels (§2). Schema
+//! mappings relate a *source* alphabet `Σ_s` to a *target* alphabet `Σ_t`
+//! (§4). [`Alphabet`] is an interner: label names are mapped to dense
+//! [`Label`] ids so that graphs and automata can index by label.
+//!
+//! A [`Label`] is only meaningful relative to the [`Alphabet`] that interned
+//! it; a scenario (graphs + mapping + queries) should share one alphabet, or
+//! one per side of a mapping.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned edge label (an element of `Σ`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// The dense index of this label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// An interner for edge-label names: the alphabet `Σ`.
+#[derive(Clone, Debug, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: FxHashMap<String, Label>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Alphabet {
+        Alphabet::default()
+    }
+
+    /// Build an alphabet from a list of label names (deduplicating).
+    pub fn from_labels<I, S>(labels: I) -> Alphabet
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Alphabet::new();
+        for l in labels {
+            a.intern(l.as_ref());
+        }
+        a
+    }
+
+    /// Intern a label name, returning its [`Label`]. Idempotent.
+    ///
+    /// # Panics
+    /// Panics if more than `u16::MAX` distinct labels are interned; the
+    /// paper's alphabets are tiny and this is a deliberate compactness
+    /// trade-off (see the type-size advice in the performance guide).
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.index.get(name) {
+            return l;
+        }
+        let id = u16::try_from(self.names.len()).expect("alphabet overflow (> u16::MAX labels)");
+        let l = Label(id);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), l);
+        l
+    }
+
+    /// Look up an existing label by name.
+    pub fn label(&self, name: &str) -> Option<Label> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a label.
+    ///
+    /// # Panics
+    /// Panics if the label was not interned by this alphabet.
+    pub fn name(&self, l: Label) -> &str {
+        &self.names[l.index()]
+    }
+
+    /// Number of labels in the alphabet.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the alphabet empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all labels in interning order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len()).map(|i| Label(i as u16))
+    }
+
+    /// Iterate over `(label, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u16), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.intern("a");
+        let y = a.intern("a");
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn intern_distinguishes_names() {
+        let mut a = Alphabet::new();
+        let x = a.intern("a");
+        let y = a.intern("b");
+        assert_ne!(x, y);
+        assert_eq!(a.name(x), "a");
+        assert_eq!(a.name(y), "b");
+    }
+
+    #[test]
+    fn lookup() {
+        let a = Alphabet::from_labels(["a", "b", "c"]);
+        assert_eq!(a.label("b"), Some(Label(1)));
+        assert_eq!(a.label("z"), None);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn from_labels_dedups() {
+        let a = Alphabet::from_labels(["a", "b", "a"]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iteration_order_is_interning_order() {
+        let a = Alphabet::from_labels(["x", "y"]);
+        let names: Vec<&str> = a.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        let labels: Vec<Label> = a.labels().collect();
+        assert_eq!(labels, vec![Label(0), Label(1)]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gde-datagraph
+//!
+//! The data-graph model of *Schema Mappings for Data Graphs* (Francis &
+//! Libkin, PODS 2017), §2: a data graph is a finite set of nodes, each a pair
+//! `(id, value)` of a node id and a data value, together with a set of
+//! labelled directed edges.
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — data values `D`, extended with the single SQL-style null
+//!   `n` of §7 of the paper;
+//! * [`Label`] and [`Alphabet`] — interned edge labels `Σ`;
+//! * [`NodeId`] — globally meaningful node identities (the paper's `N`);
+//!   node ids are shared between source and target graphs of a schema
+//!   mapping, which is what makes containment `q(G_s) ⊆ q'(G_t)` meaningful;
+//! * [`DataGraph`] — the graph itself, with dense internal indexing for the
+//!   algorithms in the sibling crates;
+//! * [`Path`] and [`DataPath`] — paths `v₁a₁v₂…` and their data projections
+//!   `δ(π) = d₁a₁d₂…` (§2);
+//! * [`Relation`] — dense bitset binary relations over the nodes of a graph,
+//!   the workhorse of REE and GXPath evaluation;
+//! * homomorphisms between data graphs, both the exact form of §6 and the
+//!   null-absorbing form of §7 ([`hom`]).
+
+pub mod fxhash;
+pub mod graph;
+pub mod hom;
+pub mod io;
+pub mod label;
+pub mod node;
+pub mod path;
+pub mod property;
+pub mod relation;
+pub mod value;
+
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use graph::{DataGraph, GraphError};
+pub use hom::{apply_hom, check_hom, find_hom, HomMode};
+pub use label::{Alphabet, Label};
+pub use node::NodeId;
+pub use path::{DataPath, Path};
+pub use property::{PropertyGraph, Properties};
+pub use relation::Relation;
+pub use value::Value;

@@ -1,0 +1,46 @@
+//! Node identities.
+//!
+//! The paper draws node ids from a countably infinite set `N` (§2). A node
+//! is a pair `(n, d) ∈ N × D`; crucially, node ids are *shared* between the
+//! source and target graphs of a schema mapping — `q(G_s) ⊆ q'(G_t)` means
+//! the very same `(id, value)` pairs appear on the target side (§4). Hence
+//! [`NodeId`] is a plain global identifier, not an index into any particular
+//! graph.
+
+use std::fmt;
+
+/// A node id: an element of the countably infinite set `N`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw id.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> NodeId {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId::from(3u32).raw(), 3);
+    }
+}

@@ -1,0 +1,329 @@
+//! Paths and data paths (§2 of the paper).
+//!
+//! A path `π = v₁a₁v₂…vₙaₙvₙ₊₁` alternates nodes and labels; its *label*
+//! `λ(π)` is the word `a₁…aₙ` and its *data path* `δ(π)` replaces each node
+//! by its data value. Data paths are the objects on which data RPQs (§3)
+//! are defined.
+
+use crate::graph::DataGraph;
+use crate::label::Label;
+use crate::node::NodeId;
+use crate::value::Value;
+use std::fmt;
+
+/// A path in a data graph: `n+1` nodes and `n` labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    labels: Vec<Label>,
+}
+
+impl Path {
+    /// The trivial path sitting at one node.
+    pub fn single(node: NodeId) -> Path {
+        Path {
+            nodes: vec![node],
+            labels: Vec::new(),
+        }
+    }
+
+    /// Build a path from explicit node and label sequences.
+    ///
+    /// # Panics
+    /// Panics unless `nodes.len() == labels.len() + 1` and `nodes` is
+    /// non-empty.
+    pub fn from_parts(nodes: Vec<NodeId>, labels: Vec<Label>) -> Path {
+        assert!(!nodes.is_empty(), "a path has at least one node");
+        assert_eq!(nodes.len(), labels.len() + 1, "|nodes| must be |labels|+1");
+        Path { nodes, labels }
+    }
+
+    /// Extend the path by one edge.
+    pub fn push(&mut self, label: Label, node: NodeId) {
+        self.labels.push(label);
+        self.nodes.push(node);
+    }
+
+    /// The length `|π|` (number of edges).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is this a single-node path?
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// First node.
+    pub fn start(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// The node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The label word `λ(π)`.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Does every edge of the path exist in `g`?
+    pub fn is_valid_in(&self, g: &DataGraph) -> bool {
+        self.nodes.iter().all(|&v| g.has_node(v))
+            && self
+                .labels
+                .iter()
+                .zip(self.nodes.windows(2))
+                .all(|(&l, w)| g.contains_edge(w[0], l, w[1]))
+    }
+
+    /// The data path `δ(π)` of this path in `g`.
+    ///
+    /// # Panics
+    /// Panics if a node of the path is not in `g`.
+    pub fn data_path(&self, g: &DataGraph) -> DataPath {
+        DataPath {
+            values: self
+                .nodes
+                .iter()
+                .map(|&v| g.value(v).expect("path node in graph").clone())
+                .collect(),
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.nodes[0])?;
+        for (l, v) in self.labels.iter().zip(self.nodes.iter().skip(1)) {
+            write!(f, " -{l}-> {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A data path `d₁a₁d₂…dₙaₙdₙ₊₁`: a data word with one extra data value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataPath {
+    values: Vec<Value>,
+    labels: Vec<Label>,
+}
+
+impl DataPath {
+    /// The single-value data path `d`.
+    pub fn single(value: Value) -> DataPath {
+        DataPath {
+            values: vec![value],
+            labels: Vec::new(),
+        }
+    }
+
+    /// Build from explicit sequences (`values.len() == labels.len() + 1`).
+    ///
+    /// # Panics
+    /// Panics if the length invariant is violated.
+    pub fn from_parts(values: Vec<Value>, labels: Vec<Label>) -> DataPath {
+        assert!(!values.is_empty(), "a data path has at least one value");
+        assert_eq!(values.len(), labels.len() + 1);
+        DataPath { values, labels }
+    }
+
+    /// Number of labels (the length of the underlying word).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is this a single data value?
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The value sequence.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The label word.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// First data value.
+    pub fn first(&self) -> &Value {
+        &self.values[0]
+    }
+
+    /// Last data value.
+    pub fn last(&self) -> &Value {
+        self.values.last().unwrap()
+    }
+
+    /// Append one `(label, value)` step.
+    pub fn push(&mut self, label: Label, value: Value) {
+        self.labels.push(label);
+        self.values.push(value);
+    }
+
+    /// Concatenation `w · w'` of data paths sharing the junction value (§3).
+    /// Returns `None` when the last value of `self` differs from the first
+    /// value of `other` (the concatenation is then undefined).
+    pub fn concat(&self, other: &DataPath) -> Option<DataPath> {
+        if self.last() != other.first() {
+            return None;
+        }
+        let mut values = self.values.clone();
+        values.extend(other.values[1..].iter().cloned());
+        let mut labels = self.labels.clone();
+        labels.extend(other.labels.iter().copied());
+        Some(DataPath { values, labels })
+    }
+}
+
+impl fmt::Display for DataPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.values[0])?;
+        for (l, v) in self.labels.iter().zip(self.values.iter().skip(1)) {
+            write!(f, " {l} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerate all paths of label word `word` from `from` in `g`, calling
+/// `visit` for each end node (with repetitions filtered). This is the naive
+/// word-RPQ evaluation used as a test oracle; the production evaluation lives
+/// in `gde-automata`.
+pub fn word_reachable(g: &DataGraph, from: NodeId, word: &[Label]) -> Vec<NodeId> {
+    let Some(start) = g.idx(from) else {
+        return Vec::new();
+    };
+    let mut frontier = vec![start];
+    for &l in word {
+        let mut next: Vec<u32> = Vec::new();
+        let mut seen = vec![false; g.n()];
+        for &u in &frontier {
+            for &(el, v) in g.out_at(u) {
+                if el == l && !seen[v as usize] {
+                    seen[v as usize] = true;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier.into_iter().map(|d| g.id_at(d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DataGraph;
+
+    fn chain(n: u32) -> DataGraph {
+        let mut g = DataGraph::new();
+        for i in 0..n {
+            g.add_node(NodeId(i), Value::int(i as i64)).unwrap();
+        }
+        for i in 0..n - 1 {
+            g.add_edge_str(NodeId(i), "a", NodeId(i + 1)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn path_construction_and_validity() {
+        let g = chain(4);
+        let a = g.alphabet().label("a").unwrap();
+        let mut p = Path::single(NodeId(0));
+        p.push(a, NodeId(1));
+        p.push(a, NodeId(2));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.start(), NodeId(0));
+        assert_eq!(p.end(), NodeId(2));
+        assert!(p.is_valid_in(&g));
+        let bad = Path::from_parts(vec![NodeId(0), NodeId(2)], vec![a]);
+        assert!(!bad.is_valid_in(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "|nodes| must be |labels|+1")]
+    fn malformed_path_panics() {
+        let _ = Path::from_parts(vec![NodeId(0)], vec![Label(0)]);
+    }
+
+    #[test]
+    fn data_projection() {
+        let g = chain(3);
+        let a = g.alphabet().label("a").unwrap();
+        let p = Path::from_parts(vec![NodeId(0), NodeId(1), NodeId(2)], vec![a, a]);
+        let dp = p.data_path(&g);
+        assert_eq!(
+            dp.values(),
+            &[Value::int(0), Value::int(1), Value::int(2)]
+        );
+        assert_eq!(dp.first(), &Value::int(0));
+        assert_eq!(dp.last(), &Value::int(2));
+        assert_eq!(dp.len(), 2);
+    }
+
+    #[test]
+    fn data_path_concat_requires_shared_value() {
+        let a = Label(0);
+        let w1 = DataPath::from_parts(vec![Value::int(1), Value::int(2)], vec![a]);
+        let w2 = DataPath::from_parts(vec![Value::int(2), Value::int(3)], vec![a]);
+        let w3 = DataPath::from_parts(vec![Value::int(9), Value::int(3)], vec![a]);
+        let joined = w1.concat(&w2).unwrap();
+        assert_eq!(joined.len(), 2);
+        assert_eq!(
+            joined.values(),
+            &[Value::int(1), Value::int(2), Value::int(3)]
+        );
+        assert!(w1.concat(&w3).is_none());
+    }
+
+    #[test]
+    fn word_reachability() {
+        let g = chain(5);
+        let a = g.alphabet().label("a").unwrap();
+        assert_eq!(word_reachable(&g, NodeId(0), &[a, a]), vec![NodeId(2)]);
+        assert_eq!(word_reachable(&g, NodeId(0), &[]), vec![NodeId(0)]);
+        assert!(word_reachable(&g, NodeId(4), &[a]).is_empty());
+        assert!(word_reachable(&g, NodeId(99), &[a]).is_empty());
+    }
+
+    #[test]
+    fn word_reachability_dedups() {
+        // diamond: two a-paths 0->3
+        let mut g = DataGraph::new();
+        for i in 0..4 {
+            g.add_node(NodeId(i), Value::int(0)).unwrap();
+        }
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(0), "a", NodeId(2)).unwrap();
+        g.add_edge_str(NodeId(1), "a", NodeId(3)).unwrap();
+        g.add_edge_str(NodeId(2), "a", NodeId(3)).unwrap();
+        let a = g.alphabet().label("a").unwrap();
+        assert_eq!(word_reachable(&g, NodeId(0), &[a, a]), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn display_shapes() {
+        let g = chain(2);
+        let a = g.alphabet().label("a").unwrap();
+        let p = Path::from_parts(vec![NodeId(0), NodeId(1)], vec![a]);
+        assert_eq!(p.to_string(), "n0 -ℓ0-> n1");
+        let dp = p.data_path(&g);
+        assert_eq!(dp.to_string(), "0 ℓ0 1");
+    }
+}

@@ -1,0 +1,247 @@
+//! Property graphs and their data-graph encoding.
+//!
+//! The paper's model is the *data graph* — one value per node — and §1
+//! argues this abstraction suffices because "property graphs can be modeled
+//! by data graphs, by pushing data from edges to nodes and by creating
+//! additional nodes to store multiple data values". This module makes that
+//! claim executable: [`PropertyGraph`] is the Neo4j-style model (nodes and
+//! edges both carry key→value records), and [`PropertyGraph::to_data_graph`]
+//! is the encoding:
+//!
+//! * a node keeps its id; its data value is its `primary_key` property (if
+//!   configured and present) or the null value;
+//! * every node property `k = val` becomes a fresh node holding `val`,
+//!   reached by an edge labelled `@k`;
+//! * an edge *without* properties stays an ordinary labelled edge;
+//! * an edge *with* properties is reified: `u --ℓ/src--> m --ℓ/tgt--> v`
+//!   where the fresh node `m` carries the edge's properties like a node.
+//!
+//! The encoding is navigation-faithful: a plain `ℓ`-edge remains one step,
+//! and `ℓ/src · ℓ/tgt` traverses a reified edge, so RPQs over the original
+//! graph translate label-by-label.
+
+use crate::graph::DataGraph;
+use crate::label::Alphabet;
+use crate::node::NodeId;
+use crate::value::Value;
+
+/// A key→value record.
+pub type Properties = Vec<(String, Value)>;
+
+/// A property-graph node.
+#[derive(Clone, Debug)]
+pub struct PNode {
+    /// Node id (kept by the encoding).
+    pub id: NodeId,
+    /// The node's record.
+    pub properties: Properties,
+}
+
+/// A property-graph edge.
+#[derive(Clone, Debug)]
+pub struct PEdge {
+    /// Source node id.
+    pub src: NodeId,
+    /// Edge type (label name).
+    pub label: String,
+    /// Target node id.
+    pub dst: NodeId,
+    /// The edge's record (empty for plain edges).
+    pub properties: Properties,
+}
+
+/// A property graph: the data model of Neo4j and LDBC, per §1 of the paper.
+#[derive(Clone, Debug, Default)]
+pub struct PropertyGraph {
+    nodes: Vec<PNode>,
+    edges: Vec<PEdge>,
+}
+
+impl PropertyGraph {
+    /// Empty property graph.
+    pub fn new() -> PropertyGraph {
+        PropertyGraph::default()
+    }
+
+    /// Add a node with a record.
+    pub fn add_node(&mut self, id: NodeId, properties: Properties) -> &mut Self {
+        assert!(
+            !self.nodes.iter().any(|n| n.id == id),
+            "duplicate node id {id}"
+        );
+        self.nodes.push(PNode { id, properties });
+        self
+    }
+
+    /// Add an edge with a record (empty for a plain edge).
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        label: &str,
+        dst: NodeId,
+        properties: Properties,
+    ) -> &mut Self {
+        self.edges.push(PEdge {
+            src,
+            label: label.to_string(),
+            dst,
+            properties,
+        });
+        self
+    }
+
+    /// Nodes.
+    pub fn nodes(&self) -> &[PNode] {
+        &self.nodes
+    }
+
+    /// Edges.
+    pub fn edges(&self) -> &[PEdge] {
+        &self.edges
+    }
+
+    /// Encode as a data graph (see module docs). `primary_key` selects the
+    /// property used as a node's own data value.
+    pub fn to_data_graph(&self, primary_key: Option<&str>) -> DataGraph {
+        let mut g = DataGraph::with_alphabet(Alphabet::new());
+        // main nodes first, so their ids survive verbatim
+        for n in &self.nodes {
+            let val = primary_key
+                .and_then(|k| {
+                    n.properties
+                        .iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.clone())
+                })
+                .unwrap_or(Value::Null);
+            g.add_node(n.id, val).expect("distinct property-graph ids");
+        }
+        let attach_props = |g: &mut DataGraph, owner: NodeId, props: &Properties| {
+            for (k, v) in props {
+                let holder = g.fresh_node(v.clone());
+                g.add_edge_str(owner, &format!("@{k}"), holder)
+                    .expect("owner exists");
+            }
+        };
+        for n in &self.nodes {
+            attach_props(&mut g, n.id, &n.properties);
+        }
+        for e in &self.edges {
+            if e.properties.is_empty() {
+                g.add_edge_str(e.src, &e.label, e.dst).expect("ids exist");
+            } else {
+                let m = g.fresh_node(Value::Null);
+                g.add_edge_str(e.src, &format!("{}/src", e.label), m)
+                    .expect("src exists");
+                g.add_edge_str(m, &format!("{}/tgt", e.label), e.dst)
+                    .expect("dst exists");
+                attach_props(&mut g, m, &e.properties);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PropertyGraph {
+        let mut pg = PropertyGraph::new();
+        pg.add_node(
+            NodeId(0),
+            vec![
+                ("name".into(), Value::str("ann")),
+                ("age".into(), Value::int(35)),
+            ],
+        );
+        pg.add_node(NodeId(1), vec![("name".into(), Value::str("bob"))]);
+        pg.add_edge(NodeId(0), "follows", NodeId(1), vec![]);
+        pg.add_edge(
+            NodeId(1),
+            "paid",
+            NodeId(0),
+            vec![("amount".into(), Value::int(100))],
+        );
+        pg
+    }
+
+    #[test]
+    fn plain_edges_stay_one_step() {
+        let g = sample().to_data_graph(Some("name"));
+        let follows = g.alphabet().label("follows").unwrap();
+        assert!(g.contains_edge(NodeId(0), follows, NodeId(1)));
+    }
+
+    #[test]
+    fn primary_key_becomes_node_value() {
+        let g = sample().to_data_graph(Some("name"));
+        assert_eq!(g.value(NodeId(0)), Some(&Value::str("ann")));
+        assert_eq!(g.value(NodeId(1)), Some(&Value::str("bob")));
+        // without a primary key, nodes carry nulls
+        let g2 = sample().to_data_graph(None);
+        assert!(g2.value(NodeId(0)).unwrap().is_null());
+    }
+
+    #[test]
+    fn node_properties_pushed_to_fresh_nodes() {
+        let g = sample().to_data_graph(Some("name"));
+        let age = g.alphabet().label("@age").unwrap();
+        let holders: Vec<NodeId> = g.successors(NodeId(0), age).collect();
+        assert_eq!(holders.len(), 1);
+        assert_eq!(g.value(holders[0]), Some(&Value::int(35)));
+    }
+
+    #[test]
+    fn edge_properties_reify_the_edge() {
+        let g = sample().to_data_graph(Some("name"));
+        let src = g.alphabet().label("paid/src").unwrap();
+        let tgt = g.alphabet().label("paid/tgt").unwrap();
+        let mids: Vec<NodeId> = g.successors(NodeId(1), src).collect();
+        assert_eq!(mids.len(), 1);
+        let m = mids[0];
+        assert!(g.contains_edge(m, tgt, NodeId(0)));
+        let amount = g.alphabet().label("@amount").unwrap();
+        let holders: Vec<NodeId> = g.successors(m, amount).collect();
+        assert_eq!(g.value(holders[0]), Some(&Value::int(100)));
+        // no direct "paid" edge exists
+        assert!(g.alphabet().label("paid").is_none());
+    }
+
+    #[test]
+    fn multi_valued_properties_supported() {
+        let mut pg = PropertyGraph::new();
+        pg.add_node(
+            NodeId(0),
+            vec![
+                ("email".into(), Value::str("a@x")),
+                ("email".into(), Value::str("b@x")),
+            ],
+        );
+        let g = pg.to_data_graph(None);
+        let email = g.alphabet().label("@email").unwrap();
+        assert_eq!(g.successors(NodeId(0), email).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_ids_rejected() {
+        let mut pg = PropertyGraph::new();
+        pg.add_node(NodeId(0), vec![]);
+        pg.add_node(NodeId(0), vec![]);
+    }
+
+    #[test]
+    fn navigation_is_faithful() {
+        // follows·(paid/src)·(paid/tgt) walks the original follows-then-paid
+        // route through the reified edge and returns to node 0.
+        let g = sample().to_data_graph(Some("name"));
+        use crate::path::word_reachable;
+        let word = [
+            g.alphabet().label("follows").unwrap(),
+            g.alphabet().label("paid/src").unwrap(),
+            g.alphabet().label("paid/tgt").unwrap(),
+        ];
+        assert_eq!(word_reachable(&g, NodeId(0), &word), vec![NodeId(0)]);
+    }
+}

@@ -1,0 +1,395 @@
+//! Dense bitset binary relations over `0..n`.
+//!
+//! REE evaluation (§3 of the paper) and GXPath evaluation (§9) both reduce
+//! to an algebra of binary relations over the nodes of a graph: composition,
+//! union, transitive closure and filtering. [`Relation`] implements that
+//! algebra on a packed bit matrix, giving the PTime bounds the paper states
+//! with good constants (64 pairs per word).
+
+use std::fmt;
+
+/// A binary relation `R ⊆ {0..n}²` stored as a packed bit matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Relation {
+    /// The empty relation over `0..n`.
+    pub fn empty(n: usize) -> Relation {
+        let words_per_row = n.div_ceil(64);
+        Relation {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n],
+        }
+    }
+
+    /// The identity relation `{(i,i)}` over `0..n`.
+    pub fn identity(n: usize) -> Relation {
+        let mut r = Relation::empty(n);
+        for i in 0..n {
+            r.insert(i, i);
+        }
+        r
+    }
+
+    /// The full relation over `0..n`.
+    pub fn full(n: usize) -> Relation {
+        let mut r = Relation::empty(n);
+        for w in r.bits.iter_mut() {
+            *w = u64::MAX;
+        }
+        r.clear_slack();
+        r
+    }
+
+    /// Build from an iterator of pairs.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Relation {
+        let mut r = Relation::empty(n);
+        for (i, j) in pairs {
+            r.insert(i, j);
+        }
+        r
+    }
+
+    /// Dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Zero out bits beyond column `n` in each row (kept as an invariant).
+    fn clear_slack(&mut self) {
+        let rem = self.n % 64;
+        if rem == 0 || self.words_per_row == 0 {
+            return;
+        }
+        let mask = (1u64 << rem) - 1;
+        for i in 0..self.n {
+            let row = self.row_mut(i);
+            *row.last_mut().unwrap() &= mask;
+        }
+    }
+
+    /// Insert a pair.
+    #[inline]
+    pub fn insert(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] |= 1u64 << (j % 64);
+    }
+
+    /// Remove a pair.
+    #[inline]
+    pub fn remove(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] &= !(1u64 << (j % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words_per_row + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Relation) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut r = self.clone();
+        r.union_with(other);
+        r
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Relation) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// Relational composition `self ∘ other = {(i,k) | ∃j. (i,j)∈self ∧ (j,k)∈other}`.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut out = Relation::empty(self.n);
+        for i in 0..self.n {
+            // out.row(i) = ⋃_{j ∈ self.row(i)} other.row(j)
+            for (w_idx, &word) in self.row(i).iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let j = w_idx * 64 + bit;
+                    let dst =
+                        &mut out.bits[i * out.words_per_row..(i + 1) * out.words_per_row];
+                    for (d, s) in dst.iter_mut().zip(other.row(j).iter()) {
+                        *d |= s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive closure `R⁺` (paths of length ≥ 1), via Warshall on the
+    /// packed rows: `O(n² · n/64)` word operations.
+    pub fn transitive_closure(&self) -> Relation {
+        let mut r = self.clone();
+        for k in 0..self.n {
+            // Split borrow: copy row k once per pivot.
+            let row_k: Vec<u64> = r.row(k).to_vec();
+            for i in 0..self.n {
+                if r.contains(i, k) {
+                    let row_i = r.row_mut(i);
+                    for (a, b) in row_i.iter_mut().zip(row_k.iter()) {
+                        *a |= b;
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Reflexive-transitive closure `R*`.
+    pub fn reflexive_transitive_closure(&self) -> Relation {
+        let mut r = self.transitive_closure();
+        for i in 0..self.n {
+            r.insert(i, i);
+        }
+        r
+    }
+
+    /// The inverse relation `{(j,i) | (i,j) ∈ R}`.
+    pub fn inverse(&self) -> Relation {
+        let mut r = Relation::empty(self.n);
+        for (i, j) in self.iter() {
+            r.insert(j, i);
+        }
+        r
+    }
+
+    /// Keep only pairs satisfying the predicate.
+    pub fn filter(&self, mut keep: impl FnMut(usize, usize) -> bool) -> Relation {
+        let mut r = Relation::empty(self.n);
+        for (i, j) in self.iter() {
+            if keep(i, j) {
+                r.insert(i, j);
+            }
+        }
+        r
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            self.row(i).iter().enumerate().flat_map(move |(w_idx, &w)| {
+                BitIter { word: w }.map(move |b| (i, w_idx * 64 + b))
+            })
+        })
+    }
+
+    /// The set of first components (domain).
+    pub fn domain(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&i| self.row(i).iter().any(|&w| w != 0))
+            .collect()
+    }
+
+    /// Project onto a boolean "has any pair" flag.
+    pub fn any(&self) -> bool {
+        !self.is_empty()
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(n={}, {{", self.n)?;
+        for (k, (i, j)) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({i},{j})")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut r = Relation::empty(100);
+        r.insert(3, 97);
+        assert!(r.contains(3, 97));
+        assert!(!r.contains(97, 3));
+        assert_eq!(r.len(), 1);
+        r.remove(3, 97);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn identity_and_full() {
+        let id = Relation::identity(5);
+        assert_eq!(id.len(), 5);
+        assert!(id.contains(2, 2));
+        assert!(!id.contains(2, 3));
+        let full = Relation::full(5);
+        assert_eq!(full.len(), 25);
+        // slack bits beyond column 5 must not be counted
+        let full65 = Relation::full(65);
+        assert_eq!(full65.len(), 65 * 65);
+    }
+
+    #[test]
+    fn compose_basic() {
+        let r = Relation::from_pairs(4, [(0, 1), (1, 2)]);
+        let s = Relation::from_pairs(4, [(1, 3), (2, 0)]);
+        let c = r.compose(&s);
+        assert!(c.contains(0, 3));
+        assert!(c.contains(1, 0));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn compose_with_identity_is_noop() {
+        let r = Relation::from_pairs(70, [(0, 65), (69, 3), (5, 5)]);
+        let id = Relation::identity(70);
+        assert_eq!(r.compose(&id), r);
+        assert_eq!(id.compose(&r), r);
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        // 0->1->2->3
+        let r = Relation::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let tc = r.transitive_closure();
+        assert!(tc.contains(0, 3));
+        assert!(tc.contains(1, 3));
+        assert!(!tc.contains(0, 0));
+        assert_eq!(tc.len(), 6);
+        let rtc = r.reflexive_transitive_closure();
+        assert_eq!(rtc.len(), 10);
+        assert!(rtc.contains(3, 3));
+    }
+
+    #[test]
+    fn closure_of_cycle_is_full_on_cycle() {
+        let r = Relation::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        let tc = r.transitive_closure();
+        assert_eq!(tc.len(), 9);
+        assert!(tc.contains(0, 0));
+    }
+
+    #[test]
+    fn union_intersect_subset() {
+        let a = Relation::from_pairs(6, [(0, 1), (2, 3)]);
+        let b = Relation::from_pairs(6, [(2, 3), (4, 5)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(2, 3));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Relation::from_pairs(66, [(0, 65), (64, 1), (7, 7)]);
+        let inv = a.inverse();
+        assert!(inv.contains(65, 0));
+        assert!(inv.contains(1, 64));
+        assert_eq!(inv.inverse(), a);
+    }
+
+    #[test]
+    fn filter_and_iter() {
+        let a = Relation::from_pairs(10, [(1, 2), (3, 4), (5, 6)]);
+        let f = a.filter(|i, _| i >= 3);
+        let pairs: Vec<_> = f.iter().collect();
+        assert_eq!(pairs, vec![(3, 4), (5, 6)]);
+        assert_eq!(a.domain(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn closure_matches_iterated_compose() {
+        // pseudo-random small relation; closure == union of R, R², R³, ...
+        let pairs = [(0, 3), (3, 5), (5, 0), (2, 4), (4, 4), (1, 6)];
+        let r = Relation::from_pairs(7, pairs);
+        let tc = r.transitive_closure();
+        let mut acc = r.clone();
+        let mut power = r.clone();
+        for _ in 0..7 {
+            power = power.compose(&r);
+            acc.union_with(&power);
+        }
+        assert_eq!(tc, acc);
+    }
+
+    #[test]
+    fn zero_dim_relation() {
+        let r = Relation::empty(0);
+        assert!(r.is_empty());
+        assert_eq!(r.transitive_closure().len(), 0);
+        assert_eq!(r.compose(&r).len(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Data values.
+//!
+//! The paper works with a countably infinite set `D` of data values (§2) and,
+//! in §7, extends it with a single null value `n` that behaves like the SQL
+//! null: *no comparison involving `n` can be true*. [`Value::Null`] is that
+//! null; [`Value::sql_eq`] / [`Value::sql_ne`] implement the §7 comparison
+//! rules (the two-valued collapse of SQL's three-valued logic, which Remark 2
+//! of the paper shows is equivalent for data RPQs).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A data value: an element of `D ∪ {n}`.
+///
+/// Plain data values are integers or interned strings; [`Value::Null`] is the
+/// single SQL-style null of §7. Graphs produced by the plain (§2–§6)
+/// semantics never contain nulls; the universal-solution construction of §7
+/// introduces them.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// The SQL null `n`: `sql_eq` and `sql_ne` involving it are always false.
+    Null,
+    /// An integer data value.
+    Int(i64),
+    /// A string data value (cheaply cloneable).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Is this the null value `n`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style equality (§7): true iff both values are non-null and equal.
+    #[inline]
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        !self.is_null() && !other.is_null() && self == other
+    }
+
+    /// SQL-style inequality (§7): true iff both values are non-null and
+    /// different. Note `!sql_eq` is *not* the same thing: comparisons with
+    /// null are false in both directions.
+    #[inline]
+    pub fn sql_ne(&self, other: &Value) -> bool {
+        !self.is_null() && !other.is_null() && self != other
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_equality() {
+        assert_eq!(Value::int(1), Value::int(1));
+        assert_ne!(Value::int(1), Value::int(2));
+        assert_eq!(Value::str("a"), Value::str("a"));
+        assert_ne!(Value::str("a"), Value::int(1));
+    }
+
+    #[test]
+    fn sql_eq_non_null() {
+        assert!(Value::int(1).sql_eq(&Value::int(1)));
+        assert!(!Value::int(1).sql_eq(&Value::int(2)));
+        assert!(Value::int(1).sql_ne(&Value::int(2)));
+        assert!(!Value::int(1).sql_ne(&Value::int(1)));
+    }
+
+    #[test]
+    fn sql_comparisons_with_null_are_false() {
+        let n = Value::Null;
+        let d = Value::int(7);
+        // No comparison involving n can be true (§7).
+        assert!(!n.sql_eq(&d));
+        assert!(!n.sql_ne(&d));
+        assert!(!d.sql_eq(&n));
+        assert!(!d.sql_ne(&n));
+        assert!(!n.sql_eq(&n));
+        assert!(!n.sql_ne(&n));
+    }
+
+    #[test]
+    fn null_is_plain_equal_to_itself_only() {
+        // Plain `Eq` is syntactic; Null == Null so it can live in maps/sets.
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::int(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "⊥");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 5i64.into();
+        assert_eq!(v, Value::int(5));
+        let v: Value = "hi".into();
+        assert_eq!(v, Value::str("hi"));
+        let v: Value = String::from("yo").into();
+        assert_eq!(v, Value::str("yo"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Conjunctive (data) RPQs.
+//!
+//! §5 of the paper recalls that purely navigational query answering under
+//! GSMs stays in coNP for *conjunctive RPQs* and their nested extensions
+//! [8, 12]. A conjunctive RPQ conjoins path atoms over shared variables:
+//!
+//! ```text
+//! Q(x, y) = ∃z̄ ⋀ᵢ  uᵢ --qᵢ--> vᵢ        (uᵢ, vᵢ ∈ {x, y} ∪ z̄)
+//! ```
+//!
+//! Here each atom may be *any* [`DataQuery`] — plain RPQs give the
+//! classical CRPQs; REE/REM atoms give conjunctive **data** RPQs. Since
+//! each atom class is closed under homomorphisms (Proposition 6) and
+//! conjunction with existential projection preserves hom-closure, these
+//! queries work unchanged with the universal-solution certain-answer
+//! machinery of `gde-core` (Theorem 4's proof only needs hom-closure).
+
+use crate::query::DataQuery;
+use gde_datagraph::{DataGraph, FxHashMap, NodeId};
+
+/// One atom `from --query--> to` between variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CdAtom {
+    /// Source variable.
+    pub from: u32,
+    /// The binary path query.
+    pub query: DataQuery,
+    /// Target variable.
+    pub to: u32,
+}
+
+/// A conjunctive (data) RPQ with a designated output pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConjunctiveDataRpq {
+    /// Output variables `(x, y)`.
+    pub head: (u32, u32),
+    /// Body atoms.
+    pub atoms: Vec<CdAtom>,
+}
+
+impl ConjunctiveDataRpq {
+    /// Build, checking the head variables occur in the body.
+    pub fn new(head: (u32, u32), atoms: Vec<CdAtom>) -> ConjunctiveDataRpq {
+        let q = ConjunctiveDataRpq { head, atoms };
+        let vars = q.variables();
+        assert!(
+            vars.contains(&q.head.0) && vars.contains(&q.head.1),
+            "head variables must occur in the body"
+        );
+        q
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .atoms
+            .iter()
+            .flat_map(|a| [a.from, a.to])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Do all atoms avoid inequality tests (the §8 fragment)?
+    pub fn is_equality_only(&self) -> bool {
+        self.atoms.iter().all(|a| a.query.is_equality_only())
+    }
+
+    /// Evaluate to sorted, deduplicated `(head.0, head.1)` pairs.
+    pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        // Materialize each atom's relation, then backtracking-join over
+        // variables, smallest relation first.
+        let mut rels: Vec<(u32, u32, Vec<(NodeId, NodeId)>)> = self
+            .atoms
+            .iter()
+            .map(|a| (a.from, a.to, a.query.eval_pairs(g)))
+            .collect();
+        rels.sort_by_key(|(_, _, pairs)| pairs.len());
+        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut binding: FxHashMap<u32, NodeId> = FxHashMap::default();
+        join(&rels, 0, &mut binding, &mut |b| {
+            out.push((b[&self.head.0], b[&self.head.1]));
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Boolean: does the body match at all?
+    pub fn holds_somewhere(&self, g: &DataGraph) -> bool {
+        !self.eval_pairs(g).is_empty()
+    }
+}
+
+fn join(
+    rels: &[(u32, u32, Vec<(NodeId, NodeId)>)],
+    i: usize,
+    binding: &mut FxHashMap<u32, NodeId>,
+    emit: &mut dyn FnMut(&FxHashMap<u32, NodeId>),
+) {
+    if i == rels.len() {
+        emit(binding);
+        return;
+    }
+    let (from, to, pairs) = &rels[i];
+    for &(u, v) in pairs {
+        let mut added: Vec<u32> = Vec::new();
+        let ok = bind(binding, *from, u, &mut added) && bind(binding, *to, v, &mut added);
+        if ok {
+            join(rels, i + 1, binding, emit);
+        }
+        for var in added {
+            binding.remove(&var);
+        }
+    }
+}
+
+fn bind(
+    binding: &mut FxHashMap<u32, NodeId>,
+    var: u32,
+    val: NodeId,
+    added: &mut Vec<u32>,
+) -> bool {
+    match binding.get(&var) {
+        Some(&bound) => bound == val,
+        None => {
+            binding.insert(var, val);
+            added.push(var);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ree;
+    use gde_automata::parse_regex;
+    use gde_datagraph::Value;
+
+    /// 0(v1) -a-> 1(v2) -a-> 2(v1); 0 -b-> 2; 2 -b-> 1
+    fn g() -> DataGraph {
+        let mut g = DataGraph::new();
+        for (i, v) in [1i64, 2, 1].iter().enumerate() {
+            g.add_node(NodeId(i as u32), Value::int(*v)).unwrap();
+        }
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+        g.add_edge_str(NodeId(0), "b", NodeId(2)).unwrap();
+        g.add_edge_str(NodeId(2), "b", NodeId(1)).unwrap();
+        g
+    }
+
+    #[test]
+    fn classic_crpq_join() {
+        let mut g = g();
+        // Q(x,y) = x -a-> z ∧ z -a-> y ∧ x -b-> y   ("triangle" through a²+b)
+        let a: DataQuery = parse_regex("a", g.alphabet_mut()).unwrap().into();
+        let b: DataQuery = parse_regex("b", g.alphabet_mut()).unwrap().into();
+        let q = ConjunctiveDataRpq::new(
+            (0, 1),
+            vec![
+                CdAtom { from: 0, query: a.clone(), to: 2 },
+                CdAtom { from: 2, query: a, to: 1 },
+                CdAtom { from: 0, query: b, to: 1 },
+            ],
+        );
+        assert_eq!(q.eval_pairs(&g), vec![(NodeId(0), NodeId(2))]);
+        assert!(q.holds_somewhere(&g));
+    }
+
+    #[test]
+    fn data_atoms_join() {
+        let mut g = g();
+        // Q(x,y) = x -(a a)=-> y ∧ x -b-> y: equal endpoints via a², and a
+        // direct b-edge
+        let eq: DataQuery = parse_ree("(a a)=", g.alphabet_mut()).unwrap().into();
+        let b: DataQuery = parse_ree("b", g.alphabet_mut()).unwrap().into();
+        let q = ConjunctiveDataRpq::new(
+            (0, 1),
+            vec![
+                CdAtom { from: 0, query: eq, to: 1 },
+                CdAtom { from: 0, query: b, to: 1 },
+            ],
+        );
+        assert_eq!(q.eval_pairs(&g), vec![(NodeId(0), NodeId(2))]);
+    }
+
+    #[test]
+    fn shared_existential_forces_consistency() {
+        let mut g = g();
+        // x -a-> z ∧ y -b-> z with head (x, y): z must be the same node
+        let a: DataQuery = parse_regex("a", g.alphabet_mut()).unwrap().into();
+        let b: DataQuery = parse_regex("b", g.alphabet_mut()).unwrap().into();
+        let q = ConjunctiveDataRpq::new(
+            (0, 1),
+            vec![
+                CdAtom { from: 0, query: a, to: 9 },
+                CdAtom { from: 1, query: b, to: 9 },
+            ],
+        );
+        let ans = q.eval_pairs(&g);
+        // z=1: x=0 (a-edge 0→1), y=2 (b-edge 2→1) ✓; z=2: x=1, y=0 ✓
+        assert_eq!(ans, vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(0))]);
+    }
+
+    #[test]
+    fn classification() {
+        let mut al = gde_datagraph::Alphabet::new();
+        let eq: DataQuery = parse_ree("a=", &mut al).unwrap().into();
+        let neq: DataQuery = parse_ree("a!=", &mut al).unwrap().into();
+        let q = ConjunctiveDataRpq::new(
+            (0, 1),
+            vec![CdAtom { from: 0, query: eq.clone(), to: 1 }],
+        );
+        assert!(q.is_equality_only());
+        let q = ConjunctiveDataRpq::new(
+            (0, 1),
+            vec![
+                CdAtom { from: 0, query: eq, to: 1 },
+                CdAtom { from: 0, query: neq, to: 1 },
+            ],
+        );
+        assert!(!q.is_equality_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "head variables")]
+    fn head_must_occur() {
+        let mut al = gde_datagraph::Alphabet::new();
+        let a: DataQuery = parse_ree("a", &mut al).unwrap().into();
+        let _ = ConjunctiveDataRpq::new((0, 7), vec![CdAtom { from: 0, query: a, to: 1 }]);
+    }
+}

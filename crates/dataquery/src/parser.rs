@@ -1,0 +1,811 @@
+//! Concrete syntax for data RPQs.
+//!
+//! **REE** (equality RPQs):
+//!
+//! ```text
+//! expr    := term ('|' term)*                 -- union
+//! term    := factor+                          -- concatenation
+//! factor  := atom postfix*
+//! postfix := '*' | '+' | '=' | '!='           -- iteration / endpoint tests
+//! atom    := IDENT | '(' expr ')' | 'eps' | 'ε'
+//! ```
+//!
+//! Example: the paper's `Σ*·(Σ⁺)=·Σ*` over `Σ = {a,b}` is written
+//! `(a|b)* ((a|b)+)= (a|b)*`.
+//!
+//! **REM** (memory RPQs) extends the grammar with binds and condition
+//! tests (no `=`/`!=` postfix — REM tests values through variables):
+//!
+//! ```text
+//! atom    := ... | '@' VAR (',' VAR)* '.' '(' expr ')'    -- ↓x̄.e
+//! postfix := '*' | '+' | '[' cond ']'                     -- e[c]
+//! cond    := conj ('|' conj)*
+//! conj    := catom ('&' catom)*
+//! catom   := VAR '=' | VAR '!=' | '(' cond ')'
+//! ```
+//!
+//! Example: the paper's `↓x.(a[x≠])⁺` is written `@x.((a[x!=])+)`.
+//!
+//! [`display_ree`] / [`display_rem`] print back parseable syntax.
+
+use crate::ree::Ree;
+use crate::rem::{Rem, VarCond};
+use gde_datagraph::Alphabet;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &str, alphabet: &'a mut Alphabet) -> Cursor<'a> {
+        Cursor {
+            chars: input.char_indices().collect(),
+            pos: 0,
+            alphabet,
+        }
+    }
+
+    fn err(&self, msg: &str) -> QueryParseError {
+        QueryParseError {
+            pos: self
+                .chars
+                .get(self.pos)
+                .map_or_else(|| self.chars.last().map_or(0, |&(i, _)| i + 1), |&(i, _)| i),
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), QueryParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{c}'")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace() || c == '·') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_symbolic_label(c: char) -> bool {
+    matches!(c, '#' | '↔' | '←' | '→' | '$' | '%' | '^' | '~')
+}
+
+// ------------------------------- REE -------------------------------
+
+/// Parse a regular expression with equality, interning labels into
+/// `alphabet`.
+pub fn parse_ree(input: &str, alphabet: &mut Alphabet) -> Result<Ree, QueryParseError> {
+    let mut c = Cursor::new(input, alphabet);
+    let e = ree_expr(&mut c)?;
+    c.skip_ws();
+    if !c.at_end() {
+        return Err(c.err("trailing input"));
+    }
+    Ok(e)
+}
+
+fn ree_expr(c: &mut Cursor) -> Result<Ree, QueryParseError> {
+    let mut terms = vec![ree_term(c)?];
+    loop {
+        c.skip_ws();
+        if c.eat('|') {
+            terms.push(ree_term(c)?);
+        } else {
+            break;
+        }
+    }
+    Ok(if terms.len() == 1 {
+        terms.pop().unwrap()
+    } else {
+        Ree::Union(terms)
+    })
+}
+
+fn ree_term(c: &mut Cursor) -> Result<Ree, QueryParseError> {
+    let mut factors = Vec::new();
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            None | Some('|') | Some(')') | Some(']') => break,
+            _ => factors.push(ree_factor(c)?),
+        }
+    }
+    Ok(match factors.len() {
+        0 => Ree::Epsilon,
+        1 => factors.pop().unwrap(),
+        _ => Ree::Concat(factors),
+    })
+}
+
+fn ree_factor(c: &mut Cursor) -> Result<Ree, QueryParseError> {
+    let mut e = ree_atom(c)?;
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            Some('*') => {
+                c.bump();
+                e = Ree::Star(Box::new(e));
+            }
+            Some('+') => {
+                c.bump();
+                e = Ree::Plus(Box::new(e));
+            }
+            Some('=') => {
+                c.bump();
+                e = Ree::Eq(Box::new(e));
+            }
+            Some('!') if c.peek2() == Some('=') => {
+                c.bump();
+                c.bump();
+                e = Ree::Neq(Box::new(e));
+            }
+            Some('≠') => {
+                c.bump();
+                e = Ree::Neq(Box::new(e));
+            }
+            _ => break,
+        }
+    }
+    Ok(e)
+}
+
+fn ree_atom(c: &mut Cursor) -> Result<Ree, QueryParseError> {
+    c.skip_ws();
+    match c.peek() {
+        Some('(') => {
+            c.bump();
+            let e = ree_expr(c)?;
+            c.skip_ws();
+            c.expect(')')?;
+            Ok(e)
+        }
+        Some('ε') => {
+            c.bump();
+            Ok(Ree::Epsilon)
+        }
+        Some(ch) if is_ident_start(ch) => {
+            let name = c.ident();
+            if name == "eps" {
+                Ok(Ree::Epsilon)
+            } else {
+                Ok(Ree::Atom(c.alphabet.intern(&name)))
+            }
+        }
+        Some(ch) if is_symbolic_label(ch) => {
+            c.bump();
+            Ok(Ree::Atom(c.alphabet.intern(&ch.to_string())))
+        }
+        Some('\'') => {
+            c.bump();
+            let mut name = String::new();
+            loop {
+                match c.bump() {
+                    Some('\'') => break,
+                    Some(ch) => name.push(ch),
+                    None => return Err(c.err("unterminated quoted label")),
+                }
+            }
+            Ok(Ree::Atom(c.alphabet.intern(&name)))
+        }
+        Some(_) => Err(c.err("expected an atom")),
+        None => Err(c.err("unexpected end of input")),
+    }
+}
+
+/// Print an REE back in parseable syntax.
+pub fn display_ree(e: &Ree, alphabet: &Alphabet) -> String {
+    let mut s = String::new();
+    fmt_ree(e, alphabet, 0, &mut s);
+    s
+}
+
+fn fmt_ree(e: &Ree, al: &Alphabet, prec: u8, out: &mut String) {
+    match e {
+        Ree::Epsilon => out.push_str("eps"),
+        Ree::Atom(l) => {
+            let _ = write!(out, "{}", al.name(*l));
+        }
+        Ree::Concat(es) if es.len() == 1 => fmt_ree(&es[0], al, prec, out),
+        Ree::Concat(es) => {
+            let wrap = prec > 1;
+            if wrap {
+                out.push('(');
+            }
+            for (i, sub) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                fmt_ree(sub, al, 2, out);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        Ree::Union(es) if es.len() == 1 => fmt_ree(&es[0], al, prec, out),
+        Ree::Union(es) => {
+            let wrap = prec > 0;
+            if wrap {
+                out.push('(');
+            }
+            for (i, sub) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                fmt_ree(sub, al, 1, out);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        Ree::Plus(sub) => {
+            fmt_postfix(sub, al, out);
+            out.push('+');
+        }
+        Ree::Star(sub) => {
+            fmt_postfix(sub, al, out);
+            out.push('*');
+        }
+        Ree::Eq(sub) => {
+            fmt_postfix(sub, al, out);
+            out.push('=');
+        }
+        Ree::Neq(sub) => {
+            fmt_postfix(sub, al, out);
+            out.push_str("!=");
+        }
+    }
+}
+
+fn fmt_postfix(e: &Ree, al: &Alphabet, out: &mut String) {
+    // postfix operators bind tightest: parenthesize anything non-atomic
+    match e {
+        Ree::Atom(_) | Ree::Epsilon => fmt_ree(e, al, 2, out),
+        Ree::Concat(es) | Ree::Union(es) if es.len() == 1 => fmt_postfix(&es[0], al, out),
+        _ => {
+            out.push('(');
+            fmt_ree(e, al, 0, out);
+            out.push(')');
+        }
+    }
+}
+
+// ------------------------------- REM -------------------------------
+
+/// Parse a regular expression with memory.
+pub fn parse_rem(input: &str, alphabet: &mut Alphabet) -> Result<Rem, QueryParseError> {
+    let mut c = Cursor::new(input, alphabet);
+    let e = rem_expr(&mut c)?;
+    c.skip_ws();
+    if !c.at_end() {
+        return Err(c.err("trailing input"));
+    }
+    Ok(e)
+}
+
+fn rem_expr(c: &mut Cursor) -> Result<Rem, QueryParseError> {
+    let mut terms = vec![rem_term(c)?];
+    loop {
+        c.skip_ws();
+        if c.eat('|') {
+            terms.push(rem_term(c)?);
+        } else {
+            break;
+        }
+    }
+    Ok(if terms.len() == 1 {
+        terms.pop().unwrap()
+    } else {
+        Rem::Union(terms)
+    })
+}
+
+fn rem_term(c: &mut Cursor) -> Result<Rem, QueryParseError> {
+    let mut factors = Vec::new();
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            None | Some('|') | Some(')') | Some(']') => break,
+            _ => factors.push(rem_factor(c)?),
+        }
+    }
+    Ok(match factors.len() {
+        0 => Rem::Epsilon,
+        1 => factors.pop().unwrap(),
+        _ => Rem::Concat(factors),
+    })
+}
+
+fn rem_factor(c: &mut Cursor) -> Result<Rem, QueryParseError> {
+    let mut e = rem_atom(c)?;
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            Some('*') => {
+                c.bump();
+                e = Rem::Star(Box::new(e));
+            }
+            Some('+') => {
+                c.bump();
+                e = Rem::Plus(Box::new(e));
+            }
+            Some('[') => {
+                c.bump();
+                let cond = cond_expr(c)?;
+                c.skip_ws();
+                c.expect(']')?;
+                e = Rem::Test(Box::new(e), cond);
+            }
+            _ => break,
+        }
+    }
+    Ok(e)
+}
+
+fn rem_atom(c: &mut Cursor) -> Result<Rem, QueryParseError> {
+    c.skip_ws();
+    match c.peek() {
+        Some('@') | Some('↓') => {
+            c.bump();
+            let mut vars = Vec::new();
+            loop {
+                c.skip_ws();
+                let v = c.ident();
+                if v.is_empty() {
+                    return Err(c.err("expected variable name after bind"));
+                }
+                vars.push(v);
+                c.skip_ws();
+                if !c.eat(',') {
+                    break;
+                }
+            }
+            c.skip_ws();
+            c.expect('.')?;
+            c.skip_ws();
+            c.expect('(')?;
+            let body = rem_expr(c)?;
+            c.skip_ws();
+            c.expect(')')?;
+            Ok(Rem::Bind(vars, Box::new(body)))
+        }
+        Some('(') => {
+            c.bump();
+            let e = rem_expr(c)?;
+            c.skip_ws();
+            c.expect(')')?;
+            Ok(e)
+        }
+        Some('ε') => {
+            c.bump();
+            Ok(Rem::Epsilon)
+        }
+        Some(ch) if is_ident_start(ch) => {
+            let name = c.ident();
+            if name == "eps" {
+                Ok(Rem::Epsilon)
+            } else {
+                Ok(Rem::Atom(c.alphabet.intern(&name)))
+            }
+        }
+        Some(ch) if is_symbolic_label(ch) => {
+            c.bump();
+            Ok(Rem::Atom(c.alphabet.intern(&ch.to_string())))
+        }
+        Some('\'') => {
+            c.bump();
+            let mut name = String::new();
+            loop {
+                match c.bump() {
+                    Some('\'') => break,
+                    Some(ch) => name.push(ch),
+                    None => return Err(c.err("unterminated quoted label")),
+                }
+            }
+            Ok(Rem::Atom(c.alphabet.intern(&name)))
+        }
+        Some(_) => Err(c.err("expected an atom")),
+        None => Err(c.err("unexpected end of input")),
+    }
+}
+
+fn cond_expr(c: &mut Cursor) -> Result<VarCond, QueryParseError> {
+    let mut e = cond_conj(c)?;
+    loop {
+        c.skip_ws();
+        if c.eat('|') {
+            let rhs = cond_conj(c)?;
+            e = VarCond::or(e, rhs);
+        } else {
+            break;
+        }
+    }
+    Ok(e)
+}
+
+fn cond_conj(c: &mut Cursor) -> Result<VarCond, QueryParseError> {
+    let mut e = cond_atom(c)?;
+    loop {
+        c.skip_ws();
+        if c.eat('&') {
+            let rhs = cond_atom(c)?;
+            e = VarCond::and(e, rhs);
+        } else {
+            break;
+        }
+    }
+    Ok(e)
+}
+
+fn cond_atom(c: &mut Cursor) -> Result<VarCond, QueryParseError> {
+    c.skip_ws();
+    if c.eat('(') {
+        let e = cond_expr(c)?;
+        c.skip_ws();
+        c.expect(')')?;
+        return Ok(e);
+    }
+    let var = c.ident();
+    if var.is_empty() {
+        return Err(c.err("expected variable in condition"));
+    }
+    c.skip_ws();
+    match c.peek() {
+        Some('=') => {
+            c.bump();
+            Ok(VarCond::Eq(var))
+        }
+        Some('!') if c.peek2() == Some('=') => {
+            c.bump();
+            c.bump();
+            Ok(VarCond::Neq(var))
+        }
+        Some('≠') => {
+            c.bump();
+            Ok(VarCond::Neq(var))
+        }
+        _ => Err(c.err("expected '=' or '!=' after variable")),
+    }
+}
+
+/// Print a REM back in parseable syntax.
+pub fn display_rem(e: &Rem, alphabet: &Alphabet) -> String {
+    let mut s = String::new();
+    fmt_rem(e, alphabet, 0, &mut s);
+    s
+}
+
+fn fmt_rem(e: &Rem, al: &Alphabet, prec: u8, out: &mut String) {
+    match e {
+        Rem::Epsilon => out.push_str("eps"),
+        Rem::Atom(l) => {
+            let _ = write!(out, "{}", al.name(*l));
+        }
+        Rem::Concat(es) if es.len() == 1 => fmt_rem(&es[0], al, prec, out),
+        Rem::Concat(es) => {
+            let wrap = prec > 1;
+            if wrap {
+                out.push('(');
+            }
+            for (i, sub) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                fmt_rem(sub, al, 2, out);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        Rem::Union(es) if es.len() == 1 => fmt_rem(&es[0], al, prec, out),
+        Rem::Union(es) => {
+            let wrap = prec > 0;
+            if wrap {
+                out.push('(');
+            }
+            for (i, sub) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                fmt_rem(sub, al, 1, out);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        Rem::Plus(sub) => {
+            fmt_rem_postfix(sub, al, out);
+            out.push('+');
+        }
+        Rem::Star(sub) => {
+            fmt_rem_postfix(sub, al, out);
+            out.push('*');
+        }
+        Rem::Bind(vars, body) => {
+            out.push('@');
+            for (i, v) in vars.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(v);
+            }
+            out.push_str(".(");
+            fmt_rem(body, al, 0, out);
+            out.push(')');
+        }
+        Rem::Test(body, cond) => {
+            fmt_rem_postfix(body, al, out);
+            out.push('[');
+            fmt_cond(cond, out, 0);
+            out.push(']');
+        }
+    }
+}
+
+fn fmt_rem_postfix(e: &Rem, al: &Alphabet, out: &mut String) {
+    match e {
+        Rem::Atom(_) | Rem::Epsilon | Rem::Bind(..) | Rem::Test(..) => fmt_rem(e, al, 2, out),
+        Rem::Concat(es) | Rem::Union(es) if es.len() == 1 => fmt_rem_postfix(&es[0], al, out),
+        _ => {
+            out.push('(');
+            fmt_rem(e, al, 0, out);
+            out.push(')');
+        }
+    }
+}
+
+fn fmt_cond(c: &VarCond, out: &mut String, prec: u8) {
+    match c {
+        VarCond::Eq(x) => {
+            out.push_str(x);
+            out.push('=');
+        }
+        VarCond::Neq(x) => {
+            out.push_str(x);
+            out.push_str("!=");
+        }
+        VarCond::And(a, b) => {
+            let wrap = prec > 1;
+            if wrap {
+                out.push('(');
+            }
+            fmt_cond(a, out, 2);
+            out.push_str(" & ");
+            fmt_cond(b, out, 2);
+            if wrap {
+                out.push(')');
+            }
+        }
+        VarCond::Or(a, b) => {
+            let wrap = prec > 0;
+            if wrap {
+                out.push('(');
+            }
+            fmt_cond(a, out, 1);
+            out.push_str(" | ");
+            fmt_cond(b, out, 1);
+            if wrap {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_datagraph::{DataPath, Value};
+
+    #[test]
+    fn ree_basic() {
+        let mut al = Alphabet::new();
+        let e = parse_ree("(a b)= c!=", &mut al).unwrap();
+        let a = al.label("a").unwrap();
+        let b = al.label("b").unwrap();
+        let cc = al.label("c").unwrap();
+        assert_eq!(
+            e,
+            Ree::Concat(vec![
+                Ree::word(&[a, b]).eq(),
+                Ree::Atom(cc).neq(),
+            ])
+        );
+    }
+
+    #[test]
+    fn ree_paper_repeat_expr() {
+        let mut al = Alphabet::new();
+        let e = parse_ree("(a|b)* ((a|b)+)= (a|b)*", &mut al).unwrap();
+        assert_eq!(e.inequality_count(), 0);
+        let a = al.label("a").unwrap();
+        // witness check: matches a path with a repeated value
+        let mut w = DataPath::single(Value::int(7));
+        w.push(a, Value::int(1));
+        w.push(a, Value::int(7));
+        assert!(e.matches_path(&w));
+    }
+
+    #[test]
+    fn ree_unicode_neq() {
+        let mut al = Alphabet::new();
+        let e = parse_ree("a≠", &mut al).unwrap();
+        assert_eq!(e.inequality_count(), 1);
+    }
+
+    #[test]
+    fn ree_roundtrip() {
+        for src in [
+            "a",
+            "a b c",
+            "(a b)= c!=",
+            "((a)= | b+)* c",
+            "eps | a=",
+            "((a (b c)=))!=",
+        ] {
+            let mut al = Alphabet::new();
+            let e1 = parse_ree(src, &mut al).unwrap();
+            let printed = display_ree(&e1, &al);
+            let e2 = parse_ree(&printed, &mut al).unwrap();
+            assert_eq!(e1, e2, "roundtrip {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn quoted_labels_in_both_languages() {
+        let mut al = Alphabet::new();
+        let e = parse_ree("('a/b' 'c d')=", &mut al).unwrap();
+        assert_eq!(e.inequality_count(), 0);
+        assert!(al.label("a/b").is_some());
+        assert!(al.label("c d").is_some());
+        let e = parse_rem("@x.('weird-label'[x=])", &mut al).unwrap();
+        assert_eq!(e.variables(), vec!["x".to_string()]);
+        assert!(al.label("weird-label").is_some());
+        assert!(parse_ree("'oops", &mut al).is_err());
+    }
+
+    #[test]
+    fn ree_errors() {
+        let mut al = Alphabet::new();
+        assert!(parse_ree("(a", &mut al).is_err());
+        assert!(parse_ree("a !", &mut al).is_err());
+        assert!(parse_ree("a ]", &mut al).is_err());
+    }
+
+    #[test]
+    fn rem_paper_example() {
+        let mut al = Alphabet::new();
+        let e = parse_rem("@x.((a[x!=])+)", &mut al).unwrap();
+        let a = al.label("a").unwrap();
+        assert_eq!(
+            e,
+            Rem::Bind(
+                vec!["x".into()],
+                Box::new(Rem::Plus(Box::new(Rem::Test(
+                    Box::new(Rem::Atom(a)),
+                    VarCond::Neq("x".into())
+                ))))
+            )
+        );
+        // semantic sanity
+        let mut w = DataPath::single(Value::int(1));
+        w.push(a, Value::int(2));
+        assert!(e.matches_path(&w));
+    }
+
+    #[test]
+    fn rem_multi_var_bind_and_cond() {
+        let mut al = Alphabet::new();
+        let e = parse_rem("@x,y.(a b[x= & y!=])", &mut al).unwrap();
+        assert_eq!(e.variables(), vec!["x".to_string(), "y".to_string()]);
+        assert!(!e.is_equality_only());
+    }
+
+    #[test]
+    fn rem_or_condition() {
+        let mut al = Alphabet::new();
+        let e = parse_rem("@x.(a[x= | x!=])", &mut al).unwrap();
+        match e {
+            Rem::Bind(_, body) => match *body {
+                Rem::Test(_, VarCond::Or(..)) => {}
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rem_roundtrip() {
+        for src in [
+            "a",
+            "@x.(a+)",
+            "@x.((a[x!=])+)",
+            "@x,y.(a b[x= & (y!= | x=)])",
+            "a* | @z.(b[z=])",
+        ] {
+            let mut al = Alphabet::new();
+            let e1 = parse_rem(src, &mut al).unwrap();
+            let printed = display_rem(&e1, &al);
+            let e2 = parse_rem(&printed, &mut al).unwrap();
+            assert_eq!(e1, e2, "roundtrip {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn rem_errors() {
+        let mut al = Alphabet::new();
+        assert!(parse_rem("@.(a)", &mut al).is_err());
+        assert!(parse_rem("@x(a)", &mut al).is_err());
+        assert!(parse_rem("a[x]", &mut al).is_err());
+        assert!(parse_rem("a[x=", &mut al).is_err());
+    }
+}

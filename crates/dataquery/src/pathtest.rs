@@ -1,0 +1,222 @@
+//! Paths with tests — the paper's *data path queries* (§3).
+//!
+//! Grammar: `e := a | e·e | e= | e≠`. These are just label words where some
+//! subwords are annotated with a test comparing the data values at their
+//! two ends. Example from the paper: `(a(bc)=)≠` matches `d₁ a d₂ b d₃ c d₂`
+//! with `d₁ ≠ d₂`.
+//!
+//! [`PathTest`] is a checked subclass of [`Ree`]: it converts losslessly via
+//! [`PathTest::to_ree`], and any union- and iteration-free REE converts back
+//! via [`PathTest::from_ree`]. §6 of the paper singles these queries out:
+//! their certain-answer problem under arbitrary GSMs stays in coNP
+//! (Prop. 5), drops to NLogspace with at most one `≠` (Prop. 4), and is
+//! already coNP-hard with three `≠` (Prop. 3).
+
+use crate::ree::Ree;
+use gde_datagraph::{DataGraph, DataPath, Label, NodeId};
+
+/// A path with tests.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PathTest {
+    /// One letter.
+    Atom(Label),
+    /// Concatenation (n-ary, non-empty).
+    Concat(Vec<PathTest>),
+    /// Equality test on the endpoints of the subpath.
+    Eq(Box<PathTest>),
+    /// Inequality test on the endpoints of the subpath.
+    Neq(Box<PathTest>),
+}
+
+impl PathTest {
+    /// A plain word.
+    ///
+    /// # Panics
+    /// Panics on the empty word: paths with tests have no ε (per the §3
+    /// grammar).
+    pub fn word(w: &[Label]) -> PathTest {
+        assert!(!w.is_empty(), "paths with tests are non-empty words");
+        if w.len() == 1 {
+            PathTest::Atom(w[0])
+        } else {
+            PathTest::Concat(w.iter().map(|&l| PathTest::Atom(l)).collect())
+        }
+    }
+
+    /// Concatenation builder (flattens).
+    pub fn concat(parts: impl IntoIterator<Item = PathTest>) -> PathTest {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                PathTest::Concat(mut inner) => out.append(&mut inner),
+                other => out.push(other),
+            }
+        }
+        assert!(!out.is_empty(), "empty concatenation");
+        if out.len() == 1 {
+            out.pop().unwrap()
+        } else {
+            PathTest::Concat(out)
+        }
+    }
+
+    /// Add an `=` test around this subpath.
+    pub fn eq(self) -> PathTest {
+        PathTest::Eq(Box::new(self))
+    }
+
+    /// Add a `≠` test around this subpath.
+    pub fn neq(self) -> PathTest {
+        PathTest::Neq(Box::new(self))
+    }
+
+    /// The underlying label word (tests erased).
+    pub fn word_of(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        self.collect_word(&mut out);
+        out
+    }
+
+    fn collect_word(&self, out: &mut Vec<Label>) {
+        match self {
+            PathTest::Atom(l) => out.push(*l),
+            PathTest::Concat(es) => {
+                for e in es {
+                    e.collect_word(out);
+                }
+            }
+            PathTest::Eq(e) | PathTest::Neq(e) => e.collect_word(out),
+        }
+    }
+
+    /// Length of the underlying word.
+    pub fn len(&self) -> usize {
+        match self {
+            PathTest::Atom(_) => 1,
+            PathTest::Concat(es) => es.iter().map(PathTest::len).sum(),
+            PathTest::Eq(e) | PathTest::Neq(e) => e.len(),
+        }
+    }
+
+    /// Paths with tests always have a non-empty word.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of `≠` tests (Propositions 3 and 4 classify by this).
+    pub fn inequality_count(&self) -> usize {
+        match self {
+            PathTest::Atom(_) => 0,
+            PathTest::Concat(es) => es.iter().map(PathTest::inequality_count).sum(),
+            PathTest::Eq(e) => e.inequality_count(),
+            PathTest::Neq(e) => 1 + e.inequality_count(),
+        }
+    }
+
+    /// Convert to the equivalent [`Ree`].
+    pub fn to_ree(&self) -> Ree {
+        match self {
+            PathTest::Atom(l) => Ree::Atom(*l),
+            PathTest::Concat(es) => Ree::Concat(es.iter().map(PathTest::to_ree).collect()),
+            PathTest::Eq(e) => Ree::Eq(Box::new(e.to_ree())),
+            PathTest::Neq(e) => Ree::Neq(Box::new(e.to_ree())),
+        }
+    }
+
+    /// Convert a union- and iteration-free, ε-free REE back into a path
+    /// with tests.
+    pub fn from_ree(e: &Ree) -> Option<PathTest> {
+        match e {
+            Ree::Atom(l) => Some(PathTest::Atom(*l)),
+            Ree::Concat(es) => {
+                let parts: Option<Vec<PathTest>> = es.iter().map(PathTest::from_ree).collect();
+                let parts = parts?;
+                if parts.is_empty() {
+                    None
+                } else {
+                    Some(PathTest::concat(parts))
+                }
+            }
+            Ree::Eq(e) => Some(PathTest::from_ree(e)?.eq()),
+            Ree::Neq(e) => Some(PathTest::from_ree(e)?.neq()),
+            _ => None,
+        }
+    }
+
+    /// Evaluate on a data graph (delegates to the REE engine).
+    pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        self.to_ree().eval_pairs(g)
+    }
+
+    /// Data-path membership.
+    pub fn matches_path(&self, w: &DataPath) -> bool {
+        self.to_ree().matches_path(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_datagraph::Value;
+
+    fn l(i: u16) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        // (a(bc)=)≠
+        let (a, b, c) = (l(0), l(1), l(2));
+        let e = PathTest::concat([
+            PathTest::Atom(a),
+            PathTest::word(&[b, c]).eq(),
+        ])
+        .neq();
+        assert_eq!(e.word_of(), vec![a, b, c]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.inequality_count(), 1);
+
+        let mut w = DataPath::single(Value::int(1));
+        w.push(a, Value::int(2));
+        w.push(b, Value::int(3));
+        w.push(c, Value::int(2));
+        assert!(e.matches_path(&w));
+
+        let mut bad = DataPath::single(Value::int(2));
+        bad.push(a, Value::int(2));
+        bad.push(b, Value::int(3));
+        bad.push(c, Value::int(2));
+        assert!(!bad.values().is_empty());
+        assert!(!e.matches_path(&bad));
+    }
+
+    #[test]
+    fn ree_roundtrip() {
+        let (a, b) = (l(0), l(1));
+        let e = PathTest::concat([PathTest::Atom(a).eq(), PathTest::Atom(b)]).neq();
+        let ree = e.to_ree();
+        let back = PathTest::from_ree(&ree).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn from_ree_rejects_iteration_and_union() {
+        let a = l(0);
+        assert!(PathTest::from_ree(&Ree::Atom(a).plus()).is_none());
+        assert!(PathTest::from_ree(&Ree::union([Ree::Atom(a), Ree::Epsilon])).is_none());
+        assert!(PathTest::from_ree(&Ree::Epsilon).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_word_panics() {
+        let _ = PathTest::word(&[]);
+    }
+
+    #[test]
+    fn nested_inequalities_counted() {
+        let a = l(0);
+        let e = PathTest::concat([PathTest::Atom(a).neq(), PathTest::Atom(a)]).neq();
+        assert_eq!(e.inequality_count(), 2);
+    }
+}

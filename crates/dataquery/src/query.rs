@@ -1,0 +1,258 @@
+//! A unified query type for the certain-answer engines.
+//!
+//! [`DataQuery`] packages the paper's query classes behind one evaluation
+//! interface:
+//!
+//! * purely navigational RPQs (§2) — regular expressions over labels;
+//! * equality RPQs ([`Ree`], §3);
+//! * memory RPQs ([`Rem`], §3);
+//! * data path queries ([`PathTest`], §3) — kept as their own variant so the
+//!   engines can dispatch on the class (Propositions 3–5 treat them
+//!   specially).
+//!
+//! Every variant is a binary query closed under homomorphisms in the sense
+//! of §6/§7 (Proposition 6 for data RPQs; classical for RPQs), which is the
+//! property the universal-solution algorithms rely on. This invariant is
+//! exercised by property tests in the facade crate.
+
+use crate::crpq::ConjunctiveDataRpq;
+use crate::pathtest::PathTest;
+use crate::ree::Ree;
+use crate::rem::Rem;
+use gde_automata::{Nfa, Regex};
+use gde_datagraph::{DataGraph, DataPath, NodeId};
+
+/// A binary query over data graphs: any of the paper's path-based classes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DataQuery {
+    /// A purely navigational RPQ (ignores data values).
+    Rpq(Regex),
+    /// An equality RPQ.
+    Ree(Ree),
+    /// A memory RPQ.
+    Rem(Rem),
+    /// A data path query (path with tests).
+    PathTest(PathTest),
+    /// A conjunctive (data) RPQ — conjunction of path atoms over shared
+    /// variables (§5's CRPQs, generalized to data atoms).
+    Conjunctive(Box<ConjunctiveDataRpq>),
+}
+
+impl DataQuery {
+    /// Evaluate to sorted `(NodeId, NodeId)` pairs.
+    pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        match self {
+            DataQuery::Rpq(e) => Nfa::from_regex(e).eval_pairs(g),
+            DataQuery::Ree(e) => e.eval_pairs(g),
+            DataQuery::Rem(e) => e.eval_pairs(g),
+            DataQuery::PathTest(e) => e.eval_pairs(g),
+            DataQuery::Conjunctive(q) => q.eval_pairs(g),
+        }
+    }
+
+    /// Does `(u,v)` belong to the answer on `g`?
+    pub fn matches(&self, g: &DataGraph, u: NodeId, v: NodeId) -> bool {
+        // For single-pair checks, evaluating from `u` only is cheaper.
+        match self {
+            DataQuery::Rpq(e) => Nfa::from_regex(e).eval_from(g, u).contains(&v),
+            DataQuery::Rem(e) => e.compile().eval_from(g, u).contains(&v),
+            DataQuery::Ree(e) => {
+                let (Some(ui), Some(vi)) = (g.idx(u), g.idx(v)) else {
+                    return false;
+                };
+                e.eval(g).contains(ui as usize, vi as usize)
+            }
+            DataQuery::PathTest(e) => {
+                let (Some(ui), Some(vi)) = (g.idx(u), g.idx(v)) else {
+                    return false;
+                };
+                e.to_ree().eval(g).contains(ui as usize, vi as usize)
+            }
+            DataQuery::Conjunctive(q) => q.eval_pairs(g).contains(&(u, v)),
+        }
+    }
+
+    /// Boolean projection: is the answer set non-empty?
+    pub fn holds_somewhere(&self, g: &DataGraph) -> bool {
+        !self.eval_pairs(g).is_empty()
+    }
+
+    /// Data-path membership, where applicable (RPQ checks the label word
+    /// only).
+    pub fn matches_path(&self, w: &DataPath) -> bool {
+        match self {
+            DataQuery::Rpq(e) => Nfa::from_regex(e).accepts(w.labels()),
+            DataQuery::Ree(e) => e.matches_path(w),
+            DataQuery::Rem(e) => e.matches_path(w),
+            DataQuery::PathTest(e) => e.matches_path(w),
+            DataQuery::Conjunctive(q) => {
+                // view the data path as a path-shaped graph; consistent with
+                // the other classes (membership = (first, last) ∈ answers)
+                let mut pg = DataGraph::new();
+                for (i, v) in w.values().iter().enumerate() {
+                    pg.add_node(NodeId(i as u32), v.clone()).expect("fresh");
+                }
+                for (i, &l) in w.labels().iter().enumerate() {
+                    // the path's labels must exist in pg's alphabet by index
+                    while pg.alphabet().len() <= l.index() {
+                        let next = pg.alphabet().len();
+                        pg.alphabet_mut().intern(&format!("__l{next}"));
+                    }
+                    pg.add_edge(NodeId(i as u32), l, NodeId(i as u32 + 1))
+                        .expect("nodes exist");
+                }
+                q.eval_pairs(&pg)
+                    .contains(&(NodeId(0), NodeId(w.len() as u32)))
+            }
+        }
+    }
+
+    /// Does the query avoid inequality comparisons? (The §8 fragments
+    /// REM=/REE=; plain RPQs vacuously qualify.)
+    pub fn is_equality_only(&self) -> bool {
+        match self {
+            DataQuery::Rpq(_) => true,
+            DataQuery::Ree(e) => e.is_equality_only(),
+            DataQuery::Rem(e) => e.is_equality_only(),
+            DataQuery::PathTest(e) => e.inequality_count() == 0,
+            DataQuery::Conjunctive(q) => q.is_equality_only(),
+        }
+    }
+
+    /// Number of `≠` tests for path-based fragments; `None` when not a
+    /// syntactic notion for this class (REM counts conditions, not tests).
+    pub fn inequality_count(&self) -> Option<usize> {
+        match self {
+            DataQuery::Rpq(_) => Some(0),
+            DataQuery::Ree(e) => Some(e.inequality_count()),
+            DataQuery::Rem(_) => None,
+            DataQuery::PathTest(e) => Some(e.inequality_count()),
+            DataQuery::Conjunctive(_) => None,
+        }
+    }
+
+    /// All variants are closed under (null-absorbing) homomorphisms
+    /// (Proposition 6 of the paper). Exposed as a method for symmetry with
+    /// query classes that are not (GXPath, which therefore lives in its own
+    /// crate and cannot be used with the universal-solution engines).
+    pub fn is_hom_closed(&self) -> bool {
+        true
+    }
+}
+
+impl From<Regex> for DataQuery {
+    fn from(e: Regex) -> DataQuery {
+        DataQuery::Rpq(e)
+    }
+}
+
+impl From<Ree> for DataQuery {
+    fn from(e: Ree) -> DataQuery {
+        DataQuery::Ree(e)
+    }
+}
+
+impl From<Rem> for DataQuery {
+    fn from(e: Rem) -> DataQuery {
+        DataQuery::Rem(e)
+    }
+}
+
+impl From<PathTest> for DataQuery {
+    fn from(e: PathTest) -> DataQuery {
+        DataQuery::PathTest(e)
+    }
+}
+
+impl From<ConjunctiveDataRpq> for DataQuery {
+    fn from(q: ConjunctiveDataRpq) -> DataQuery {
+        DataQuery::Conjunctive(Box::new(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_ree, parse_rem};
+    use gde_automata::parse_regex;
+    use gde_datagraph::Value;
+
+    fn sample_graph() -> DataGraph {
+        // 0(v1) -a-> 1(v2) -b-> 2(v1); 2 -a-> 0
+        let mut g = DataGraph::new();
+        g.add_node(NodeId(0), Value::int(1)).unwrap();
+        g.add_node(NodeId(1), Value::int(2)).unwrap();
+        g.add_node(NodeId(2), Value::int(1)).unwrap();
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(1), "b", NodeId(2)).unwrap();
+        g.add_edge_str(NodeId(2), "a", NodeId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn variants_agree_on_common_queries() {
+        let mut g = sample_graph();
+        // the plain word "a b" in all three formalisms
+        let rpq: DataQuery = parse_regex("a b", g.alphabet_mut()).unwrap().into();
+        let ree: DataQuery = parse_ree("a b", g.alphabet_mut()).unwrap().into();
+        let rem: DataQuery = parse_rem("a b", g.alphabet_mut()).unwrap().into();
+        let expected = vec![(NodeId(0), NodeId(2))];
+        assert_eq!(rpq.eval_pairs(&g), expected);
+        assert_eq!(ree.eval_pairs(&g), expected);
+        assert_eq!(rem.eval_pairs(&g), expected);
+    }
+
+    #[test]
+    fn ree_and_rem_agree_on_equality_query() {
+        let mut g = sample_graph();
+        // first value equals last along a b: REE (a b)= vs REM @x.(a b[x=])
+        let ree: DataQuery = parse_ree("(a b)=", g.alphabet_mut()).unwrap().into();
+        let rem: DataQuery = parse_rem("@x.(a b[x=])", g.alphabet_mut()).unwrap().into();
+        assert_eq!(ree.eval_pairs(&g), rem.eval_pairs(&g));
+        assert_eq!(ree.eval_pairs(&g), vec![(NodeId(0), NodeId(2))]);
+    }
+
+    #[test]
+    fn matches_single_pair() {
+        let mut g = sample_graph();
+        let q: DataQuery = parse_ree("(a b)=", g.alphabet_mut()).unwrap().into();
+        assert!(q.matches(&g, NodeId(0), NodeId(2)));
+        assert!(!q.matches(&g, NodeId(1), NodeId(0)));
+        assert!(!q.matches(&g, NodeId(99), NodeId(0)));
+        assert!(q.holds_somewhere(&g));
+    }
+
+    #[test]
+    fn classification_passthrough() {
+        let mut al = gde_datagraph::Alphabet::new();
+        let q: DataQuery = parse_ree("(a b)= c!=", &mut al).unwrap().into();
+        assert!(!q.is_equality_only());
+        assert_eq!(q.inequality_count(), Some(1));
+        let q: DataQuery = parse_rem("@x.(a[x=])", &mut al).unwrap().into();
+        assert!(q.is_equality_only());
+        assert_eq!(q.inequality_count(), None);
+        assert!(q.is_hom_closed());
+    }
+
+    #[test]
+    fn path_membership_all_variants() {
+        let mut al = gde_datagraph::Alphabet::new();
+        let a = al.intern("a");
+        let mut w = DataPath::single(Value::int(1));
+        w.push(a, Value::int(1));
+        let rpq: DataQuery = parse_regex("a", &mut al).unwrap().into();
+        let ree: DataQuery = parse_ree("a=", &mut al).unwrap().into();
+        let rem: DataQuery = parse_rem("@x.(a[x=])", &mut al).unwrap().into();
+        let pt: DataQuery = DataQuery::PathTest(PathTest::Atom(a).eq());
+        assert!(rpq.matches_path(&w));
+        assert!(ree.matches_path(&w));
+        assert!(rem.matches_path(&w));
+        assert!(pt.matches_path(&w));
+        let mut w2 = DataPath::single(Value::int(1));
+        w2.push(a, Value::int(2));
+        assert!(rpq.matches_path(&w2)); // navigational: ignores values
+        assert!(!ree.matches_path(&w2));
+        assert!(!rem.matches_path(&w2));
+        assert!(!pt.matches_path(&w2));
+    }
+}

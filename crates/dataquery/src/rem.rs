@@ -1,0 +1,403 @@
+//! Regular expressions with memory (REM) — memory RPQs (§3).
+//!
+//! Grammar: `e := ε | a | e+e | e·e | e⁺ | e[c] | ↓x̄.e` with conditions
+//! `c := x= | x≠ | c∧c | c∨c`. REMs capture register automata \[31\]; we
+//! evaluate them by compiling to [`RegisterAutomaton`] (Thompson-style, with
+//! ε-actions for `↓x̄` stores and `[c]` checks) and running the
+//! configuration-BFS of `gde-automata`.
+//!
+//! Variables are named strings in the AST (readable, printable); the
+//! compiler interns them into register indices.
+
+use gde_automata::register::{Builder, EpsAction};
+use gde_automata::{Cond, Reg, RegisterAutomaton};
+use gde_datagraph::{DataGraph, DataPath, Label, NodeId};
+
+/// A condition over named variables.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VarCond {
+    /// `x=`: the current data value equals the value stored in `x`.
+    Eq(String),
+    /// `x≠`: the current data value differs from the value stored in `x`.
+    Neq(String),
+    /// Conjunction.
+    And(Box<VarCond>, Box<VarCond>),
+    /// Disjunction.
+    Or(Box<VarCond>, Box<VarCond>),
+}
+
+impl VarCond {
+    /// Conjunction builder.
+    pub fn and(a: VarCond, b: VarCond) -> VarCond {
+        VarCond::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction builder.
+    pub fn or(a: VarCond, b: VarCond) -> VarCond {
+        VarCond::Or(Box::new(a), Box::new(b))
+    }
+
+    fn vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            VarCond::Eq(x) | VarCond::Neq(x) => out.push(x),
+            VarCond::And(a, b) | VarCond::Or(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+
+    fn has_neq(&self) -> bool {
+        match self {
+            VarCond::Eq(_) => false,
+            VarCond::Neq(_) => true,
+            VarCond::And(a, b) | VarCond::Or(a, b) => a.has_neq() || b.has_neq(),
+        }
+    }
+
+    fn compile(&self, vars: &[String]) -> Cond {
+        let reg = |x: &str| Reg(vars.iter().position(|v| v == x).expect("var collected") as u8);
+        match self {
+            VarCond::Eq(x) => Cond::Eq(reg(x)),
+            VarCond::Neq(x) => Cond::Neq(reg(x)),
+            VarCond::And(a, b) => Cond::and(a.compile(vars), b.compile(vars)),
+            VarCond::Or(a, b) => Cond::or(a.compile(vars), b.compile(vars)),
+        }
+    }
+}
+
+/// A regular expression with memory.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Rem {
+    /// ε — single data value.
+    Epsilon,
+    /// One letter.
+    Atom(Label),
+    /// Concatenation (n-ary).
+    Concat(Vec<Rem>),
+    /// Union (n-ary).
+    Union(Vec<Rem>),
+    /// One-or-more iteration.
+    Plus(Box<Rem>),
+    /// Zero-or-more iteration (sugar, as for REE).
+    Star(Box<Rem>),
+    /// `↓x̄.e`: store the current data value into the variables, then match `e`.
+    Bind(Vec<String>, Box<Rem>),
+    /// `e[c]`: match `e`, then require `c` at the final data value.
+    Test(Box<Rem>, VarCond),
+}
+
+impl Rem {
+    /// `↓x.e` with a single variable.
+    pub fn bind(x: impl Into<String>, e: Rem) -> Rem {
+        Rem::Bind(vec![x.into()], Box::new(e))
+    }
+
+    /// `e[c]`.
+    pub fn test(e: Rem, c: VarCond) -> Rem {
+        Rem::Test(Box::new(e), c)
+    }
+
+    /// Concatenation builder.
+    pub fn concat(parts: impl IntoIterator<Item = Rem>) -> Rem {
+        let out: Vec<Rem> = parts.into_iter().collect();
+        match out.len() {
+            0 => Rem::Epsilon,
+            1 => out.into_iter().next().unwrap(),
+            _ => Rem::Concat(out),
+        }
+    }
+
+    /// All variables, in first-mention order (binds and conditions).
+    pub fn variables(&self) -> Vec<String> {
+        let mut out: Vec<&str> = Vec::new();
+        self.collect_vars(&mut out);
+        let mut dedup: Vec<String> = Vec::new();
+        for v in out {
+            if !dedup.iter().any(|d| d == v) {
+                dedup.push(v.to_string());
+            }
+        }
+        dedup
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Rem::Epsilon | Rem::Atom(_) => {}
+            Rem::Concat(es) | Rem::Union(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+            Rem::Plus(e) | Rem::Star(e) => e.collect_vars(out),
+            Rem::Bind(xs, e) => {
+                for x in xs {
+                    out.push(x);
+                }
+                e.collect_vars(out);
+            }
+            Rem::Test(e, c) => {
+                e.collect_vars(out);
+                c.vars(out);
+            }
+        }
+    }
+
+    /// Does the expression avoid `x≠` everywhere? (The REM= fragment of §8.)
+    pub fn is_equality_only(&self) -> bool {
+        match self {
+            Rem::Epsilon | Rem::Atom(_) => true,
+            Rem::Concat(es) | Rem::Union(es) => es.iter().all(Rem::is_equality_only),
+            Rem::Plus(e) | Rem::Star(e) => e.is_equality_only(),
+            Rem::Bind(_, e) => e.is_equality_only(),
+            Rem::Test(e, c) => e.is_equality_only() && !c.has_neq(),
+        }
+    }
+
+    /// Compile to a register automaton (one register per variable).
+    pub fn compile(&self) -> RegisterAutomaton {
+        let vars = self.variables();
+        assert!(vars.len() <= 255, "too many REM variables");
+        let mut b = Builder::new(vars.len());
+        let (start, end) = self.build(&mut b, &vars);
+        b.set_initial(start);
+        b.set_accepting(end);
+        b.build()
+    }
+
+    fn build(&self, b: &mut Builder, vars: &[String]) -> (u32, u32) {
+        match self {
+            Rem::Epsilon => {
+                let s = b.add_state();
+                (s, s)
+            }
+            Rem::Atom(l) => {
+                let s = b.add_state();
+                let t = b.add_state();
+                b.add_step(s, *l, t);
+                (s, t)
+            }
+            Rem::Concat(es) => {
+                if es.is_empty() {
+                    return Rem::Epsilon.build(b, vars);
+                }
+                let mut iter = es.iter();
+                let (start, mut end) = iter.next().unwrap().build(b, vars);
+                for e in iter {
+                    let (s2, e2) = e.build(b, vars);
+                    b.add_eps(end, EpsAction::Jump, s2);
+                    end = e2;
+                }
+                (start, end)
+            }
+            Rem::Union(es) => {
+                let s = b.add_state();
+                let t = b.add_state();
+                for e in es {
+                    let (s2, e2) = e.build(b, vars);
+                    b.add_eps(s, EpsAction::Jump, s2);
+                    b.add_eps(e2, EpsAction::Jump, t);
+                }
+                (s, t)
+            }
+            Rem::Plus(e) => {
+                let (s2, e2) = e.build(b, vars);
+                let s = b.add_state();
+                let t = b.add_state();
+                b.add_eps(s, EpsAction::Jump, s2);
+                b.add_eps(e2, EpsAction::Jump, t);
+                b.add_eps(e2, EpsAction::Jump, s2);
+                (s, t)
+            }
+            Rem::Star(e) => {
+                let (s2, e2) = e.build(b, vars);
+                let s = b.add_state();
+                let t = b.add_state();
+                b.add_eps(s, EpsAction::Jump, s2);
+                b.add_eps(e2, EpsAction::Jump, t);
+                b.add_eps(e2, EpsAction::Jump, s2);
+                b.add_eps(s, EpsAction::Jump, t);
+                (s, t)
+            }
+            Rem::Bind(xs, e) => {
+                let s = b.add_state();
+                let (s2, e2) = e.build(b, vars);
+                let regs: Vec<Reg> = xs
+                    .iter()
+                    .map(|x| Reg(vars.iter().position(|v| v == x).unwrap() as u8))
+                    .collect();
+                b.add_eps(s, EpsAction::Store(regs), s2);
+                (s, e2)
+            }
+            Rem::Test(e, c) => {
+                let (s, e2) = e.build(b, vars);
+                let t = b.add_state();
+                b.add_eps(e2, EpsAction::Check(c.compile(vars)), t);
+                (s, t)
+            }
+        }
+    }
+
+    /// Evaluate on a data graph (sorted `(NodeId, NodeId)` pairs).
+    ///
+    /// For repeated evaluation, compile once with [`Rem::compile`] and reuse
+    /// the automaton.
+    pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        self.compile().eval_pairs(g)
+    }
+
+    /// Data-path membership `w ∈ L(e)` (NP-complete in general \[31\];
+    /// exponential only in the number of registers here).
+    pub fn matches_path(&self, w: &DataPath) -> bool {
+        self.compile().accepts(w)
+    }
+
+    /// Is `L(e)` nonempty? (PSPACE in general; symbolic search here.)
+    pub fn is_nonempty(&self) -> bool {
+        self.compile().find_witness().is_some()
+    }
+
+    /// A witness data path, when the language is nonempty.
+    pub fn sample_witness(&self) -> Option<DataPath> {
+        self.compile().find_witness()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_datagraph::Value;
+
+    fn l(i: u16) -> Label {
+        Label(i)
+    }
+
+    fn dp(vals: &[i64], lab: Label) -> DataPath {
+        let mut p = DataPath::single(Value::int(vals[0]));
+        for &v in &vals[1..] {
+            p.push(lab, Value::int(v));
+        }
+        p
+    }
+
+    /// ↓x.(a[x≠])⁺ — the paper's first REM example.
+    fn all_differ() -> Rem {
+        Rem::bind(
+            "x",
+            Rem::Plus(Box::new(Rem::test(
+                Rem::Atom(l(0)),
+                VarCond::Neq("x".into()),
+            ))),
+        )
+    }
+
+    #[test]
+    fn paper_example_one() {
+        let e = all_differ();
+        let a = l(0);
+        assert!(e.matches_path(&dp(&[1, 2, 3], a)));
+        assert!(e.matches_path(&dp(&[1, 2, 2], a)));
+        assert!(!e.matches_path(&dp(&[1, 2, 1], a)));
+        assert!(!e.matches_path(&dp(&[1], a)));
+    }
+
+    #[test]
+    fn paper_example_two() {
+        // Σ*·↓x.Σ⁺[x=]·Σ* : some data value occurs twice (one-letter Σ)
+        let a = l(0);
+        let sig = Rem::Atom(a);
+        let e = Rem::concat([
+            Rem::Star(Box::new(sig.clone())),
+            Rem::bind(
+                "x",
+                Rem::test(Rem::Plus(Box::new(sig.clone())), VarCond::Eq("x".into())),
+            ),
+            Rem::Star(Box::new(sig)),
+        ]);
+        assert!(e.matches_path(&dp(&[5, 1, 5, 2], a)));
+        assert!(e.matches_path(&dp(&[1, 5, 2, 5], a)));
+        assert!(!e.matches_path(&dp(&[1, 2, 3, 4], a)));
+    }
+
+    #[test]
+    fn multi_bind() {
+        // ↓x,y. a[x= ∧ y=]: store into both, step, both must equal
+        let a = l(0);
+        let e = Rem::Bind(
+            vec!["x".into(), "y".into()],
+            Box::new(Rem::test(
+                Rem::Atom(a),
+                VarCond::and(VarCond::Eq("x".into()), VarCond::Eq("y".into())),
+            )),
+        );
+        assert!(e.matches_path(&dp(&[3, 3], a)));
+        assert!(!e.matches_path(&dp(&[3, 4], a)));
+        assert_eq!(e.variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn disjunctive_condition() {
+        // ↓x. a ↓y. a[x= ∨ y=]
+        let a = l(0);
+        let e = Rem::bind(
+            "x",
+            Rem::concat([
+                Rem::Atom(a),
+                Rem::bind(
+                    "y",
+                    Rem::test(
+                        Rem::Atom(a),
+                        VarCond::or(VarCond::Eq("x".into()), VarCond::Eq("y".into())),
+                    ),
+                ),
+            ]),
+        );
+        assert!(e.matches_path(&dp(&[1, 2, 1], a))); // x matches
+        assert!(e.matches_path(&dp(&[1, 2, 2], a))); // y matches
+        assert!(!e.matches_path(&dp(&[1, 2, 3], a)));
+    }
+
+    #[test]
+    fn graph_evaluation() {
+        use gde_datagraph::NodeId;
+        let mut g = DataGraph::new();
+        // 0(v=1) -a-> 1(v=2) -a-> 2(v=1)
+        g.add_node(NodeId(0), Value::int(1)).unwrap();
+        g.add_node(NodeId(1), Value::int(2)).unwrap();
+        g.add_node(NodeId(2), Value::int(1)).unwrap();
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+        // first = last via memory: ↓x. a⁺ [x=]
+        let a = g.alphabet().label("a").unwrap();
+        let e = Rem::bind(
+            "x",
+            Rem::test(Rem::Plus(Box::new(Rem::Atom(a))), VarCond::Eq("x".into())),
+        );
+        assert_eq!(e.eval_pairs(&g), vec![(NodeId(0), NodeId(2))]);
+    }
+
+    #[test]
+    fn classification_equality_only() {
+        assert!(!all_differ().is_equality_only());
+        let a = l(0);
+        let eq = Rem::bind("x", Rem::test(Rem::Atom(a), VarCond::Eq("x".into())));
+        assert!(eq.is_equality_only());
+    }
+
+    #[test]
+    fn nonemptiness_and_witness() {
+        let e = all_differ();
+        let w = e.sample_witness().expect("nonempty");
+        assert!(e.matches_path(&w));
+        // ↓x. ε[x≠] is empty (current value equals itself)
+        let empty = Rem::bind("x", Rem::test(Rem::Epsilon, VarCond::Neq("x".into())));
+        assert!(!empty.is_nonempty());
+    }
+
+    #[test]
+    fn star_accepts_empty() {
+        let a = l(0);
+        let e = Rem::Star(Box::new(Rem::Atom(a)));
+        assert!(e.matches_path(&DataPath::single(Value::int(9))));
+    }
+}

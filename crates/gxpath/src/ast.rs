@@ -1,0 +1,216 @@
+//! Abstract syntax of `GXPath_core^∼` (§9, Figure 1 of the paper).
+
+use gde_datagraph::Label;
+
+/// A step direction: each edge can be traversed forwards (`a`) or backwards
+/// (`a⁻`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Follow an `a`-edge forwards.
+    Forward(Label),
+    /// Follow an `a`-edge backwards (`a⁻`, i.e. `E_{a⁻} = E_a⁻¹`).
+    Backward(Label),
+}
+
+impl Axis {
+    /// The underlying label.
+    pub fn label(self) -> Label {
+        match self {
+            Axis::Forward(l) | Axis::Backward(l) => l,
+        }
+    }
+
+    /// The opposite direction.
+    pub fn inverse(self) -> Axis {
+        match self {
+            Axis::Forward(l) => Axis::Backward(l),
+            Axis::Backward(l) => Axis::Forward(l),
+        }
+    }
+}
+
+/// A path expression: denotes a binary relation `[[α]] ⊆ V × V`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathExpr {
+    /// `ε` — the identity relation.
+    Epsilon,
+    /// A single step `a` or `a⁻`.
+    Step(Axis),
+    /// `a*` / `a⁻*` — reflexive-transitive closure of a single step. (Core
+    /// GXPath restricts `*` to labels; this is load-bearing for §9.)
+    StepStar(Axis),
+    /// Composition `α·β` (n-ary).
+    Concat(Vec<PathExpr>),
+    /// Union `α∪β` (n-ary).
+    Union(Vec<PathExpr>),
+    /// Data test `α=`: pairs of `[[α]]` whose endpoints carry equal values.
+    Eq(Box<PathExpr>),
+    /// Data test `α≠`: endpoints carry different values.
+    Neq(Box<PathExpr>),
+    /// Node filter `[ϕ]`: the diagonal over `[[ϕ]]`.
+    Filter(Box<NodeExpr>),
+}
+
+/// A node expression: denotes a node set `[[ϕ]] ⊆ V`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeExpr {
+    /// Negation `¬ϕ` (full complement — the reason GXPath is not
+    /// hom-closed).
+    Not(Box<NodeExpr>),
+    /// Conjunction.
+    And(Box<NodeExpr>, Box<NodeExpr>),
+    /// Disjunction.
+    Or(Box<NodeExpr>, Box<NodeExpr>),
+    /// Projection `⟨α⟩`: nodes with an outgoing `α`-path.
+    Exists(Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// The word path `a₁·a₂·…` of forward steps.
+    pub fn word(w: &[Label]) -> PathExpr {
+        match w.len() {
+            0 => PathExpr::Epsilon,
+            1 => PathExpr::Step(Axis::Forward(w[0])),
+            _ => PathExpr::Concat(w.iter().map(|&l| PathExpr::Step(Axis::Forward(l))).collect()),
+        }
+    }
+
+    /// The reversed word `aₙ⁻·…·a₁⁻` (traverse `w` backwards).
+    pub fn word_reversed(w: &[Label]) -> PathExpr {
+        match w.len() {
+            0 => PathExpr::Epsilon,
+            1 => PathExpr::Step(Axis::Backward(w[0])),
+            _ => PathExpr::Concat(
+                w.iter()
+                    .rev()
+                    .map(|&l| PathExpr::Step(Axis::Backward(l)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Composition builder (flattens).
+    pub fn concat(parts: impl IntoIterator<Item = PathExpr>) -> PathExpr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                PathExpr::Concat(mut inner) => out.append(&mut inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => PathExpr::Epsilon,
+            1 => out.pop().unwrap(),
+            _ => PathExpr::Concat(out),
+        }
+    }
+
+    /// Union builder.
+    pub fn union(parts: impl IntoIterator<Item = PathExpr>) -> PathExpr {
+        let out: Vec<PathExpr> = parts.into_iter().collect();
+        match out.len() {
+            1 => out.into_iter().next().unwrap(),
+            _ => PathExpr::Union(out),
+        }
+    }
+
+    /// `α=`.
+    pub fn eq(self) -> PathExpr {
+        PathExpr::Eq(Box::new(self))
+    }
+
+    /// `α≠`.
+    pub fn neq(self) -> PathExpr {
+        PathExpr::Neq(Box::new(self))
+    }
+
+    /// `[ϕ]`.
+    pub fn filter(phi: NodeExpr) -> PathExpr {
+        PathExpr::Filter(Box::new(phi))
+    }
+}
+
+impl NodeExpr {
+    /// `⟨α⟩`.
+    pub fn exists(alpha: PathExpr) -> NodeExpr {
+        NodeExpr::Exists(Box::new(alpha))
+    }
+
+    /// `¬ϕ`.
+    pub fn not(self) -> NodeExpr {
+        NodeExpr::Not(Box::new(self))
+    }
+
+    /// `ϕ ∧ ψ`.
+    pub fn and(self, other: NodeExpr) -> NodeExpr {
+        NodeExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `ϕ ∨ ψ`.
+    pub fn or(self, other: NodeExpr) -> NodeExpr {
+        NodeExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `⋀ϕᵢ` — conjunction of many (true ≡ ¬(⟨ε⟩∧¬⟨ε⟩) avoided: returns
+    /// `⟨ε⟩`, which holds everywhere, when empty).
+    pub fn conj(parts: impl IntoIterator<Item = NodeExpr>) -> NodeExpr {
+        let mut it = parts.into_iter();
+        match it.next() {
+            None => NodeExpr::exists(PathExpr::Epsilon),
+            Some(first) => it.fold(first, |acc, p| acc.and(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_inverse() {
+        let a = Label(0);
+        assert_eq!(Axis::Forward(a).inverse(), Axis::Backward(a));
+        assert_eq!(Axis::Backward(a).inverse().label(), a);
+    }
+
+    #[test]
+    fn word_builders() {
+        let (a, b) = (Label(0), Label(1));
+        assert_eq!(PathExpr::word(&[]), PathExpr::Epsilon);
+        assert_eq!(PathExpr::word(&[a]), PathExpr::Step(Axis::Forward(a)));
+        let w = PathExpr::word(&[a, b]);
+        let rev = PathExpr::word_reversed(&[a, b]);
+        assert_eq!(
+            w,
+            PathExpr::Concat(vec![
+                PathExpr::Step(Axis::Forward(a)),
+                PathExpr::Step(Axis::Forward(b))
+            ])
+        );
+        assert_eq!(
+            rev,
+            PathExpr::Concat(vec![
+                PathExpr::Step(Axis::Backward(b)),
+                PathExpr::Step(Axis::Backward(a))
+            ])
+        );
+    }
+
+    #[test]
+    fn conj_of_empty_is_universal() {
+        assert_eq!(NodeExpr::conj([]), NodeExpr::exists(PathExpr::Epsilon));
+    }
+
+    #[test]
+    fn concat_flattens() {
+        let a = Label(0);
+        let e = PathExpr::concat([
+            PathExpr::word(&[a, a]),
+            PathExpr::concat([PathExpr::word(&[a]), PathExpr::Epsilon]),
+        ]);
+        match e {
+            PathExpr::Concat(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! PTime evaluation of GXPath-core (the semantics of Figure 1 in the paper).
+
+use crate::ast::{Axis, NodeExpr, PathExpr};
+use gde_datagraph::{DataGraph, NodeId, Relation};
+
+/// `[[α]]_G` as a [`Relation`] over dense node indices.
+pub fn eval_path(alpha: &PathExpr, g: &DataGraph) -> Relation {
+    let n = g.n();
+    match alpha {
+        PathExpr::Epsilon => Relation::identity(n),
+        PathExpr::Step(axis) => axis_relation(*axis, g),
+        PathExpr::StepStar(axis) => axis_relation(*axis, g).reflexive_transitive_closure(),
+        PathExpr::Concat(parts) => {
+            let mut acc = Relation::identity(n);
+            for p in parts {
+                acc = acc.compose(&eval_path(p, g));
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        PathExpr::Union(parts) => {
+            let mut acc = Relation::empty(n);
+            for p in parts {
+                acc.union_with(&eval_path(p, g));
+            }
+            acc
+        }
+        PathExpr::Eq(p) => {
+            eval_path(p, g).filter(|i, j| g.value_at(i as u32).sql_eq(g.value_at(j as u32)))
+        }
+        PathExpr::Neq(p) => {
+            eval_path(p, g).filter(|i, j| g.value_at(i as u32).sql_ne(g.value_at(j as u32)))
+        }
+        PathExpr::Filter(phi) => {
+            let set = eval_node_mask(phi, g);
+            let mut r = Relation::empty(n);
+            for (i, &b) in set.iter().enumerate() {
+                if b {
+                    r.insert(i, i);
+                }
+            }
+            r
+        }
+    }
+}
+
+/// `[[ϕ]]_G` as a sorted list of node ids.
+pub fn eval_node(phi: &NodeExpr, g: &DataGraph) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = eval_node_mask(phi, g)
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| g.id_at(i as u32))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Does node `v` satisfy `ϕ` in `g`?
+pub fn eval_node_set(phi: &NodeExpr, g: &DataGraph, v: NodeId) -> bool {
+    match g.idx(v) {
+        Some(d) => eval_node_mask(phi, g)[d as usize],
+        None => false,
+    }
+}
+
+fn eval_node_mask(phi: &NodeExpr, g: &DataGraph) -> Vec<bool> {
+    match phi {
+        NodeExpr::Not(p) => {
+            let mut m = eval_node_mask(p, g);
+            for b in m.iter_mut() {
+                *b = !*b;
+            }
+            m
+        }
+        NodeExpr::And(a, b) => {
+            let mut m = eval_node_mask(a, g);
+            let mb = eval_node_mask(b, g);
+            for (x, y) in m.iter_mut().zip(mb) {
+                *x = *x && y;
+            }
+            m
+        }
+        NodeExpr::Or(a, b) => {
+            let mut m = eval_node_mask(a, g);
+            let mb = eval_node_mask(b, g);
+            for (x, y) in m.iter_mut().zip(mb) {
+                *x = *x || y;
+            }
+            m
+        }
+        NodeExpr::Exists(alpha) => {
+            let r = eval_path(alpha, g);
+            let mut m = vec![false; g.n()];
+            for i in r.domain() {
+                m[i] = true;
+            }
+            m
+        }
+    }
+}
+
+fn axis_relation(axis: Axis, g: &DataGraph) -> Relation {
+    let mut r = Relation::empty(g.n());
+    let label = axis.label();
+    for u in 0..g.n() as u32 {
+        for &(el, v) in g.out_at(u) {
+            if el == label {
+                match axis {
+                    Axis::Forward(_) => r.insert(u as usize, v as usize),
+                    Axis::Backward(_) => r.insert(v as usize, u as usize),
+                }
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{NodeExpr as NE, PathExpr as PE};
+    use gde_datagraph::{Label, Value};
+
+    /// 0(v1) -a-> 1(v2) -a-> 2(v1), 1 -b-> 3(v2)
+    fn g() -> DataGraph {
+        let mut g = DataGraph::new();
+        for (i, v) in [1i64, 2, 1, 2].iter().enumerate() {
+            g.add_node(NodeId(i as u32), Value::int(*v)).unwrap();
+        }
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+        g.add_edge_str(NodeId(1), "b", NodeId(3)).unwrap();
+        g
+    }
+
+    fn a_of(g: &DataGraph) -> Label {
+        g.alphabet().label("a").unwrap()
+    }
+
+    fn pairs(r: &Relation, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        let mut out: Vec<_> = r
+            .iter()
+            .map(|(i, j)| (g.id_at(i as u32), g.id_at(j as u32)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn epsilon_is_identity() {
+        let g = g();
+        let r = eval_path(&PE::Epsilon, &g);
+        assert_eq!(r.len(), 4);
+        assert!(r.contains(2, 2));
+    }
+
+    #[test]
+    fn steps_and_inverses() {
+        let g = g();
+        let a = a_of(&g);
+        let fwd = eval_path(&PE::Step(Axis::Forward(a)), &g);
+        assert_eq!(
+            pairs(&fwd, &g),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
+        let bwd = eval_path(&PE::Step(Axis::Backward(a)), &g);
+        assert_eq!(
+            pairs(&bwd, &g),
+            vec![(NodeId(1), NodeId(0)), (NodeId(2), NodeId(1))]
+        );
+    }
+
+    #[test]
+    fn step_star() {
+        let g = g();
+        let a = a_of(&g);
+        let r = eval_path(&PE::StepStar(Axis::Forward(a)), &g);
+        assert!(r.contains(0, 2)); // two a-steps
+        assert!(r.contains(3, 3)); // reflexive
+        assert!(!r.contains(2, 0));
+    }
+
+    #[test]
+    fn concat_union() {
+        let g = g();
+        let a = a_of(&g);
+        let b = g.alphabet().label("b").unwrap();
+        let ab = PE::concat([PE::Step(Axis::Forward(a)), PE::Step(Axis::Forward(b))]);
+        assert_eq!(pairs(&eval_path(&ab, &g), &g), vec![(NodeId(0), NodeId(3))]);
+        let aorb = PE::union([PE::Step(Axis::Forward(a)), PE::Step(Axis::Forward(b))]);
+        assert_eq!(eval_path(&aorb, &g).len(), 3);
+    }
+
+    #[test]
+    fn data_tests() {
+        let g = g();
+        let a = a_of(&g);
+        let aa = PE::concat([PE::Step(Axis::Forward(a)), PE::Step(Axis::Forward(a))]);
+        let eq = eval_path(&aa.clone().eq(), &g);
+        assert_eq!(pairs(&eq, &g), vec![(NodeId(0), NodeId(2))]); // values 1,1
+        let neq = eval_path(&aa.neq(), &g);
+        assert!(neq.is_empty());
+        // a≠ : 0(1) -a-> 1(2): different values
+        let an = eval_path(&PE::Step(Axis::Forward(a)).neq(), &g);
+        assert_eq!(
+            pairs(&an, &g),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn node_exprs_and_filters() {
+        let g = g();
+        let a = a_of(&g);
+        let b = g.alphabet().label("b").unwrap();
+        // ⟨b⟩: nodes with an outgoing b-edge = {1}
+        let has_b = NE::exists(PE::Step(Axis::Forward(b)));
+        assert_eq!(eval_node(&has_b, &g), vec![NodeId(1)]);
+        // ¬⟨b⟩
+        assert_eq!(
+            eval_node(&has_b.clone().not(), &g),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
+        // ⟨a·[⟨b⟩]⟩: nodes with an a-successor that has a b-edge = {0}
+        let phi = NE::exists(PE::concat([
+            PE::Step(Axis::Forward(a)),
+            PE::filter(has_b.clone()),
+        ]));
+        assert_eq!(eval_node(&phi, &g), vec![NodeId(0)]);
+        assert!(eval_node_set(&phi, &g, NodeId(0)));
+        assert!(!eval_node_set(&phi, &g, NodeId(1)));
+        assert!(!eval_node_set(&phi, &g, NodeId(99)));
+        // and/or
+        let conj = has_b.clone().and(has_b.clone().not());
+        assert!(eval_node(&conj, &g).is_empty());
+        let disj = has_b.clone().or(has_b.not());
+        assert_eq!(eval_node(&disj, &g).len(), 4);
+    }
+
+    #[test]
+    fn nulls_fail_both_tests() {
+        let mut g = g();
+        let a = a_of(&g);
+        let nn = g.fresh_node(Value::Null);
+        let m = g.fresh_node(Value::Null);
+        g.add_edge(nn, a, m).unwrap();
+        let eq = eval_path(&PE::Step(Axis::Forward(a)).eq(), &g);
+        let neq = eval_path(&PE::Step(Axis::Forward(a)).neq(), &g);
+        let ni = g.idx(nn).unwrap() as usize;
+        let mi = g.idx(m).unwrap() as usize;
+        assert!(!eq.contains(ni, mi));
+        assert!(!neq.contains(ni, mi));
+    }
+
+    #[test]
+    fn backward_star_roundtrip() {
+        let g = g();
+        let a = a_of(&g);
+        let r = eval_path(&PE::StepStar(Axis::Backward(a)), &g);
+        assert!(r.contains(2, 0));
+        assert!(!r.contains(0, 2));
+    }
+}

@@ -1,0 +1,35 @@
+//! # gde-gxpath
+//!
+//! GXPath-core with data-value comparisons — the fragment `GXPath_core^∼`
+//! of §9 of *Schema Mappings for Data Graphs* (PODS'17), adapting XPath to
+//! graphs after [15, 30].
+//!
+//! Path expressions `α` denote binary relations over nodes; node expressions
+//! `ϕ` denote node sets; the two are mutually recursive:
+//!
+//! ```text
+//! α, β := ε | a | a⁻ | a* | a⁻* | α·β | α∪β | α= | α≠ | [ϕ]
+//! ϕ, ψ := ¬ϕ | ϕ∧ψ | ϕ∨ψ | ⟨α⟩
+//! ```
+//!
+//! Note what the *core* fragment excludes (deliberately, since the paper
+//! proves undecidability already for this fragment): transitive closure of
+//! arbitrary path expressions, path negation, constants, and path
+//! intersection. Transitive closure applies to single (possibly inverted)
+//! labels only — the parser enforces this.
+//!
+//! Evaluation ([`eval_path`], [`eval_node`]) is PTime via the bitset
+//! relation algebra of `gde-datagraph`. Unlike data RPQs, GXPath node
+//! expressions contain negation and are **not** closed under homomorphisms —
+//! which is exactly why query answering under mappings is undecidable for
+//! them (Theorem 6); the gadget lives in `gde-reductions`.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod regular;
+
+pub use ast::{Axis, NodeExpr, PathExpr};
+pub use eval::{eval_node, eval_node_set, eval_path};
+pub use parser::{display_node_expr, display_path_expr, parse_node_expr, parse_path_expr};
+pub use regular::{eval_rnode, eval_rpath, RNode, RPath};

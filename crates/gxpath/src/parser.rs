@@ -1,0 +1,625 @@
+//! Concrete syntax for GXPath-core.
+//!
+//! Path expressions:
+//!
+//! ```text
+//! path    := pterm ('|' pterm)*             -- α ∪ β
+//! pterm   := pfactor+                       -- α·β
+//! pfactor := patom postfix*
+//! postfix := '*' | '=' | '!='               -- '*' only after a step
+//! patom   := 'eps' | STEP | '(' path ')' | '[' node ']'
+//! STEP    := IDENT '-'?                     -- a, a-  (a⁻ also accepted)
+//! ```
+//!
+//! Node expressions:
+//!
+//! ```text
+//! node    := nterm ('|' nterm)*             -- ϕ ∨ ψ
+//! nterm   := nfactor ('&' nfactor)*         -- ϕ ∧ ψ
+//! nfactor := '!' nfactor | '<' path '>' | '(' node ')'
+//! ```
+//!
+//! Example: `<a·[<b>]>` — "has an `a`-successor that has a `b`-edge".
+
+use crate::ast::{Axis, NodeExpr, PathExpr};
+use gde_datagraph::Alphabet;
+use std::fmt;
+
+/// A parse failure with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GxParseError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for GxParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gxpath parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for GxParseError {}
+
+/// Parse a path expression.
+pub fn parse_path_expr(input: &str, alphabet: &mut Alphabet) -> Result<PathExpr, GxParseError> {
+    let mut c = Cursor::new(input, alphabet);
+    let e = path(&mut c)?;
+    c.skip_ws();
+    if !c.at_end() {
+        return Err(c.err("trailing input"));
+    }
+    Ok(e)
+}
+
+/// Parse a node expression.
+pub fn parse_node_expr(input: &str, alphabet: &mut Alphabet) -> Result<NodeExpr, GxParseError> {
+    let mut c = Cursor::new(input, alphabet);
+    let e = node(&mut c)?;
+    c.skip_ws();
+    if !c.at_end() {
+        return Err(c.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &str, alphabet: &'a mut Alphabet) -> Cursor<'a> {
+        Cursor {
+            chars: input.char_indices().collect(),
+            pos: 0,
+            alphabet,
+        }
+    }
+
+    fn err(&self, msg: &str) -> GxParseError {
+        GxParseError {
+            pos: self
+                .chars
+                .get(self.pos)
+                .map_or_else(|| self.chars.last().map_or(0, |&(i, _)| i + 1), |&(i, _)| i),
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), GxParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{c}'")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace() || c == '·') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn path(c: &mut Cursor) -> Result<PathExpr, GxParseError> {
+    let mut terms = vec![pterm(c)?];
+    loop {
+        c.skip_ws();
+        if c.eat('|') || c.eat('∪') {
+            terms.push(pterm(c)?);
+        } else {
+            break;
+        }
+    }
+    Ok(if terms.len() == 1 {
+        terms.pop().unwrap()
+    } else {
+        PathExpr::Union(terms)
+    })
+}
+
+fn pterm(c: &mut Cursor) -> Result<PathExpr, GxParseError> {
+    let mut factors = Vec::new();
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            None | Some('|') | Some('∪') | Some(')') | Some('>') | Some('⟩') | Some(']') => break,
+            _ => factors.push(pfactor(c)?),
+        }
+    }
+    Ok(match factors.len() {
+        0 => PathExpr::Epsilon,
+        1 => factors.pop().unwrap(),
+        _ => PathExpr::Concat(factors),
+    })
+}
+
+fn pfactor(c: &mut Cursor) -> Result<PathExpr, GxParseError> {
+    let mut e = patom(c)?;
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            Some('*') => {
+                c.bump();
+                match e {
+                    PathExpr::Step(axis) => e = PathExpr::StepStar(axis),
+                    _ => {
+                        return Err(c.err(
+                            "core GXPath permits '*' only on single (possibly inverted) labels",
+                        ))
+                    }
+                }
+            }
+            Some('=') => {
+                c.bump();
+                e = PathExpr::Eq(Box::new(e));
+            }
+            Some('!') if c.peek2() == Some('=') => {
+                c.bump();
+                c.bump();
+                e = PathExpr::Neq(Box::new(e));
+            }
+            Some('≠') => {
+                c.bump();
+                e = PathExpr::Neq(Box::new(e));
+            }
+            _ => break,
+        }
+    }
+    Ok(e)
+}
+
+fn patom(c: &mut Cursor) -> Result<PathExpr, GxParseError> {
+    c.skip_ws();
+    match c.peek() {
+        Some('(') => {
+            c.bump();
+            let e = path(c)?;
+            c.skip_ws();
+            c.expect(')')?;
+            Ok(e)
+        }
+        Some('[') => {
+            c.bump();
+            let phi = node(c)?;
+            c.skip_ws();
+            c.expect(']')?;
+            Ok(PathExpr::Filter(Box::new(phi)))
+        }
+        Some('ε') => {
+            c.bump();
+            Ok(PathExpr::Epsilon)
+        }
+        Some(ch) if ch.is_alphabetic() || ch == '_' => {
+            let name = c.ident();
+            if name == "eps" {
+                return Ok(PathExpr::Epsilon);
+            }
+            let label = c.alphabet.intern(&name);
+            // optional inverse marker
+            if c.peek() == Some('-') || c.peek() == Some('⁻') {
+                c.bump();
+                Ok(PathExpr::Step(Axis::Backward(label)))
+            } else {
+                Ok(PathExpr::Step(Axis::Forward(label)))
+            }
+        }
+        Some(ch) if matches!(ch, '#' | '↔' | '←' | '→' | '$') => {
+            c.bump();
+            let label = c.alphabet.intern(&ch.to_string());
+            if c.peek() == Some('-') || c.peek() == Some('⁻') {
+                c.bump();
+                Ok(PathExpr::Step(Axis::Backward(label)))
+            } else {
+                Ok(PathExpr::Step(Axis::Forward(label)))
+            }
+        }
+        Some('\'') => {
+            c.bump();
+            let mut name = String::new();
+            loop {
+                match c.bump() {
+                    Some('\'') => break,
+                    Some(ch) => name.push(ch),
+                    None => return Err(c.err("unterminated quoted label")),
+                }
+            }
+            let label = c.alphabet.intern(&name);
+            if c.peek() == Some('-') || c.peek() == Some('⁻') {
+                c.bump();
+                Ok(PathExpr::Step(Axis::Backward(label)))
+            } else {
+                Ok(PathExpr::Step(Axis::Forward(label)))
+            }
+        }
+        Some(_) => Err(c.err("expected a path atom")),
+        None => Err(c.err("unexpected end of input")),
+    }
+}
+
+fn node(c: &mut Cursor) -> Result<NodeExpr, GxParseError> {
+    let mut e = nterm(c)?;
+    loop {
+        c.skip_ws();
+        if c.eat('|') || c.eat('∨') {
+            let rhs = nterm(c)?;
+            e = e.or(rhs);
+        } else {
+            break;
+        }
+    }
+    Ok(e)
+}
+
+fn nterm(c: &mut Cursor) -> Result<NodeExpr, GxParseError> {
+    let mut e = nfactor(c)?;
+    loop {
+        c.skip_ws();
+        if c.eat('&') || c.eat('∧') {
+            let rhs = nfactor(c)?;
+            e = e.and(rhs);
+        } else {
+            break;
+        }
+    }
+    Ok(e)
+}
+
+fn nfactor(c: &mut Cursor) -> Result<NodeExpr, GxParseError> {
+    c.skip_ws();
+    match c.peek() {
+        Some('!') | Some('¬') => {
+            c.bump();
+            Ok(nfactor(c)?.not())
+        }
+        Some('<') | Some('⟨') => {
+            c.bump();
+            let p = path(c)?;
+            c.skip_ws();
+            if !(c.eat('>') || c.eat('⟩')) {
+                return Err(c.err("expected '>'"));
+            }
+            Ok(NodeExpr::Exists(Box::new(p)))
+        }
+        Some('(') => {
+            c.bump();
+            let e = node(c)?;
+            c.skip_ws();
+            c.expect(')')?;
+            Ok(e)
+        }
+        Some(_) => Err(c.err("expected a node expression")),
+        None => Err(c.err("unexpected end of input")),
+    }
+}
+
+/// Print a path expression back in parseable syntax.
+pub fn display_path_expr(alpha: &PathExpr, al: &Alphabet) -> String {
+    let mut s = String::new();
+    fmt_path(alpha, al, 0, &mut s);
+    s
+}
+
+/// Print a node expression back in parseable syntax.
+pub fn display_node_expr(phi: &NodeExpr, al: &Alphabet) -> String {
+    let mut s = String::new();
+    fmt_node(phi, al, 0, &mut s);
+    s
+}
+
+fn fmt_label(name: &str, out: &mut String) {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '_'));
+    if plain {
+        out.push_str(name);
+    } else {
+        out.push('\'');
+        out.push_str(name);
+        out.push('\'');
+    }
+}
+
+fn fmt_path(alpha: &PathExpr, al: &Alphabet, prec: u8, out: &mut String) {
+    match alpha {
+        PathExpr::Epsilon => out.push_str("eps"),
+        PathExpr::Step(Axis::Forward(l)) => fmt_label(al.name(*l), out),
+        PathExpr::Step(Axis::Backward(l)) => {
+            fmt_label(al.name(*l), out);
+            out.push('-');
+        }
+        PathExpr::StepStar(axis) => {
+            fmt_path(&PathExpr::Step(*axis), al, 2, out);
+            out.push('*');
+        }
+        PathExpr::Concat(es) if es.len() == 1 => fmt_path(&es[0], al, prec, out),
+        PathExpr::Concat(es) => {
+            let wrap = prec > 1;
+            if wrap {
+                out.push('(');
+            }
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                fmt_path(e, al, 2, out);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        PathExpr::Union(es) if es.len() == 1 => fmt_path(&es[0], al, prec, out),
+        PathExpr::Union(es) => {
+            let wrap = prec > 0;
+            if wrap {
+                out.push('(');
+            }
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                fmt_path(e, al, 1, out);
+            }
+            if wrap {
+                out.push(')');
+            }
+        }
+        PathExpr::Eq(e) => {
+            fmt_path_postfix(e, al, out);
+            out.push('=');
+        }
+        PathExpr::Neq(e) => {
+            fmt_path_postfix(e, al, out);
+            out.push_str("!=");
+        }
+        PathExpr::Filter(phi) => {
+            out.push('[');
+            fmt_node(phi, al, 0, out);
+            out.push(']');
+        }
+    }
+}
+
+fn fmt_path_postfix(e: &PathExpr, al: &Alphabet, out: &mut String) {
+    match e {
+        PathExpr::Step(Axis::Forward(_)) | PathExpr::Epsilon | PathExpr::Filter(_) => {
+            fmt_path(e, al, 2, out)
+        }
+        PathExpr::Concat(es) | PathExpr::Union(es) if es.len() == 1 => {
+            fmt_path_postfix(&es[0], al, out)
+        }
+        // wrap everything else: a-= / a*= would misparse or misbind
+        _ => {
+            out.push('(');
+            fmt_path(e, al, 0, out);
+            out.push(')');
+        }
+    }
+}
+
+fn fmt_node(phi: &NodeExpr, al: &Alphabet, prec: u8, out: &mut String) {
+    match phi {
+        NodeExpr::Not(p) => {
+            out.push('!');
+            match **p {
+                NodeExpr::Exists(_) | NodeExpr::Not(_) => fmt_node(p, al, 2, out),
+                _ => {
+                    out.push('(');
+                    fmt_node(p, al, 0, out);
+                    out.push(')');
+                }
+            }
+        }
+        NodeExpr::And(a, b) => {
+            let wrap = prec > 1;
+            if wrap {
+                out.push('(');
+            }
+            fmt_node(a, al, 2, out);
+            out.push_str(" & ");
+            fmt_node(b, al, 2, out);
+            if wrap {
+                out.push(')');
+            }
+        }
+        NodeExpr::Or(a, b) => {
+            let wrap = prec > 0;
+            if wrap {
+                out.push('(');
+            }
+            fmt_node(a, al, 1, out);
+            out.push_str(" | ");
+            fmt_node(b, al, 1, out);
+            if wrap {
+                out.push(')');
+            }
+        }
+        NodeExpr::Exists(alpha) => {
+            out.push('<');
+            fmt_path(alpha, al, 0, out);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_node, eval_path};
+    use gde_datagraph::{DataGraph, NodeId, Value};
+
+    fn g() -> DataGraph {
+        let mut g = DataGraph::new();
+        for (i, v) in [1i64, 2, 1].iter().enumerate() {
+            g.add_node(NodeId(i as u32), Value::int(*v)).unwrap();
+        }
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+        g.add_edge_str(NodeId(1), "b", NodeId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn parse_steps_and_inverse() {
+        let mut g = g();
+        let e = parse_path_expr("a a-", g.alphabet_mut()).unwrap();
+        let r = eval_path(&e, &g);
+        // a then a backwards: 0→1→0, also 1→2→1
+        assert!(r.contains(0, 0));
+        assert!(r.contains(1, 1));
+        assert!(!r.contains(0, 2));
+    }
+
+    #[test]
+    fn parse_star_only_on_steps() {
+        let mut al = Alphabet::new();
+        assert!(parse_path_expr("a*", &mut al).is_ok());
+        assert!(parse_path_expr("a-*", &mut al).is_ok());
+        assert!(parse_path_expr("(a b)*", &mut al).is_err());
+        assert!(parse_path_expr("(a|b)*", &mut al).is_err());
+    }
+
+    #[test]
+    fn parse_data_tests() {
+        let mut g = g();
+        let e = parse_path_expr("(a a)=", g.alphabet_mut()).unwrap();
+        let r = eval_path(&e, &g);
+        assert!(r.contains(0, 2)); // values 1 = 1
+        let e = parse_path_expr("a!=", g.alphabet_mut()).unwrap();
+        let r = eval_path(&e, &g);
+        assert!(r.contains(0, 1));
+    }
+
+    #[test]
+    fn parse_node_expressions() {
+        let mut g = g();
+        // nodes with a b-successor
+        let phi = parse_node_expr("<b>", g.alphabet_mut()).unwrap();
+        assert_eq!(eval_node(&phi, &g), vec![NodeId(1)]);
+        // negation + conjunction: has a-successor and no b-successor
+        let phi = parse_node_expr("<a> & !<b>", g.alphabet_mut()).unwrap();
+        assert_eq!(eval_node(&phi, &g), vec![NodeId(0)]);
+        // filter inside a path
+        let e = parse_path_expr("a [<b>]", g.alphabet_mut()).unwrap();
+        let r = eval_path(&e, &g);
+        assert!(r.contains(0, 1));
+        assert!(!r.contains(1, 2));
+    }
+
+    #[test]
+    fn unicode_forms() {
+        let mut al = Alphabet::new();
+        assert!(parse_path_expr("a⁻*", &mut al).is_ok());
+        assert!(parse_node_expr("¬⟨a⟩ ∧ ⟨b⟩", &mut al).is_ok());
+        assert!(parse_node_expr("⟨a≠⟩", &mut al).is_ok());
+    }
+
+    #[test]
+    fn quoted_labels_with_inverse() {
+        let mut al = Alphabet::new();
+        let e = parse_path_expr("'@city' '@city'-", &mut al).unwrap();
+        match e {
+            PathExpr::Concat(parts) => {
+                assert!(matches!(parts[0], PathExpr::Step(Axis::Forward(_))));
+                assert!(matches!(parts[1], PathExpr::Step(Axis::Backward(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_path_expr("'broken", &mut al).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        let mut al = Alphabet::new();
+        assert!(parse_path_expr("(a", &mut al).is_err());
+        assert!(parse_node_expr("<a", &mut al).is_err());
+        assert!(parse_node_expr("a", &mut al).is_err());
+        assert!(parse_path_expr("a >", &mut al).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut al = Alphabet::new();
+        for src in [
+            "a b-",
+            "a* [<b>]",
+            "(a a)=",
+            "a- b-* | eps",
+            "(a | b)= c!=",
+            "[!<a> & (<b> | !<a->)]",
+        ] {
+            let e1 = parse_path_expr(src, &mut al).unwrap();
+            let printed = display_path_expr(&e1, &al);
+            let e2 = parse_path_expr(&printed, &mut al).unwrap();
+            assert_eq!(
+                display_path_expr(&e2, &al),
+                printed,
+                "path roundtrip {src} -> {printed}"
+            );
+        }
+        for src in ["<a>", "!<a> & <b>", "<a [<b>]> | !(<a> & <b>)"] {
+            let e1 = parse_node_expr(src, &mut al).unwrap();
+            let printed = display_node_expr(&e1, &al);
+            let e2 = parse_node_expr(&printed, &mut al).unwrap();
+            assert_eq!(
+                display_node_expr(&e2, &al),
+                printed,
+                "node roundtrip {src} -> {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_paths() {
+        let mut g = g();
+        let e = parse_path_expr("eps=", g.alphabet_mut()).unwrap();
+        let r = eval_path(&e, &g);
+        assert_eq!(r.len(), 3); // diagonal, all values equal themselves
+    }
+}

@@ -1,0 +1,339 @@
+//! *Regular* GXPath with data tests — the full language that §9's core
+//! fragment deliberately excludes, provided as an extension.
+//!
+//! Core GXPath (the [`crate::ast`] module) restricts transitive closure to
+//! single labels and has no path negation, no path intersection and no
+//! constant tests; the paper proves its query-answering problem undecidable
+//! *already* for that fragment, and cites \[26\] for static-analysis
+//! undecidability of the regular language. This module implements the
+//! regular language in full:
+//!
+//! ```text
+//! α, β := ε | a | a⁻ | α* | α·β | α∪β | α∩β | ¬α | α= | α≠ | α=c | [ϕ]
+//! ϕ, ψ := ¬ϕ | ϕ∧ψ | ϕ∨ψ | ⟨α⟩
+//! ```
+//!
+//! Evaluation stays PTime over a fixed graph (complement and intersection
+//! are bit-matrix operations), so the extension is free at query time —
+//! the price is paid in static analysis and query answering under
+//! mappings, which is exactly the paper's point.
+
+use crate::ast::Axis;
+use gde_datagraph::{DataGraph, NodeId, Relation, Value};
+
+/// A regular GXPath path expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RPath {
+    /// `ε`.
+    Epsilon,
+    /// One step `a` / `a⁻`.
+    Step(Axis),
+    /// Composition (n-ary).
+    Concat(Vec<RPath>),
+    /// Union (n-ary).
+    Union(Vec<RPath>),
+    /// Reflexive-transitive closure of an **arbitrary** path expression.
+    Star(Box<RPath>),
+    /// Path complement `¬α` (relative to `V × V`).
+    Not(Box<RPath>),
+    /// Path intersection `α ∩ β`.
+    And(Box<RPath>, Box<RPath>),
+    /// Endpoint equality test.
+    Eq(Box<RPath>),
+    /// Endpoint inequality test.
+    Neq(Box<RPath>),
+    /// Constant test `α=c`: pairs whose *target* carries the constant.
+    EndValue(Box<RPath>, Value),
+    /// Node filter.
+    Filter(Box<RNode>),
+}
+
+/// A regular GXPath node expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RNode {
+    /// Negation.
+    Not(Box<RNode>),
+    /// Conjunction.
+    And(Box<RNode>, Box<RNode>),
+    /// Disjunction.
+    Or(Box<RNode>, Box<RNode>),
+    /// Projection `⟨α⟩`.
+    Exists(Box<RPath>),
+    /// Constant value test on the node itself.
+    ValueIs(Value),
+}
+
+impl RPath {
+    /// Lift a core path expression.
+    pub fn from_core(p: &crate::ast::PathExpr) -> RPath {
+        use crate::ast::PathExpr as P;
+        match p {
+            P::Epsilon => RPath::Epsilon,
+            P::Step(a) => RPath::Step(*a),
+            P::StepStar(a) => RPath::Star(Box::new(RPath::Step(*a))),
+            P::Concat(es) => RPath::Concat(es.iter().map(RPath::from_core).collect()),
+            P::Union(es) => RPath::Union(es.iter().map(RPath::from_core).collect()),
+            P::Eq(e) => RPath::Eq(Box::new(RPath::from_core(e))),
+            P::Neq(e) => RPath::Neq(Box::new(RPath::from_core(e))),
+            P::Filter(phi) => RPath::Filter(Box::new(RNode::from_core(phi))),
+        }
+    }
+
+    /// `¬α` builder.
+    pub fn not(self) -> RPath {
+        RPath::Not(Box::new(self))
+    }
+
+    /// `α*` builder.
+    pub fn star(self) -> RPath {
+        RPath::Star(Box::new(self))
+    }
+
+    /// `α ∩ β` builder.
+    pub fn and(self, other: RPath) -> RPath {
+        RPath::And(Box::new(self), Box::new(other))
+    }
+}
+
+impl RNode {
+    /// Lift a core node expression.
+    pub fn from_core(p: &crate::ast::NodeExpr) -> RNode {
+        use crate::ast::NodeExpr as N;
+        match p {
+            N::Not(e) => RNode::Not(Box::new(RNode::from_core(e))),
+            N::And(a, b) => RNode::And(Box::new(RNode::from_core(a)), Box::new(RNode::from_core(b))),
+            N::Or(a, b) => RNode::Or(Box::new(RNode::from_core(a)), Box::new(RNode::from_core(b))),
+            N::Exists(a) => RNode::Exists(Box::new(RPath::from_core(a))),
+        }
+    }
+}
+
+/// Evaluate a regular path expression.
+pub fn eval_rpath(alpha: &RPath, g: &DataGraph) -> Relation {
+    let n = g.n();
+    match alpha {
+        RPath::Epsilon => Relation::identity(n),
+        RPath::Step(axis) => {
+            let mut r = Relation::empty(n);
+            let label = axis.label();
+            for u in 0..n as u32 {
+                for &(el, v) in g.out_at(u) {
+                    if el == label {
+                        match axis {
+                            Axis::Forward(_) => r.insert(u as usize, v as usize),
+                            Axis::Backward(_) => r.insert(v as usize, u as usize),
+                        }
+                    }
+                }
+            }
+            r
+        }
+        RPath::Concat(parts) => {
+            let mut acc = Relation::identity(n);
+            for p in parts {
+                acc = acc.compose(&eval_rpath(p, g));
+            }
+            acc
+        }
+        RPath::Union(parts) => {
+            let mut acc = Relation::empty(n);
+            for p in parts {
+                acc.union_with(&eval_rpath(p, g));
+            }
+            acc
+        }
+        RPath::Star(p) => eval_rpath(p, g).reflexive_transitive_closure(),
+        RPath::Not(p) => {
+            let r = eval_rpath(p, g);
+            Relation::full(n).filter(|i, j| !r.contains(i, j))
+        }
+        RPath::And(a, b) => {
+            let mut r = eval_rpath(a, g);
+            r.intersect_with(&eval_rpath(b, g));
+            r
+        }
+        RPath::Eq(p) => {
+            eval_rpath(p, g).filter(|i, j| g.value_at(i as u32).sql_eq(g.value_at(j as u32)))
+        }
+        RPath::Neq(p) => {
+            eval_rpath(p, g).filter(|i, j| g.value_at(i as u32).sql_ne(g.value_at(j as u32)))
+        }
+        RPath::EndValue(p, c) => eval_rpath(p, g).filter(|_, j| g.value_at(j as u32).sql_eq(c)),
+        RPath::Filter(phi) => {
+            let mask = eval_rnode_mask(phi, g);
+            let mut r = Relation::empty(n);
+            for (i, &b) in mask.iter().enumerate() {
+                if b {
+                    r.insert(i, i);
+                }
+            }
+            r
+        }
+    }
+}
+
+/// Evaluate a regular node expression to sorted node ids.
+pub fn eval_rnode(phi: &RNode, g: &DataGraph) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = eval_rnode_mask(phi, g)
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| g.id_at(i as u32))
+        .collect();
+    out.sort();
+    out
+}
+
+fn eval_rnode_mask(phi: &RNode, g: &DataGraph) -> Vec<bool> {
+    match phi {
+        RNode::Not(p) => {
+            let mut m = eval_rnode_mask(p, g);
+            for b in m.iter_mut() {
+                *b = !*b;
+            }
+            m
+        }
+        RNode::And(a, b) => {
+            let mut m = eval_rnode_mask(a, g);
+            for (x, y) in m.iter_mut().zip(eval_rnode_mask(b, g)) {
+                *x = *x && y;
+            }
+            m
+        }
+        RNode::Or(a, b) => {
+            let mut m = eval_rnode_mask(a, g);
+            for (x, y) in m.iter_mut().zip(eval_rnode_mask(b, g)) {
+                *x = *x || y;
+            }
+            m
+        }
+        RNode::Exists(alpha) => {
+            let r = eval_rpath(alpha, g);
+            let mut m = vec![false; g.n()];
+            for i in r.domain() {
+                m[i] = true;
+            }
+            m
+        }
+        RNode::ValueIs(c) => (0..g.n() as u32)
+            .map(|i| g.value_at(i).sql_eq(c))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis;
+    use crate::parser::parse_path_expr;
+
+    /// 0(v1) -a-> 1(v2) -a-> 2(v1) -b-> 0
+    fn g() -> DataGraph {
+        let mut g = DataGraph::new();
+        for (i, v) in [1i64, 2, 1].iter().enumerate() {
+            g.add_node(NodeId(i as u32), Value::int(*v)).unwrap();
+        }
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+        g.add_edge_str(NodeId(2), "b", NodeId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn core_lift_agrees_with_core_eval() {
+        let mut g = g();
+        for src in ["a a", "a* [<b>]", "(a a)=", "a- b-"] {
+            let core = parse_path_expr(src, g.alphabet_mut()).unwrap();
+            let lifted = RPath::from_core(&core);
+            assert_eq!(
+                crate::eval::eval_path(&core, &g),
+                eval_rpath(&lifted, &g),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_complement() {
+        let g = g();
+        let a = g.alphabet().label("a").unwrap();
+        let not_a = RPath::Step(Axis::Forward(a)).not();
+        let r = eval_rpath(&not_a, &g);
+        assert_eq!(r.len(), 9 - 2); // all pairs minus the two a-edges
+        assert!(!r.contains(0, 1));
+        assert!(r.contains(1, 0));
+    }
+
+    #[test]
+    fn star_of_composite_paths() {
+        let g = g();
+        let a = g.alphabet().label("a").unwrap();
+        let b = g.alphabet().label("b").unwrap();
+        // (a a b)*: 0→0 closed loop
+        let loop_expr = RPath::Concat(vec![
+            RPath::Step(Axis::Forward(a)),
+            RPath::Step(Axis::Forward(a)),
+            RPath::Step(Axis::Forward(b)),
+        ])
+        .star();
+        let r = eval_rpath(&loop_expr, &g);
+        assert!(r.contains(0, 0)); // also via the loop
+        assert!(!r.contains(0, 1)); // star of the 3-step loop only
+        // core GXPath cannot even write this (its parser rejects `(a a b)*`)
+        let mut g2 = g.clone();
+        assert!(parse_path_expr("(a a b)*", g2.alphabet_mut()).is_err());
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let g = g();
+        let a = g.alphabet().label("a").unwrap();
+        // pairs connected by a AND carrying different values = a≠
+        let conj = RPath::Step(Axis::Forward(a)).and(RPath::Neq(Box::new(RPath::Not(Box::new(
+            RPath::Union(vec![]), // ¬∅ = full relation
+        )))));
+        let direct = RPath::Neq(Box::new(RPath::Step(Axis::Forward(a))));
+        assert_eq!(eval_rpath(&conj, &g), eval_rpath(&direct, &g));
+    }
+
+    #[test]
+    fn constant_tests() {
+        let g = g();
+        let a = g.alphabet().label("a").unwrap();
+        // a-steps landing on value 1
+        let e = RPath::EndValue(Box::new(RPath::Step(Axis::Forward(a))), Value::int(1));
+        let r = eval_rpath(&e, &g);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(1, 2));
+        // node expression: nodes with value 2
+        let phi = RNode::ValueIs(Value::int(2));
+        assert_eq!(eval_rnode(&phi, &g), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn regular_expresses_universality_checks() {
+        let g = g();
+        let a = g.alphabet().label("a").unwrap();
+        // "every node reaches node-with-value-1 by a*": ¬⟨¬(a* =1)⟩ style —
+        // here: nodes NOT having an a*-path to a value-1 node
+        let reach_v1 = RPath::EndValue(
+            Box::new(RPath::Step(Axis::Forward(a)).star()),
+            Value::int(1),
+        );
+        let cannot = RNode::Not(Box::new(RNode::Exists(Box::new(reach_v1))));
+        assert_eq!(eval_rnode(&cannot, &g), vec![]); // everyone reaches one
+    }
+
+    #[test]
+    fn filters_lift() {
+        let g = g();
+        let core = {
+            let mut g2 = g.clone();
+            parse_path_expr("a [<a>]", g2.alphabet_mut()).unwrap()
+        };
+        let lifted = RPath::from_core(&core);
+        let r = eval_rpath(&lifted, &g);
+        assert!(r.contains(0, 1)); // 1 has an a-successor
+        assert!(!r.contains(1, 2)); // 2 has none
+    }
+}

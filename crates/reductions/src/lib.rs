@@ -1,0 +1,28 @@
+//! # gde-reductions
+//!
+//! Executable versions of the hardness gadgets in *Schema Mappings for Data
+//! Graphs* (PODS'17). The paper proves three lower bounds by reduction;
+//! this crate builds each reduction concretely so that it can be run,
+//! validated and benchmarked:
+//!
+//! * [`pcp`] — Post Correspondence Problem instances and a bounded solver
+//!   (the source of undecidability in Theorems 1 and 6);
+//! * [`thm1`] — the Theorem 1 gadget: a LAV/GAV relational/reachability
+//!   mapping and equality-RPQ error queries such that a PCP instance is
+//!   solvable iff some solution to the mapping defeats every error query;
+//! * [`threecol`] — the Proposition 3 gadget: a LAV relational mapping and
+//!   a union of two paths-with-tests (one `=`, three `≠` — matching the
+//!   paper's "three inequalities") whose Boolean certain answer decides
+//!   non-3-colourability;
+//! * [`gxpath_gadget`] — the §9 machinery: the non-repeating PCP tree
+//!   encoding of Lemma 2 and the `ϕ_G ∧ ϕ_δ ∧ ¬ϕ` construction of
+//!   Theorem 7 that pins a concrete graph inside any satisfying model.
+
+pub mod gxpath_gadget;
+pub mod pcp;
+pub mod thm1;
+pub mod threecol;
+
+pub use pcp::PcpInstance;
+pub use thm1::Thm1Gadget;
+pub use threecol::ThreeColGadget;

@@ -1,0 +1,351 @@
+//! The Theorem 1 gadget: undecidability of equality-RPQ answering under
+//! LAV/GAV relational/reachability mappings, executable.
+//!
+//! The paper reduces from PCP. Given an instance `{(uᵣ, vᵣ)}`, it builds a
+//! source graph `G_s` spelling out the tiles between `start` and `end`, and
+//! the fixed mapping
+//!
+//! ```text
+//! M = {(ℓ, ℓ) | ℓ ∈ {a, b, t, i, s, ↔}}  ∪  {(#, Σ_t*)}
+//! ```
+//!
+//! — every rule LAV *and* GAV except the single reachability rule. A
+//! solution must copy the tile spelling and connect the two endpoints of
+//! the `#`-edge by *some* path; the error query `Q` is designed so that a
+//! solution defeating `Q` exists iff the PCP instance is solvable, making
+//! `(start, end) ∈ 2_M(Q, G_s)` undecidable.
+//!
+//! The paper sketches `Q` as a disjunction of (i) a navigational
+//! shape-check (the complement of a regular expression) and (ii) REE
+//! data-consistency checks. Our executable reconstruction (documented in
+//! DESIGN.md §4) uses the following inserted-path encoding for a solution
+//! `r₁…r_m` with matched word `w = u_{r₁}…u_{r_m} = v_{r₁}…v_{r_m}`:
+//!
+//! ```text
+//! y  t u_{r₁} m v_{r₁} m̄  t u_{r₂} m v_{r₂} m̄ … v  w  → end
+//! ```
+//!
+//! where the node reached after spelling position `i` of the `u`-side, of
+//! the `v`-side, and of the verification word `w` all carry the *same* data
+//! value `Xᵢ` (fresh per position). The error query is then:
+//!
+//! * **shape**: some `start→end` path label is outside the well-formed
+//!   language `i (t W ↔ W)⁺ s (t W m W m̄)⁺ v W` with `W = (a|b)⁺`
+//!   (checked via [`Nfa::exists_rejected_path`], i.e. the complement RPQ);
+//! * **letter mismatch**: `Σ* p (Σ* q)= Σ*` for `p ≠ q ∈ {a, b}` — two
+//!   positions carrying the same data value were entered by different
+//!   letters, i.e. the `u`-side, `v`-side and verification word disagree.
+
+use gde_automata::{parse_regex, Nfa, Regex};
+use gde_core::Gsm;
+use gde_datagraph::{Alphabet, DataGraph, Label, NodeId, Value};
+use gde_dataquery::Ree;
+
+use crate::pcp::PcpInstance;
+
+/// The labels copied verbatim by the mapping.
+const COPY_LABELS: [&str; 6] = ["a", "b", "t", "i", "s", "↔"];
+/// The full gadget alphabet.
+const ALL_LABELS: [&str; 11] = ["a", "b", "i", "t", "m", "mbar", "id", "s", "v", "↔", "#"];
+
+/// The executable Theorem 1 reduction for one PCP instance.
+#[derive(Clone, Debug)]
+pub struct Thm1Gadget {
+    /// The PCP instance being encoded.
+    pub instance: PcpInstance,
+    /// The shared source/target alphabet.
+    pub alphabet: Alphabet,
+    /// The fixed LAV/GAV relational/reachability mapping.
+    pub gsm: Gsm,
+    /// The source graph spelling the instance.
+    pub source: DataGraph,
+    /// The distinguished pair the certain-answer question asks about.
+    pub start: NodeId,
+    /// See [`Thm1Gadget::start`].
+    pub end: NodeId,
+    /// Source node of the `#`-edge (target of the `s`-edge).
+    pub hash_source: NodeId,
+    shape: Regex,
+}
+
+impl Thm1Gadget {
+    /// Build the gadget for a PCP instance.
+    pub fn build(instance: PcpInstance) -> Thm1Gadget {
+        let mut alphabet = Alphabet::from_labels(ALL_LABELS);
+
+        // --- source graph ---
+        let mut g = DataGraph::with_alphabet(alphabet.clone());
+        let mut counter: i64 = 0;
+        let mut fresh_val = || {
+            counter += 1;
+            Value::int(counter)
+        };
+        let start = NodeId(0);
+        g.add_node(start, fresh_val()).unwrap();
+        let mut cur = start;
+        let step = |g: &mut DataGraph, cur: &mut NodeId, label: &str, val: Value| {
+            let next = g.fresh_node(val);
+            g.add_edge_str(*cur, label, next).unwrap();
+            *cur = next;
+        };
+        step(&mut g, &mut cur, "i", fresh_val());
+        for (u, v) in instance.tiles() {
+            step(&mut g, &mut cur, "t", fresh_val());
+            for ch in u.chars() {
+                step(&mut g, &mut cur, &ch.to_string(), fresh_val());
+            }
+            step(&mut g, &mut cur, "↔", fresh_val());
+            for ch in v.chars() {
+                step(&mut g, &mut cur, &ch.to_string(), fresh_val());
+            }
+        }
+        step(&mut g, &mut cur, "s", fresh_val());
+        let hash_source = cur;
+        step(&mut g, &mut cur, "#", fresh_val());
+        let end = cur;
+
+        // --- mapping ---
+        let mut gsm = Gsm::new(alphabet.clone(), alphabet.clone());
+        for l in COPY_LABELS {
+            let lab = alphabet.label(l).unwrap();
+            gsm.add_rule(Regex::Atom(lab), Regex::Atom(lab));
+        }
+        let hash = alphabet.label("#").unwrap();
+        gsm.add_rule(Regex::Atom(hash), Regex::reachability(&alphabet));
+
+        // --- well-formed whole-path shape ---
+        let shape = parse_regex(
+            "i (t (a|b)+ ↔ (a|b)+)+ s (t (a|b)+ m (a|b)+ mbar)+ v (a|b)+ id",
+            &mut alphabet,
+        )
+        .expect("fixed shape regex");
+
+        Thm1Gadget {
+            instance,
+            alphabet,
+            gsm,
+            source: g,
+            start,
+            end,
+            hash_source,
+            shape,
+        }
+    }
+
+    /// The copy part of any minimal solution: all source nodes, plus every
+    /// edge whose label the mapping copies.
+    pub fn copy_base(&self) -> DataGraph {
+        let mut gt = DataGraph::with_alphabet(self.alphabet.clone());
+        gt.reserve_ids(self.source.fresh_id_watermark());
+        for (id, v) in self.source.nodes() {
+            gt.add_node(id, v.clone()).unwrap();
+        }
+        for (u, l, v) in self.source.edges() {
+            let name = self.source.alphabet().name(l);
+            if COPY_LABELS.contains(&name) {
+                gt.add_edge_str(u, name, v).unwrap();
+            }
+        }
+        gt
+    }
+
+    /// The "lazy" candidate solution: satisfy the reachability rule by a
+    /// single junk edge. It IS a solution of the mapping — only the error
+    /// query unmasks it.
+    pub fn lazy_target(&self) -> DataGraph {
+        let mut gt = self.copy_base();
+        gt.add_edge_str(self.hash_source, "id", self.end).unwrap();
+        gt
+    }
+
+    /// Build the solution target encoding a purported PCP solution; `None`
+    /// if the sequence is not a solution of the instance.
+    pub fn solution_target(&self, seq: &[usize]) -> Option<DataGraph> {
+        let word = self.instance.solution_word(seq)?;
+        let mut gt = self.copy_base();
+        // per-position linking values X₁..X_|w|
+        let xval = |i: usize| Value::int(1_000_000 + i as i64);
+        let mut sepcount = 0i64;
+        let mut sep = || {
+            sepcount += 1;
+            Value::int(2_000_000 + sepcount)
+        };
+        let mut cur = self.hash_source;
+        let step = |gt: &mut DataGraph, cur: &mut NodeId, label: &str, val: Value| {
+            let next = gt.fresh_node(val);
+            gt.add_edge_str(*cur, label, next).unwrap();
+            *cur = next;
+        };
+        let (mut pu, mut pv) = (0usize, 0usize);
+        for &r in seq {
+            let (u, v) = &self.instance.tiles()[r];
+            step(&mut gt, &mut cur, "t", sep());
+            for ch in u.chars() {
+                pu += 1;
+                step(&mut gt, &mut cur, &ch.to_string(), xval(pu));
+            }
+            step(&mut gt, &mut cur, "m", sep());
+            for ch in v.chars() {
+                pv += 1;
+                step(&mut gt, &mut cur, &ch.to_string(), xval(pv));
+            }
+            step(&mut gt, &mut cur, "mbar", sep());
+        }
+        step(&mut gt, &mut cur, "v", sep());
+        // verification section: spell w through X-valued nodes, then a final
+        // id-edge into `end` (whose own value is a fixed source value)
+        for (i, ch) in word.chars().enumerate() {
+            step(&mut gt, &mut cur, &ch.to_string(), xval(i + 1));
+        }
+        let _ = (pu, pv); // positions fully consumed: |u-concat| = |v-concat| = |w|
+        gt.add_edge_str(cur, "id", self.end).unwrap();
+        Some(gt)
+    }
+
+    /// The REE letter-mismatch error queries
+    /// `Σ* p (Σ* q)= Σ*` for `p ≠ q ∈ {a,b}`.
+    pub fn data_error_queries(&self) -> Vec<Ree> {
+        let labels: Vec<Label> = self.alphabet.labels().collect();
+        let sig_star = || Ree::sigma_star(labels.iter().copied());
+        let a = self.alphabet.label("a").unwrap();
+        let b = self.alphabet.label("b").unwrap();
+        let mk = |p: Label, q: Label| {
+            Ree::concat([
+                sig_star(),
+                Ree::Atom(p),
+                Ree::concat([sig_star(), Ree::Atom(q)]).eq(),
+                sig_star(),
+            ])
+        };
+        vec![mk(a, b), mk(b, a)]
+    }
+
+    /// Does the full error query `Q` fire on `(start, end)` in this target?
+    /// `Q` = shape complement ∨ letter-mismatch REEs.
+    pub fn error_fires(&self, gt: &DataGraph) -> bool {
+        // navigational disjunct: a start→end path outside the shape language
+        let nfa = Nfa::from_regex(&self.shape);
+        if nfa.exists_rejected_path(gt, self.start, self.end) {
+            return true;
+        }
+        // data disjuncts
+        let (Some(s), Some(e)) = (gt.idx(self.start), gt.idx(self.end)) else {
+            return true;
+        };
+        self.data_error_queries()
+            .iter()
+            .any(|q| q.eval(gt).contains(s as usize, e as usize))
+    }
+
+    /// End-to-end check of the positive direction of Theorem 1: the given
+    /// PCP solution yields a mapping solution on which the error query is
+    /// silent, witnessing `(start, end) ∉ 2_M(Q, G_s)`.
+    pub fn witnesses_not_certain(&self, seq: &[usize]) -> bool {
+        match self.solution_target(seq) {
+            Some(gt) => self.gsm.is_solution(&self.source, &gt) && !self.error_fires(&gt),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solvable() -> (Thm1Gadget, Vec<usize>) {
+        let inst = PcpInstance::new(&[("a", "ab"), ("ba", "a")]);
+        let sol = inst.solve_bounded(10).unwrap();
+        (Thm1Gadget::build(inst), sol)
+    }
+
+    #[test]
+    fn mapping_is_lav_gav_relational_reachability() {
+        let (g, _) = solvable();
+        let c = g.gsm.classify();
+        assert!(c.lav);
+        assert!(!c.relational); // the Σ* rule
+        assert!(c.relational_reachability);
+        // every rule except the last is GAV too
+        let n = g.gsm.rules().len();
+        assert!(g.gsm.rules()[..n - 1]
+            .iter()
+            .all(|r| r.target.as_atom().is_some()));
+    }
+
+    #[test]
+    fn source_graph_shape() {
+        let (g, _) = solvable();
+        // start -i-> …tiles… -s-> y -#-> end, all values distinct
+        let vals: Vec<_> = g.source.nodes().map(|(_, v)| v.clone()).collect();
+        let mut dedup = vals.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(vals.len(), dedup.len(), "source values pairwise distinct");
+        // tile (a,ab) + tile (ba,a): i + (t,1+↔+2) + (t,2+↔+1) + s + # edges
+        assert_eq!(g.source.edge_count(), 1 + (1 + 1 + 1 + 2) + (1 + 2 + 1 + 1) + 2);
+    }
+
+    #[test]
+    fn solution_target_is_a_solution_and_defeats_q() {
+        let (g, sol) = solvable();
+        assert!(g.witnesses_not_certain(&sol));
+    }
+
+    #[test]
+    fn lazy_target_is_a_solution_but_q_fires() {
+        let (g, _) = solvable();
+        let lazy = g.lazy_target();
+        assert!(g.gsm.is_solution(&g.source, &lazy));
+        assert!(g.error_fires(&lazy), "shape complement must catch the junk edge");
+    }
+
+    #[test]
+    fn non_solutions_rejected_by_target_builder() {
+        let (g, _) = solvable();
+        assert!(g.solution_target(&[0]).is_none());
+        assert!(g.solution_target(&[]).is_none());
+    }
+
+    #[test]
+    fn letter_mutation_trips_data_queries() {
+        let (g, sol) = solvable();
+        let gt = g.solution_target(&sol).unwrap();
+        // flip one verification-section letter: find an a-edge entering a
+        // node with an X value (≥ 1_000_000) and relabel it b.
+        let a = g.alphabet.label("a").unwrap();
+        let mut mutated = DataGraph::with_alphabet(g.alphabet.clone());
+        mutated.reserve_ids(gt.fresh_id_watermark());
+        for (id, v) in gt.nodes() {
+            mutated.add_node(id, v.clone()).unwrap();
+        }
+        let mut flipped = false;
+        for (u, l, v) in gt.edges() {
+            let is_linked = matches!(gt.value(v), Some(Value::Int(i)) if *i >= 1_000_000 && *i < 2_000_000);
+            if !flipped && l == a && is_linked && !g.source.has_node(v) {
+                mutated.add_edge_str(u, "b", v).unwrap();
+                flipped = true;
+            } else {
+                mutated
+                    .add_edge_str(u, gt.alphabet().name(l), v)
+                    .unwrap();
+            }
+        }
+        assert!(flipped, "found a letter to flip");
+        // the mutated graph may or may not remain a solution, but the error
+        // query must now fire: some X value is entered by both a and b.
+        assert!(g.error_fires(&mutated));
+    }
+
+    #[test]
+    fn unsolvable_instance_bounded_refutation() {
+        // strictly lengthening tiles: unsolvable; every candidate sequence
+        // up to the bound fails, so no witness target can be built at all.
+        let inst = PcpInstance::new(&[("aa", "a"), ("ab", "b")]);
+        assert_eq!(inst.solve_bounded(8), None);
+        let g = Thm1Gadget::build(inst);
+        // spot-check some explicit candidate sequences
+        for seq in [vec![0], vec![1], vec![0, 1], vec![1, 0], vec![0, 0, 1]] {
+            assert!(!g.witnesses_not_certain(&seq));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The Proposition 3 gadget: coNP-hardness of certain answers for data
+//! path queries under LAV relational mappings, by reduction from
+//! 3-colourability.
+//!
+//! The paper states the result (a data path query with three inequalities)
+//! without the construction; this is our concrete reduction, validated
+//! against brute-force colouring in the experiment suite.
+//!
+//! **Encoding.** For a graph `H = (V, E)`:
+//!
+//! * source: one node `n_u` (distinct value) per vertex with an `a`-self-loop
+//!   and a `g`-edge to the palette head; an `e`-edge per `H`-edge; a palette
+//!   path `p₁ -p→ p₂ -p→ p₃` whose nodes carry the three colour values;
+//! * mapping (LAV, relational): `(a, c·cb)`, `(e, e)`, `(g, g)`, `(p, p)`.
+//!   The `a`-rule forces every solution to give each vertex a *colour node*
+//!   `n_u -c→ m_u -cb→ n_u` whose value the solution chooses freely;
+//! * Boolean query `Q = Q₁ ∪ Q₂` (each disjunct a path with tests):
+//!   - `Q₁ = (cb · e · c)=` — two adjacent vertices have equal colours
+//!     (one equality);
+//!   - `Q₂ = (((cb·g)≠ p)≠ p)≠` — some colour value differs from all three
+//!     palette values (exactly **three inequalities**, as in the paper).
+//!
+//! Then `Q` holds in *every* solution iff `H` is **not** 3-colourable: if no
+//! proper colouring exists, any solution either uses a non-palette colour
+//! (`Q₂`) or repeats a colour across an edge (`Q₁`); conversely a proper
+//! colouring yields a solution where neither fires.
+
+use gde_automata::{parse_regex, Regex};
+use gde_core::Gsm;
+use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
+use gde_dataquery::{DataQuery, PathTest, Ree};
+
+/// The executable Proposition 3 reduction for one graph `H`.
+#[derive(Clone, Debug)]
+pub struct ThreeColGadget {
+    /// Number of vertices of `H`.
+    pub n_vertices: u32,
+    /// Edges of `H`.
+    pub edges: Vec<(u32, u32)>,
+    /// The LAV relational mapping.
+    pub gsm: Gsm,
+    /// The source graph encoding `H` plus the palette.
+    pub source: DataGraph,
+    /// The Boolean error query `Q₁ ∪ Q₂`.
+    pub query: DataQuery,
+}
+
+impl ThreeColGadget {
+    /// Ids: vertex `u` ↦ `NodeId(u)`; palette ↦ `n, n+1, n+2`.
+    pub fn vertex(&self, u: u32) -> NodeId {
+        NodeId(u)
+    }
+
+    /// Build the gadget.
+    pub fn build(n_vertices: u32, edges: &[(u32, u32)]) -> ThreeColGadget {
+        assert!(n_vertices > 0, "graph must have vertices");
+        for &(u, v) in edges {
+            assert!(u < n_vertices && v < n_vertices, "edge endpoint in range");
+        }
+        let mut source_alpha = Alphabet::from_labels(["a", "e", "g", "p"]);
+        let mut target_alpha = Alphabet::from_labels(["c", "cb", "e", "g", "p"]);
+
+        // source graph
+        let mut g = DataGraph::with_alphabet(source_alpha.clone());
+        for u in 0..n_vertices {
+            g.add_node(NodeId(u), Value::int(u as i64)).unwrap();
+        }
+        let palette: Vec<NodeId> = (0..3).map(|k| NodeId(n_vertices + k)).collect();
+        for (k, &pid) in palette.iter().enumerate() {
+            g.add_node(pid, Value::str(format!("colour{}", k + 1)))
+                .unwrap();
+        }
+        for u in 0..n_vertices {
+            g.add_edge_str(NodeId(u), "a", NodeId(u)).unwrap();
+            g.add_edge_str(NodeId(u), "g", palette[0]).unwrap();
+        }
+        g.add_edge_str(palette[0], "p", palette[1]).unwrap();
+        g.add_edge_str(palette[1], "p", palette[2]).unwrap();
+        for &(u, v) in edges {
+            g.add_edge_str(NodeId(u), "e", NodeId(v)).unwrap();
+        }
+
+        // mapping
+        let mut gsm = Gsm::new(source_alpha.clone(), target_alpha.clone());
+        gsm.add_rule(
+            parse_regex("a", &mut source_alpha).unwrap(),
+            parse_regex("c cb", &mut target_alpha).unwrap(),
+        );
+        for l in ["e", "g", "p"] {
+            gsm.add_rule(
+                Regex::Atom(source_alpha.label(l).unwrap()),
+                Regex::Atom(target_alpha.label(l).unwrap()),
+            );
+        }
+
+        // query Q₁ ∪ Q₂ (each disjunct is a path with tests)
+        let c = target_alpha.label("c").unwrap();
+        let cb = target_alpha.label("cb").unwrap();
+        let e = target_alpha.label("e").unwrap();
+        let gg = target_alpha.label("g").unwrap();
+        let p = target_alpha.label("p").unwrap();
+        let q1 = PathTest::word(&[cb, e, c]).eq();
+        let q2 = PathTest::concat([
+            PathTest::concat([
+                PathTest::concat([PathTest::Atom(cb), PathTest::Atom(gg)]).neq(),
+                PathTest::Atom(p),
+            ])
+            .neq(),
+            PathTest::Atom(p),
+        ])
+        .neq();
+        assert_eq!(q1.inequality_count() + q2.inequality_count(), 3);
+        let query = DataQuery::Ree(Ree::union([q1.to_ree(), q2.to_ree()]));
+
+        ThreeColGadget {
+            n_vertices,
+            edges: edges.to_vec(),
+            gsm,
+            source: g,
+            query,
+        }
+    }
+
+    /// The canonical "good" solution for a purported colouring
+    /// (`colours[u] ∈ {0,1,2}`): colour nodes carry palette values.
+    pub fn coloured_target(&self, colours: &[u8]) -> DataGraph {
+        assert_eq!(colours.len(), self.n_vertices as usize);
+        let mut gt = DataGraph::with_alphabet(self.gsm.target_alphabet().clone());
+        gt.reserve_ids(self.source.fresh_id_watermark());
+        for (id, v) in self.source.nodes() {
+            gt.add_node(id, v.clone()).unwrap();
+        }
+        for (u, l, v) in self.source.edges() {
+            let name = self.source.alphabet().name(l);
+            if name != "a" {
+                gt.add_edge_str(u, name, v).unwrap();
+            }
+        }
+        for u in 0..self.n_vertices {
+            let m = gt.fresh_node(Value::str(format!("colour{}", colours[u as usize] + 1)));
+            gt.add_edge_str(NodeId(u), "c", m).unwrap();
+            gt.add_edge_str(m, "cb", NodeId(u)).unwrap();
+        }
+        gt
+    }
+
+    /// Is the colouring proper for `H`?
+    pub fn is_proper(&self, colours: &[u8]) -> bool {
+        colours.len() == self.n_vertices as usize
+            && colours.iter().all(|&c| c < 3)
+            && self
+                .edges
+                .iter()
+                .all(|&(u, v)| colours[u as usize] != colours[v as usize])
+    }
+
+    /// Brute-force 3-colourability of `H` (oracle for validation).
+    pub fn brute_force_colouring(&self) -> Option<Vec<u8>> {
+        let n = self.n_vertices as usize;
+        let mut colours = vec![0u8; n];
+        loop {
+            if self.is_proper(&colours) {
+                return Some(colours);
+            }
+            // increment base-3 counter
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return None;
+                }
+                colours[i] += 1;
+                if colours[i] < 3 {
+                    break;
+                }
+                colours[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_core::{certain_boolean_exact, ExactOptions};
+
+    #[test]
+    fn gadget_classification() {
+        let g = ThreeColGadget::build(3, &[(0, 1), (1, 2)]);
+        let c = g.gsm.classify();
+        assert!(c.lav);
+        assert!(c.relational);
+        assert_eq!(g.query.inequality_count(), Some(3 + 0 /* q1 eq only */));
+    }
+
+    #[test]
+    fn good_solution_defeats_query() {
+        // path graph 0-1-2: colourable as 0,1,0
+        let g = ThreeColGadget::build(3, &[(0, 1), (1, 2)]);
+        let colours = g.brute_force_colouring().unwrap();
+        let gt = g.coloured_target(&colours);
+        assert!(g.gsm.is_solution(&g.source, &gt));
+        assert!(!g.query.holds_somewhere(&gt));
+    }
+
+    #[test]
+    fn improper_colouring_fires_q1() {
+        let g = ThreeColGadget::build(2, &[(0, 1)]);
+        let gt = g.coloured_target(&[1, 1]);
+        assert!(g.gsm.is_solution(&g.source, &gt));
+        assert!(g.query.holds_somewhere(&gt));
+    }
+
+    #[test]
+    fn off_palette_colour_fires_q2() {
+        let g = ThreeColGadget::build(1, &[]);
+        let mut gt = g.coloured_target(&[0]);
+        // replace the colour node's value with junk
+        let m = gt
+            .nodes()
+            .find(|(id, _)| id.0 >= g.source.fresh_id_watermark())
+            .map(|(id, _)| id)
+            .unwrap();
+        gt.set_value(m, Value::str("not-a-colour")).unwrap();
+        assert!(g.query.holds_somewhere(&gt));
+    }
+
+    #[test]
+    fn certain_answer_decides_colourability_small() {
+        // triangle: 3-colourable → not certain
+        let tri = ThreeColGadget::build(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(tri.brute_force_colouring().is_some());
+        let certain = certain_boolean_exact(
+            &tri.gsm,
+            &tri.query,
+            &tri.source,
+            ExactOptions::default(),
+        )
+        .unwrap();
+        assert!(!certain);
+
+        // K4: 3-colourable → not certain
+        let k4 = ThreeColGadget::build(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        assert!(k4.brute_force_colouring().is_some() == false);
+        let certain = certain_boolean_exact(
+            &k4.gsm,
+            &k4.query,
+            &k4.source,
+            ExactOptions {
+                max_invented: 16,
+                max_patterns: 50_000_000,
+            },
+        )
+        .unwrap();
+        assert!(certain, "K4 is not 3-colourable: Q must be certain");
+    }
+}

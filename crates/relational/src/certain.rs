@@ -1,0 +1,99 @@
+//! Certain answers on the relational side: naive evaluation over canonical
+//! universal solutions (the classic Fagin–Kolaitis–Miller–Popa result).
+//!
+//! For a union of conjunctive queries `Q` and a canonical universal
+//! solution `J` (as produced by [`crate::chase_st`]), the certain answers
+//! of `Q` over all solutions are exactly the `Q(J)`-tuples containing **no
+//! marked nulls** — "naive evaluation". This module provides that and the
+//! corresponding Boolean form, closing the loop with the graph-side
+//! engines through Proposition 1 (see the facade integration tests).
+
+use crate::cq::ConjunctiveQuery;
+use crate::instance::{Instance, Term};
+
+/// Certain answers of a CQ over a canonical universal solution: evaluate
+/// naively, keep null-free tuples. Sorted and deduplicated.
+pub fn certain_answers_cq(universal: &Instance, q: &ConjunctiveQuery) -> Vec<Vec<Term>> {
+    q.eval(universal)
+        .into_iter()
+        .filter(|tuple| tuple.iter().all(|t| !t.is_null()))
+        .collect()
+}
+
+/// Certain answers of a union of CQs (same head arity).
+pub fn certain_answers_ucq(universal: &Instance, qs: &[ConjunctiveQuery]) -> Vec<Vec<Term>> {
+    let mut out: Vec<Vec<Term>> = qs
+        .iter()
+        .flat_map(|q| certain_answers_cq(universal, q))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Boolean certain answer: does the (null-tolerant) query hold in every
+/// solution? For Boolean CQs naive evaluation needs no null filtering — a
+/// match using nulls still witnesses the query in every solution (nulls map
+/// to *some* values under every homomorphism).
+pub fn certain_boolean_cq(universal: &Instance, q: &ConjunctiveQuery) -> bool {
+    q.holds(universal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::Atom;
+    use crate::schema::RelSchema;
+    use crate::tgd::Tgd;
+    use gde_datagraph::NodeId;
+
+    fn node(i: u32) -> Term {
+        Term::Node(NodeId(i))
+    }
+
+    /// Source S(0,1); tgd S(x,y) → ∃z T(x,z) ∧ T(z,y).
+    fn chased() -> (Instance, crate::schema::RelId) {
+        let mut ss = RelSchema::new();
+        let s = ss.relation("S", 2);
+        let mut ts = RelSchema::new();
+        let t = ts.relation("T", 2);
+        let mut src = Instance::new(ss);
+        src.insert(s, vec![node(0), node(1)]);
+        let tgd = Tgd {
+            body: vec![Atom::vars(s, [0, 1])],
+            head: vec![Atom::vars(t, [0, 2]), Atom::vars(t, [2, 1])],
+        };
+        (crate::chase::chase_st(&src, &[tgd], ts), t)
+    }
+
+    #[test]
+    fn naive_evaluation_filters_nulls() {
+        let (j, t) = chased();
+        // Q(x,y) :- T(x,z), T(z,y): the certain pair (0,1)
+        let q = ConjunctiveQuery {
+            head: vec![0, 1],
+            atoms: vec![Atom::vars(t, [0, 2]), Atom::vars(t, [2, 1])],
+        };
+        assert_eq!(certain_answers_cq(&j, &q), vec![vec![node(0), node(1)]]);
+        // Q(x,z) :- T(x,z): the only answers go through the null — none
+        // certain
+        let q = ConjunctiveQuery {
+            head: vec![0, 1],
+            atoms: vec![Atom::vars(t, [0, 1])],
+        };
+        assert!(certain_answers_cq(&j, &q).is_empty());
+        // but the Boolean version is certain (some T-edge exists everywhere)
+        assert!(certain_boolean_cq(&j, &q));
+    }
+
+    #[test]
+    fn ucq_unions_and_dedups() {
+        let (j, t) = chased();
+        let q1 = ConjunctiveQuery {
+            head: vec![0, 1],
+            atoms: vec![Atom::vars(t, [0, 2]), Atom::vars(t, [2, 1])],
+        };
+        let both = certain_answers_ucq(&j, &[q1.clone(), q1]);
+        assert_eq!(both.len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! The chase: canonical universal solutions for relational mappings.
+//!
+//! * [`chase_st`] — one oblivious round of all st-tgds from a source
+//!   instance into a fresh target instance: the canonical pre-solution of
+//!   relational data exchange (Fagin–Kolaitis–Miller–Popa).
+//! * [`chase_target`] — saturate full/existential target tgds to fixpoint
+//!   (bounded; reports non-termination past the bound).
+//! * [`chase_egds`] — apply egds, unifying marked nulls; fails on an
+//!   attempt to equate two distinct constants (hard violation).
+
+use crate::cq::ConjunctiveQuery;
+use crate::instance::{Instance, Term};
+use crate::schema::RelSchema;
+use crate::tgd::{Egd, Tgd};
+use std::fmt;
+
+/// Chase failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseError {
+    /// An egd required `c = c'` for distinct constants.
+    EgdConflict(Term, Term),
+    /// Target-tgd saturation exceeded the round budget.
+    NonTerminating {
+        /// Rounds executed before giving up.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::EgdConflict(a, b) => write!(f, "egd conflict: {a} = {b} is unsatisfiable"),
+            ChaseError::NonTerminating { rounds } => {
+                write!(f, "target chase did not terminate within {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// One oblivious source-to-target chase round: every body match of every
+/// st-tgd fires once, Skolemizing existentials with fresh marked nulls.
+/// This produces the canonical universal pre-solution.
+pub fn chase_st(source: &Instance, st_tgds: &[Tgd], target_schema: RelSchema) -> Instance {
+    let mut target = Instance::new(target_schema);
+    for tgd in st_tgds {
+        tgd.apply_oblivious(source, &mut target);
+    }
+    target
+}
+
+/// Saturate target tgds to a fixpoint using the standard (restricted)
+/// chase; gives up after `max_rounds` rounds.
+pub fn chase_target(
+    instance: &mut Instance,
+    tgds: &[Tgd],
+    max_rounds: usize,
+) -> Result<(), ChaseError> {
+    for _ in 0..max_rounds {
+        let mut added = 0;
+        for tgd in tgds {
+            let snapshot = instance.clone();
+            added += tgd.apply_standard(&snapshot, instance);
+        }
+        if added == 0 {
+            return Ok(());
+        }
+    }
+    // One more check: maybe the last round reached the fixpoint exactly.
+    if tgds.iter().all(|t| t.is_satisfied(instance, instance)) {
+        return Ok(());
+    }
+    Err(ChaseError::NonTerminating { rounds: max_rounds })
+}
+
+/// Apply egds to fixpoint: equated pairs are resolved by substituting nulls
+/// (null := other side); equating two distinct non-null terms is a hard
+/// failure.
+pub fn chase_egds(instance: &mut Instance, egds: &[Egd]) -> Result<(), ChaseError> {
+    loop {
+        let mut changed = false;
+        for egd in egds {
+            let q = ConjunctiveQuery {
+                head: {
+                    let mut vars: Vec<u32> = egd
+                        .body
+                        .iter()
+                        .flat_map(|a| {
+                            a.args.iter().filter_map(|t| match t {
+                                crate::cq::CqTerm::Var(v) => Some(*v),
+                                _ => None,
+                            })
+                        })
+                        .collect();
+                    vars.sort_unstable();
+                    vars.dedup();
+                    vars
+                },
+                atoms: egd.body.clone(),
+            };
+            // Find one violation, fix it, restart (substitution invalidates matches).
+            let bindings = q.all_bindings(instance);
+            'seek: for m in bindings {
+                for (x, y) in &egd.equalities {
+                    let (a, b) = (&m[x], &m[y]);
+                    if a == b {
+                        continue;
+                    }
+                    match (a.is_null(), b.is_null()) {
+                        (true, _) => instance.substitute(a, b),
+                        (false, true) => instance.substitute(b, a),
+                        (false, false) => {
+                            return Err(ChaseError::EgdConflict(a.clone(), b.clone()))
+                        }
+                    }
+                    changed = true;
+                    break 'seek;
+                }
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+/// Does `(source, target)` satisfy all dependencies? Convenience wrapper for
+/// tests and Proposition-1 validation.
+pub fn satisfies_all(source: &Instance, target: &Instance, st_tgds: &[Tgd], egds: &[Egd]) -> bool {
+    st_tgds.iter().all(|t| t.is_satisfied(source, target))
+        && egds.iter().all(|e| e.is_satisfied(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::Atom;
+    use crate::schema::RelSchema;
+    use gde_datagraph::NodeId;
+
+    fn node(i: u32) -> Term {
+        Term::Node(NodeId(i))
+    }
+
+    #[test]
+    fn chase_st_produces_universal_presolution() {
+        let mut ss = RelSchema::new();
+        let s = ss.relation("S", 2);
+        let mut ts = RelSchema::new();
+        let t = ts.relation("T", 2);
+        let tgd = Tgd {
+            body: vec![Atom::vars(s, [0, 1])],
+            head: vec![Atom::vars(t, [0, 2]), Atom::vars(t, [2, 1])],
+        };
+        let mut src = Instance::new(ss);
+        src.insert(s, vec![node(0), node(1)]);
+        src.insert(s, vec![node(2), node(3)]);
+        let tgt = chase_st(&src, &[tgd.clone()], ts);
+        assert_eq!(tgt.total_facts(), 4);
+        assert_eq!(tgt.nulls().len(), 2);
+        assert!(tgd.is_satisfied(&src, &tgt));
+    }
+
+    #[test]
+    fn target_chase_terminates_on_full_tgds() {
+        let mut sch = RelSchema::new();
+        let e = sch.relation("E", 2);
+        let r = sch.relation("Reach", 2);
+        // E(x,y) → Reach(x,y); Reach(x,y) ∧ E(y,z) → Reach(x,z)
+        let t1 = Tgd {
+            body: vec![Atom::vars(e, [0, 1])],
+            head: vec![Atom::vars(r, [0, 1])],
+        };
+        let t2 = Tgd {
+            body: vec![Atom::vars(r, [0, 1]), Atom::vars(e, [1, 2])],
+            head: vec![Atom::vars(r, [0, 2])],
+        };
+        let mut db = Instance::new(sch);
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            db.insert(e, vec![node(a), node(b)]);
+        }
+        chase_target(&mut db, &[t1, t2], 100).unwrap();
+        assert!(db.contains(r, &[node(0), node(3)]));
+        assert_eq!(db.fact_count(r), 6);
+    }
+
+    #[test]
+    fn target_chase_reports_divergence() {
+        let mut sch = RelSchema::new();
+        let e = sch.relation("E", 2);
+        // E(x,y) → ∃z E(y,z): classic non-terminating chase
+        let t = Tgd {
+            body: vec![Atom::vars(e, [0, 1])],
+            head: vec![Atom::vars(e, [1, 2])],
+        };
+        let mut db = Instance::new(sch);
+        db.insert(e, vec![node(0), node(1)]);
+        let err = chase_target(&mut db, &[t], 5).unwrap_err();
+        assert!(matches!(err, ChaseError::NonTerminating { .. }));
+    }
+
+    #[test]
+    fn egd_unifies_nulls() {
+        let mut sch = RelSchema::new();
+        let n = sch.relation("N", 2);
+        let mut db = Instance::new(sch);
+        db.insert(n, vec![node(0), Term::Null(0)]);
+        db.insert(n, vec![node(0), Term::Null(1)]);
+        db.insert(n, vec![node(1), Term::Null(1)]);
+        let key = Egd {
+            body: vec![Atom::vars(n, [0, 1]), Atom::vars(n, [0, 2])],
+            equalities: vec![(1, 2)],
+        };
+        chase_egds(&mut db, &[key.clone()]).unwrap();
+        assert!(key.is_satisfied(&db));
+        assert_eq!(db.fact_count(n), 2);
+        assert_eq!(db.nulls().len(), 1);
+    }
+
+    #[test]
+    fn egd_conflict_on_constants() {
+        use gde_datagraph::Value;
+        let mut sch = RelSchema::new();
+        let n = sch.relation("N", 2);
+        let mut db = Instance::new(sch);
+        db.insert(n, vec![node(0), Term::Val(Value::int(1))]);
+        db.insert(n, vec![node(0), Term::Val(Value::int(2))]);
+        let key = Egd {
+            body: vec![Atom::vars(n, [0, 1]), Atom::vars(n, [0, 2])],
+            equalities: vec![(1, 2)],
+        };
+        let err = chase_egds(&mut db, &[key]).unwrap_err();
+        assert!(matches!(err, ChaseError::EgdConflict(..)));
+    }
+
+    #[test]
+    fn egd_null_vs_constant_resolves_to_constant() {
+        use gde_datagraph::Value;
+        let mut sch = RelSchema::new();
+        let n = sch.relation("N", 2);
+        let mut db = Instance::new(sch);
+        db.insert(n, vec![node(0), Term::Val(Value::int(1))]);
+        db.insert(n, vec![node(0), Term::Null(7)]);
+        let key = Egd {
+            body: vec![Atom::vars(n, [0, 1]), Atom::vars(n, [0, 2])],
+            equalities: vec![(1, 2)],
+        };
+        chase_egds(&mut db, &[key]).unwrap();
+        assert_eq!(db.fact_count(n), 1);
+        assert!(db.contains(n, &[node(0), Term::Val(Value::int(1))]));
+    }
+}

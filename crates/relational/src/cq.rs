@@ -1,0 +1,281 @@
+//! Conjunctive queries and their evaluation.
+//!
+//! `q(x̄) := ∃z̄ ⋀ᵢ Rᵢ(t̄ᵢ)` — evaluation is a straightforward backtracking
+//! join over the instance, matching nulls syntactically (naive evaluation,
+//! which is exactly what certain-answer semantics over canonical universal
+//! solutions calls for, cf. Fagin et al.).
+
+use crate::instance::{Instance, Term};
+use crate::schema::RelId;
+use gde_datagraph::FxHashMap;
+
+/// A term in a query atom: a variable or a constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CqTerm {
+    /// A variable (by numeric id).
+    Var(u32),
+    /// A constant term.
+    Const(Term),
+}
+
+/// One relational atom `R(t̄)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation symbol.
+    pub rel: RelId,
+    /// Argument terms.
+    pub args: Vec<CqTerm>,
+}
+
+impl Atom {
+    /// Atom with all-variable arguments.
+    pub fn vars(rel: RelId, vars: impl IntoIterator<Item = u32>) -> Atom {
+        Atom {
+            rel,
+            args: vars.into_iter().map(CqTerm::Var).collect(),
+        }
+    }
+}
+
+/// A conjunctive query with designated head variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Free (answer) variables.
+    pub head: Vec<u32>,
+    /// Body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Evaluate, returning the set of head-variable bindings (deduplicated,
+    /// sorted for determinism).
+    pub fn eval(&self, db: &Instance) -> Vec<Vec<Term>> {
+        let mut results: Vec<Vec<Term>> = Vec::new();
+        let mut binding: FxHashMap<u32, Term> = FxHashMap::default();
+        self.join(db, 0, &mut binding, &mut results);
+        results.sort();
+        results.dedup();
+        results
+    }
+
+    /// Boolean evaluation: does the body have any match?
+    pub fn holds(&self, db: &Instance) -> bool {
+        let mut binding: FxHashMap<u32, Term> = FxHashMap::default();
+        self.any_match(db, 0, &mut binding)
+    }
+
+    /// All matches as full variable bindings (used by the chase).
+    pub fn all_bindings(&self, db: &Instance) -> Vec<FxHashMap<u32, Term>> {
+        let mut out = Vec::new();
+        let mut binding: FxHashMap<u32, Term> = FxHashMap::default();
+        self.collect_bindings(db, 0, &mut binding, &mut out);
+        out
+    }
+
+    fn join(
+        &self,
+        db: &Instance,
+        i: usize,
+        binding: &mut FxHashMap<u32, Term>,
+        results: &mut Vec<Vec<Term>>,
+    ) {
+        if i == self.atoms.len() {
+            results.push(
+                self.head
+                    .iter()
+                    .map(|v| binding.get(v).cloned().expect("unbound head variable"))
+                    .collect(),
+            );
+            return;
+        }
+        self.for_each_match(db, i, binding, &mut |db, binding| {
+            self.join(db, i + 1, binding, results)
+        });
+    }
+
+    fn any_match(&self, db: &Instance, i: usize, binding: &mut FxHashMap<u32, Term>) -> bool {
+        if i == self.atoms.len() {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_match(db, i, binding, &mut |db, binding| {
+            if !found {
+                found = self.any_match(db, i + 1, binding);
+            }
+        });
+        found
+    }
+
+    fn collect_bindings(
+        &self,
+        db: &Instance,
+        i: usize,
+        binding: &mut FxHashMap<u32, Term>,
+        out: &mut Vec<FxHashMap<u32, Term>>,
+    ) {
+        if i == self.atoms.len() {
+            out.push(binding.clone());
+            return;
+        }
+        self.for_each_match(db, i, binding, &mut |db, binding| {
+            self.collect_bindings(db, i + 1, binding, out)
+        });
+    }
+
+    fn for_each_match(
+        &self,
+        db: &Instance,
+        i: usize,
+        binding: &mut FxHashMap<u32, Term>,
+        then: &mut dyn FnMut(&Instance, &mut FxHashMap<u32, Term>),
+    ) {
+        let atom = &self.atoms[i];
+        // Collect candidate facts; unify argument-wise.
+        let facts: Vec<Vec<Term>> = db.facts(atom.rel).map(|f| f.to_vec()).collect();
+        'facts: for fact in facts {
+            let mut newly_bound: Vec<u32> = Vec::new();
+            for (arg, val) in atom.args.iter().zip(fact.iter()) {
+                match arg {
+                    CqTerm::Const(c) => {
+                        if c != val {
+                            for v in newly_bound.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'facts;
+                        }
+                    }
+                    CqTerm::Var(v) => match binding.get(v) {
+                        Some(bound) => {
+                            if bound != val {
+                                for v in newly_bound.drain(..) {
+                                    binding.remove(&v);
+                                }
+                                continue 'facts;
+                            }
+                        }
+                        None => {
+                            binding.insert(*v, val.clone());
+                            newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            then(db, binding);
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+    use gde_datagraph::{NodeId, Value};
+
+    fn node(i: u32) -> Term {
+        Term::Node(NodeId(i))
+    }
+
+    /// E = {(0,1),(1,2),(2,0)}, N = {(0,"x"),(1,"y"),(2,"x")}
+    fn db() -> (Instance, RelId, RelId) {
+        let mut s = RelSchema::new();
+        let e = s.relation("E", 2);
+        let n = s.relation("N", 2);
+        let mut i = Instance::new(s);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            i.insert(e, vec![node(a), node(b)]);
+        }
+        for (a, v) in [(0, "x"), (1, "y"), (2, "x")] {
+            i.insert(n, vec![node(a), Term::Val(Value::str(v))]);
+        }
+        (i, e, n)
+    }
+
+    #[test]
+    fn single_atom() {
+        let (db, e, _) = db();
+        let q = ConjunctiveQuery {
+            head: vec![0, 1],
+            atoms: vec![Atom::vars(e, [0, 1])],
+        };
+        assert_eq!(q.eval(&db).len(), 3);
+    }
+
+    #[test]
+    fn join_two_hops() {
+        let (db, e, _) = db();
+        let q = ConjunctiveQuery {
+            head: vec![0, 2],
+            atoms: vec![Atom::vars(e, [0, 1]), Atom::vars(e, [1, 2])],
+        };
+        let res = q.eval(&db);
+        assert_eq!(res.len(), 3);
+        assert!(res.contains(&vec![node(0), node(2)]));
+    }
+
+    #[test]
+    fn constants_filter() {
+        let (db, e, n) = db();
+        // nodes with value "x" that have an outgoing edge to y
+        let q = ConjunctiveQuery {
+            head: vec![0, 1],
+            atoms: vec![
+                Atom {
+                    rel: n,
+                    args: vec![CqTerm::Var(0), CqTerm::Const(Term::Val(Value::str("x")))],
+                },
+                Atom::vars(e, [0, 1]),
+            ],
+        };
+        let res = q.eval(&db);
+        assert_eq!(res.len(), 2); // 0->1 and 2->0
+    }
+
+    #[test]
+    fn repeated_variable_enforces_equality() {
+        let (db, e, _) = db();
+        // self loops: none
+        let q = ConjunctiveQuery {
+            head: vec![0],
+            atoms: vec![Atom::vars(e, [0, 0])],
+        };
+        assert!(q.eval(&db).is_empty());
+        assert!(!q.holds(&db));
+    }
+
+    #[test]
+    fn boolean_and_bindings() {
+        let (db, e, n) = db();
+        // exists an edge between two nodes with the same value
+        let q = ConjunctiveQuery {
+            head: vec![],
+            atoms: vec![
+                Atom::vars(e, [0, 1]),
+                Atom::vars(n, [0, 2]),
+                Atom::vars(n, [1, 2]),
+            ],
+        };
+        // values: 0:x -> 1:y (no), 1:y -> 2:x (no), 2:x -> 0:x (yes)
+        assert!(q.holds(&db));
+        let bindings = q.all_bindings(&db);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0][&0], node(2));
+    }
+
+    #[test]
+    fn nulls_match_syntactically() {
+        let mut s = RelSchema::new();
+        let r = s.relation("R", 2);
+        let mut i = Instance::new(s);
+        i.insert(r, vec![Term::Null(0), Term::Null(0)]);
+        i.insert(r, vec![Term::Null(1), Term::Null(2)]);
+        let q = ConjunctiveQuery {
+            head: vec![0],
+            atoms: vec![Atom::vars(r, [0, 0])],
+        };
+        let res = q.eval(&i);
+        assert_eq!(res, vec![vec![Term::Null(0)]]);
+    }
+}

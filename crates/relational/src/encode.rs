@@ -1,0 +1,247 @@
+//! The relational representation `D_G` of a data graph (§6 of the paper).
+//!
+//! `D_G` uses a binary relation `N(node, value)` holding every node with its
+//! data value, plus one binary relation `E_a(node, node)` per label `a`.
+//! (The paper's unary domain predicates `N(x)`/`D(x)` are subsumed by the
+//! [`Term`] type, which keeps node ids and data values disjoint by
+//! construction.)
+//!
+//! Decoding an instance back into a graph must decide what to do with
+//! marked nulls produced by the chase:
+//!
+//! * nulls in node position always become fresh node ids;
+//! * nulls in value position become either the single SQL null `n`
+//!   ([`ValueNullStyle::SqlNull`], §7's universal solutions) or pairwise
+//!   distinct fresh constants ([`ValueNullStyle::FreshConstants`], §8's
+//!   least informative solutions).
+
+use crate::instance::{Instance, Term};
+use crate::schema::{RelId, RelSchema};
+use gde_datagraph::{Alphabet, DataGraph, FxHashMap, NodeId, Value};
+
+/// Relation ids of a graph schema: `N` plus one `E_a` per label.
+#[derive(Clone, Debug)]
+pub struct GraphSchema {
+    /// The relational schema.
+    pub schema: RelSchema,
+    /// The `N(node, value)` relation.
+    pub node_rel: RelId,
+    /// `E_a` relations in label order of the alphabet used to build this.
+    pub edge_rels: Vec<RelId>,
+}
+
+impl GraphSchema {
+    /// Build the relational schema for a graph alphabet.
+    pub fn for_alphabet(alphabet: &Alphabet) -> GraphSchema {
+        let mut schema = RelSchema::new();
+        let node_rel = schema.relation("N", 2);
+        let edge_rels = alphabet
+            .iter()
+            .map(|(_, name)| schema.relation(&format!("E_{name}"), 2))
+            .collect();
+        GraphSchema {
+            schema,
+            node_rel,
+            edge_rels,
+        }
+    }
+}
+
+/// Encode `G` as `D_G`.
+pub fn encode_graph(g: &DataGraph) -> (GraphSchema, Instance) {
+    let gs = GraphSchema::for_alphabet(g.alphabet());
+    let mut inst = Instance::new(gs.schema.clone());
+    for (id, v) in g.nodes() {
+        inst.insert(gs.node_rel, vec![Term::Node(id), Term::Val(v.clone())]);
+    }
+    for (u, l, v) in g.edges() {
+        inst.insert(gs.edge_rels[l.index()], vec![Term::Node(u), Term::Node(v)]);
+    }
+    (gs, inst)
+}
+
+/// How to decode value-position nulls.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ValueNullStyle {
+    /// Every value null becomes the single SQL null `n` (§7).
+    SqlNull,
+    /// Every value null becomes a distinct fresh constant (§8).
+    FreshConstants,
+}
+
+/// Decode `D_G` back into a data graph over the given alphabet (the
+/// alphabet's labels must match the instance's `E_a` relations by name).
+///
+/// Node terms may be marked nulls (chase-invented nodes); these are
+/// assigned fresh node ids above `id_watermark`. Value nulls decode per
+/// `style`. A node mentioned only in edge relations (no `N` fact) gets the
+/// null value. If `N` assigns several values to one node (key violation),
+/// the offending node is returned as an error.
+pub fn decode_graph(
+    inst: &Instance,
+    alphabet: &Alphabet,
+    style: ValueNullStyle,
+    id_watermark: u32,
+) -> Result<DataGraph, NodeId> {
+    let mut g = DataGraph::with_alphabet(alphabet.clone());
+    g.reserve_ids(id_watermark);
+    let node_rel = inst
+        .schema()
+        .lookup("N")
+        .expect("instance lacks the N relation");
+
+    // First pass: resolve node terms to node ids.
+    let mut null_nodes: FxHashMap<u32, NodeId> = FxHashMap::default();
+    let mut fresh_vals: FxHashMap<u32, Value> = FxHashMap::default();
+    let mut fresh_val_counter = 0u64;
+
+    let mut resolve_node = |g: &mut DataGraph, t: &Term| -> NodeId {
+        match t {
+            Term::Node(n) => *n,
+            Term::Null(k) => *null_nodes.entry(*k).or_insert_with(|| {
+                let id = NodeId(g.fresh_id_watermark());
+                g.reserve_ids(id.0 + 1);
+                id
+            }),
+            Term::Val(_) => panic!("value term in node position"),
+        }
+    };
+
+    let mut resolve_val = |t: &Term| -> Value {
+        match t {
+            Term::Val(v) => v.clone(),
+            Term::Null(k) => match style {
+                ValueNullStyle::SqlNull => Value::Null,
+                ValueNullStyle::FreshConstants => fresh_vals
+                    .entry(*k)
+                    .or_insert_with(|| {
+                        fresh_val_counter += 1;
+                        Value::str(format!("⊥{fresh_val_counter}"))
+                    })
+                    .clone(),
+            },
+            Term::Node(_) => panic!("node term in value position"),
+        }
+    };
+
+    for fact in inst.facts(node_rel) {
+        let id = resolve_node(&mut g, &fact[0]);
+        let val = resolve_val(&fact[1]);
+        match g.value(id) {
+            None => g.add_node(id, val).expect("fresh"),
+            Some(existing) if *existing == val => {}
+            Some(_) => return Err(id),
+        }
+    }
+
+    // Second pass: edges; endpoints without N-facts get the null value.
+    for (label, name) in alphabet.iter() {
+        let Some(rel) = inst.schema().lookup(&format!("E_{name}")) else {
+            continue;
+        };
+        for fact in inst.facts(rel) {
+            let u = resolve_node(&mut g, &fact[0]);
+            let v = resolve_node(&mut g, &fact[1]);
+            for id in [u, v] {
+                if !g.has_node(id) {
+                    let val = match style {
+                        ValueNullStyle::SqlNull => Value::Null,
+                        ValueNullStyle::FreshConstants => {
+                            fresh_val_counter += 1;
+                            Value::str(format!("⊥{fresh_val_counter}"))
+                        }
+                    };
+                    g.add_node(id, val).expect("fresh");
+                }
+            }
+            g.add_edge(u, label, v).expect("nodes exist");
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_datagraph::Value;
+
+    fn sample() -> DataGraph {
+        let mut g = DataGraph::new();
+        g.add_node(NodeId(0), Value::int(1)).unwrap();
+        g.add_node(NodeId(1), Value::str("x")).unwrap();
+        g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        g.add_edge_str(NodeId(1), "b", NodeId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip_without_nulls() {
+        let g = sample();
+        let (_, inst) = encode_graph(&g);
+        assert_eq!(inst.total_facts(), 4);
+        let back = decode_graph(&inst, g.alphabet(), ValueNullStyle::SqlNull, 100).unwrap();
+        assert!(g.is_subgraph_of(&back));
+        assert!(back.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn decode_value_nulls_sql() {
+        let g = sample();
+        let (gs, mut inst) = encode_graph(&g);
+        // chase-style addition: new node ⊥0 with value null ⊥1
+        inst.insert(gs.node_rel, vec![Term::Null(0), Term::Null(1)]);
+        inst.insert(gs.edge_rels[0], vec![Term::Node(NodeId(0)), Term::Null(0)]);
+        let back = decode_graph(&inst, g.alphabet(), ValueNullStyle::SqlNull, 100).unwrap();
+        assert_eq!(back.node_count(), 3);
+        let null_nodes: Vec<NodeId> = back.null_nodes().collect();
+        assert_eq!(null_nodes.len(), 1);
+        assert!(null_nodes[0].0 >= 100);
+    }
+
+    #[test]
+    fn decode_value_nulls_fresh_are_distinct() {
+        let g = sample();
+        let (gs, mut inst) = encode_graph(&g);
+        inst.insert(gs.node_rel, vec![Term::Null(0), Term::Null(2)]);
+        inst.insert(gs.node_rel, vec![Term::Null(1), Term::Null(3)]);
+        let back = decode_graph(&inst, g.alphabet(), ValueNullStyle::FreshConstants, 100).unwrap();
+        assert_eq!(back.node_count(), 4);
+        assert_eq!(back.null_nodes().count(), 0);
+        // the two fresh values are distinct
+        let vals: Vec<Value> = back
+            .nodes()
+            .filter(|(id, _)| id.0 >= 100)
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert_eq!(vals.len(), 2);
+        assert_ne!(vals[0], vals[1]);
+    }
+
+    #[test]
+    fn decode_rejects_key_violation() {
+        let g = sample();
+        let (gs, mut inst) = encode_graph(&g);
+        inst.insert(
+            gs.node_rel,
+            vec![Term::Node(NodeId(0)), Term::Val(Value::int(99))],
+        );
+        let res = decode_graph(&inst, g.alphabet(), ValueNullStyle::SqlNull, 100);
+        assert_eq!(res.err(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn shared_value_null_decodes_consistently() {
+        let g = sample();
+        let (gs, mut inst) = encode_graph(&g);
+        // two nodes share value null ⊥5
+        inst.insert(gs.node_rel, vec![Term::Null(0), Term::Null(5)]);
+        inst.insert(gs.node_rel, vec![Term::Null(1), Term::Null(5)]);
+        let back = decode_graph(&inst, g.alphabet(), ValueNullStyle::FreshConstants, 100).unwrap();
+        let vals: Vec<Value> = back
+            .nodes()
+            .filter(|(id, _)| id.0 >= 100)
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert_eq!(vals[0], vals[1]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Relational instances over graph nodes, data values and marked nulls.
+
+use crate::schema::{RelId, RelSchema};
+use gde_datagraph::{FxHashSet, NodeId, Value};
+use std::fmt;
+
+/// A term in a relational fact.
+///
+/// The paper's relational representation of data graphs keeps node ids and
+/// data values in disjoint domains (`N(x)` vs `D(x)` predicates); we bake
+/// the distinction into the term type. Marked nulls `⊥ₖ` are the invented
+/// values of the chase — plain constants whose only property is syntactic
+/// identity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A node id (element of the paper's `N`).
+    Node(NodeId),
+    /// A data value (element of `D`, or the SQL null).
+    Val(Value),
+    /// A marked null `⊥ₖ`.
+    Null(u32),
+}
+
+impl Term {
+    /// Is this a marked null?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// The node id, if a node term.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Term::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The data value, if a value term.
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            Term::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Node(n) => write!(f, "{n}"),
+            Term::Val(v) => write!(f, "{v}"),
+            Term::Null(k) => write!(f, "⊥{k}"),
+        }
+    }
+}
+
+/// A relational instance: one set of facts per relation of a schema.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    schema: RelSchema,
+    facts: Vec<FxHashSet<Box<[Term]>>>,
+    next_null: u32,
+}
+
+impl Instance {
+    /// An empty instance over a schema.
+    pub fn new(schema: RelSchema) -> Instance {
+        let n = schema.len();
+        Instance {
+            schema,
+            facts: (0..n).map(|_| FxHashSet::default()).collect(),
+            next_null: 0,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// Insert a fact; returns true if new.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or unknown relation.
+    pub fn insert(&mut self, rel: RelId, tuple: impl Into<Vec<Term>>) -> bool {
+        let tuple: Vec<Term> = tuple.into();
+        assert_eq!(
+            tuple.len(),
+            self.schema.arity(rel),
+            "arity mismatch for {}",
+            self.schema.name(rel)
+        );
+        for t in &tuple {
+            if let Term::Null(k) = t {
+                self.next_null = self.next_null.max(k + 1);
+            }
+        }
+        self.facts[rel.index()].insert(tuple.into_boxed_slice())
+    }
+
+    /// Allocate a fresh marked null.
+    pub fn fresh_null(&mut self) -> Term {
+        let t = Term::Null(self.next_null);
+        self.next_null += 1;
+        t
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rel: RelId, tuple: &[Term]) -> bool {
+        self.facts[rel.index()].contains(tuple)
+    }
+
+    /// Facts of one relation.
+    pub fn facts(&self, rel: RelId) -> impl Iterator<Item = &[Term]> + '_ {
+        self.facts[rel.index()].iter().map(|t| t.as_ref())
+    }
+
+    /// Number of facts in one relation.
+    pub fn fact_count(&self, rel: RelId) -> usize {
+        self.facts[rel.index()].len()
+    }
+
+    /// Total number of facts.
+    pub fn total_facts(&self) -> usize {
+        self.facts.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterate over all `(relation, fact)` pairs.
+    pub fn all_facts(&self) -> impl Iterator<Item = (RelId, &[Term])> + '_ {
+        self.schema
+            .relations()
+            .flat_map(move |r| self.facts(r).map(move |t| (r, t)))
+    }
+
+    /// Replace every occurrence of `from` with `to` (used by EGD chasing).
+    pub fn substitute(&mut self, from: &Term, to: &Term) {
+        for rel in 0..self.facts.len() {
+            let old = std::mem::take(&mut self.facts[rel]);
+            for fact in old {
+                if fact.iter().any(|t| t == from) {
+                    let new: Vec<Term> = fact
+                        .iter()
+                        .map(|t| if t == from { to.clone() } else { t.clone() })
+                        .collect();
+                    self.facts[rel].insert(new.into_boxed_slice());
+                } else {
+                    self.facts[rel].insert(fact);
+                }
+            }
+        }
+    }
+
+    /// All marked nulls occurring in the instance.
+    pub fn nulls(&self) -> FxHashSet<u32> {
+        let mut out = FxHashSet::default();
+        for (_, fact) in self.all_facts() {
+            for t in fact {
+                if let Term::Null(k) = t {
+                    out.insert(*k);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is this instance a sub-instance of `other` (fact-wise, matching
+    /// relations by name)?
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        for rel in self.schema.relations() {
+            let Some(orel) = other.schema.lookup(self.schema.name(rel)) else {
+                if self.fact_count(rel) > 0 {
+                    return false;
+                }
+                continue;
+            };
+            for fact in self.facts(rel) {
+                if !other.contains(orel, fact) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in self.schema.relations() {
+            let mut facts: Vec<&[Term]> = self.facts(rel).collect();
+            facts.sort();
+            for fact in facts {
+                write!(f, "{}(", self.schema.name(rel))?;
+                for (i, t) in fact.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                writeln!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> (RelSchema, RelId, RelId) {
+        let mut s = RelSchema::new();
+        let e = s.relation("E", 2);
+        let n = s.relation("N", 2);
+        (s, e, n)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let (s, e, n) = schema();
+        let mut i = Instance::new(s);
+        assert!(i.insert(e, vec![Term::Node(NodeId(0)), Term::Node(NodeId(1))]));
+        assert!(!i.insert(e, vec![Term::Node(NodeId(0)), Term::Node(NodeId(1))]));
+        i.insert(n, vec![Term::Node(NodeId(0)), Term::Val(Value::int(5))]);
+        assert_eq!(i.fact_count(e), 1);
+        assert_eq!(i.total_facts(), 2);
+        assert!(i.contains(e, &[Term::Node(NodeId(0)), Term::Node(NodeId(1))]));
+        assert!(!i.contains(e, &[Term::Node(NodeId(1)), Term::Node(NodeId(0))]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let (s, e, _) = schema();
+        let mut i = Instance::new(s);
+        i.insert(e, vec![Term::Node(NodeId(0))]);
+    }
+
+    #[test]
+    fn fresh_nulls_distinct_and_tracked() {
+        let (s, e, _) = schema();
+        let mut i = Instance::new(s);
+        let n1 = i.fresh_null();
+        let n2 = i.fresh_null();
+        assert_ne!(n1, n2);
+        i.insert(e, vec![n1.clone(), n2.clone()]);
+        assert_eq!(i.nulls().len(), 2);
+        // inserting an explicit null bumps the counter
+        i.insert(e, vec![Term::Null(100), Term::Null(100)]);
+        assert_eq!(i.fresh_null(), Term::Null(101));
+    }
+
+    #[test]
+    fn substitution() {
+        let (s, e, _) = schema();
+        let mut i = Instance::new(s);
+        i.insert(e, vec![Term::Null(0), Term::Node(NodeId(1))]);
+        i.insert(e, vec![Term::Null(0), Term::Null(0)]);
+        i.substitute(&Term::Null(0), &Term::Node(NodeId(7)));
+        assert!(i.contains(e, &[Term::Node(NodeId(7)), Term::Node(NodeId(1))]));
+        assert!(i.contains(e, &[Term::Node(NodeId(7)), Term::Node(NodeId(7))]));
+        assert_eq!(i.total_facts(), 2);
+        assert!(i.nulls().is_empty());
+    }
+
+    #[test]
+    fn substitution_can_merge_facts() {
+        let (s, e, _) = schema();
+        let mut i = Instance::new(s);
+        i.insert(e, vec![Term::Null(0), Term::Node(NodeId(1))]);
+        i.insert(e, vec![Term::Node(NodeId(2)), Term::Node(NodeId(1))]);
+        i.substitute(&Term::Null(0), &Term::Node(NodeId(2)));
+        assert_eq!(i.total_facts(), 1);
+    }
+
+    #[test]
+    fn subinstance() {
+        let (s, e, _) = schema();
+        let mut a = Instance::new(s.clone());
+        let mut b = Instance::new(s);
+        a.insert(e, vec![Term::Node(NodeId(0)), Term::Node(NodeId(1))]);
+        b.insert(e, vec![Term::Node(NodeId(0)), Term::Node(NodeId(1))]);
+        b.insert(e, vec![Term::Node(NodeId(1)), Term::Node(NodeId(2))]);
+        assert!(a.is_subinstance_of(&b));
+        assert!(!b.is_subinstance_of(&a));
+    }
+}

@@ -1,0 +1,37 @@
+//! # gde-relational
+//!
+//! A relational data-exchange substrate, built to make Proposition 1 of
+//! *Schema Mappings for Data Graphs* (PODS'17) executable: relational graph
+//! schema mappings can be cast as ordinary relational schema mappings over
+//! the standard relational representation `D_G` of a data graph.
+//!
+//! Components:
+//!
+//! * [`RelSchema`] / [`Instance`] — named relations over terms that are
+//!   graph nodes, data values, or marked (labelled) nulls ([`Term`]);
+//! * [`ConjunctiveQuery`] — CQ evaluation by backtracking join;
+//! * [`Tgd`] / [`Egd`] — tuple- and equality-generating dependencies,
+//!   including source-to-target tgds;
+//! * [`chase`] — the oblivious chase producing canonical universal
+//!   solutions, EGD application with null unification, and dependency
+//!   satisfaction checks;
+//! * [`encode`] — the `G ↦ D_G` encoding of §6 (`Nˢ(node, value)` plus one
+//!   binary `E_a` per label) and its inverse, with a choice of how value
+//!   nulls decode (SQL null vs fresh distinct constants — the two solution
+//!   styles of §7 and §8).
+
+pub mod certain;
+pub mod chase;
+pub mod cq;
+pub mod encode;
+pub mod instance;
+pub mod schema;
+pub mod tgd;
+
+pub use certain::{certain_answers_cq, certain_answers_ucq, certain_boolean_cq};
+pub use chase::{chase_egds, chase_st, chase_target, satisfies_all, ChaseError};
+pub use cq::{Atom, CqTerm, ConjunctiveQuery};
+pub use encode::{decode_graph, encode_graph, GraphSchema, ValueNullStyle};
+pub use instance::{Instance, Term};
+pub use schema::{RelId, RelSchema};
+pub use tgd::{Egd, Tgd};

@@ -1,0 +1,112 @@
+//! Relation symbols and schemas.
+
+use gde_datagraph::FxHashMap;
+use std::fmt;
+
+/// An interned relation symbol.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u16);
+
+impl RelId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A relational schema: named relations with fixed arities.
+#[derive(Clone, Debug, Default)]
+pub struct RelSchema {
+    names: Vec<(String, usize)>,
+    index: FxHashMap<String, RelId>,
+}
+
+impl RelSchema {
+    /// Empty schema.
+    pub fn new() -> RelSchema {
+        RelSchema::default()
+    }
+
+    /// Add (or look up) a relation with the given arity.
+    ///
+    /// # Panics
+    /// Panics if the relation exists with a different arity.
+    pub fn relation(&mut self, name: &str, arity: usize) -> RelId {
+        if let Some(&id) = self.index.get(name) {
+            assert_eq!(
+                self.names[id.index()].1,
+                arity,
+                "relation {name} redeclared with different arity"
+            );
+            return id;
+        }
+        let id = RelId(u16::try_from(self.names.len()).expect("schema overflow"));
+        self.names.push((name.to_string(), arity));
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an existing relation.
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        self.index.get(name).copied()
+    }
+
+    /// Relation name.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.names[id.index()].0
+    }
+
+    /// Relation arity.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.names[id.index()].1
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All relation ids.
+    pub fn relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.names.len()).map(|i| RelId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut s = RelSchema::new();
+        let r = s.relation("E_a", 2);
+        let n = s.relation("N", 2);
+        assert_ne!(r, n);
+        assert_eq!(s.lookup("E_a"), Some(r));
+        assert_eq!(s.lookup("missing"), None);
+        assert_eq!(s.arity(n), 2);
+        assert_eq!(s.name(r), "E_a");
+        assert_eq!(s.len(), 2);
+        // idempotent
+        assert_eq!(s.relation("E_a", 2), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn arity_conflict_panics() {
+        let mut s = RelSchema::new();
+        s.relation("R", 2);
+        s.relation("R", 3);
+    }
+}

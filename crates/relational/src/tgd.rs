@@ -1,0 +1,312 @@
+//! Dependencies: tuple-generating (tgds) and equality-generating (egds).
+//!
+//! An st-tgd `∀x̄ (ϕ_σ(x̄) → ∃z̄ ψ_τ(x̄, z̄))` is a [`Tgd`] whose body is read
+//! over one instance (the source) and whose head is asserted over another
+//! (the target); a target tgd reads and asserts over the same instance.
+//! Variables appearing in the head but not the body are existential (the
+//! chase Skolemizes them with fresh marked nulls).
+
+use crate::cq::{Atom, ConjunctiveQuery, CqTerm};
+use crate::instance::{Instance, Term};
+use gde_datagraph::{FxHashMap, FxHashSet};
+
+/// A tuple-generating dependency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tgd {
+    /// Body atoms (read side).
+    pub body: Vec<Atom>,
+    /// Head atoms (assert side); may mention existential variables.
+    pub head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Variables of the body.
+    pub fn body_vars(&self) -> FxHashSet<u32> {
+        collect_vars(&self.body)
+    }
+
+    /// Existential variables: head-only.
+    pub fn existential_vars(&self) -> FxHashSet<u32> {
+        let body = self.body_vars();
+        collect_vars(&self.head)
+            .into_iter()
+            .filter(|v| !body.contains(v))
+            .collect()
+    }
+
+    /// Is this a *full* tgd (no existentials)?
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Does the pair `(src, dst)` satisfy this dependency? (For target
+    /// dependencies pass the same instance twice.)
+    pub fn is_satisfied(&self, src: &Instance, dst: &Instance) -> bool {
+        let body_q = ConjunctiveQuery {
+            head: sorted(self.body_vars()),
+            atoms: self.body.clone(),
+        };
+        let frontier: Vec<u32> = body_q.head.clone();
+        'matches: for m in body_q.all_bindings(src) {
+            // is there an extension of the frontier satisfying the head in dst?
+            let head_q = ConjunctiveQuery {
+                head: vec![],
+                atoms: self
+                    .head
+                    .iter()
+                    .map(|a| Atom {
+                        rel: a.rel,
+                        args: a
+                            .args
+                            .iter()
+                            .map(|t| match t {
+                                CqTerm::Var(v) if frontier.contains(v) => {
+                                    CqTerm::Const(m[v].clone())
+                                }
+                                other => other.clone(),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            };
+            if head_q.holds(dst) {
+                continue 'matches;
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Apply obliviously to every body match, inserting head facts with
+    /// fresh nulls for existential variables. Returns the number of facts
+    /// added. (One null per (match, variable): the Skolem-oblivious chase.)
+    pub fn apply_oblivious(&self, src: &Instance, dst: &mut Instance) -> usize {
+        let body_q = ConjunctiveQuery {
+            head: sorted(self.body_vars()),
+            atoms: self.body.clone(),
+        };
+        let existentials = sorted(self.existential_vars());
+        let mut added = 0;
+        for m in body_q.all_bindings(src) {
+            let mut assignment: FxHashMap<u32, Term> = m.clone();
+            for &z in &existentials {
+                let fresh = dst.fresh_null();
+                assignment.insert(z, fresh);
+            }
+            for atom in &self.head {
+                let fact: Vec<Term> = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        CqTerm::Var(v) => assignment[v].clone(),
+                        CqTerm::Const(c) => c.clone(),
+                    })
+                    .collect();
+                if dst.insert(atom.rel, fact) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Apply in the *standard* (restricted) way: only fire on body matches
+    /// whose head is not already satisfied. Returns facts added.
+    pub fn apply_standard(&self, src: &Instance, dst: &mut Instance) -> usize {
+        let body_q = ConjunctiveQuery {
+            head: sorted(self.body_vars()),
+            atoms: self.body.clone(),
+        };
+        let frontier: Vec<u32> = body_q.head.clone();
+        let existentials = sorted(self.existential_vars());
+        let mut added = 0;
+        for m in body_q.all_bindings(src) {
+            let head_q = ConjunctiveQuery {
+                head: vec![],
+                atoms: self
+                    .head
+                    .iter()
+                    .map(|a| Atom {
+                        rel: a.rel,
+                        args: a
+                            .args
+                            .iter()
+                            .map(|t| match t {
+                                CqTerm::Var(v) if frontier.contains(v) => {
+                                    CqTerm::Const(m[v].clone())
+                                }
+                                other => other.clone(),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            };
+            if head_q.holds(dst) {
+                continue;
+            }
+            let mut assignment: FxHashMap<u32, Term> = m.clone();
+            for &z in &existentials {
+                let fresh = dst.fresh_null();
+                assignment.insert(z, fresh);
+            }
+            for atom in &self.head {
+                let fact: Vec<Term> = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        CqTerm::Var(v) => assignment[v].clone(),
+                        CqTerm::Const(c) => c.clone(),
+                    })
+                    .collect();
+                if dst.insert(atom.rel, fact) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+/// An equality-generating dependency `∀x̄ (ϕ(x̄) → x = y)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Egd {
+    /// Body atoms.
+    pub body: Vec<Atom>,
+    /// Pairs of variables equated by the head.
+    pub equalities: Vec<(u32, u32)>,
+}
+
+impl Egd {
+    /// Is the egd satisfied by the instance?
+    pub fn is_satisfied(&self, db: &Instance) -> bool {
+        let q = ConjunctiveQuery {
+            head: sorted(collect_vars(&self.body)),
+            atoms: self.body.clone(),
+        };
+        q.all_bindings(db)
+            .into_iter()
+            .all(|m| self.equalities.iter().all(|(x, y)| m[x] == m[y]))
+    }
+}
+
+fn collect_vars(atoms: &[Atom]) -> FxHashSet<u32> {
+    let mut out = FxHashSet::default();
+    for a in atoms {
+        for t in &a.args {
+            if let CqTerm::Var(v) = t {
+                out.insert(*v);
+            }
+        }
+    }
+    out
+}
+
+fn sorted(s: FxHashSet<u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = s.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+    use gde_datagraph::NodeId;
+
+    fn node(i: u32) -> Term {
+        Term::Node(NodeId(i))
+    }
+
+    /// S(x,y) → ∃z T(x,z) ∧ T(z,y)
+    fn split_tgd(s: crate::schema::RelId, t: crate::schema::RelId) -> Tgd {
+        Tgd {
+            body: vec![Atom::vars(s, [0, 1])],
+            head: vec![Atom::vars(t, [0, 2]), Atom::vars(t, [2, 1])],
+        }
+    }
+
+    fn setup() -> (Instance, Instance, crate::schema::RelId, crate::schema::RelId) {
+        let mut sch_s = RelSchema::new();
+        let s = sch_s.relation("S", 2);
+        let mut sch_t = RelSchema::new();
+        let t = sch_t.relation("T", 2);
+        let mut src = Instance::new(sch_s);
+        src.insert(s, vec![node(0), node(1)]);
+        src.insert(s, vec![node(2), node(3)]);
+        let dst = Instance::new(sch_t);
+        (src, dst, s, t)
+    }
+
+    #[test]
+    fn variable_classification() {
+        let (.., s, t) = setup();
+        let tgd = split_tgd(s, t);
+        assert_eq!(tgd.body_vars().len(), 2);
+        assert_eq!(tgd.existential_vars(), [2].into_iter().collect());
+        assert!(!tgd.is_full());
+    }
+
+    #[test]
+    fn oblivious_application() {
+        let (src, mut dst, s, t) = setup();
+        let tgd = split_tgd(s, t);
+        let added = tgd.apply_oblivious(&src, &mut dst);
+        assert_eq!(added, 4); // two matches × two head atoms
+        assert_eq!(dst.nulls().len(), 2); // one fresh null per match
+        assert!(tgd.is_satisfied(&src, &dst));
+    }
+
+    #[test]
+    fn standard_application_skips_satisfied() {
+        let (src, mut dst, s, t) = setup();
+        let tgd = split_tgd(s, t);
+        // pre-satisfy the first match
+        dst.insert(t, vec![node(0), node(9)]);
+        dst.insert(t, vec![node(9), node(1)]);
+        let added = tgd.apply_standard(&src, &mut dst);
+        assert_eq!(added, 2); // only the (2,3) match fires
+        assert_eq!(dst.nulls().len(), 1);
+        assert!(tgd.is_satisfied(&src, &dst));
+    }
+
+    #[test]
+    fn satisfaction_detects_missing_head() {
+        let (src, dst, s, t) = setup();
+        let tgd = split_tgd(s, t);
+        assert!(!tgd.is_satisfied(&src, &dst));
+    }
+
+    #[test]
+    fn egd_checks() {
+        let mut sch = RelSchema::new();
+        let n = sch.relation("N", 2);
+        let mut db = Instance::new(sch);
+        db.insert(n, vec![node(0), Term::Null(0)]);
+        db.insert(n, vec![node(0), Term::Null(1)]);
+        // key: N(x,y) ∧ N(x,y') → y = y'
+        let egd = Egd {
+            body: vec![Atom::vars(n, [0, 1]), Atom::vars(n, [0, 2])],
+            equalities: vec![(1, 2)],
+        };
+        assert!(!egd.is_satisfied(&db));
+        db.substitute(&Term::Null(1), &Term::Null(0));
+        assert!(egd.is_satisfied(&db));
+    }
+
+    #[test]
+    fn full_tgd() {
+        let mut sch = RelSchema::new();
+        let e = sch.relation("E", 2);
+        let r = sch.relation("Reach", 2);
+        let tgd = Tgd {
+            body: vec![Atom::vars(e, [0, 1])],
+            head: vec![Atom::vars(r, [0, 1])],
+        };
+        assert!(tgd.is_full());
+        let mut db = Instance::new(sch);
+        db.insert(e, vec![node(0), node(1)]);
+        let mut out = db.clone();
+        tgd.apply_oblivious(&db, &mut out);
+        assert!(out.contains(r, &[node(0), node(1)]));
+    }
+}

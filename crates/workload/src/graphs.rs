@@ -1,0 +1,187 @@
+//! Random and structured data-graph generators.
+
+use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_data_graph`].
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges (duplicates are retried, self-loops allowed).
+    pub edges: usize,
+    /// Label names to draw edges from.
+    pub labels: Vec<String>,
+    /// Size of the data-value pool: small pools yield many repeated values
+    /// (making equality tests fire often), large pools few.
+    pub value_pool: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> GraphConfig {
+        GraphConfig {
+            nodes: 50,
+            edges: 120,
+            labels: vec!["a".into(), "b".into()],
+            value_pool: 10,
+            seed: 0xDA7A,
+        }
+    }
+}
+
+/// Generate a random data graph: uniform endpoints, uniform labels, values
+/// drawn uniformly from `0..value_pool`.
+pub fn random_data_graph(cfg: &GraphConfig) -> DataGraph {
+    assert!(cfg.nodes > 0, "graph needs nodes");
+    assert!(!cfg.labels.is_empty(), "graph needs labels");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let alphabet = Alphabet::from_labels(cfg.labels.iter().map(String::as_str));
+    let mut g = DataGraph::with_alphabet(alphabet);
+    for i in 0..cfg.nodes {
+        let v = rng.gen_range(0..cfg.value_pool.max(1)) as i64;
+        g.add_node(NodeId(i as u32), Value::int(v)).unwrap();
+    }
+    let labels: Vec<_> = g.alphabet().labels().collect();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < cfg.edges && attempts < cfg.edges * 20 {
+        attempts += 1;
+        let u = NodeId(rng.gen_range(0..cfg.nodes) as u32);
+        let v = NodeId(rng.gen_range(0..cfg.nodes) as u32);
+        let l = labels[rng.gen_range(0..labels.len())];
+        if g.add_edge(u, l, v).unwrap() {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A chain `0 -a-> 1 -a-> … -a-> n-1` with values `0..n`.
+pub fn chain_graph(n: usize, label: &str) -> DataGraph {
+    let mut g = DataGraph::new();
+    for i in 0..n {
+        g.add_node(NodeId(i as u32), Value::int(i as i64)).unwrap();
+    }
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge_str(NodeId(i as u32), label, NodeId(i as u32 + 1))
+            .unwrap();
+    }
+    g
+}
+
+/// A cycle over `n` nodes with a repeating value pattern of period `p`
+/// (so equality tests have something to find).
+pub fn cycle_graph(n: usize, label: &str, value_period: usize) -> DataGraph {
+    assert!(n > 0);
+    let mut g = DataGraph::new();
+    for i in 0..n {
+        g.add_node(
+            NodeId(i as u32),
+            Value::int((i % value_period.max(1)) as i64),
+        )
+        .unwrap();
+    }
+    for i in 0..n {
+        g.add_edge_str(NodeId(i as u32), label, NodeId(((i + 1) % n) as u32))
+            .unwrap();
+    }
+    g
+}
+
+/// Random undirected-graph edge list for the 3-colourability experiments:
+/// each of the `n·(n-1)/2` candidate edges is kept with probability `p`.
+pub fn random_simple_edges(n: u32, p: f64, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// A planted 3-colourable graph: vertices get hidden colours, edges only
+/// between distinct classes (so the instance is guaranteed colourable).
+pub fn planted_three_colourable(n: u32, edges: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let colours: Vec<u8> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+    let mut out = Vec::new();
+    let mut attempts = 0;
+    while out.len() < edges && attempts < edges * 50 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && colours[u as usize] != colours[v as usize] {
+            let e = (u.min(v), u.max(v));
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_respects_config() {
+        let cfg = GraphConfig {
+            nodes: 30,
+            edges: 60,
+            value_pool: 3,
+            ..GraphConfig::default()
+        };
+        let g = random_data_graph(&cfg);
+        assert_eq!(g.node_count(), 30);
+        assert_eq!(g.edge_count(), 60);
+        // small pool ⇒ repeated values
+        assert!(g.value_set().len() <= 3);
+    }
+
+    #[test]
+    fn random_graph_deterministic_by_seed() {
+        let cfg = GraphConfig::default();
+        let g1 = random_data_graph(&cfg);
+        let g2 = random_data_graph(&cfg);
+        assert!(g1.is_subgraph_of(&g2) && g2.is_subgraph_of(&g1));
+        let g3 = random_data_graph(&GraphConfig {
+            seed: 999,
+            ..cfg.clone()
+        });
+        // overwhelmingly likely to differ
+        assert!(!(g1.is_subgraph_of(&g3) && g3.is_subgraph_of(&g1)));
+    }
+
+    #[test]
+    fn structured_graphs() {
+        let c = chain_graph(5, "a");
+        assert_eq!(c.node_count(), 5);
+        assert_eq!(c.edge_count(), 4);
+        let cy = cycle_graph(6, "a", 3);
+        assert_eq!(cy.edge_count(), 6);
+        assert_eq!(cy.value(NodeId(0)), cy.value(NodeId(3)));
+    }
+
+    #[test]
+    fn planted_graphs_are_colourable() {
+        let edges = planted_three_colourable(8, 12, 42);
+        assert!(!edges.is_empty());
+        // verify by brute force through the reduction oracle shape:
+        // colour classes exist by construction; check no self-loops
+        assert!(edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn random_simple_edges_in_range() {
+        let edges = random_simple_edges(10, 0.5, 7);
+        assert!(edges.iter().all(|&(u, v)| u < v && v < 10));
+    }
+}

@@ -1,0 +1,17 @@
+//! # gde-workload
+//!
+//! Seeded workload generators for the experiment harness, property tests
+//! and examples: random data graphs, random relational mappings, random
+//! data RPQs, and packaged exchange scenarios. Everything is deterministic
+//! given a seed (`SmallRng`), so experiments in `EXPERIMENTS.md` are
+//! reproducible.
+
+pub mod graphs;
+pub mod queries;
+pub mod scenarios;
+pub mod social;
+
+pub use graphs::{chain_graph, cycle_graph, random_data_graph, GraphConfig};
+pub use queries::{random_path_test, random_ree, random_rem, QueryConfig};
+pub use scenarios::{random_scenario, ExchangeScenario, ScenarioConfig};
+pub use social::{social_data_graph, social_network, SocialConfig};

@@ -1,0 +1,191 @@
+//! Random query generators (REE, REM, paths with tests).
+
+use gde_datagraph::Label;
+use gde_dataquery::{PathTest, Ree, Rem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the query generators.
+#[derive(Clone, Debug)]
+pub struct QueryConfig {
+    /// Labels the query may mention.
+    pub labels: Vec<Label>,
+    /// Maximum AST depth.
+    pub depth: usize,
+    /// Probability of an equality/inequality test at each level.
+    pub test_prob: f64,
+    /// Allow inequality tests (`false` generates REE=/REM= queries).
+    pub allow_inequality: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> QueryConfig {
+        QueryConfig {
+            labels: vec![Label(0), Label(1)],
+            depth: 3,
+            test_prob: 0.4,
+            allow_inequality: true,
+            seed: 0x9E4,
+        }
+    }
+}
+
+/// Generate a random REE.
+pub fn random_ree(cfg: &QueryConfig) -> Ree {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    gen_ree(cfg, &mut rng, cfg.depth)
+}
+
+fn gen_ree(cfg: &QueryConfig, rng: &mut SmallRng, depth: usize) -> Ree {
+    let atom = |rng: &mut SmallRng| Ree::Atom(cfg.labels[rng.gen_range(0..cfg.labels.len())]);
+    let mut e = if depth == 0 {
+        atom(rng)
+    } else {
+        match rng.gen_range(0..5) {
+            0 => atom(rng),
+            1 => Ree::concat([gen_ree(cfg, rng, depth - 1), gen_ree(cfg, rng, depth - 1)]),
+            2 => Ree::union([gen_ree(cfg, rng, depth - 1), gen_ree(cfg, rng, depth - 1)]),
+            3 => gen_ree(cfg, rng, depth - 1).plus(),
+            _ => gen_ree(cfg, rng, depth - 1).star(),
+        }
+    };
+    if rng.gen_bool(cfg.test_prob) {
+        e = if cfg.allow_inequality && rng.gen_bool(0.5) {
+            e.neq()
+        } else {
+            e.eq()
+        };
+    }
+    e
+}
+
+/// Generate a random REM with up to `depth` levels. The whole expression
+/// is wrapped in a `↓x₀` bind so conditions always have a bound variable.
+pub fn random_rem(cfg: &QueryConfig) -> Rem {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut bound = vec!["x0".to_string()];
+    let body = gen_rem(cfg, &mut rng, cfg.depth, &mut bound);
+    Rem::Bind(vec!["x0".into()], Box::new(body))
+}
+
+fn gen_rem(cfg: &QueryConfig, rng: &mut SmallRng, depth: usize, bound: &mut Vec<String>) -> Rem {
+    use gde_dataquery::rem::VarCond;
+    let atom = |rng: &mut SmallRng| Rem::Atom(cfg.labels[rng.gen_range(0..cfg.labels.len())]);
+    if depth == 0 {
+        return atom(rng);
+    }
+    match rng.gen_range(0..6) {
+        0 => atom(rng),
+        1 => Rem::concat([
+            gen_rem(cfg, rng, depth - 1, bound),
+            gen_rem(cfg, rng, depth - 1, bound),
+        ]),
+        2 => Rem::Union(vec![
+            gen_rem(cfg, rng, depth - 1, bound),
+            gen_rem(cfg, rng, depth - 1, bound),
+        ]),
+        3 => Rem::Plus(Box::new(gen_rem(cfg, rng, depth - 1, bound))),
+        4 => {
+            let var = format!("x{}", bound.len());
+            bound.push(var.clone());
+            let inner = gen_rem(cfg, rng, depth - 1, bound);
+            bound.pop();
+            Rem::Bind(vec![var], Box::new(inner))
+        }
+        _ => {
+            let var = bound[rng.gen_range(0..bound.len())].clone();
+            let cond = if cfg.allow_inequality && rng.gen_bool(0.5) {
+                VarCond::Neq(var)
+            } else {
+                VarCond::Eq(var)
+            };
+            Rem::Test(Box::new(gen_rem(cfg, rng, depth - 1, bound)), cond)
+        }
+    }
+}
+
+/// Generate a random path with tests of the given word length.
+pub fn random_path_test(cfg: &QueryConfig, word_len: usize, inequalities: usize) -> PathTest {
+    assert!(word_len > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut parts: Vec<PathTest> = (0..word_len)
+        .map(|_| PathTest::Atom(cfg.labels[rng.gen_range(0..cfg.labels.len())]))
+        .collect();
+    // sprinkle tests over random contiguous segments
+    let mut remaining_neq = inequalities;
+    for _ in 0..(word_len / 2 + inequalities) {
+        let i = rng.gen_range(0..parts.len());
+        let j = rng.gen_range(i..parts.len());
+        let seg = PathTest::concat(parts[i..=j].iter().cloned());
+        let tested = if remaining_neq > 0 {
+            remaining_neq -= 1;
+            seg.neq()
+        } else if rng.gen_bool(cfg.test_prob) {
+            seg.eq()
+        } else {
+            continue;
+        };
+        parts.splice(i..=j, [tested]);
+    }
+    PathTest::concat(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ree_generator_deterministic_and_valid() {
+        let cfg = QueryConfig::default();
+        let e1 = random_ree(&cfg);
+        let e2 = random_ree(&cfg);
+        assert_eq!(e1, e2);
+        // a generated query can be evaluated without panicking
+        let g = crate::graphs::cycle_graph(8, "a", 3);
+        let mut g = g;
+        g.alphabet_mut().intern("b");
+        let _ = e1.eval_pairs(&g);
+    }
+
+    #[test]
+    fn equality_only_mode() {
+        for seed in 0..20 {
+            let cfg = QueryConfig {
+                allow_inequality: false,
+                seed,
+                ..QueryConfig::default()
+            };
+            assert!(random_ree(&cfg).is_equality_only(), "seed {seed}");
+            assert!(random_rem(&cfg).is_equality_only(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rem_generator_compiles() {
+        for seed in 0..10 {
+            let cfg = QueryConfig {
+                seed,
+                ..QueryConfig::default()
+            };
+            let e = random_rem(&cfg);
+            let _ = e.compile();
+        }
+    }
+
+    #[test]
+    fn path_test_generator_counts_inequalities() {
+        for seed in 0..10 {
+            let cfg = QueryConfig {
+                seed,
+                ..QueryConfig::default()
+            };
+            let p = random_path_test(&cfg, 5, 1);
+            assert_eq!(p.len(), 5);
+            assert_eq!(p.inequality_count(), 1);
+            let p = random_path_test(&cfg, 4, 0);
+            assert_eq!(p.inequality_count(), 0);
+        }
+    }
+}

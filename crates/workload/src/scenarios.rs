@@ -1,0 +1,99 @@
+//! Packaged data-exchange scenarios: a mapping plus a source graph.
+
+use crate::graphs::{random_data_graph, GraphConfig};
+use gde_automata::Regex;
+use gde_core::Gsm;
+use gde_datagraph::{Alphabet, DataGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A data-exchange scenario: a mapping and a concrete source graph.
+#[derive(Clone, Debug)]
+pub struct ExchangeScenario {
+    /// The mapping.
+    pub gsm: Gsm,
+    /// The source graph.
+    pub source: DataGraph,
+}
+
+/// Parameters for [`random_scenario`].
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Source graph shape.
+    pub graph: GraphConfig,
+    /// Target label names.
+    pub target_labels: Vec<String>,
+    /// One LAV rule per source label; target words are drawn uniformly with
+    /// lengths in `1..=max_word_len`.
+    pub max_word_len: usize,
+    /// RNG seed for the mapping (the graph uses `graph.seed`).
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> ScenarioConfig {
+        ScenarioConfig {
+            graph: GraphConfig::default(),
+            target_labels: vec!["x".into(), "y".into()],
+            max_word_len: 2,
+            seed: 0x5CE7,
+        }
+    }
+}
+
+/// Generate a random LAV relational scenario: one rule `(a, w_a)` per
+/// source label, with a random non-empty target word `w_a`.
+pub fn random_scenario(cfg: &ScenarioConfig) -> ExchangeScenario {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let source = random_data_graph(&cfg.graph);
+    let target_alphabet = Alphabet::from_labels(cfg.target_labels.iter().map(String::as_str));
+    let tlabels: Vec<_> = target_alphabet.labels().collect();
+    let mut gsm = Gsm::new(source.alphabet().clone(), target_alphabet.clone());
+    for l in source.alphabet().labels().collect::<Vec<_>>() {
+        let len = rng.gen_range(1..=cfg.max_word_len.max(1));
+        let word: Vec<_> = (0..len)
+            .map(|_| tlabels[rng.gen_range(0..tlabels.len())])
+            .collect();
+        gsm.add_rule(Regex::Atom(l), Regex::word(&word));
+    }
+    ExchangeScenario { gsm, source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_core::universal_solution;
+
+    #[test]
+    fn random_scenarios_are_relational_lav() {
+        for seed in 0..10 {
+            let cfg = ScenarioConfig {
+                seed,
+                graph: GraphConfig {
+                    nodes: 12,
+                    edges: 20,
+                    seed,
+                    ..GraphConfig::default()
+                },
+                ..ScenarioConfig::default()
+            };
+            let sc = random_scenario(&cfg);
+            let c = sc.gsm.classify();
+            assert!(c.lav && c.relational, "seed {seed}");
+            // and the universal solution construction succeeds
+            let sol = universal_solution(&sc.gsm, &sc.source).unwrap();
+            assert!(sc.gsm.is_solution(&sc.source, &sol.graph), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ScenarioConfig::default();
+        let a = random_scenario(&cfg);
+        let b = random_scenario(&cfg);
+        assert_eq!(a.gsm.rules().len(), b.gsm.rules().len());
+        for (ra, rb) in a.gsm.rules().iter().zip(b.gsm.rules()) {
+            assert_eq!(ra, rb);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # graph-data-exchange
+//!
+//! Facade crate for the full reproduction of *Schema Mappings for Data
+//! Graphs* (Francis & Libkin, PODS 2017). It re-exports every component
+//! crate under a stable set of module names; see the README for a tour and
+//! `examples/` for runnable entry points.
+//!
+//! * [`datagraph`] — data graphs, values, labels, paths, homomorphisms,
+//!   property graphs, text I/O (§1–§2)
+//! * [`automata`] — classical RPQs, NFAs, DFAs and register automata (§2–§3)
+//! * [`dataquery`] — data RPQs: REE, REM, paths with tests, conjunctive
+//!   data RPQs (§3, §5, §7, §8)
+//! * [`gxpath`] — GXPath-core with data tests, plus the regular extension (§9)
+//! * [`relational`] — relational data-exchange substrate: chase, tgds (§6)
+//! * [`core`] — graph schema mappings and certain-answer algorithms (§4–§8)
+//! * [`reductions`] — the paper's hardness gadgets, executable (§5, §6, §9)
+//! * [`workload`] — scenario generators used by examples, tests and benches
+//!
+//! The sixty-second version of the whole story:
+//!
+//! ```
+//! use graph_data_exchange::prelude::*;
+//! use graph_data_exchange::dataquery::parse_ree;
+//! use gde_automata::parse_regex;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // a source data graph: nodes are (id, value) pairs
+//! let mut source = DataGraph::new();
+//! source.add_node(NodeId(0), Value::str("ann"))?;
+//! source.add_node(NodeId(1), Value::str("bob"))?;
+//! source.add_node(NodeId(2), Value::str("ann"))?;
+//! source.add_edge_str(NodeId(0), "follows", NodeId(1))?;
+//! source.add_edge_str(NodeId(1), "follows", NodeId(2))?;
+//!
+//! // a schema mapping: each follows-edge must appear as a knows·trusts
+//! // path on the target side
+//! let mut sa = source.alphabet().clone();
+//! let mut ta = Alphabet::from_labels(["knows", "trusts"]);
+//! let mut m = Gsm::new(sa.clone(), ta.clone());
+//! m.add_rule(
+//!     parse_regex("follows", &mut sa)?,
+//!     parse_regex("knows trusts", &mut ta)?,
+//! );
+//!
+//! // certain answers to a data RPQ, true in EVERY possible target:
+//! // same-name endpoints two exchange-hops apart
+//! let q: DataQuery = parse_ree("(knows trusts knows trusts)=", &mut ta)?.into();
+//! let answers = certain_answers_nulls(&m, &q, &source)?.into_pairs();
+//! assert_eq!(answers, vec![(NodeId(0), NodeId(2))]); // ann …→ ann
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gde_automata as automata;
+pub use gde_core as core;
+pub use gde_datagraph as datagraph;
+pub use gde_dataquery as dataquery;
+pub use gde_gxpath as gxpath;
+pub use gde_reductions as reductions;
+pub use gde_relational as relational;
+pub use gde_workload as workload;
+
+/// A convenience prelude pulling in the names used by virtually every
+/// program built on this library.
+pub mod prelude {
+    pub use gde_core::prelude::*;
+    pub use gde_datagraph::{Alphabet, DataGraph, Label, NodeId, PropertyGraph, Value};
+}

@@ -1,0 +1,94 @@
+//! Conjunctive data RPQs through the certain-answer machinery: because
+//! conjunction with existential projection preserves hom-closure, the
+//! universal-solution engines accept [`ConjunctiveDataRpq`] unchanged —
+//! the "conjunctive RPQ" route of §5, with data atoms.
+
+use gde_automata::parse_regex;
+use gde_core::{certain_answers_exact, certain_answers_nulls, ExactOptions, Gsm};
+use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
+use gde_dataquery::{parse_ree, CdAtom, ConjunctiveDataRpq, DataQuery};
+
+/// Source: 0(v5) -a-> 1(v5) -a-> 2(v7); mapping (a, x y).
+fn scenario() -> (Gsm, DataGraph) {
+    let mut sa = Alphabet::from_labels(["a"]);
+    let mut ta = Alphabet::from_labels(["x", "y"]);
+    let mut m = Gsm::new(sa.clone(), ta.clone());
+    m.add_rule(
+        parse_regex("a", &mut sa).unwrap(),
+        parse_regex("x y", &mut ta).unwrap(),
+    );
+    let mut gs = DataGraph::new();
+    gs.add_node(NodeId(0), Value::int(5)).unwrap();
+    gs.add_node(NodeId(1), Value::int(5)).unwrap();
+    gs.add_node(NodeId(2), Value::int(7)).unwrap();
+    gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+    gs.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+    (m, gs)
+}
+
+#[test]
+fn conjunctive_certain_answers_via_nulls() {
+    let (m, gs) = scenario();
+    let mut ta = m.target_alphabet().clone();
+    // Q(u, w) = u -(x y)=-> z ∧ z -(x y)≠-> w : equal-valued hop then
+    // different-valued hop
+    let eq: DataQuery = parse_ree("(x y)=", &mut ta).unwrap().into();
+    let neq: DataQuery = parse_ree("(x y)!=", &mut ta).unwrap().into();
+    let q: DataQuery = ConjunctiveDataRpq::new(
+        (0, 1),
+        vec![
+            CdAtom { from: 0, query: eq, to: 9 },
+            CdAtom { from: 9, query: neq, to: 1 },
+        ],
+    )
+    .into();
+    let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+    // 0 =(5,5)= 1 then 1 ≠(5,7)≠ 2
+    assert_eq!(ans, vec![(NodeId(0), NodeId(2))]);
+}
+
+#[test]
+fn conjunctive_nulls_contained_in_exact() {
+    let (m, gs) = scenario();
+    let mut ta = m.target_alphabet().clone();
+    let branch1: DataQuery = parse_ree("x y", &mut ta).unwrap().into();
+    let branch2: DataQuery = parse_ree("(x y)=", &mut ta).unwrap().into();
+    let q: DataQuery = ConjunctiveDataRpq::new(
+        (0, 1),
+        vec![
+            CdAtom { from: 0, query: branch1, to: 1 },
+            CdAtom { from: 0, query: branch2, to: 1 },
+        ],
+    )
+    .into();
+    let nulls = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+    let exact = certain_answers_exact(&m, &q, &gs, ExactOptions::default())
+        .unwrap()
+        .into_pairs();
+    for p in &nulls {
+        assert!(exact.contains(p), "2ⁿ ⊆ 2 broken at {p:?}");
+    }
+    assert_eq!(nulls, vec![(NodeId(0), NodeId(1))]);
+}
+
+#[test]
+fn conjunctive_with_existential_middle_over_exchange() {
+    let (m, gs) = scenario();
+    let mut ta = m.target_alphabet().clone();
+    // "two targets sharing an x-predecessor": y⁻ shapes are not expressible
+    // in REE, but conjunction gets there: Q(u,w) = z -x-> u' … here use:
+    // u -x-> z ∧ w -x-> z is not expressible either (x goes forward only);
+    // instead test a diamond through words: u -(x y)-> z ∧ u -(x y)-> z
+    // collapses; so take: u -(x y)-> z ∧ z -(x y)-> w (plain 2-hop join).
+    let hop: DataQuery = parse_ree("x y", &mut ta).unwrap().into();
+    let q: DataQuery = ConjunctiveDataRpq::new(
+        (0, 2),
+        vec![
+            CdAtom { from: 0, query: hop.clone(), to: 1 },
+            CdAtom { from: 1, query: hop, to: 2 },
+        ],
+    )
+    .into();
+    let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+    assert_eq!(ans, vec![(NodeId(0), NodeId(2))]);
+}

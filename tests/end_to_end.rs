@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: full exchange scenarios exercised through
+//! every certain-answer engine, checked for mutual consistency.
+
+use gde_automata::parse_regex;
+use gde_core::certain::CertainAnswers;
+use gde_core::{
+    certain_answers_arbitrary, certain_answers_exact, certain_answers_least_informative,
+    certain_answers_nulls, universal_solution, ArbitraryOptions, ExactOptions, Gsm,
+};
+use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
+use gde_dataquery::{parse_ree, DataQuery};
+use gde_workload::{random_scenario, GraphConfig, ScenarioConfig};
+
+fn small_scenario(seed: u64) -> gde_workload::ExchangeScenario {
+    random_scenario(&ScenarioConfig {
+        graph: GraphConfig {
+            nodes: 6,
+            edges: 6,
+            labels: vec!["a".into(), "b".into()],
+            value_pool: 2,
+            seed,
+        },
+        target_labels: vec!["x".into(), "y".into()],
+        max_word_len: 2,
+        seed: seed.wrapping_mul(31) + 7,
+    })
+}
+
+#[test]
+fn nulls_is_contained_in_exact_on_random_scenarios() {
+    for seed in 0..15u64 {
+        let sc = small_scenario(seed);
+        let mut ta = sc.gsm.target_alphabet().clone();
+        for qsrc in ["x", "x y", "(x y)=", "(x | y)+", "((x | y)+)=", "(x y)!="] {
+            let q: DataQuery = parse_ree(qsrc, &mut ta).unwrap().into();
+            let nulls = certain_answers_nulls(&sc.gsm, &q, &sc.source)
+                .unwrap()
+                .into_pairs();
+            let exact = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
+                .unwrap()
+                .into_pairs();
+            for p in &nulls {
+                assert!(
+                    exact.contains(p),
+                    "2ⁿ ⊄ 2 for seed {seed}, query {qsrc}: {p:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn least_informative_equals_exact_for_equality_only() {
+    for seed in 0..15u64 {
+        let sc = small_scenario(seed);
+        let mut ta = sc.gsm.target_alphabet().clone();
+        for qsrc in ["x", "x y", "(x y)=", "((x | y)+)=", "(x= y)="] {
+            let q: DataQuery = parse_ree(qsrc, &mut ta).unwrap().into();
+            let li = certain_answers_least_informative(&sc.gsm, &q, &sc.source)
+                .unwrap()
+                .into_pairs();
+            let exact = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
+                .unwrap()
+                .into_pairs();
+            assert_eq!(li, exact, "seed {seed}, query {qsrc}");
+        }
+    }
+}
+
+#[test]
+fn arbitrary_engine_matches_exact_on_relational_mappings() {
+    for seed in 0..8u64 {
+        let sc = small_scenario(seed);
+        let mut ta = sc.gsm.target_alphabet().clone();
+        for qsrc in ["x y", "(x y)=", "(x y)!="] {
+            let q: DataQuery = parse_ree(qsrc, &mut ta).unwrap().into();
+            let arb = certain_answers_arbitrary(
+                &sc.gsm,
+                &q,
+                &sc.source,
+                ArbitraryOptions {
+                    max_word_len: 2,
+                    ..ArbitraryOptions::default()
+                },
+            )
+            .unwrap();
+            let exact =
+                certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default()).unwrap();
+            assert_eq!(arb.answers, exact, "seed {seed}, query {qsrc}");
+            assert!(arb.exact, "iteration-free query must be flagged exact");
+        }
+    }
+}
+
+#[test]
+fn universal_solutions_solve_random_scenarios() {
+    for seed in 20..40u64 {
+        let sc = small_scenario(seed);
+        let sol = universal_solution(&sc.gsm, &sc.source).unwrap();
+        assert!(
+            sc.gsm.is_solution(&sc.source, &sol.graph),
+            "universal solution fails |= M at seed {seed}"
+        );
+    }
+}
+
+/// The motivating end-to-end story: a two-step exchange chain
+/// source → staging → warehouse, answered at the warehouse.
+#[test]
+fn two_step_exchange_chain() {
+    // source: orders with customer names
+    let mut src = DataGraph::new();
+    for (i, name) in [(0, "zoe"), (1, "amir"), (2, "zoe")] {
+        src.add_node(NodeId(i), Value::str(name)).unwrap();
+    }
+    src.add_edge_str(NodeId(0), "ordered_with", NodeId(1)).unwrap();
+    src.add_edge_str(NodeId(1), "ordered_with", NodeId(2)).unwrap();
+
+    // step 1: source → staging
+    let mut sa = src.alphabet().clone();
+    let mut staging_a = Alphabet::from_labels(["rel"]);
+    let mut m1 = Gsm::new(sa.clone(), staging_a.clone());
+    m1.add_rule(
+        parse_regex("ordered_with", &mut sa).unwrap(),
+        parse_regex("rel", &mut staging_a).unwrap(),
+    );
+    let staged = universal_solution(&m1, &src).unwrap();
+
+    // step 2: staging → warehouse (inventing audit hops)
+    let mut wa = Alphabet::from_labels(["audit", "link"]);
+    let mut m2 = Gsm::new(staging_a.clone(), wa.clone());
+    m2.add_rule(
+        parse_regex("rel", &mut staging_a.clone()).unwrap(),
+        parse_regex("audit link", &mut wa).unwrap(),
+    );
+
+    // same-name customers two hops apart survive both exchanges
+    let q: DataQuery = parse_ree("(audit link audit link)=", &mut wa).unwrap().into();
+    let answers = certain_answers_nulls(&m2, &q, &staged.graph)
+        .unwrap()
+        .into_pairs();
+    assert_eq!(answers, vec![(NodeId(0), NodeId(2))]);
+}
+
+#[test]
+fn vacuous_mapping_cases() {
+    // a mapping with an ε-rule over distinct endpoints has no solutions
+    let mut sa = Alphabet::from_labels(["a"]);
+    let ta = Alphabet::from_labels(["x"]);
+    let mut m = Gsm::new(sa.clone(), ta.clone());
+    m.add_rule(parse_regex("a", &mut sa).unwrap(), gde_automata::Regex::Epsilon);
+    let mut gs = DataGraph::new();
+    gs.add_node(NodeId(0), Value::int(1)).unwrap();
+    gs.add_node(NodeId(1), Value::int(2)).unwrap();
+    gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+    let mut ta2 = ta.clone();
+    let q: DataQuery = parse_ree("x", &mut ta2).unwrap().into();
+    assert_eq!(
+        certain_answers_nulls(&m, &q, &gs).unwrap(),
+        CertainAnswers::AllVacuously
+    );
+    assert_eq!(
+        certain_answers_exact(&m, &q, &gs, ExactOptions::default()).unwrap(),
+        CertainAnswers::AllVacuously
+    );
+}

@@ -1,0 +1,124 @@
+//! Tests pinning down the *boundaries* between the paper's query languages —
+//! the separations its results hinge on.
+
+use gde_datagraph::{DataGraph, FxHashMap, NodeId, Value};
+use gde_dataquery::{parse_ree, parse_rem, DataQuery};
+use gde_gxpath::{eval_node, parse_node_expr};
+
+/// REE and REM agree wherever both can express the query: endpoint tests.
+#[test]
+fn ree_rem_agree_on_endpoint_tests() {
+    for seed in 0..10u64 {
+        let mut g = gde_workload::random_data_graph(&gde_workload::GraphConfig {
+            nodes: 8,
+            edges: 14,
+            value_pool: 3,
+            seed,
+            ..gde_workload::GraphConfig::default()
+        });
+        let cases = [
+            ("(a b)=", "@x.(a b[x=])"),
+            ("(a b)!=", "@x.(a b[x!=])"),
+            ("((a|b)+)=", "@x.((a|b)+[x=])"),
+            ("a (b)= a", "a @y.(b[y=]) a"),
+        ];
+        for (ree_src, rem_src) in cases {
+            let ree = parse_ree(ree_src, g.alphabet_mut()).unwrap();
+            let rem = parse_rem(rem_src, g.alphabet_mut()).unwrap();
+            assert_eq!(
+                ree.eval_pairs(&g),
+                rem.eval_pairs(&g),
+                "seed {seed}: {ree_src} vs {rem_src}"
+            );
+        }
+    }
+}
+
+/// REM is strictly stronger: ↓x.(a[x≠])⁺ ("all values differ from the
+/// first") distinguishes graphs that every REE of the shape we try cannot.
+/// We verify the semantic behaviour REM gives and that the natural REE
+/// approximations differ from it.
+#[test]
+fn rem_all_differ_not_ree_expressible_naively() {
+    // chain: 1 -a-> 2 -a-> 1 (values); the REM query rejects (last = first)
+    let mut g = DataGraph::new();
+    g.add_node(NodeId(0), Value::int(1)).unwrap();
+    g.add_node(NodeId(1), Value::int(2)).unwrap();
+    g.add_node(NodeId(2), Value::int(1)).unwrap();
+    g.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+    g.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+    let rem = parse_rem("@x.((a[x!=])+)", g.alphabet_mut()).unwrap();
+    let rem_pairs = rem.eval_pairs(&g);
+    assert!(rem_pairs.contains(&(NodeId(0), NodeId(1))));
+    assert!(!rem_pairs.contains(&(NodeId(0), NodeId(2)))); // 1 reappears
+    // natural REE attempts either miss the first comparison or only test
+    // endpoints:
+    let attempt1 = parse_ree("(a!=)+", g.alphabet_mut()).unwrap(); // consecutive ≠
+    assert!(attempt1.eval_pairs(&g).contains(&(NodeId(0), NodeId(2))));
+    let attempt2 = parse_ree("(a+)!=", g.alphabet_mut()).unwrap(); // endpoints ≠
+    assert!(!attempt2.eval_pairs(&g).contains(&(NodeId(0), NodeId(2))));
+    assert!(attempt2.eval_pairs(&g).contains(&(NodeId(0), NodeId(1))));
+}
+
+/// GXPath node expressions are NOT closed under homomorphisms — negation
+/// sees what positive queries cannot. This is the §9 boundary: the
+/// universal-solution method is unsound for GXPath.
+#[test]
+fn gxpath_not_hom_closed() {
+    // G: single node 0 with no edges; G': 0 plus an a-edge to 1.
+    // ϕ = ¬⟨a⟩ holds at 0 in G but not in G', although G maps into G'
+    // by an identity homomorphism.
+    let mut g = DataGraph::new();
+    g.add_node(NodeId(0), Value::int(7)).unwrap();
+    g.alphabet_mut().intern("a");
+    let mut g2 = g.clone();
+    g2.add_node(NodeId(1), Value::int(8)).unwrap();
+    g2.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+
+    let id_hom: FxHashMap<NodeId, NodeId> = g.node_ids().map(|v| (v, v)).collect();
+    assert!(gde_datagraph::check_hom(
+        &id_hom,
+        &g,
+        &g2,
+        gde_datagraph::HomMode::Exact
+    ));
+
+    let phi = parse_node_expr("!<a>", g.alphabet_mut()).unwrap();
+    assert_eq!(eval_node(&phi, &g), vec![NodeId(0)]);
+    assert!(!eval_node(&phi, &g2).contains(&NodeId(0)));
+}
+
+/// Data RPQs (hom-closed) vs GXPath: the certain-answer engines accept the
+/// former and there is no sound way to feed them the latter — enforced at
+/// the type level (GXPath is simply not a `DataQuery` variant). This test
+/// documents the boundary by exhaustiveness.
+#[test]
+fn data_query_variants_are_hom_closed_classes() {
+    let mut al = gde_datagraph::Alphabet::new();
+    let variants: Vec<DataQuery> = vec![
+        gde_automata::parse_regex("a", &mut al).unwrap().into(),
+        parse_ree("a=", &mut al).unwrap().into(),
+        parse_rem("@x.(a[x=])", &mut al).unwrap().into(),
+        DataQuery::PathTest(gde_dataquery::PathTest::Atom(al.label("a").unwrap())),
+    ];
+    for q in variants {
+        assert!(q.is_hom_closed());
+    }
+}
+
+/// Paths with tests sit strictly inside REE: conversion round-trips, and
+/// the REE-only operators are genuinely rejected.
+#[test]
+fn pathtest_ree_boundary() {
+    use gde_dataquery::PathTest;
+    let mut al = gde_datagraph::Alphabet::new();
+    for src in ["(a b)= c!=", "a", "((a (b c)=))!="] {
+        let e = parse_ree(src, &mut al).unwrap();
+        let p = PathTest::from_ree(&e).expect("iteration-free");
+        assert_eq!(p.to_ree(), e);
+    }
+    for src in ["a+", "a | b", "eps", "(a|b)="] {
+        let e = parse_ree(src, &mut al).unwrap();
+        assert!(PathTest::from_ree(&e).is_none(), "{src} is not a path");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the hardness gadgets: the reductions must agree with
+//! ground truth on randomized instances.
+
+use gde_core::{certain_boolean_exact, ExactOptions};
+use gde_reductions::{PcpInstance, Thm1Gadget, ThreeColGadget};
+use gde_workload::graphs::{planted_three_colourable, random_simple_edges};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Proposition 3 on random 4-vertex graphs: the Boolean certain answer
+    /// equals non-3-colourability, always.
+    #[test]
+    fn threecol_gadget_matches_bruteforce(seed in 0u64..10_000, p in 0.2f64..0.9) {
+        let edges = random_simple_edges(4, p, seed);
+        let g = ThreeColGadget::build(4, &edges);
+        let colourable = g.brute_force_colouring().is_some();
+        let certain = certain_boolean_exact(
+            &g.gsm,
+            &g.query,
+            &g.source,
+            ExactOptions { max_invented: 16, max_patterns: 10_000_000 },
+        ).unwrap();
+        prop_assert_eq!(certain, !colourable, "edges: {:?}", edges);
+    }
+
+    /// Planted colourable instances are never "certain".
+    #[test]
+    fn threecol_planted_never_certain(seed in 0u64..10_000) {
+        let edges = planted_three_colourable(4, 4, seed);
+        let g = ThreeColGadget::build(4, &edges);
+        prop_assert!(g.brute_force_colouring().is_some());
+        let certain = certain_boolean_exact(
+            &g.gsm,
+            &g.query,
+            &g.source,
+            ExactOptions { max_invented: 16, max_patterns: 10_000_000 },
+        ).unwrap();
+        prop_assert!(!certain);
+    }
+
+    /// The canonical coloured target defeats the query exactly for proper
+    /// colourings.
+    #[test]
+    fn threecol_target_vs_colouring(seed in 0u64..10_000, c0 in 0u8..3, c1 in 0u8..3, c2 in 0u8..3) {
+        let edges = random_simple_edges(3, 0.7, seed);
+        let g = ThreeColGadget::build(3, &edges);
+        let colours = [c0, c1, c2];
+        let gt = g.coloured_target(&colours);
+        prop_assert!(g.gsm.is_solution(&g.source, &gt));
+        let fires = g.query.holds_somewhere(&gt);
+        prop_assert_eq!(fires, !g.is_proper(&colours), "colours {:?}", colours);
+    }
+
+    /// Theorem 1: whenever the bounded PCP solver finds a solution, the
+    /// gadget produces a mapping solution that defeats the error query; the
+    /// lazy solution is always caught.
+    #[test]
+    fn thm1_gadget_invariants(seed in 0u64..2_000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let letters = ["a", "b", "ab", "ba", "aa", "bb"];
+        let tiles: Vec<(String, String)> = (0..rng.gen_range(1..=3usize))
+            .map(|_| {
+                (
+                    letters[rng.gen_range(0..letters.len())].to_string(),
+                    letters[rng.gen_range(0..letters.len())].to_string(),
+                )
+            })
+            .collect();
+        let inst = PcpInstance::new(&tiles);
+        let gadget = Thm1Gadget::build(inst.clone());
+        // lazy target: always a solution, always caught
+        let lazy = gadget.lazy_target();
+        prop_assert!(gadget.gsm.is_solution(&gadget.source, &lazy));
+        prop_assert!(gadget.error_fires(&lazy));
+        // solvable ⇒ witness works
+        if let Some(sol) = inst.solve_bounded(6) {
+            prop_assert!(gadget.witnesses_not_certain(&sol), "tiles {:?} sol {:?}", tiles, sol);
+        }
+    }
+}

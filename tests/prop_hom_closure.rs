@@ -1,0 +1,115 @@
+//! Property tests for Proposition 6: data RPQs are closed under
+//! homomorphisms on data graphs (including null-absorbing ones).
+//!
+//! Strategy: generate a random data graph, quotient it by merging nodes
+//! with equal values (a legitimate exact homomorphism), and check that
+//! every answer of the original maps to an answer of the image.
+
+use gde_datagraph::{apply_hom, check_hom, DataGraph, FxHashMap, HomMode, NodeId, Value};
+use gde_dataquery::{parse_ree, parse_rem, DataQuery};
+use gde_workload::{random_data_graph, GraphConfig};
+use proptest::prelude::*;
+
+/// Build a merge map: nodes with equal values are grouped; each group is
+/// collapsed to its smallest id with probability controlled by `mask`.
+fn merge_map(g: &DataGraph, mask: u64) -> FxHashMap<NodeId, NodeId> {
+    let mut by_value: FxHashMap<Value, Vec<NodeId>> = FxHashMap::default();
+    for (id, v) in g.nodes() {
+        by_value.entry(v.clone()).or_default().push(id);
+    }
+    let mut h: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    for (_, mut group) in by_value {
+        group.sort();
+        let rep = group[0];
+        for (k, id) in group.into_iter().enumerate() {
+            // merge roughly half the group members into the representative
+            if mask >> (k % 64) & 1 == 1 {
+                h.insert(id, rep);
+            } else {
+                h.insert(id, id);
+            }
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ree_answers_preserved_under_quotients(seed in 0u64..5000, mask in any::<u64>()) {
+        let mut g = random_data_graph(&GraphConfig {
+            nodes: 10,
+            edges: 16,
+            value_pool: 3,
+            seed,
+            ..GraphConfig::default()
+        });
+        let h = merge_map(&g, mask);
+        let img = apply_hom(&g, &h, HomMode::Exact).expect("equal-value merge is exact");
+        prop_assert!(check_hom(&h, &g, &img, HomMode::Exact));
+        for qsrc in ["a", "(a b)=", "((a|b)+)=", "(a b)!=", "(a|b)* (a)= (a|b)*"] {
+            let q: DataQuery = parse_ree(qsrc, g.alphabet_mut()).unwrap().into();
+            for (u, v) in q.eval_pairs(&g) {
+                prop_assert!(
+                    q.matches(&img, h[&u], h[&v]),
+                    "hom closure violated: {qsrc} at ({u}, {v}) → ({}, {})",
+                    h[&u], h[&v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rem_answers_preserved_under_quotients(seed in 0u64..5000, mask in any::<u64>()) {
+        let mut g = random_data_graph(&GraphConfig {
+            nodes: 8,
+            edges: 12,
+            value_pool: 3,
+            seed,
+            ..GraphConfig::default()
+        });
+        let h = merge_map(&g, mask);
+        let img = apply_hom(&g, &h, HomMode::Exact).expect("equal-value merge is exact");
+        for qsrc in ["@x.((a|b)+[x=])", "@x.(a[x!=])", "@x.(a @y.(b[y= | x=]))"] {
+            let q: DataQuery = parse_rem(qsrc, g.alphabet_mut()).unwrap().into();
+            for (u, v) in q.eval_pairs(&g) {
+                prop_assert!(
+                    q.matches(&img, h[&u], h[&v]),
+                    "REM hom closure violated: {qsrc} at ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    /// Null-absorbing variant (§7): turning some values into nulls gives a
+    /// graph that maps into the original by a null-absorbing hom; answers on
+    /// the nulled graph must persist in the original.
+    #[test]
+    fn null_absorbing_closure(seed in 0u64..5000, null_mask in any::<u64>()) {
+        let mut g = random_data_graph(&GraphConfig {
+            nodes: 10,
+            edges: 16,
+            value_pool: 3,
+            seed,
+            ..GraphConfig::default()
+        });
+        let mut nulled = g.clone();
+        for (k, id) in g.node_ids().enumerate() {
+            if null_mask >> (k % 64) & 1 == 1 {
+                nulled.set_value(id, Value::Null).unwrap();
+            }
+        }
+        let h: FxHashMap<NodeId, NodeId> = g.node_ids().map(|v| (v, v)).collect();
+        prop_assert!(check_hom(&h, &nulled, &g, HomMode::NullAbsorbing));
+        for qsrc in ["(a b)=", "((a|b)+)=", "(a)!="] {
+            let q: DataQuery = parse_ree(qsrc, g.alphabet_mut()).unwrap().into();
+            for (u, v) in q.eval_pairs(&nulled) {
+                prop_assert!(
+                    q.matches(&g, u, v),
+                    "null-absorbing closure violated: {qsrc} at ({u}, {v})"
+                );
+            }
+        }
+    }
+}

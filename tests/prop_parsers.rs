@@ -1,0 +1,123 @@
+//! Property tests: parser ↔ printer round trips for all four concrete
+//! syntaxes (regex/RPQ, REE, REM, GXPath).
+
+use gde_automata::{parse_regex, Regex};
+use gde_datagraph::{Alphabet, Label};
+use gde_dataquery::parser::{display_ree, display_rem, parse_ree, parse_rem};
+use gde_dataquery::rem::VarCond;
+use gde_dataquery::{Ree, Rem};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_labels(LABELS)
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    (0u16..LABELS.len() as u16).prop_map(Label)
+}
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        arb_label().prop_map(Regex::Atom),
+        Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Union),
+            inner.clone().prop_map(|e| Regex::Plus(Box::new(e))),
+            inner.prop_map(|e| Regex::Star(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_ree() -> impl Strategy<Value = Ree> {
+    let leaf = prop_oneof![arb_label().prop_map(Ree::Atom), Just(Ree::Epsilon)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Ree::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Ree::Union),
+            inner.clone().prop_map(|e| Ree::Plus(Box::new(e))),
+            inner.clone().prop_map(|e| Ree::Star(Box::new(e))),
+            inner.clone().prop_map(|e| Ree::Eq(Box::new(e))),
+            inner.prop_map(|e| Ree::Neq(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = VarCond> {
+    let leaf = prop_oneof![
+        "[xyz]".prop_map(VarCond::Eq),
+        "[xyz]".prop_map(VarCond::Neq),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| VarCond::and(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| VarCond::or(a, b)),
+        ]
+    })
+}
+
+fn arb_rem() -> impl Strategy<Value = Rem> {
+    let leaf = prop_oneof![arb_label().prop_map(Rem::Atom), Just(Rem::Epsilon)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Rem::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Rem::Union),
+            inner.clone().prop_map(|e| Rem::Plus(Box::new(e))),
+            inner.clone().prop_map(|e| Rem::Star(Box::new(e))),
+            ("[xyz]", inner.clone()).prop_map(|(v, e)| Rem::Bind(vec![v], Box::new(e))),
+            (inner, arb_cond()).prop_map(|(e, c)| Rem::Test(Box::new(e), c)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn regex_roundtrip(e in arb_regex()) {
+        let mut al = alphabet();
+        let printed = e.display(&al);
+        let back = parse_regex(&printed, &mut al)
+            .unwrap_or_else(|err| panic!("printed {printed:?} failed: {err}"));
+        // display-normalized equality (printer flattens some nestings)
+        prop_assert_eq!(back.display(&al), printed);
+    }
+
+    #[test]
+    fn ree_roundtrip(e in arb_ree()) {
+        let mut al = alphabet();
+        let printed = display_ree(&e, &al);
+        let back = parse_ree(&printed, &mut al)
+            .unwrap_or_else(|err| panic!("printed {printed:?} failed: {err}"));
+        prop_assert_eq!(display_ree(&back, &al), printed);
+    }
+
+    #[test]
+    fn rem_roundtrip(e in arb_rem()) {
+        let mut al = alphabet();
+        let printed = display_rem(&e, &al);
+        let back = parse_rem(&printed, &mut al)
+            .unwrap_or_else(|err| panic!("printed {printed:?} failed: {err}"));
+        prop_assert_eq!(display_rem(&back, &al), printed);
+    }
+
+    /// Semantic roundtrip: reparsed REEs answer identically on a graph.
+    #[test]
+    fn ree_roundtrip_semantics(e in arb_ree(), seed in 0u64..500) {
+        let mut al = alphabet();
+        let printed = display_ree(&e, &al);
+        let back = parse_ree(&printed, &mut al).unwrap();
+        let g = gde_workload::random_data_graph(&gde_workload::GraphConfig {
+            nodes: 6,
+            edges: 10,
+            labels: LABELS.iter().map(|s| s.to_string()).collect(),
+            value_pool: 2,
+            seed,
+        });
+        prop_assert_eq!(e.eval_pairs(&g), back.eval_pairs(&g));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the REE language semantics: algebraic laws of the
+//! relation-algebra evaluation, agreement between data-path membership and
+//! graph evaluation, and nonemptiness/witness coherence.
+
+use gde_datagraph::{DataGraph, DataPath, NodeId};
+use gde_dataquery::Ree;
+use gde_workload::{random_data_graph, GraphConfig};
+use proptest::prelude::*;
+
+fn graph(seed: u64) -> DataGraph {
+    random_data_graph(&GraphConfig {
+        nodes: 8,
+        edges: 14,
+        value_pool: 3,
+        seed,
+        ..GraphConfig::default()
+    })
+}
+
+fn arb_ree() -> impl Strategy<Value = Ree> {
+    let leaf = prop_oneof![
+        (0u16..2).prop_map(|i| Ree::Atom(gde_datagraph::Label(i))),
+        Just(Ree::Epsilon),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ree::concat([a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ree::union([a, b])),
+            inner.clone().prop_map(Ree::plus),
+            inner.clone().prop_map(Ree::star),
+            inner.clone().prop_map(Ree::eq),
+            inner.prop_map(Ree::neq),
+        ]
+    })
+}
+
+/// Turn a data path into a path-shaped graph whose only end-to-end walks
+/// are the path itself — making graph evaluation a membership oracle.
+fn path_graph(w: &DataPath) -> (DataGraph, NodeId, NodeId) {
+    let mut g = DataGraph::new();
+    g.alphabet_mut().intern("a");
+    g.alphabet_mut().intern("b");
+    for (i, v) in w.values().iter().enumerate() {
+        g.add_node(NodeId(i as u32), v.clone()).unwrap();
+    }
+    for (i, l) in w.labels().iter().enumerate() {
+        g.add_edge(NodeId(i as u32), *l, NodeId(i as u32 + 1))
+            .unwrap();
+    }
+    (g, NodeId(0), NodeId(w.len() as u32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_is_setwise(a in arb_ree(), b in arb_ree(), seed in 0u64..500) {
+        let g = graph(seed);
+        let u = Ree::union([a.clone(), b.clone()]).eval(&g);
+        let ua = a.eval(&g);
+        let ub = b.eval(&g);
+        prop_assert_eq!(u.clone(), ua.union(&ub));
+    }
+
+    #[test]
+    fn concat_is_composition(a in arb_ree(), b in arb_ree(), seed in 0u64..500) {
+        let g = graph(seed);
+        let c = Ree::concat([a.clone(), b.clone()]).eval(&g);
+        prop_assert_eq!(c, a.eval(&g).compose(&b.eval(&g)));
+    }
+
+    #[test]
+    fn eq_filters_and_shrinks(a in arb_ree(), seed in 0u64..500) {
+        let g = graph(seed);
+        let base = a.clone().eval(&g);
+        let eq = a.clone().eq().eval(&g);
+        let neq = a.neq().eval(&g);
+        prop_assert!(eq.is_subset_of(&base));
+        prop_assert!(neq.is_subset_of(&base));
+        // eq and neq partition the non-null part of base
+        let mut both = eq.clone();
+        both.intersect_with(&neq);
+        prop_assert!(both.is_empty());
+    }
+
+    #[test]
+    fn star_is_eps_plus_plus(a in arb_ree(), seed in 0u64..500) {
+        let g = graph(seed);
+        let star = a.clone().star().eval(&g);
+        let eps_plus = Ree::union([Ree::Epsilon, a.plus()]).eval(&g);
+        prop_assert_eq!(star, eps_plus);
+    }
+
+    #[test]
+    fn witness_membership_and_graph_eval_agree(a in arb_ree()) {
+        if let Some(w) = a.sample_witness() {
+            prop_assert!(a.matches_path(&w), "witness rejected by membership");
+            let (g, s, t) = path_graph(&w);
+            prop_assert!(
+                a.eval_pairs(&g).contains(&(s, t)),
+                "witness path graph disagrees with membership"
+            );
+        } else {
+            prop_assert!(!a.is_nonempty());
+        }
+    }
+
+    #[test]
+    fn membership_matches_path_graph_eval(a in arb_ree(), seed in 0u64..500) {
+        // sample a short random data path and compare both semantics
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..4usize);
+        let mut w = DataPath::single(gde_datagraph::Value::int(rng.gen_range(0..3)));
+        for _ in 0..len {
+            let l = gde_datagraph::Label(rng.gen_range(0..2u16));
+            w.push(l, gde_datagraph::Value::int(rng.gen_range(0..3)));
+        }
+        let (g, s, t) = path_graph(&w);
+        let member = a.matches_path(&w);
+        let via_graph = a.eval_pairs(&g).contains(&(s, t));
+        prop_assert_eq!(member, via_graph, "path {}", w);
+    }
+
+    #[test]
+    fn nonempty_iff_some_graph_answer_possible(a in arb_ree()) {
+        // if the language is empty, no graph can ever produce answers
+        if !a.is_nonempty() {
+            for seed in [1u64, 2, 3] {
+                let g = graph(seed);
+                prop_assert!(a.eval_pairs(&g).is_empty());
+            }
+        }
+    }
+}
