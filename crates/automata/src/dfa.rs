@@ -299,9 +299,9 @@ impl Dfa {
     /// languages as ordinary RPQs).
     pub fn to_nfa(&self) -> Nfa {
         let mut transitions: Vec<Vec<(Label, u32)>> = vec![Vec::new(); self.state_count()];
-        for s in 0..self.state_count() {
+        for (s, row) in transitions.iter_mut().enumerate() {
             for a in 0..self.n_labels {
-                transitions[s].push((Label(a as u16), self.next[s * self.n_labels + a]));
+                row.push((Label(a as u16), self.next[s * self.n_labels + a]));
             }
         }
         Nfa::from_parts(0, self.accepting.clone(), transitions)
@@ -321,7 +321,9 @@ mod tests {
     }
 
     fn w(al: &Alphabet, s: &str) -> Vec<Label> {
-        s.chars().map(|c| al.label(&c.to_string()).unwrap()).collect()
+        s.chars()
+            .map(|c| al.label(&c.to_string()).unwrap())
+            .collect()
     }
 
     #[test]
@@ -381,7 +383,12 @@ mod tests {
 
     #[test]
     fn minimization_preserves_language_and_shrinks() {
-        for src in ["(a|b)* a b", "a b*", "(a b)+ | (a b)*", "a a | a a a | a a a a"] {
+        for src in [
+            "(a|b)* a b",
+            "a b*",
+            "(a b)+ | (a b)*",
+            "a a | a a a | a a a a",
+        ] {
             let (d, _) = dfa(src);
             let m = d.minimize();
             assert!(m.state_count() <= d.state_count(), "{src}");

@@ -6,7 +6,7 @@
 //! textbook NLogspace RPQ algorithm.
 
 use crate::regex::Regex;
-use gde_datagraph::{DataGraph, Label, NodeId, Relation};
+use gde_datagraph::{DataGraph, GraphSnapshot, Label, NodeId, Relation};
 use std::collections::VecDeque;
 
 /// A nondeterministic finite automaton over edge labels.
@@ -428,27 +428,49 @@ impl Nfa {
     }
 
     /// All nodes reachable from `from` along a path whose label is in the
-    /// language: one product BFS.
+    /// language: one product BFS over the graph's adjacency lists (no
+    /// freezing — the right entry point for one-off, per-edge checks like
+    /// solution verification).
     pub fn eval_from(&self, g: &DataGraph, from: NodeId) -> Vec<NodeId> {
         let Some(start) = g.idx(from) else {
             return Vec::new();
         };
+        let mask = self.product_bfs(g.n(), start, |v, l, visit| {
+            for &(el, w) in g.out_at(v) {
+                if el == l {
+                    visit(w);
+                }
+            }
+        });
+        (0..g.n() as u32)
+            .filter(|&d| mask[d as usize])
+            .map(|d| g.id_at(d))
+            .collect()
+    }
+
+    /// The shared product-BFS core of [`Nfa::eval_from`] and
+    /// [`Nfa::eval_from_snapshot`]: explore `(node, state)` configurations,
+    /// where `succs(v, l, visit)` enumerates the `l`-successors of `v`.
+    /// Returns the per-node "reached in an accepting state" mask.
+    fn product_bfs(
+        &self,
+        n: usize,
+        start: u32,
+        mut succs: impl FnMut(u32, Label, &mut dyn FnMut(u32)),
+    ) -> Vec<bool> {
         let q = self.state_count();
-        let n = g.n();
         let mut seen = vec![false; n * q];
         let mut out_mask = vec![false; n];
         let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
 
-        let push = |node: u32,
-                    state: u32,
-                    seen: &mut Vec<bool>,
-                    queue: &mut VecDeque<(u32, u32)>| {
-            let slot = node as usize * q + state as usize;
-            if !seen[slot] {
-                seen[slot] = true;
-                queue.push_back((node, state));
-            }
-        };
+        let push =
+            |node: u32, state: u32, seen: &mut Vec<bool>, queue: &mut VecDeque<(u32, u32)>| {
+                let slot = node as usize * q + state as usize;
+                if !seen[slot] {
+                    seen[slot] = true;
+                    queue.push_back((node, state));
+                }
+            };
 
         push(start, self.initial, &mut seen, &mut queue);
         while let Some((v, s)) = queue.pop_front() {
@@ -459,17 +481,10 @@ impl Nfa {
                 push(v, t, &mut seen, &mut queue);
             }
             for &(l, t) in &self.steps[s as usize] {
-                for &(el, w) in g.out_at(v) {
-                    if el == l {
-                        push(w, t, &mut seen, &mut queue);
-                    }
-                }
+                succs(v, l, &mut |w| push(w, t, &mut seen, &mut queue));
             }
         }
-        (0..n as u32)
-            .filter(|&d| out_mask[d as usize])
-            .map(|d| g.id_at(d))
-            .collect()
+        out_mask
     }
 
     /// Is there a path `from → to` whose label is **rejected** by this
@@ -531,13 +546,37 @@ impl Nfa {
         false
     }
 
+    /// [`Nfa::eval_from`] against a frozen [`GraphSnapshot`]: the product
+    /// BFS steps through label-partitioned CSR slices instead of filtering
+    /// each node's full out-list per automaton step.
+    pub fn eval_from_snapshot(&self, s: &GraphSnapshot, from: NodeId) -> Vec<NodeId> {
+        let Some(start) = s.idx(from) else {
+            return Vec::new();
+        };
+        let mask = self.product_bfs(s.n(), start, |v, l, visit| {
+            for &w in s.out(l, v) {
+                visit(w);
+            }
+        });
+        (0..s.n() as u32)
+            .filter(|&d| mask[d as usize])
+            .map(|d| s.id_at(d))
+            .collect()
+    }
+
     /// Full RPQ evaluation `e(G)` as a [`Relation`] over dense node indices.
+    /// Freezes the graph once and runs the CSR-based BFS from every node.
     pub fn eval(&self, g: &DataGraph) -> Relation {
-        let n = g.n();
+        self.eval_snapshot(&g.snapshot())
+    }
+
+    /// Full RPQ evaluation against a prebuilt snapshot.
+    pub fn eval_snapshot(&self, s: &GraphSnapshot) -> Relation {
+        let n = s.n();
         let mut rel = Relation::empty(n);
         for u in 0..n as u32 {
-            for v in self.eval_from(g, g.id_at(u)) {
-                rel.insert(u as usize, g.idx(v).unwrap() as usize);
+            for v in self.eval_from_snapshot(s, s.id_at(u)) {
+                rel.insert(u as usize, s.idx(v).unwrap() as usize);
             }
         }
         rel
@@ -545,10 +584,15 @@ impl Nfa {
 
     /// Full RPQ evaluation as `(NodeId, NodeId)` pairs, sorted.
     pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        self.eval_pairs_snapshot(&g.snapshot())
+    }
+
+    /// [`Nfa::eval_pairs`] against a prebuilt snapshot.
+    pub fn eval_pairs_snapshot(&self, s: &GraphSnapshot) -> Vec<(NodeId, NodeId)> {
         let mut out: Vec<(NodeId, NodeId)> = self
-            .eval(g)
+            .eval_snapshot(s)
             .iter()
-            .map(|(i, j)| (g.id_at(i as u32), g.id_at(j as u32)))
+            .map(|(i, j)| (s.id_at(i as u32), s.id_at(j as u32)))
             .collect();
         out.sort();
         out
@@ -659,8 +703,8 @@ mod tests {
     #[test]
     fn rejected_path_detection() {
         let mut g = graph(); // 0 -a-> 1 -b-> 2 -a-> 3, 1 -a-> 1
-        // shape "a b a": the path 0→3 via (a b a) is fine, but the loop
-        // offers 0 -a-> 1 -a-> 1 -b-> 2 -a-> 3 labelled "a a b a": rejected.
+                             // shape "a b a": the path 0→3 via (a b a) is fine, but the loop
+                             // offers 0 -a-> 1 -a-> 1 -b-> 2 -a-> 3 labelled "a a b a": rejected.
         let e = parse_regex("a b a", g.alphabet_mut()).unwrap();
         let nfa = Nfa::from_regex(&e);
         assert!(nfa.exists_rejected_path(&g, NodeId(0), NodeId(3)));
@@ -729,7 +773,7 @@ mod tests {
     fn eval_matches_naive_word_reachability() {
         use gde_datagraph::path::word_reachable;
         let mut g = graph();
-        let e = parse_regex("a a", &mut g.alphabet_mut()).unwrap();
+        let e = parse_regex("a a", g.alphabet_mut()).unwrap();
         let nfa = Nfa::from_regex(&e);
         let a = g.alphabet().label("a").unwrap();
         for u in g.node_ids().collect::<Vec<_>>() {

@@ -209,7 +209,10 @@ fn is_ident_start(c: char) -> bool {
 /// Single-character labels used by the paper's gadgets: separators such as
 /// `#`, `↔`, arrows and overbarred letters.
 fn is_symbolic_label(c: char) -> bool {
-    matches!(c, '#' | '↔' | '←' | '→' | '⇠' | '⇢' | '$' | '@' | '%' | '^' | '&' | '!' | '~')
+    matches!(
+        c,
+        '#' | '↔' | '←' | '→' | '⇠' | '⇢' | '$' | '@' | '%' | '^' | '&' | '!' | '~'
+    )
 }
 
 #[cfg(test)]

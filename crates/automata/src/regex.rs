@@ -116,13 +116,9 @@ impl Regex {
         let mut seen = vec![false; alphabet.len()];
         fn collect(e: &Regex, seen: &mut [bool]) -> bool {
             match e {
-                Regex::Atom(l) => {
-                    if l.index() < seen.len() {
-                        seen[l.index()] = true;
-                        true
-                    } else {
-                        false
-                    }
+                Regex::Atom(l) if l.index() < seen.len() => {
+                    seen[l.index()] = true;
+                    true
                 }
                 Regex::Union(es) => es.iter().all(|e| collect(e, seen)),
                 _ => false,
@@ -287,7 +283,10 @@ mod tests {
         let (_, a, b) = ab();
         let e = Regex::Union(vec![Regex::word(&[a, b]), Regex::word(&[b])]);
         assert_eq!(e.as_union_of_words(), Some(vec![vec![a, b], vec![b]]));
-        let bad = Regex::Union(vec![Regex::word(&[a]), Regex::Star(Box::new(Regex::Atom(b)))]);
+        let bad = Regex::Union(vec![
+            Regex::word(&[a]),
+            Regex::Star(Box::new(Regex::Atom(b))),
+        ]);
         assert!(bad.as_union_of_words().is_none());
         // single word counts as a 1-union
         assert_eq!(Regex::word(&[a]).as_union_of_words(), Some(vec![vec![a]]));
@@ -312,8 +311,9 @@ mod tests {
         assert!(!Regex::Atom(a).nullable());
         assert!(Regex::Star(Box::new(Regex::Atom(a))).nullable());
         assert!(!Regex::Plus(Box::new(Regex::Atom(a))).nullable());
-        assert!(Regex::Concat(vec![Regex::Epsilon, Regex::Star(Box::new(Regex::Atom(a)))])
-            .nullable());
+        assert!(
+            Regex::Concat(vec![Regex::Epsilon, Regex::Star(Box::new(Regex::Atom(a)))]).nullable()
+        );
         assert!(Regex::Union(vec![Regex::Atom(a), Regex::Epsilon]).nullable());
         assert!(!Regex::Empty.nullable());
     }
@@ -329,7 +329,10 @@ mod tests {
         assert_eq!(star.max_word_len(), None);
         assert_eq!(Regex::Empty.min_word_len(), None);
         // Star of ε stays bounded
-        assert_eq!(Regex::Star(Box::new(Regex::Epsilon)).max_word_len(), Some(0));
+        assert_eq!(
+            Regex::Star(Box::new(Regex::Epsilon)).max_word_len(),
+            Some(0)
+        );
     }
 
     #[test]

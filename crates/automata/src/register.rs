@@ -17,7 +17,9 @@
 //! involving [`Value::Null`] is true. On null-free graphs (the §3 semantics)
 //! this coincides with plain equality, so one implementation serves both.
 
-use gde_datagraph::{DataGraph, DataPath, FxHashMap, FxHashSet, Label, NodeId, Value};
+use gde_datagraph::{
+    DataGraph, DataPath, FxHashMap, FxHashSet, GraphSnapshot, Label, NodeId, Value,
+};
 use std::collections::VecDeque;
 
 /// A register index.
@@ -121,6 +123,32 @@ impl Cond {
                 (Some(false), Some(false)) => Some(false),
                 _ => None,
             },
+        }
+    }
+
+    /// Evaluate against interned value ids (a [`gde_datagraph::GraphSnapshot`]
+    /// vid table): `regs` hold vids or `undef`, `cur` is the current vid,
+    /// and `null_vid` is the vid shared by SQL-null values (comparisons
+    /// touching it are false, as in [`Cond::eval`]). Equality collapses to
+    /// integer comparison because SQL-equal values share a vid.
+    pub fn eval_vids(&self, regs: &[u32], cur: u32, null_vid: Option<u32>, undef: u32) -> bool {
+        let ok = |v: u32| v != undef && Some(v) != null_vid;
+        match self {
+            Cond::True => true,
+            Cond::Eq(r) => {
+                let v = regs[r.0 as usize];
+                ok(v) && Some(cur) != null_vid && v == cur
+            }
+            Cond::Neq(r) => {
+                let v = regs[r.0 as usize];
+                ok(v) && Some(cur) != null_vid && v != cur
+            }
+            Cond::And(a, b) => {
+                a.eval_vids(regs, cur, null_vid, undef) && b.eval_vids(regs, cur, null_vid, undef)
+            }
+            Cond::Or(a, b) => {
+                a.eval_vids(regs, cur, null_vid, undef) || b.eval_vids(regs, cur, null_vid, undef)
+            }
         }
     }
 
@@ -249,11 +277,7 @@ impl RegisterAutomaton {
         type Cfg = (u32, u32, Box<[u32]>); // (pos, state, regs)
         let mut seen: FxHashSet<Cfg> = FxHashSet::default();
         let mut queue: VecDeque<Cfg> = VecDeque::new();
-        let init: Cfg = (
-            0,
-            self.initial,
-            vec![UNDEF; self.n_regs].into_boxed_slice(),
-        );
+        let init: Cfg = (0, self.initial, vec![UNDEF; self.n_regs].into_boxed_slice());
         seen.insert(init.clone());
         queue.push_back(init);
         let reg_values = |regs: &[u32]| -> Vec<Option<&Value>> {
@@ -305,38 +329,43 @@ impl RegisterAutomaton {
     /// Evaluate on a data graph from one start node: the set of nodes `v'`
     /// such that some path `from →π v'` has `δ(π)` accepted.
     ///
-    /// Configurations are `(node, state, registers)` where registers hold
-    /// value ids of the graph (data complexity is polynomial for a fixed
-    /// automaton; the register count drives the exponent, matching the
-    /// PSPACE combined complexity of memory RPQs).
+    /// Freezes the graph once ([`GraphSnapshot`]) and delegates to
+    /// [`RegisterAutomaton::eval_from_snapshot`]. For repeated evaluation
+    /// over one graph, build the snapshot yourself and reuse it.
     pub fn eval_from(&self, g: &DataGraph, from: NodeId) -> Vec<NodeId> {
-        let Some(start) = g.idx(from) else {
+        self.eval_from_snapshot(&g.snapshot(), from)
+    }
+
+    /// [`RegisterAutomaton::eval_from`] against a frozen snapshot.
+    ///
+    /// Configurations are `(node, state, registers)` where registers hold
+    /// the snapshot's interned value ids (data complexity is polynomial for
+    /// a fixed automaton; the register count drives the exponent, matching
+    /// the PSPACE combined complexity of memory RPQs). Conditions evaluate
+    /// by integer vid comparison; letter transitions walk the snapshot's
+    /// per-label CSR slices.
+    pub fn eval_from_snapshot(&self, s: &GraphSnapshot, from: NodeId) -> Vec<NodeId> {
+        let Some(start) = s.idx(from) else {
             return Vec::new();
         };
-        // Dedup graph values into ids so configurations hash cheaply.
-        let (vid, values) = value_table(g);
+        let undef = GraphSnapshot::no_vid();
+        let null_vid = s.null_vid();
         type Cfg = (u32, u32, Box<[u32]>); // (node, state, regs as value ids)
         let mut seen: FxHashSet<Cfg> = FxHashSet::default();
-        let mut out = vec![false; g.n()];
+        let mut out = vec![false; s.n()];
         let mut queue: VecDeque<Cfg> = VecDeque::new();
         let init: Cfg = (
             start,
             self.initial,
-            vec![UNDEF; self.n_regs].into_boxed_slice(),
+            vec![undef; self.n_regs].into_boxed_slice(),
         );
         seen.insert(init.clone());
         queue.push_back(init);
-        let reg_values = |regs: &[u32]| -> Vec<Option<&Value>> {
-            regs.iter()
-                .map(|&i| (i != UNDEF).then(|| &values[i as usize]))
-                .collect()
-        };
         while let Some((node, state, regs)) = queue.pop_front() {
             if self.accepting[state as usize] {
                 out[node as usize] = true;
             }
-            let cur_vid = vid[node as usize];
-            let cur = &values[cur_vid as usize];
+            let cur_vid = s.vid(node);
             for (action, to) in &self.eps[state as usize] {
                 let next_regs = match action {
                     EpsAction::Jump => regs.clone(),
@@ -348,7 +377,7 @@ impl RegisterAutomaton {
                         r2
                     }
                     EpsAction::Check(c) => {
-                        if !c.eval(&reg_values(&regs), cur) {
+                        if !c.eval_vids(&regs, cur_vid, null_vid, undef) {
                             continue;
                         }
                         regs.clone()
@@ -360,28 +389,33 @@ impl RegisterAutomaton {
                 }
             }
             for &(l, to) in &self.steps[state as usize] {
-                for &(el, w) in g.out_at(node) {
-                    if el == l {
-                        let cfg = (w, to, regs.clone());
-                        if seen.insert(cfg.clone()) {
-                            queue.push_back(cfg);
-                        }
+                for &w in s.out(l, node) {
+                    let cfg = (w, to, regs.clone());
+                    if seen.insert(cfg.clone()) {
+                        queue.push_back(cfg);
                     }
                 }
             }
         }
-        (0..g.n() as u32)
+        (0..s.n() as u32)
             .filter(|&d| out[d as usize])
-            .map(|d| g.id_at(d))
+            .map(|d| s.id_at(d))
             .collect()
     }
 
-    /// Full evaluation `e(G)` as sorted `(NodeId, NodeId)` pairs.
+    /// Full evaluation `e(G)` as sorted `(NodeId, NodeId)` pairs. The graph
+    /// is frozen once; the per-start BFS shares the snapshot.
     pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        self.eval_pairs_snapshot(&g.snapshot())
+    }
+
+    /// [`RegisterAutomaton::eval_pairs`] against a prebuilt snapshot.
+    pub fn eval_pairs_snapshot(&self, s: &GraphSnapshot) -> Vec<(NodeId, NodeId)> {
         let mut out = Vec::new();
-        for u in g.node_ids().collect::<Vec<_>>() {
-            for v in self.eval_from(g, u) {
-                out.push((u, v));
+        for u in 0..s.n() as u32 {
+            let u_id = s.id_at(u);
+            for v in self.eval_from_snapshot(s, u_id) {
+                out.push((u_id, v));
             }
         }
         out.sort();
@@ -543,7 +577,10 @@ impl RegisterAutomaton {
                 }
             }
         }
-        debug_assert!(self.accepts(&path), "reconstructed witness must be accepted");
+        debug_assert!(
+            self.accepts(&path),
+            "reconstructed witness must be accepted"
+        );
         Some(path)
     }
 }
@@ -710,22 +747,6 @@ impl RegisterAutomaton {
     }
 }
 
-/// Dedup the values of a graph: returns (per-dense-node value id, table).
-fn value_table(g: &DataGraph) -> (Vec<u32>, Vec<Value>) {
-    let mut table: Vec<Value> = Vec::new();
-    let mut index: FxHashMap<Value, u32> = FxHashMap::default();
-    let mut vid = Vec::with_capacity(g.n());
-    for d in 0..g.n() as u32 {
-        let v = g.value_at(d);
-        let id = *index.entry(v.clone()).or_insert_with(|| {
-            table.push(v.clone());
-            (table.len() - 1) as u32
-        });
-        vid.push(id);
-    }
-    (vid, table)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,7 +832,7 @@ mod tests {
         let ra = all_differ_from_first(a);
         let w = ra.find_witness().expect("language nonempty");
         assert!(ra.accepts(&w));
-        assert!(w.len() >= 1);
+        assert!(!w.is_empty());
     }
 
     #[test]
@@ -971,7 +992,10 @@ mod tests {
             Cond::Neq(Reg(0)),
             Cond::and(Cond::Eq(Reg(0)), Cond::Neq(Reg(1))),
             Cond::or(Cond::Eq(Reg(0)), Cond::Neq(Reg(1))),
-            Cond::or(Cond::and(Cond::Eq(Reg(0)), Cond::Eq(Reg(1))), Cond::Neq(Reg(0))),
+            Cond::or(
+                Cond::and(Cond::Eq(Reg(0)), Cond::Eq(Reg(1))),
+                Cond::Neq(Reg(0)),
+            ),
         ];
         let vals = [Value::int(1), Value::int(2), Value::Null];
         for c in &conds {

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
             ..ScenarioConfig::default()
         });
         let mut ta = sc.gsm.target_alphabet().clone();
-        let q: DataQuery = parse_ree("((x | y)+)= ((x | y)+)=", &mut ta).unwrap().into();
+        let q: DataQuery = parse_ree("((x | y)+)= ((x | y)+)=", &mut ta)
+            .unwrap()
+            .into();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| certain_answers_least_informative(&sc.gsm, &q, &sc.source).unwrap())
         });

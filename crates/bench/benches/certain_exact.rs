@@ -16,10 +16,12 @@ fn chain_scenario(edges: usize) -> (Gsm, DataGraph) {
     );
     let mut g = DataGraph::new();
     for i in 0..=edges {
-        g.add_node(NodeId(i as u32), Value::int((i % 2) as i64)).unwrap();
+        g.add_node(NodeId(i as u32), Value::int((i % 2) as i64))
+            .unwrap();
     }
     for i in 0..edges {
-        g.add_edge_str(NodeId(i as u32), "a", NodeId(i as u32 + 1)).unwrap();
+        g.add_edge_str(NodeId(i as u32), "a", NodeId(i as u32 + 1))
+            .unwrap();
     }
     (gsm, g)
 }

@@ -25,7 +25,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| chase_universal(&rm).unwrap().total_facts())
         });
         group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
-            b.iter(|| universal_solution(&sc.gsm, &sc.source).unwrap().graph.node_count())
+            b.iter(|| {
+                universal_solution(&sc.gsm, &sc.source)
+                    .unwrap()
+                    .graph
+                    .node_count()
+            })
         });
     }
     group.finish();

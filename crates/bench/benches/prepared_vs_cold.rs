@@ -1,0 +1,103 @@
+//! Serving bench: a batch of queries answered cold (per-call free
+//! functions, rebuilding the universal solution and re-lowering the query
+//! every time) vs prepared (one `PreparedMapping` + precompiled queries).
+//!
+//! Emits `BENCH_prepared.json` at the workspace root as a
+//! machine-readable perf baseline for future changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_core::{certain_answers_nulls, PreparedMapping};
+use gde_dataquery::CompiledQuery;
+use gde_workload::{social_serving_scenario, SocialConfig};
+
+fn serving_config() -> SocialConfig {
+    SocialConfig {
+        persons: 120,
+        knows_per_person: 3,
+        posts: 80,
+        cities: 5,
+        seed: 0x5E47,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let sv = social_serving_scenario(&serving_config());
+    let gsm = &sv.scenario.gsm;
+    let source = &sv.scenario.source;
+    let batch = sv.query_batch();
+    assert!(batch.len() >= 8, "serving batch must have ≥8 queries");
+
+    let mut group = c.benchmark_group("prepared_vs_cold");
+    group.sample_size(10);
+
+    // Cold: every query pays solution construction, snapshot freezing and
+    // query lowering again.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_batch"),
+        &batch,
+        |b, batch| {
+            b.iter(|| {
+                for q in batch {
+                    certain_answers_nulls(gsm, q, source).unwrap();
+                }
+            })
+        },
+    );
+
+    // Prepared: lower the batch once, then serve from the cached solution
+    // snapshot. The engine is built inside the closure so the (one-time)
+    // preparation cost is charged to the measured path.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("prepared_batch"),
+        &batch,
+        |b, batch| {
+            let compiled: Vec<CompiledQuery> = batch.iter().map(|q| q.compile()).collect();
+            b.iter(|| {
+                let prepared = PreparedMapping::new(gsm, source);
+                for q in &compiled {
+                    prepared.certain_answers_nulls(q).unwrap();
+                }
+            })
+        },
+    );
+    group.finish();
+
+    let cold_ns = c
+        .median_ns("prepared_vs_cold", "cold_batch")
+        .expect("cold measured");
+    let prepared_ns = c
+        .median_ns("prepared_vs_cold", "prepared_batch")
+        .expect("prepared measured");
+    let speedup = cold_ns as f64 / prepared_ns.max(1) as f64;
+    println!(
+        "batch of {} queries: cold {:.3} ms, prepared {:.3} ms, speedup {speedup:.1}x",
+        batch.len(),
+        cold_ns as f64 / 1e6,
+        prepared_ns as f64 / 1e6,
+    );
+
+    let cfg = serving_config();
+    let json = format!(
+        "{{\n  \"bench\": \"prepared_vs_cold\",\n  \"workload\": \"social_serving_scenario\",\n  \
+         \"config\": {{ \"persons\": {}, \"knows_per_person\": {}, \"posts\": {}, \"cities\": {}, \"seed\": {} }},\n  \
+         \"source_nodes\": {},\n  \"source_edges\": {},\n  \"queries\": {},\n  \
+         \"cold_batch_ns\": {},\n  \"prepared_batch_ns\": {},\n  \"speedup\": {:.2}\n}}\n",
+        cfg.persons,
+        cfg.knows_per_person,
+        cfg.posts,
+        cfg.cities,
+        cfg.seed,
+        source.node_count(),
+        source.edge_count(),
+        batch.len(),
+        cold_ns,
+        prepared_ns,
+        speedup,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_prepared.json");
+    std::fs::write(path, json).expect("write BENCH_prepared.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

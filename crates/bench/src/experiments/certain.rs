@@ -4,15 +4,16 @@
 //! cutting).
 
 use crate::table::{fmt_ms, time_ms, Table};
+use gde_core::certain::CertainAnswers;
+use gde_core::exact::pattern_count;
 use gde_core::{
     certain_answers_arbitrary, certain_answers_exact, certain_answers_least_informative,
     certain_answers_nulls, ArbitraryOptions, ExactOptions,
 };
-use gde_core::certain::CertainAnswers;
-use gde_core::exact::pattern_count;
 use gde_dataquery::{parse_ree, DataQuery};
-use gde_workload::{random_path_test, random_ree, random_scenario, GraphConfig, QueryConfig,
-    ScenarioConfig};
+use gde_workload::{
+    random_path_test, random_ree, random_scenario, GraphConfig, QueryConfig, ScenarioConfig,
+};
 
 fn scenario(nodes: usize, value_pool: usize, seed: u64) -> gde_workload::ExchangeScenario {
     scenario_with_edges(nodes, nodes * 2, value_pool, seed)
@@ -48,7 +49,13 @@ fn target_query(sc: &gde_workload::ExchangeScenario, src: &str) -> DataQuery {
 pub fn e03_certain_nulls() -> Table {
     let mut t = Table::new(
         "E3: certain answers via universal solution + SQL nulls (Thm 3/4)",
-        &["source nodes", "universal soln nodes", "certain pairs", "median time", "ratio"],
+        &[
+            "source nodes",
+            "universal soln nodes",
+            "certain pairs",
+            "median time",
+            "ratio",
+        ],
     );
     let mut prev: Option<f64> = None;
     for n in [50usize, 100, 200, 400] {
@@ -80,7 +87,12 @@ pub fn e03_certain_nulls() -> Table {
 pub fn e04_exact_vs_nulls() -> Table {
     let mut t = Table::new(
         "E4: exact certain answers (coNP) vs SQL-null engine (PTime), by invented nodes",
-        &["invented nodes", "valuation patterns", "exact time", "nulls time"],
+        &[
+            "invented nodes",
+            "valuation patterns",
+            "exact time",
+            "nulls time",
+        ],
     );
     for edges in [2usize, 3, 4, 5, 6] {
         // a chain of `edges` a-edges; mapping (a, x y) ⇒ `edges` invented
@@ -142,7 +154,14 @@ pub fn e04_exact_vs_nulls() -> Table {
 pub fn e06_equality_only() -> Table {
     let mut t = Table::new(
         "E6: equality-only queries via least informative solutions (Thm 5)",
-        &["seed", "query", "pairs", "agrees with exact", "LI time", "exact time"],
+        &[
+            "seed",
+            "query",
+            "pairs",
+            "agrees with exact",
+            "LI time",
+            "exact time",
+        ],
     );
     for seed in 0..5u64 {
         let sc = scenario_with_edges(6, 6, 3, seed);
@@ -170,8 +189,8 @@ pub fn e06_equality_only() -> Table {
         t.row(&[
             seed.to_string(),
             {
-                let mut ta = sc.gsm.target_alphabet().clone();
-                gde_dataquery::parser::display_ree(&e, &mut ta)
+                let ta = sc.gsm.target_alphabet().clone();
+                gde_dataquery::parser::display_ree(&e, &ta)
             },
             li_pairs.len().to_string(),
             (li_pairs == exact_pairs).to_string(),
@@ -187,7 +206,14 @@ pub fn e06_equality_only() -> Table {
 pub fn e07_approximation() -> Table {
     let mut t = Table::new(
         "E7: approximation quality of 2ⁿ (nulls) vs exact 2 (Remark 1)",
-        &["seed", "query class", "|2ⁿ|", "|2|", "recall", "containment ok"],
+        &[
+            "seed",
+            "query class",
+            "|2ⁿ|",
+            "|2|",
+            "recall",
+            "containment ok",
+        ],
     );
     let mut agg_n = 0usize;
     let mut agg_e = 0usize;
@@ -246,7 +272,15 @@ pub fn e07_approximation() -> Table {
 pub fn e11_one_inequality() -> Table {
     let mut t = Table::new(
         "E11: data path queries with ≤ 1 inequality (Prop 4)",
-        &["seed", "≠ count", "|2ⁿ|", "|2|", "agree", "nulls time", "exact time"],
+        &[
+            "seed",
+            "≠ count",
+            "|2ⁿ|",
+            "|2|",
+            "agree",
+            "nulls time",
+            "exact time",
+        ],
     );
     for seed in 0..8u64 {
         // all-equal source values make equality tests bite; short words keep
@@ -296,7 +330,13 @@ pub fn e11_one_inequality() -> Table {
 pub fn e12_arbitrary_cutting() -> Table {
     let mut t = Table::new(
         "E12: arbitrary mappings + data path queries via cutting (Prop 5)",
-        &["rule target", "query", "certain pairs", "flagged exact", "median time"],
+        &[
+            "rule target",
+            "query",
+            "certain pairs",
+            "flagged exact",
+            "median time",
+        ],
     );
     // mapping (a, x+ | y): adversary picks y, an x, or a long x-chain
     let mut sa = gde_datagraph::Alphabet::from_labels(["a"]);
@@ -364,7 +404,13 @@ pub fn e12_arbitrary_cutting() -> Table {
             CertainAnswers::Pairs(p) => p.len().to_string(),
             CertainAnswers::AllVacuously => "all".into(),
         };
-        t.row(&["x | y".into(), qsrc.into(), pairs, out.exact.to_string(), fmt_ms(ms)]);
+        t.row(&[
+            "x | y".into(),
+            qsrc.into(),
+            pairs,
+            out.exact.to_string(),
+            fmt_ms(ms),
+        ]);
     }
     t
 }

@@ -11,9 +11,18 @@ use gde_workload::graphs::{planted_three_colourable, random_simple_edges};
 pub fn e05_threecol() -> Table {
     let mut t = Table::new(
         "E5: 3-colourability gadget (Prop 3): certain ⇔ not colourable",
-        &["graph", "vertices", "edges", "colourable", "certain(Q)", "agree", "time"],
+        &[
+            "graph",
+            "vertices",
+            "edges",
+            "colourable",
+            "certain(Q)",
+            "agree",
+            "time",
+        ],
     );
-    let mut cases: Vec<(String, u32, Vec<(u32, u32)>)> = vec![
+    type ColourCase = (String, u32, Vec<(u32, u32)>);
+    let mut cases: Vec<ColourCase> = vec![
         ("triangle".into(), 3, vec![(0, 1), (1, 2), (2, 0)]),
         (
             "K4".into(),
@@ -29,11 +38,7 @@ pub fn e05_threecol() -> Table {
             random_simple_edges(5, 0.5, seed),
         ));
     }
-    cases.push((
-        "planted(n=5)".into(),
-        5,
-        planted_three_colourable(5, 6, 99),
-    ));
+    cases.push(("planted(n=5)".into(), 5, planted_three_colourable(5, 6, 99)));
     for (name, n, edges) in cases {
         let g = ThreeColGadget::build(n, &edges);
         let colourable = g.brute_force_colouring().is_some();
@@ -56,7 +61,7 @@ pub fn e05_threecol() -> Table {
             edges.len().to_string(),
             colourable.to_string(),
             certain.to_string(),
-            (certain == !colourable).to_string(),
+            (certain != colourable).to_string(),
             fmt_ms(ms),
         ]);
     }
@@ -80,13 +85,22 @@ pub fn e09_thm1_gadget() -> Table {
         ],
     );
     let instances: Vec<(&str, PcpInstance)> = vec![
-        ("{(a,ab),(ba,a)}", PcpInstance::new(&[("a", "ab"), ("ba", "a")])),
-        ("{(a,aa),(aa,a)}", PcpInstance::new(&[("a", "aa"), ("aa", "a")])),
+        (
+            "{(a,ab),(ba,a)}",
+            PcpInstance::new(&[("a", "ab"), ("ba", "a")]),
+        ),
+        (
+            "{(a,aa),(aa,a)}",
+            PcpInstance::new(&[("a", "aa"), ("aa", "a")]),
+        ),
         (
             "{(ab,a),(b,bb),(a,ba)}",
             PcpInstance::new(&[("ab", "a"), ("b", "bb"), ("a", "ba")]),
         ),
-        ("{(aa,a),(ab,b)} (unsolvable)", PcpInstance::new(&[("aa", "a"), ("ab", "b")])),
+        (
+            "{(aa,a),(ab,b)} (unsolvable)",
+            PcpInstance::new(&[("aa", "a"), ("ab", "b")]),
+        ),
         ("{(a,b)} (unsolvable)", PcpInstance::new(&[("a", "b")])),
     ];
     for (name, inst) in instances {

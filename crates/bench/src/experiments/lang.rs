@@ -5,7 +5,7 @@ use crate::table::{fmt_ms, time_ms, Table};
 use gde_automata::Nfa;
 use gde_dataquery::{parse_ree, parse_rem};
 use gde_gxpath::{eval_node, parse_node_expr, parse_path_expr};
-use gde_reductions::gxpath_gadget::{phi_delta, phi_g, pcp_tree};
+use gde_reductions::gxpath_gadget::{pcp_tree, phi_delta, phi_g};
 use gde_reductions::PcpInstance;
 use gde_workload::{random_data_graph, GraphConfig};
 
@@ -24,7 +24,13 @@ fn graph_of(n: usize, seed: u64) -> gde_datagraph::DataGraph {
 pub fn e01_ree_eval() -> Table {
     let mut t = Table::new(
         "E1: REE evaluation scaling (query: (a|b)* ((a|b)+)= (a|b)*)",
-        &["nodes", "edges", "answers", "median time", "time ratio vs previous"],
+        &[
+            "nodes",
+            "edges",
+            "answers",
+            "median time",
+            "time ratio vs previous",
+        ],
     );
     let mut prev: Option<f64> = None;
     for n in [100usize, 200, 400, 800] {
@@ -52,16 +58,19 @@ pub fn e01_ree_eval() -> Table {
 pub fn e02_rem_registers() -> Table {
     let mut t = Table::new(
         "E2: REM evaluation vs number of registers (fixed graph, 60 nodes)",
-        &["registers", "query", "answers", "median time", "time ratio vs previous"],
+        &[
+            "registers",
+            "query",
+            "answers",
+            "median time",
+            "time ratio vs previous",
+        ],
     );
     let mut g = graph_of(60, 7);
     let queries = [
         (1, "@x.((a|b)+[x=])"),
         (2, "@x.((a|b)+ @y.((a|b)+[x= & y=]))"),
-        (
-            3,
-            "@x.((a|b)+ @y.((a|b)+ @z.((a|b)+[x= & y= & z=])))",
-        ),
+        (3, "@x.((a|b)+ @y.((a|b)+ @z.((a|b)+[x= & y= & z=])))"),
     ];
     let mut prev: Option<f64> = None;
     for (k, src) in queries {
@@ -123,7 +132,7 @@ pub fn e10_gxpath() -> Table {
             answers = gde_gxpath::eval_path(&q, &g).len();
         });
         t.row(&[
-            format!("random graph, path query a* [<b!=>] b"),
+            "random graph, path query a* [<b!=>] b".to_string(),
             format!("{n} nodes"),
             format!("{answers} pairs"),
             fmt_ms(ms),
@@ -172,7 +181,13 @@ pub fn e14_social_workload() -> Table {
     use gde_workload::{social_data_graph, SocialConfig};
     let mut t = Table::new(
         "E14: social-network workload (property graphs → data graphs)",
-        &["persons", "encoded nodes", "query", "answers", "median time"],
+        &[
+            "persons",
+            "encoded nodes",
+            "query",
+            "answers",
+            "median time",
+        ],
     );
     for persons in [50usize, 100, 200] {
         let cfg = SocialConfig {
@@ -186,10 +201,7 @@ pub fn e14_social_workload() -> Table {
         let queries = [
             ("same-name 2-hop acquaintances", "(knows knows)="),
             ("knows-chain to an author", "knows knows created"),
-            (
-                "same-city direct contacts (via GXPath below)",
-                "(knows)=",
-            ),
+            ("same-city direct contacts (via GXPath below)", "(knows)="),
         ];
         for (what, src) in queries {
             let q = parse_ree(src, g.alphabet_mut()).unwrap();

@@ -7,15 +7,20 @@ mod gadgets;
 mod lang;
 mod relational;
 
-pub use certain::{e03_certain_nulls, e04_exact_vs_nulls, e06_equality_only, e07_approximation,
-    e11_one_inequality, e12_arbitrary_cutting};
+pub use certain::{
+    e03_certain_nulls, e04_exact_vs_nulls, e06_equality_only, e07_approximation,
+    e11_one_inequality, e12_arbitrary_cutting,
+};
 pub use gadgets::{e05_threecol, e09_thm1_gadget};
-pub use lang::{e01_ree_eval, e02_rem_registers, e10_gxpath, e13_rpq_baseline, e14_social_workload};
+pub use lang::{
+    e01_ree_eval, e02_rem_registers, e10_gxpath, e13_rpq_baseline, e14_social_workload,
+};
 pub use relational::e08_prop1_chase;
 
 use crate::Table;
 
 /// All experiments in order, with their ids.
+#[allow(clippy::type_complexity)]
 pub fn all() -> Vec<(&'static str, fn() -> Table)> {
     vec![
         ("E1", e01_ree_eval as fn() -> Table),

@@ -41,7 +41,11 @@ impl Table {
         let _ = writeln!(
             s,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             let _ = writeln!(s, "| {} |", r.join(" | "));

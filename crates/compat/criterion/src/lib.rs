@@ -1,0 +1,271 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the subset of the criterion 0.5 API this workspace's benches
+//! use: [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, one untimed warm-up iteration followed
+//! by `sample_size` timed iterations; the reported statistic is the median.
+//! There is no outlier analysis, no HTML report and no saved baseline —
+//! results are printed to stdout and are additionally queryable through
+//! [`Criterion::median_ns`] so benches can export machine-readable
+//! summaries themselves.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Group name (empty for ungrouped benches).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median wall-clock time per iteration, in nanoseconds.
+    pub median_ns: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&mut self.measurements, "", &id.id, 20, f);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The median time of a recorded benchmark, in nanoseconds.
+    pub fn median_ns(&self, group: &str, id: &str) -> Option<u64> {
+        self.measurements
+            .iter()
+            .find(|m| m.group == group && m.id == id)
+            .map(|m| m.median_ns)
+    }
+
+    /// Print the closing summary (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        eprintln!(
+            "benchmarks complete: {} measurements",
+            self.measurements.len()
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name and a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(
+            &mut self.criterion.measurements,
+            &self.name,
+            &id.id,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_bench(
+            &mut self.criterion.measurements,
+            &self.name,
+            &id.id,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (printing happens as benches run; kept for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code under
+/// test.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(out: &mut Vec<Measurement>, group: &str, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let mut samples = b.samples;
+    if samples.is_empty() {
+        // the closure never called iter(); record a zero measurement
+        samples.push(Duration::ZERO);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "{label:<40} median {:>12.3} ms over {} samples",
+        median.as_secs_f64() * 1e3,
+        samples.len()
+    );
+    out.push(Measurement {
+        group: group.to_string(),
+        id: id.to_string(),
+        median_ns: median.as_nanos() as u64,
+        samples: samples.len(),
+    });
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like `--bench`; ignore them.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter(10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 2);
+        assert!(c.median_ns("grp", "10").is_some());
+        assert!(c.median_ns("", "free").is_some());
+        assert!(c.median_ns("grp", "missing").is_none());
+    }
+}

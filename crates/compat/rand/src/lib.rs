@@ -1,0 +1,221 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored shim provides exactly the subset of the rand 0.8 API the
+//! workspace uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`] and
+//! the [`Rng`] methods `gen_range` (over half-open and inclusive integer
+//! ranges and half-open `f64` ranges) and `gen_bool`.
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — the same choice
+//! rand 0.8 makes for `SmallRng` on 64-bit targets, although the exact
+//! stream is not guaranteed to match the upstream crate. Everything in the
+//! workspace only relies on *determinism per seed*, never on a specific
+//! stream, so swapping this shim for the real crate changes concrete
+//! generated workloads but breaks nothing.
+
+/// Random number generator trait: the subset of `rand::Rng` we need.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        next_f64(self) < p
+    }
+
+    /// A uniform sample of the full value domain (bool, integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+fn next_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits → uniform in [0, 1)
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seeding trait: the subset of `rand::SeedableRng` we need.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a "sample any value" distribution (`rand`'s `Standard`).
+pub trait Standard: Sized {
+    /// Draw a uniform value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (`rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw a uniform element of the range. Panics when empty.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = uniform_u128(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = uniform_u128(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + next_f64(rng) * (self.end - self.start)
+    }
+}
+
+/// Uniform value in `0..span` (span > 0) by rejection sampling, avoiding
+/// modulo bias.
+fn uniform_u128<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // span fits in u64 for every range the workspace uses
+    let span64 = span as u64;
+    let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+/// The `rand::rngs` module.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic RNG (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // SplitMix64 expansion, as rand::SeedableRng::seed_from_u64 does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 1; // xoshiro must not start at the all-zero state
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let v: i64 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&v));
+            let v: u8 = rng.gen_range(0..3);
+            assert!(v < 3);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn singleton_and_bool() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(rng.gen_range(4usize..5), 4);
+        assert_eq!(rng.gen_range(4usize..=4), 4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&hits), "gen_bool badly skewed: {hits}");
+    }
+}

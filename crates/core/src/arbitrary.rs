@@ -109,7 +109,10 @@ fn ree_len_at_most(e: &gde_dataquery::Ree, k: usize) -> bool {
             Ree::Epsilon => Some(0),
             Ree::Atom(_) => Some(1),
             Ree::Concat(es) => es.iter().map(max_len).try_fold(0usize, |a, b| Some(a + b?)),
-            Ree::Union(es) => es.iter().map(max_len).try_fold(0usize, |a, b| Some(a.max(b?))),
+            Ree::Union(es) => es
+                .iter()
+                .map(max_len)
+                .try_fold(0usize, |a, b| Some(a.max(b?))),
             Ree::Plus(_) | Ree::Star(_) => None,
             Ree::Eq(e) | Ree::Neq(e) => max_len(e),
         }
@@ -313,8 +316,8 @@ mod tests {
             let a1 = certain_answers_arbitrary(&m, &q, &gs, ArbitraryOptions::default())
                 .unwrap()
                 .answers;
-            let a2 = crate::exact::certain_answers_exact(&m, &q, &gs, ExactOptions::default())
-                .unwrap();
+            let a2 =
+                crate::exact::certain_answers_exact(&m, &q, &gs, ExactOptions::default()).unwrap();
             assert_eq!(a1, a2, "for {src}");
         }
     }

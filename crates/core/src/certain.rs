@@ -10,10 +10,16 @@
 //! * [`certain_answers_least_informative`] — `2_M(Q, G_s)` of §8, exact for
 //!   REM=/REE= queries (Theorem 5): evaluate on the least informative
 //!   solution and keep tuples over `dom(M, G_s)`.
+//!
+//! These free functions are **one-shot wrappers** over the prepared-mapping
+//! serving engine ([`crate::engine::PreparedMapping`]): each call prepares
+//! the mapping, compiles the query, answers once and throws the artifacts
+//! away. Serving paths that answer many queries against one `(M, G_s)`
+//! should hold a `PreparedMapping` (and precompiled queries) instead.
 
+use crate::engine::PreparedMapping;
 use crate::gsm::Gsm;
-use crate::solution::{least_informative_solution, universal_solution, SolutionError};
-use gde_datagraph::{DataGraph, FxHashSet, NodeId};
+use gde_datagraph::{DataGraph, NodeId};
 use gde_dataquery::DataQuery;
 
 /// Errors from the tractable certain-answer engines.
@@ -69,66 +75,34 @@ impl CertainAnswers {
 }
 
 /// `2ⁿ_M(Q, G_s)`: certain answers over target graphs with SQL-null values
-/// (Theorem 3/4). Polynomial data complexity.
+/// (Theorem 3/4). Polynomial data complexity. One-shot wrapper over
+/// [`PreparedMapping::certain_answers_nulls`].
 pub fn certain_answers_nulls(
     m: &Gsm,
     q: &DataQuery,
     gs: &DataGraph,
 ) -> Result<CertainAnswers, SolveError> {
-    let sol = match universal_solution(m, gs) {
-        Ok(s) => s,
-        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
-        Err(SolutionError::NoSolution { .. }) => return Ok(CertainAnswers::AllVacuously),
-    };
-    let invented: FxHashSet<NodeId> = sol.invented.iter().copied().collect();
-    let mut pairs: Vec<(NodeId, NodeId)> = q
-        .eval_pairs(&sol.graph)
-        .into_iter()
-        .filter(|(u, v)| !invented.contains(u) && !invented.contains(v))
-        .collect();
-    pairs.sort();
-    Ok(CertainAnswers::Pairs(pairs))
+    PreparedMapping::new(m, gs).certain_answers_nulls(&q.compile())
 }
 
 /// Boolean `2ⁿ`: does `Q` hold (have any match) in every solution over
 /// `D ∪ {n}`? For hom-closed Boolean queries this is just `Q` holding on
 /// the universal solution.
 pub fn certain_boolean_nulls(m: &Gsm, q: &DataQuery, gs: &DataGraph) -> Result<bool, SolveError> {
-    let sol = match universal_solution(m, gs) {
-        Ok(s) => s,
-        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
-        Err(SolutionError::NoSolution { .. }) => return Ok(true),
-    };
-    Ok(q.holds_somewhere(&sol.graph))
+    PreparedMapping::new(m, gs).certain_boolean_nulls(&q.compile())
 }
 
 /// `2_M(Q, G_s)` for equality-only queries (REM=/REE=, and plain RPQs):
 /// evaluate on the least informative solution, keep tuples over
 /// `dom(M, G_s)` (Theorem 5). Polynomial data complexity; **exact** plain
-/// certain answers for this fragment.
+/// certain answers for this fragment. One-shot wrapper over
+/// [`PreparedMapping::certain_answers_least_informative`].
 pub fn certain_answers_least_informative(
     m: &Gsm,
     q: &DataQuery,
     gs: &DataGraph,
 ) -> Result<CertainAnswers, SolveError> {
-    if !q.is_equality_only() {
-        return Err(SolveError::UnsupportedQuery(
-            "least-informative engine requires an inequality-free query (REM=/REE=)",
-        ));
-    }
-    let sol = match least_informative_solution(m, gs) {
-        Ok(s) => s,
-        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
-        Err(SolutionError::NoSolution { .. }) => return Ok(CertainAnswers::AllVacuously),
-    };
-    let invented: FxHashSet<NodeId> = sol.invented.iter().copied().collect();
-    let mut pairs: Vec<(NodeId, NodeId)> = q
-        .eval_pairs(&sol.graph)
-        .into_iter()
-        .filter(|(u, v)| !invented.contains(u) && !invented.contains(v))
-        .collect();
-    pairs.sort();
-    Ok(CertainAnswers::Pairs(pairs))
+    PreparedMapping::new(m, gs).certain_answers_least_informative(&q.compile())
 }
 
 /// Boolean variant of [`certain_answers_least_informative`].
@@ -137,17 +111,7 @@ pub fn certain_boolean_least_informative(
     q: &DataQuery,
     gs: &DataGraph,
 ) -> Result<bool, SolveError> {
-    if !q.is_equality_only() {
-        return Err(SolveError::UnsupportedQuery(
-            "least-informative engine requires an inequality-free query (REM=/REE=)",
-        ));
-    }
-    let sol = match least_informative_solution(m, gs) {
-        Ok(s) => s,
-        Err(SolutionError::NotRelational) => return Err(SolveError::NotRelational),
-        Err(SolutionError::NoSolution { .. }) => return Ok(true),
-    };
-    Ok(q.holds_somewhere(&sol.graph))
+    PreparedMapping::new(m, gs).certain_boolean_least_informative(&q.compile())
 }
 
 #[cfg(test)]
@@ -284,7 +248,10 @@ mod tests {
         let mut sa = Alphabet::from_labels(["a"]);
         let ta = Alphabet::from_labels(["x"]);
         let mut m = Gsm::new(sa.clone(), ta.clone());
-        m.add_rule(parse_regex("a", &mut sa).unwrap(), gde_automata::Regex::Epsilon);
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            gde_automata::Regex::Epsilon,
+        );
         let mut gs = DataGraph::new();
         gs.add_node(NodeId(0), Value::int(1)).unwrap();
         gs.add_node(NodeId(1), Value::int(2)).unwrap();

@@ -1,0 +1,402 @@
+//! The prepared-mapping serving engine.
+//!
+//! The paper's tractability results (Theorems 3–5) share one shape: build a
+//! canonical solution for `(M, G_s)` **once**, then answer every
+//! (hom-closed) query by direct evaluation on it. The free functions in
+//! [`crate::certain`] expose that result per call — and therefore rebuild
+//! the solution, refreeze the graph and re-lower the query every time.
+//! [`PreparedMapping`] is the amortized form:
+//!
+//! ```text
+//! let prepared = PreparedMapping::new(&gsm, &source);
+//! let q = query.compile();                   // lower once (gde-dataquery)
+//! for _ in serving_loop {
+//!     prepared.certain_answers_nulls(&q)?;   // cached solution + snapshot
+//! }
+//! ```
+//!
+//! On first use per engine, the mapping's canonical solution
+//! ([`universal_solution`] for the `2ⁿ` engine, [`least_informative_solution`]
+//! for the `2` REM=/REE= engine) is built and frozen into a
+//! [`GraphSnapshot`] (label-partitioned CSR + interned values + cached
+//! per-label relations); every subsequent query hits the caches. The free
+//! functions in [`crate::certain`] are now thin wrappers over this type, so
+//! cold-path callers keep working unchanged.
+
+use crate::certain::{CertainAnswers, SolveError};
+use crate::exact::{exact_answers_from, exact_boolean_from, ExactError, ExactOptions};
+use crate::gsm::Gsm;
+use crate::solution::{
+    least_informative_solution, universal_solution, CanonicalSolution, SolutionError,
+};
+use gde_datagraph::{DataGraph, GraphSnapshot, NodeId};
+use gde_dataquery::{CompiledQuery, DataQuery};
+use std::sync::OnceLock;
+
+/// A canonical solution frozen for serving: the solution itself plus its
+/// snapshot.
+#[derive(Debug)]
+pub struct PreparedSolution {
+    solution: CanonicalSolution,
+    snapshot: GraphSnapshot,
+}
+
+impl PreparedSolution {
+    fn new(solution: CanonicalSolution) -> PreparedSolution {
+        let snapshot = solution.graph.snapshot();
+        PreparedSolution { solution, snapshot }
+    }
+
+    /// The canonical solution.
+    pub fn solution(&self) -> &CanonicalSolution {
+        &self.solution
+    }
+
+    /// The frozen snapshot of the solution's target graph.
+    pub fn snapshot(&self) -> &GraphSnapshot {
+        &self.snapshot
+    }
+
+    /// Evaluate a compiled query on the snapshot and keep pairs over
+    /// `dom(M, G_s)` (drop tuples touching invented nodes).
+    fn answers_over_dom(&self, q: &CompiledQuery) -> Vec<(NodeId, NodeId)> {
+        let invented = self.solution.invented_set();
+        let mut pairs: Vec<(NodeId, NodeId)> = q
+            .eval_pairs(&self.snapshot)
+            .into_iter()
+            .filter(|(u, v)| !invented.contains(u) && !invented.contains(v))
+            .collect();
+        pairs.sort();
+        pairs
+    }
+}
+
+/// The two canonical-solution flavours an engine can be prepared over.
+enum Flavour {
+    Universal,
+    LeastInformative,
+}
+
+/// A schema mapping prepared against one source graph, serving certain
+/// answers for many queries.
+///
+/// Construction is free: solutions and snapshots are built lazily, at most
+/// once per flavour, on first use. The borrowed mapping and source must
+/// outlive the engine; for an owned variant clone them into an enclosing
+/// struct.
+pub struct PreparedMapping<'a> {
+    gsm: &'a Gsm,
+    source: &'a DataGraph,
+    universal: OnceLock<Result<PreparedSolution, SolutionError>>,
+    least_informative: OnceLock<Result<PreparedSolution, SolutionError>>,
+}
+
+impl<'a> PreparedMapping<'a> {
+    /// Prepare a mapping against a source graph. No work happens until the
+    /// first query.
+    pub fn new(gsm: &'a Gsm, source: &'a DataGraph) -> PreparedMapping<'a> {
+        PreparedMapping {
+            gsm,
+            source,
+            universal: OnceLock::new(),
+            least_informative: OnceLock::new(),
+        }
+    }
+
+    /// The mapping being served.
+    pub fn gsm(&self) -> &Gsm {
+        self.gsm
+    }
+
+    /// The source graph being served.
+    pub fn source(&self) -> &DataGraph {
+        self.source
+    }
+
+    fn prepared(&self, flavour: Flavour) -> &Result<PreparedSolution, SolutionError> {
+        match flavour {
+            Flavour::Universal => self.universal.get_or_init(|| {
+                universal_solution(self.gsm, self.source).map(PreparedSolution::new)
+            }),
+            Flavour::LeastInformative => self.least_informative.get_or_init(|| {
+                least_informative_solution(self.gsm, self.source).map(PreparedSolution::new)
+            }),
+        }
+    }
+
+    /// The cached universal solution (§7), building it on first call.
+    pub fn universal(&self) -> Result<&PreparedSolution, SolutionError> {
+        self.prepared(Flavour::Universal)
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The cached least-informative solution (§8), building it on first
+    /// call.
+    pub fn least_informative(&self) -> Result<&PreparedSolution, SolutionError> {
+        self.prepared(Flavour::LeastInformative)
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// `2ⁿ_M(Q, G_s)` (Theorems 3/4): certain answers over targets with SQL
+    /// nulls, served from the cached universal solution. Sound and complete
+    /// for every query closed under null-absorbing homomorphisms — all
+    /// [`DataQuery`] classes.
+    pub fn certain_answers_nulls(&self, q: &CompiledQuery) -> Result<CertainAnswers, SolveError> {
+        serve(
+            self.universal(),
+            SolveError::NotRelational,
+            CertainAnswers::AllVacuously,
+            |prep| Ok(CertainAnswers::Pairs(prep.answers_over_dom(q))),
+        )
+    }
+
+    /// Boolean `2ⁿ`: does `Q` match somewhere in every solution over
+    /// `D ∪ {n}`?
+    pub fn certain_boolean_nulls(&self, q: &CompiledQuery) -> Result<bool, SolveError> {
+        serve(self.universal(), SolveError::NotRelational, true, |prep| {
+            Ok(q.holds_somewhere(prep.snapshot()))
+        })
+    }
+
+    /// `2_M(Q, G_s)` for equality-only queries (Theorem 5): **exact** plain
+    /// certain answers for REM=/REE=/RPQs, served from the cached
+    /// least-informative solution.
+    pub fn certain_answers_least_informative(
+        &self,
+        q: &CompiledQuery,
+    ) -> Result<CertainAnswers, SolveError> {
+        require_equality_only(q)?;
+        serve(
+            self.least_informative(),
+            SolveError::NotRelational,
+            CertainAnswers::AllVacuously,
+            |prep| Ok(CertainAnswers::Pairs(prep.answers_over_dom(q))),
+        )
+    }
+
+    /// Boolean variant of
+    /// [`PreparedMapping::certain_answers_least_informative`].
+    pub fn certain_boolean_least_informative(&self, q: &CompiledQuery) -> Result<bool, SolveError> {
+        require_equality_only(q)?;
+        serve(
+            self.least_informative(),
+            SolveError::NotRelational,
+            true,
+            |prep| Ok(q.holds_somewhere(prep.snapshot())),
+        )
+    }
+
+    /// The serving default: exact `2` answers when the query allows it
+    /// (equality-only, Theorem 5), the `2ⁿ` under-approximation otherwise
+    /// (Theorem 4).
+    pub fn certain_answers(&self, q: &CompiledQuery) -> Result<CertainAnswers, SolveError> {
+        if q.is_equality_only() {
+            self.certain_answers_least_informative(q)
+        } else {
+            self.certain_answers_nulls(q)
+        }
+    }
+
+    /// Exact plain certain answers `2_M(Q, G_s)` (Theorem 2's coNP
+    /// procedure), reusing the cached universal solution as the enumeration
+    /// skeleton. Exponential in the number of invented nodes; bounded by
+    /// `opts`.
+    pub fn certain_answers_exact(
+        &self,
+        q: &DataQuery,
+        opts: ExactOptions,
+    ) -> Result<CertainAnswers, ExactError> {
+        serve(
+            self.universal(),
+            ExactError::NotRelational,
+            CertainAnswers::AllVacuously,
+            |prep| exact_answers_from(prep.solution(), q, opts),
+        )
+    }
+
+    /// Boolean variant of [`PreparedMapping::certain_answers_exact`].
+    pub fn certain_boolean_exact(
+        &self,
+        q: &DataQuery,
+        opts: ExactOptions,
+    ) -> Result<bool, ExactError> {
+        serve(self.universal(), ExactError::NotRelational, true, |prep| {
+            exact_boolean_from(prep.solution(), q, opts)
+        })
+    }
+}
+
+/// The shared error policy of every serving method: non-relational
+/// mappings are an error; mappings with no solution at all make every
+/// answer vacuously certain; otherwise defer to the engine body.
+fn serve<T, E>(
+    prepared: Result<&PreparedSolution, SolutionError>,
+    not_relational: E,
+    vacuous: T,
+    body: impl FnOnce(&PreparedSolution) -> Result<T, E>,
+) -> Result<T, E> {
+    match prepared {
+        Ok(prep) => body(prep),
+        Err(SolutionError::NotRelational) => Err(not_relational),
+        Err(SolutionError::NoSolution { .. }) => Ok(vacuous),
+    }
+}
+
+/// The §8 engines only support the inequality-free fragment.
+fn require_equality_only(q: &CompiledQuery) -> Result<(), SolveError> {
+    if q.is_equality_only() {
+        Ok(())
+    } else {
+        Err(SolveError::UnsupportedQuery(
+            "least-informative engine requires an inequality-free query (REM=/REE=)",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_automata::parse_regex;
+    use gde_datagraph::{Alphabet, Value};
+    use gde_dataquery::parse_ree;
+
+    /// The same scenario as `certain.rs`: 0(v5) -a-> 1(v5) -a-> 2(v7),
+    /// mapping (a, x y).
+    fn scenario() -> (Gsm, DataGraph) {
+        let mut sa = Alphabet::from_labels(["a"]);
+        let mut ta = Alphabet::from_labels(["x", "y"]);
+        let mut m = Gsm::new(sa.clone(), ta.clone());
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            parse_regex("x y", &mut ta).unwrap(),
+        );
+        let mut gs = DataGraph::new();
+        gs.add_node(NodeId(0), Value::int(5)).unwrap();
+        gs.add_node(NodeId(1), Value::int(5)).unwrap();
+        gs.add_node(NodeId(2), Value::int(7)).unwrap();
+        gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        gs.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
+        (m, gs)
+    }
+
+    #[test]
+    fn serves_repeated_queries_from_one_solution() {
+        let (m, gs) = scenario();
+        let prepared = PreparedMapping::new(&m, &gs);
+        let mut ta = m.target_alphabet().clone();
+        let q1 = DataQuery::from(parse_regex("x y", &mut ta).unwrap()).compile();
+        let q2 = DataQuery::from(parse_ree("(x y)=", &mut ta).unwrap()).compile();
+        let a1 = prepared.certain_answers_nulls(&q1).unwrap().into_pairs();
+        assert_eq!(a1, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        let a2 = prepared.certain_answers_nulls(&q2).unwrap().into_pairs();
+        assert_eq!(a2, vec![(NodeId(0), NodeId(1))]);
+        // the universal solution was built exactly once
+        let p1 = prepared.universal().unwrap() as *const PreparedSolution;
+        let _ = prepared.certain_answers_nulls(&q1).unwrap();
+        let p2 = prepared.universal().unwrap() as *const PreparedSolution;
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn least_informative_engine_and_dispatch() {
+        let (m, gs) = scenario();
+        let prepared = PreparedMapping::new(&m, &gs);
+        let mut ta = m.target_alphabet().clone();
+        let eq = DataQuery::from(parse_ree("(x y)=", &mut ta).unwrap()).compile();
+        let neq = DataQuery::from(parse_ree("(x y)!=", &mut ta).unwrap()).compile();
+        assert_eq!(
+            prepared
+                .certain_answers_least_informative(&eq)
+                .unwrap()
+                .into_pairs(),
+            vec![(NodeId(0), NodeId(1))]
+        );
+        assert!(matches!(
+            prepared.certain_answers_least_informative(&neq),
+            Err(SolveError::UnsupportedQuery(_))
+        ));
+        // serving default: = dispatches to 2, ≠ to 2ⁿ
+        assert_eq!(
+            prepared.certain_answers(&eq).unwrap().into_pairs(),
+            vec![(NodeId(0), NodeId(1))]
+        );
+        assert_eq!(
+            prepared.certain_answers(&neq).unwrap().into_pairs(),
+            vec![(NodeId(1), NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn boolean_engines() {
+        let (m, gs) = scenario();
+        let prepared = PreparedMapping::new(&m, &gs);
+        let mut ta = m.target_alphabet().clone();
+        let q = DataQuery::from(parse_ree("x y", &mut ta).unwrap()).compile();
+        assert!(prepared.certain_boolean_nulls(&q).unwrap());
+        assert!(prepared.certain_boolean_least_informative(&q).unwrap());
+        let q3 = DataQuery::from(parse_ree("y y", &mut ta).unwrap()).compile();
+        assert!(!prepared.certain_boolean_nulls(&q3).unwrap());
+    }
+
+    #[test]
+    fn exact_engine_reuses_skeleton() {
+        let (m, gs) = scenario();
+        let prepared = PreparedMapping::new(&m, &gs);
+        let mut ta = m.target_alphabet().clone();
+        let q = DataQuery::from(parse_ree("(x y)=", &mut ta).unwrap());
+        let exact = prepared
+            .certain_answers_exact(&q, ExactOptions::default())
+            .unwrap()
+            .into_pairs();
+        // Theorem 5: for equality-only queries the exact and
+        // least-informative engines agree
+        let li = prepared
+            .certain_answers_least_informative(&q.compile())
+            .unwrap()
+            .into_pairs();
+        assert_eq!(exact, li);
+        assert!(prepared
+            .certain_boolean_exact(&q, ExactOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn vacuous_and_non_relational_cases() {
+        // ε-rule conflict: no solution exists
+        let mut sa = Alphabet::from_labels(["a"]);
+        let ta = Alphabet::from_labels(["x"]);
+        let mut m = Gsm::new(sa.clone(), ta.clone());
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            gde_automata::Regex::Epsilon,
+        );
+        let mut gs = DataGraph::new();
+        gs.add_node(NodeId(0), Value::int(1)).unwrap();
+        gs.add_node(NodeId(1), Value::int(2)).unwrap();
+        gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        let prepared = PreparedMapping::new(&m, &gs);
+        let mut ta2 = ta.clone();
+        let q = DataQuery::from(parse_ree("x", &mut ta2).unwrap()).compile();
+        assert_eq!(
+            prepared.certain_answers_nulls(&q).unwrap(),
+            CertainAnswers::AllVacuously
+        );
+        assert!(prepared.certain_boolean_nulls(&q).unwrap());
+
+        // non-relational mapping rejected by every engine
+        let (m2, gs2) = scenario();
+        let mut m3 = m2.clone();
+        let reach = gde_automata::Regex::reachability(m3.target_alphabet());
+        m3.add_rule(
+            gde_automata::Regex::Atom(m3.source_alphabet().label("a").unwrap()),
+            reach,
+        );
+        let prepared = PreparedMapping::new(&m3, &gs2);
+        assert_eq!(
+            prepared.certain_answers_nulls(&q).err(),
+            Some(SolveError::NotRelational)
+        );
+    }
+}

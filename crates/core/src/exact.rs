@@ -23,7 +23,7 @@
 
 use crate::certain::CertainAnswers;
 use crate::gsm::Gsm;
-use crate::solution::{universal_solution, CanonicalSolution, SolutionError};
+use crate::solution::{universal_solution, CanonicalSolution};
 use gde_datagraph::{DataGraph, FxHashSet, NodeId, Value};
 use gde_dataquery::DataQuery;
 
@@ -81,11 +81,17 @@ pub fn certain_answers_exact(
     gs: &DataGraph,
     opts: ExactOptions,
 ) -> Result<CertainAnswers, ExactError> {
-    let sol = match universal_solution(m, gs) {
-        Ok(s) => s,
-        Err(SolutionError::NotRelational) => return Err(ExactError::NotRelational),
-        Err(SolutionError::NoSolution { .. }) => return Ok(CertainAnswers::AllVacuously),
-    };
+    crate::engine::PreparedMapping::new(m, gs).certain_answers_exact(q, opts)
+}
+
+/// The enumeration core of [`certain_answers_exact`], starting from an
+/// already-built universal solution (the prepared-mapping engine reuses its
+/// cached one here).
+pub(crate) fn exact_answers_from(
+    sol: &CanonicalSolution,
+    q: &DataQuery,
+    opts: ExactOptions,
+) -> Result<CertainAnswers, ExactError> {
     let dom: FxHashSet<NodeId> = sol.dom_nodes().into_iter().collect();
     let mut skeleton = sol.graph.clone();
     let answers = intersect_over_patterns(
@@ -108,15 +114,22 @@ pub fn certain_boolean_exact(
     gs: &DataGraph,
     opts: ExactOptions,
 ) -> Result<bool, ExactError> {
-    let sol = match universal_solution(m, gs) {
-        Ok(s) => s,
-        Err(SolutionError::NotRelational) => return Err(ExactError::NotRelational),
-        Err(SolutionError::NoSolution { .. }) => return Ok(true),
-    };
+    crate::engine::PreparedMapping::new(m, gs).certain_boolean_exact(q, opts)
+}
+
+/// The enumeration core of [`certain_boolean_exact`], from a prebuilt
+/// universal solution.
+pub(crate) fn exact_boolean_from(
+    sol: &CanonicalSolution,
+    q: &DataQuery,
+    opts: ExactOptions,
+) -> Result<bool, ExactError> {
     let mut skeleton = sol.graph.clone();
     let mut holds = true;
+    // lower the query once; each pattern only changes invented-node values
+    let compiled = q.compile();
     for_each_pattern(&mut skeleton, &sol.invented, opts, &mut 0, &mut |g| {
-        if !q.holds_somewhere(g) {
+        if compiled.eval_pairs_graph(g).is_empty() {
             holds = false;
             return false; // counterexample found: stop
         }
@@ -129,7 +142,7 @@ pub fn certain_boolean_exact(
 /// this scenario (for reporting in benches; saturates at `u64::MAX`).
 pub fn pattern_count(m: &Gsm, gs: &DataGraph) -> Option<u64> {
     let sol = universal_solution(m, gs).ok()?;
-    let s = palette(&sol) .len() as u128;
+    let s = palette(&sol).len() as u128;
     let m_inv = sol.invented.len() as u32;
     // restricted growth: product over i of (s + 1 + min(i, classes so far));
     // we compute the simple upper bound ∏ (s + i + 1) which is what the
@@ -190,6 +203,7 @@ pub(crate) fn for_each_pattern(
         .map(|i| Value::str(format!("✦fresh{i}")))
         .collect();
 
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         g: &mut DataGraph,
         invented: &[NodeId],
@@ -214,7 +228,17 @@ pub(crate) fn for_each_pattern(
         // choose: a palette value, an existing fresh class, or a new class
         for v in pal {
             g.set_value(invented[i], v.clone()).expect("invented node");
-            if !rec(g, invented, pal, fresh, i + 1, fresh_used, opts, patterns_tried, visit)? {
+            if !rec(
+                g,
+                invented,
+                pal,
+                fresh,
+                i + 1,
+                fresh_used,
+                opts,
+                patterns_tried,
+                visit,
+            )? {
                 return Ok(false);
             }
         }
@@ -222,7 +246,17 @@ pub(crate) fn for_each_pattern(
             g.set_value(invented[i], fresh[k].clone())
                 .expect("invented node");
             let next_used = fresh_used.max(k + 1);
-            if !rec(g, invented, pal, fresh, i + 1, next_used, opts, patterns_tried, visit)? {
+            if !rec(
+                g,
+                invented,
+                pal,
+                fresh,
+                i + 1,
+                next_used,
+                opts,
+                patterns_tried,
+                visit,
+            )? {
                 return Ok(false);
             }
         }
@@ -258,8 +292,10 @@ pub(crate) fn intersect_over_patterns(
     patterns_tried: &mut u64,
 ) -> Result<Option<Vec<(NodeId, NodeId)>>, ExactError> {
     let mut candidates: Option<Vec<(NodeId, NodeId)>> = initial;
+    // lower the query once; each pattern only changes invented-node values
+    let compiled = q.compile();
     for_each_pattern(g, invented, opts, patterns_tried, &mut |g| {
-        let mut answers = q.eval_pairs(g);
+        let mut answers = compiled.eval_pairs_graph(g);
         if let Some(dom) = dom {
             answers.retain(|(u, v)| dom.contains(u) && dom.contains(v));
         }

@@ -36,6 +36,7 @@ impl Integration {
     /// Register a source relation with its LAV view (an RPQ over the global
     /// schema) and its tuples. Tuples carry full nodes `(id, value)`; a node
     /// id seen twice must carry the same value.
+    #[allow(clippy::type_complexity)]
     pub fn add_source(
         &mut self,
         name: &str,

@@ -22,9 +22,30 @@
 //! | Prop 1 | relational GSMs ≡ relational mappings over `D_G` | [`translate`] |
 //!
 //! [`integration`] exposes the LAV virtual-data-integration reading of §4.
+//!
+//! ## Cold vs prepared serving
+//!
+//! The tractable engines all follow one recipe: build a canonical solution
+//! once, then answer queries by direct evaluation on it. There are two ways
+//! to consume that recipe:
+//!
+//! * **Cold** — the free functions ([`certain_answers_nulls`],
+//!   [`certain_answers_least_informative`], [`certain_answers_exact`] and
+//!   their Boolean variants) rebuild the solution, refreeze its graph and
+//!   re-lower the query on *every call*. They are the right entry point for
+//!   one-shot computations and remain the public contract for all existing
+//!   call sites — each is now a thin wrapper over the engine below.
+//! * **Prepared** — [`engine::PreparedMapping`] caches, per `(M, G_s)`, the
+//!   universal and least-informative solutions *and* their frozen
+//!   `GraphSnapshot`s (label-partitioned CSR adjacency, interned values,
+//!   cached per-label relations), then serves any number of precompiled
+//!   [`gde_dataquery::CompiledQuery`]s against them. On the social serving
+//!   workload a batch of ten queries answers several times faster than the
+//!   cold path (see the `prepared_vs_cold` bench and `BENCH_prepared.json`).
 
 pub mod arbitrary;
 pub mod certain;
+pub mod engine;
 pub mod exact;
 pub mod gsm;
 pub mod integration;
@@ -37,6 +58,7 @@ pub use certain::{
     certain_answers_least_informative, certain_answers_nulls, certain_boolean_least_informative,
     certain_boolean_nulls, SolveError,
 };
+pub use engine::{PreparedMapping, PreparedSolution};
 pub use exact::{certain_answers_exact, certain_boolean_exact, ExactOptions};
 pub use gsm::{Gsm, MappingClass, Rule};
 pub use rel2graph::{RelToGraphMapping, RelToGraphRule};
@@ -45,8 +67,9 @@ pub use solution::{least_informative_solution, universal_solution, CanonicalSolu
 /// Names used by virtually every program built on the library.
 pub mod prelude {
     pub use crate::certain::{certain_answers_nulls, certain_boolean_nulls};
+    pub use crate::engine::PreparedMapping;
     pub use crate::exact::{certain_answers_exact, ExactOptions};
     pub use crate::gsm::{Gsm, Rule};
     pub use crate::solution::universal_solution;
-    pub use gde_dataquery::DataQuery;
+    pub use gde_dataquery::{CompiledQuery, DataQuery};
 }

@@ -145,10 +145,7 @@ impl RelToGraphMapping {
 
     /// Build the universal solution: exported nodes with their `N`-values,
     /// plus one fresh null-node path per rule match.
-    pub fn universal_solution(
-        &self,
-        src: &Instance,
-    ) -> Result<CanonicalSolution, RelToGraphError> {
+    pub fn universal_solution(&self, src: &Instance) -> Result<CanonicalSolution, RelToGraphError> {
         let mut gt = DataGraph::with_alphabet(self.target_alphabet.clone());
         // watermark above every node id mentioned anywhere in the source
         let mut watermark = 0u32;
@@ -184,7 +181,7 @@ impl RelToGraphMapping {
                 }
             }
         }
-        Ok(CanonicalSolution { graph: gt, invented })
+        Ok(CanonicalSolution::new(gt, invented))
     }
 
     /// Is `gt` a solution for `src`? (Every rule match connected by its
@@ -319,7 +316,11 @@ mod tests {
         );
         // paths through invented middles never produce certain pairs
         let q: DataQuery = gde_dataquery::parse_ree("via", &mut ta).unwrap().into();
-        assert!(m.certain_answers_nulls(&q, &db).unwrap().into_pairs().is_empty());
+        assert!(m
+            .certain_answers_nulls(&q, &db)
+            .unwrap()
+            .into_pairs()
+            .is_empty());
     }
 
     #[test]

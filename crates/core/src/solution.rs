@@ -19,7 +19,8 @@
 //! `v a₁ v₁ a₂ … v_{k-1} a_k v'`.
 
 use crate::gsm::Gsm;
-use gde_datagraph::{DataGraph, NodeId, Value};
+use gde_datagraph::{DataGraph, FxHashSet, NodeId, Value};
+use std::sync::OnceLock;
 
 /// Why a canonical solution could not be built.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,15 +61,35 @@ pub struct CanonicalSolution {
     /// Nodes invented by the construction (in creation order). All other
     /// nodes of `graph` form `dom(M, G_s)`.
     pub invented: Vec<NodeId>,
+    /// Hash index over `invented`, built on first membership query so that
+    /// [`CanonicalSolution::is_invented`] is O(1) instead of a linear scan
+    /// (per-node scans made answer filtering O(n²) overall).
+    invented_index: OnceLock<FxHashSet<NodeId>>,
 }
 
 impl CanonicalSolution {
+    /// Package a target graph with its invented-node list.
+    pub fn new(graph: DataGraph, invented: Vec<NodeId>) -> CanonicalSolution {
+        CanonicalSolution {
+            graph,
+            invented,
+            invented_index: OnceLock::new(),
+        }
+    }
+
+    /// The invented nodes as a hash set (built once, cached).
+    pub fn invented_set(&self) -> &FxHashSet<NodeId> {
+        self.invented_index
+            .get_or_init(|| self.invented.iter().copied().collect())
+    }
+
     /// Nodes of `dom(M, G_s)` (sorted).
     pub fn dom_nodes(&self) -> Vec<NodeId> {
+        let invented = self.invented_set();
         let mut out: Vec<NodeId> = self
             .graph
             .node_ids()
-            .filter(|id| !self.invented.contains(id))
+            .filter(|id| !invented.contains(id))
             .collect();
         out.sort();
         out
@@ -76,7 +97,7 @@ impl CanonicalSolution {
 
     /// Is this node one of the invented ones?
     pub fn is_invented(&self, id: NodeId) -> bool {
-        self.invented.contains(&id)
+        self.invented_set().contains(&id)
     }
 }
 
@@ -138,7 +159,7 @@ fn build(
             }
         }
     }
-    Ok(CanonicalSolution { graph: gt, invented })
+    Ok(CanonicalSolution::new(gt, invented))
 }
 
 /// The universal solution of §7 (invented nodes are null nodes).
@@ -256,7 +277,10 @@ mod tests {
         let mut sa = Alphabet::from_labels(["a"]);
         let ta = Alphabet::from_labels(["x"]);
         let mut m = Gsm::new(sa.clone(), ta);
-        m.add_rule(parse_regex("a", &mut sa).unwrap(), gde_automata::Regex::Epsilon);
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            gde_automata::Regex::Epsilon,
+        );
         let mut gs = DataGraph::new();
         gs.add_node(NodeId(0), Value::int(1)).unwrap();
         gs.add_node(NodeId(1), Value::int(2)).unwrap();

@@ -23,8 +23,8 @@ use crate::gsm::Gsm;
 use crate::solution::{universal_solution, SolutionError};
 use gde_datagraph::{hom, DataGraph, FxHashMap, HomMode};
 use gde_relational::{
-    chase_st, chase_target, decode_graph, encode_graph, Atom, Egd, GraphSchema, Instance,
-    RelId, RelSchema, Term, Tgd, ValueNullStyle,
+    chase_st, chase_target, decode_graph, encode_graph, Atom, Egd, GraphSchema, Instance, RelId,
+    RelSchema, Term, Tgd, ValueNullStyle,
 };
 
 /// The relational rendering of a relational GSM, specialised to a source

@@ -307,9 +307,7 @@ impl DataGraph {
 
     /// Ids of nodes whose value is the null `n` (§7's "null nodes").
     pub fn null_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes()
-            .filter(|(_, v)| v.is_null())
-            .map(|(id, _)| id)
+        self.nodes().filter(|(_, v)| v.is_null()).map(|(id, _)| id)
     }
 
     /// Render the graph in Graphviz dot format (for the examples).

@@ -19,6 +19,9 @@
 //!   `δ(π) = d₁a₁d₂…` (§2);
 //! * [`Relation`] — dense bitset binary relations over the nodes of a graph,
 //!   the workhorse of REE and GXPath evaluation;
+//! * [`GraphSnapshot`] — a frozen, label-partitioned CSR view with interned
+//!   values and cached per-label relations, the substrate of the
+//!   prepared-mapping serving engine in `gde-core`;
 //! * homomorphisms between data graphs, both the exact form of §6 and the
 //!   null-absorbing form of §7 ([`hom`]).
 
@@ -31,6 +34,7 @@ pub mod node;
 pub mod path;
 pub mod property;
 pub mod relation;
+pub mod snapshot;
 pub mod value;
 
 pub use fxhash::{FxHashMap, FxHashSet};
@@ -39,6 +43,7 @@ pub use hom::{apply_hom, check_hom, find_hom, HomMode};
 pub use label::{Alphabet, Label};
 pub use node::NodeId;
 pub use path::{DataPath, Path};
-pub use property::{PropertyGraph, Properties};
+pub use property::{Properties, PropertyGraph};
 pub use relation::Relation;
+pub use snapshot::GraphSnapshot;
 pub use value::Value;

@@ -268,10 +268,7 @@ mod tests {
         let a = g.alphabet().label("a").unwrap();
         let p = Path::from_parts(vec![NodeId(0), NodeId(1), NodeId(2)], vec![a, a]);
         let dp = p.data_path(&g);
-        assert_eq!(
-            dp.values(),
-            &[Value::int(0), Value::int(1), Value::int(2)]
-        );
+        assert_eq!(dp.values(), &[Value::int(0), Value::int(1), Value::int(2)]);
         assert_eq!(dp.first(), &Value::int(0));
         assert_eq!(dp.last(), &Value::int(2));
         assert_eq!(dp.len(), 2);

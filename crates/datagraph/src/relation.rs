@@ -150,8 +150,7 @@ impl Relation {
                     let bit = w.trailing_zeros() as usize;
                     w &= w - 1;
                     let j = w_idx * 64 + bit;
-                    let dst =
-                        &mut out.bits[i * out.words_per_row..(i + 1) * out.words_per_row];
+                    let dst = &mut out.bits[i * out.words_per_row..(i + 1) * out.words_per_row];
                     for (d, s) in dst.iter_mut().zip(other.row(j).iter()) {
                         *d |= s;
                     }
@@ -221,9 +220,10 @@ impl Relation {
     /// Iterate over pairs in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         (0..self.n).flat_map(move |i| {
-            self.row(i).iter().enumerate().flat_map(move |(w_idx, &w)| {
-                BitIter { word: w }.map(move |b| (i, w_idx * 64 + b))
-            })
+            self.row(i)
+                .iter()
+                .enumerate()
+                .flat_map(move |(w_idx, &w)| BitIter { word: w }.map(move |b| (i, w_idx * 64 + b)))
         })
     }
 

@@ -18,6 +18,9 @@
 use crate::query::DataQuery;
 use gde_datagraph::{DataGraph, FxHashMap, NodeId};
 
+/// One atom's materialized answers: `(from_var, to_var, pairs)`.
+pub(crate) type AtomAnswers = (u32, u32, Vec<(NodeId, NodeId)>);
+
 /// One atom `from --query--> to` between variables.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CdAtom {
@@ -52,11 +55,7 @@ impl ConjunctiveDataRpq {
 
     /// All variables mentioned.
     pub fn variables(&self) -> Vec<u32> {
-        let mut out: Vec<u32> = self
-            .atoms
-            .iter()
-            .flat_map(|a| [a.from, a.to])
-            .collect();
+        let mut out: Vec<u32> = self.atoms.iter().flat_map(|a| [a.from, a.to]).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -71,20 +70,12 @@ impl ConjunctiveDataRpq {
     pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
         // Materialize each atom's relation, then backtracking-join over
         // variables, smallest relation first.
-        let mut rels: Vec<(u32, u32, Vec<(NodeId, NodeId)>)> = self
+        let rels: Vec<AtomAnswers> = self
             .atoms
             .iter()
             .map(|a| (a.from, a.to, a.query.eval_pairs(g)))
             .collect();
-        rels.sort_by_key(|(_, _, pairs)| pairs.len());
-        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut binding: FxHashMap<u32, NodeId> = FxHashMap::default();
-        join(&rels, 0, &mut binding, &mut |b| {
-            out.push((b[&self.head.0], b[&self.head.1]));
-        });
-        out.sort();
-        out.dedup();
-        out
+        join_atom_answers(rels, self.head)
     }
 
     /// Boolean: does the body match at all?
@@ -93,8 +84,26 @@ impl ConjunctiveDataRpq {
     }
 }
 
+/// Backtracking-join materialized atom answers over shared variables,
+/// smallest relation first, and project onto the head pair. Shared with
+/// the compiled-query evaluator.
+pub(crate) fn join_atom_answers(
+    mut rels: Vec<AtomAnswers>,
+    head: (u32, u32),
+) -> Vec<(NodeId, NodeId)> {
+    rels.sort_by_key(|(_, _, pairs)| pairs.len());
+    let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut binding: FxHashMap<u32, NodeId> = FxHashMap::default();
+    join(&rels, 0, &mut binding, &mut |b| {
+        out.push((b[&head.0], b[&head.1]));
+    });
+    out.sort();
+    out.dedup();
+    out
+}
+
 fn join(
-    rels: &[(u32, u32, Vec<(NodeId, NodeId)>)],
+    rels: &[AtomAnswers],
     i: usize,
     binding: &mut FxHashMap<u32, NodeId>,
     emit: &mut dyn FnMut(&FxHashMap<u32, NodeId>),
@@ -116,12 +125,7 @@ fn join(
     }
 }
 
-fn bind(
-    binding: &mut FxHashMap<u32, NodeId>,
-    var: u32,
-    val: NodeId,
-    added: &mut Vec<u32>,
-) -> bool {
+fn bind(binding: &mut FxHashMap<u32, NodeId>, var: u32, val: NodeId, added: &mut Vec<u32>) -> bool {
     match binding.get(&var) {
         Some(&bound) => bound == val,
         None => {
@@ -161,9 +165,21 @@ mod tests {
         let q = ConjunctiveDataRpq::new(
             (0, 1),
             vec![
-                CdAtom { from: 0, query: a.clone(), to: 2 },
-                CdAtom { from: 2, query: a, to: 1 },
-                CdAtom { from: 0, query: b, to: 1 },
+                CdAtom {
+                    from: 0,
+                    query: a.clone(),
+                    to: 2,
+                },
+                CdAtom {
+                    from: 2,
+                    query: a,
+                    to: 1,
+                },
+                CdAtom {
+                    from: 0,
+                    query: b,
+                    to: 1,
+                },
             ],
         );
         assert_eq!(q.eval_pairs(&g), vec![(NodeId(0), NodeId(2))]);
@@ -180,8 +196,16 @@ mod tests {
         let q = ConjunctiveDataRpq::new(
             (0, 1),
             vec![
-                CdAtom { from: 0, query: eq, to: 1 },
-                CdAtom { from: 0, query: b, to: 1 },
+                CdAtom {
+                    from: 0,
+                    query: eq,
+                    to: 1,
+                },
+                CdAtom {
+                    from: 0,
+                    query: b,
+                    to: 1,
+                },
             ],
         );
         assert_eq!(q.eval_pairs(&g), vec![(NodeId(0), NodeId(2))]);
@@ -196,8 +220,16 @@ mod tests {
         let q = ConjunctiveDataRpq::new(
             (0, 1),
             vec![
-                CdAtom { from: 0, query: a, to: 9 },
-                CdAtom { from: 1, query: b, to: 9 },
+                CdAtom {
+                    from: 0,
+                    query: a,
+                    to: 9,
+                },
+                CdAtom {
+                    from: 1,
+                    query: b,
+                    to: 9,
+                },
             ],
         );
         let ans = q.eval_pairs(&g);
@@ -212,14 +244,26 @@ mod tests {
         let neq: DataQuery = parse_ree("a!=", &mut al).unwrap().into();
         let q = ConjunctiveDataRpq::new(
             (0, 1),
-            vec![CdAtom { from: 0, query: eq.clone(), to: 1 }],
+            vec![CdAtom {
+                from: 0,
+                query: eq.clone(),
+                to: 1,
+            }],
         );
         assert!(q.is_equality_only());
         let q = ConjunctiveDataRpq::new(
             (0, 1),
             vec![
-                CdAtom { from: 0, query: eq, to: 1 },
-                CdAtom { from: 0, query: neq, to: 1 },
+                CdAtom {
+                    from: 0,
+                    query: eq,
+                    to: 1,
+                },
+                CdAtom {
+                    from: 0,
+                    query: neq,
+                    to: 1,
+                },
             ],
         );
         assert!(!q.is_equality_only());
@@ -230,6 +274,13 @@ mod tests {
     fn head_must_occur() {
         let mut al = gde_datagraph::Alphabet::new();
         let a: DataQuery = parse_ree("a", &mut al).unwrap().into();
-        let _ = ConjunctiveDataRpq::new((0, 7), vec![CdAtom { from: 0, query: a, to: 1 }]);
+        let _ = ConjunctiveDataRpq::new(
+            (0, 7),
+            vec![CdAtom {
+                from: 0,
+                query: a,
+                to: 1,
+            }],
+        );
     }
 }

@@ -22,7 +22,12 @@
 //! The [`DataQuery`] enum packages all classes (plus purely navigational
 //! RPQs) behind one evaluation interface for the certain-answer engines in
 //! `gde-core`. Concrete syntax is provided by [`parser`].
+//!
+//! For repeated evaluation — the prepared-mapping serving engine — lower a
+//! query once with [`DataQuery::compile`] and evaluate the resulting
+//! [`CompiledQuery`] against frozen `GraphSnapshot`s (see [`compiled`]).
 
+pub mod compiled;
 pub mod crpq;
 pub mod parser;
 pub mod pathtest;
@@ -30,6 +35,7 @@ pub mod query;
 pub mod ree;
 pub mod rem;
 
+pub use compiled::CompiledQuery;
 pub use crpq::{CdAtom, ConjunctiveDataRpq};
 pub use parser::{parse_ree, parse_rem};
 pub use pathtest::PathTest;

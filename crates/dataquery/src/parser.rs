@@ -675,10 +675,7 @@ mod tests {
         let cc = al.label("c").unwrap();
         assert_eq!(
             e,
-            Ree::Concat(vec![
-                Ree::word(&[a, b]).eq(),
-                Ree::Atom(cc).neq(),
-            ])
+            Ree::Concat(vec![Ree::word(&[a, b]).eq(), Ree::Atom(cc).neq(),])
         );
     }
 

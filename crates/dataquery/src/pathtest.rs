@@ -167,11 +167,7 @@ mod tests {
     fn paper_example_shape() {
         // (a(bc)=)≠
         let (a, b, c) = (l(0), l(1), l(2));
-        let e = PathTest::concat([
-            PathTest::Atom(a),
-            PathTest::word(&[b, c]).eq(),
-        ])
-        .neq();
+        let e = PathTest::concat([PathTest::Atom(a), PathTest::word(&[b, c]).eq()]).neq();
         assert_eq!(e.word_of(), vec![a, b, c]);
         assert_eq!(e.len(), 3);
         assert_eq!(e.inequality_count(), 1);

@@ -40,14 +40,12 @@ pub enum DataQuery {
 
 impl DataQuery {
     /// Evaluate to sorted `(NodeId, NodeId)` pairs.
+    ///
+    /// One-shot convenience: lowers the query and freezes the graph per
+    /// call. Serving paths should lower once ([`DataQuery::compile`]) and
+    /// reuse a `GraphSnapshot` across queries.
     pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
-        match self {
-            DataQuery::Rpq(e) => Nfa::from_regex(e).eval_pairs(g),
-            DataQuery::Ree(e) => e.eval_pairs(g),
-            DataQuery::Rem(e) => e.eval_pairs(g),
-            DataQuery::PathTest(e) => e.eval_pairs(g),
-            DataQuery::Conjunctive(q) => q.eval_pairs(g),
-        }
+        self.compile().eval_pairs(&g.snapshot())
     }
 
     /// Does `(u,v)` belong to the answer on `g`?

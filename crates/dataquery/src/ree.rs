@@ -17,7 +17,7 @@
 //! Membership `w ∈ L(e)` reuses the same algebra over the *positions* of the
 //! data path — both are instances of one internal evaluation context.
 
-use gde_datagraph::{DataGraph, DataPath, Label, Relation, Value};
+use gde_datagraph::{DataGraph, DataPath, GraphSnapshot, Label, Relation, Value};
 
 /// A regular expression with equality.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -156,17 +156,34 @@ impl Ree {
     // ---------- evaluation ----------
 
     /// Evaluate on a data graph: `R(e)` as a [`Relation`] over dense node
-    /// indices. PTime in both the graph and the expression.
+    /// indices. PTime in both the graph and the expression. The graph is
+    /// frozen once into a [`GraphSnapshot`]; reuse a snapshot across calls
+    /// via [`Ree::eval_snapshot`] when serving many queries.
     pub fn eval(&self, g: &DataGraph) -> Relation {
-        self.eval_ctx(&GraphCtx { g })
+        self.eval_snapshot(&g.snapshot())
+    }
+
+    /// Evaluate against a frozen snapshot: letter atoms come from the
+    /// snapshot's cached per-label relations and `=`/`≠` tests compare
+    /// interned value ids instead of data values.
+    pub fn eval_snapshot(&self, s: &GraphSnapshot) -> Relation {
+        self.eval_ctx(&SnapshotCtx { s })
     }
 
     /// Evaluate as sorted `(NodeId, NodeId)` pairs.
     pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(gde_datagraph::NodeId, gde_datagraph::NodeId)> {
+        self.eval_pairs_snapshot(&g.snapshot())
+    }
+
+    /// [`Ree::eval_pairs`] against a prebuilt snapshot.
+    pub fn eval_pairs_snapshot(
+        &self,
+        s: &GraphSnapshot,
+    ) -> Vec<(gde_datagraph::NodeId, gde_datagraph::NodeId)> {
         let mut out: Vec<_> = self
-            .eval(g)
+            .eval_snapshot(s)
             .iter()
-            .map(|(i, j)| (g.id_at(i as u32), g.id_at(j as u32)))
+            .map(|(i, j)| (s.id_at(i as u32), s.id_at(j as u32)))
             .collect();
         out.sort();
         out
@@ -204,12 +221,8 @@ impl Ree {
             }
             Ree::Plus(e) => e.eval_ctx(ctx).transitive_closure(),
             Ree::Star(e) => e.eval_ctx(ctx).reflexive_transitive_closure(),
-            Ree::Eq(e) => e
-                .eval_ctx(ctx)
-                .filter(|i, j| ctx.value(i).sql_eq(ctx.value(j))),
-            Ree::Neq(e) => e
-                .eval_ctx(ctx)
-                .filter(|i, j| ctx.value(i).sql_ne(ctx.value(j))),
+            Ree::Eq(e) => e.eval_ctx(ctx).filter(|i, j| ctx.sql_eq(i, j)),
+            Ree::Neq(e) => e.eval_ctx(ctx).filter(|i, j| ctx.sql_ne(i, j)),
         }
     }
 
@@ -304,34 +317,41 @@ fn compose_ep(r1: u8, r2: u8) -> u8 {
 }
 
 /// The common shape of REE evaluation: a domain of points, a relation per
-/// letter, and a value per point.
+/// letter, and SQL-null value comparisons between points.
 trait ReeContext {
     fn dim(&self) -> usize;
     fn atom(&self, l: Label) -> Relation;
     fn value(&self, i: usize) -> &Value;
+    /// SQL-null equality of two points' values (overridable with a cheaper
+    /// comparison when values are interned).
+    fn sql_eq(&self, i: usize, j: usize) -> bool {
+        self.value(i).sql_eq(self.value(j))
+    }
+    /// SQL-null inequality of two points' values.
+    fn sql_ne(&self, i: usize, j: usize) -> bool {
+        self.value(i).sql_ne(self.value(j))
+    }
 }
 
-struct GraphCtx<'a> {
-    g: &'a DataGraph,
+struct SnapshotCtx<'a> {
+    s: &'a GraphSnapshot,
 }
 
-impl ReeContext for GraphCtx<'_> {
+impl ReeContext for SnapshotCtx<'_> {
     fn dim(&self) -> usize {
-        self.g.n()
+        self.s.n()
     }
     fn atom(&self, l: Label) -> Relation {
-        let mut r = Relation::empty(self.g.n());
-        for u in 0..self.g.n() as u32 {
-            for &(el, v) in self.g.out_at(u) {
-                if el == l {
-                    r.insert(u as usize, v as usize);
-                }
-            }
-        }
-        r
+        self.s.label_relation_or_empty(l)
     }
     fn value(&self, i: usize) -> &Value {
-        self.g.value_at(i as u32)
+        self.s.value_at(i as u32)
+    }
+    fn sql_eq(&self, i: usize, j: usize) -> bool {
+        self.s.sql_eq(i as u32, j as u32)
+    }
+    fn sql_ne(&self, i: usize, j: usize) -> bool {
+        self.s.sql_ne(i as u32, j as u32)
     }
 }
 
@@ -371,7 +391,13 @@ impl WitnessGen {
     /// (`EP_EQ`/`EP_NEQ`), whose first value is `first`, and whose last
     /// value is `last_hint` if given (the caller guarantees the hint is
     /// consistent with `rel` w.r.t. `first`).
-    fn generate(&mut self, e: &Ree, rel: u8, first: Value, last_hint: Option<Value>) -> Option<DataPath> {
+    fn generate(
+        &mut self,
+        e: &Ree,
+        rel: u8,
+        first: Value,
+        last_hint: Option<Value>,
+    ) -> Option<DataPath> {
         debug_assert!(rel == EP_EQ || rel == EP_NEQ);
         if e.endpoint_relations() & rel == 0 {
             return None;
@@ -381,7 +407,11 @@ impl WitnessGen {
             (None, EP_EQ) => first.clone(),
             (None, _) => self.fresh(),
         };
-        debug_assert!(if rel == EP_EQ { first == last } else { first != last });
+        debug_assert!(if rel == EP_EQ {
+            first == last
+        } else {
+            first != last
+        });
         match e {
             Ree::Epsilon => Some(DataPath::single(first)),
             Ree::Atom(l) => {
@@ -443,7 +473,7 @@ impl WitnessGen {
                 None
             }
             Ree::Star(sub) => {
-                if rel == EP_EQ && last_hint.map_or(true, |v| v == first) {
+                if rel == EP_EQ && last_hint.is_none_or(|v| v == first) {
                     // ε iterate — but careful: caller may have pinned last
                     Some(DataPath::single(first))
                 } else {
@@ -482,6 +512,7 @@ impl WitnessGen {
         // the relation of that junction to `first`; ensure final equals `last`.
         // We do a backtracking search over per-part relation choices (≤ 2ⁿ in
         // the worst case but parts are few and pruned by prefix feasibility).
+        #[allow(clippy::too_many_arguments)]
         fn assign(
             gen: &mut WitnessGen,
             es: &[Ree],
@@ -515,9 +546,7 @@ impl WitnessGen {
                     if feasible & need == 0 {
                         continue;
                     }
-                    if let Some(w) =
-                        gen.generate(part, need, cur.clone(), Some(last.clone()))
-                    {
+                    if let Some(w) = gen.generate(part, need, cur.clone(), Some(last.clone())) {
                         acc.push(w);
                         return true;
                     }
@@ -616,7 +645,10 @@ mod tests {
         let g = g();
         let a = g.alphabet().label("a").unwrap();
         let e = Ree::word(&[a, a]);
-        assert_eq!(e.eval_pairs(&g), vec![(NodeId(0), NodeId(2)), (NodeId(3), NodeId(1))]);
+        assert_eq!(
+            e.eval_pairs(&g),
+            vec![(NodeId(0), NodeId(2)), (NodeId(3), NodeId(1))]
+        );
     }
 
     #[test]
@@ -704,7 +736,7 @@ mod tests {
         assert!(!e.matches_path(&mk(&[2, 2, 3, 2], &[a, b, c]))); // d1 = d2
         assert!(!e.matches_path(&mk(&[1, 2, 3, 4], &[a, b, c]))); // inner ≠
         assert!(!e.matches_path(&mk(&[1, 2, 3, 2], &[a, b, b]))); // wrong label
-        // ε matches single values only
+                                                                  // ε matches single values only
         assert!(Ree::Epsilon.matches_path(&DataPath::single(Value::int(1))));
         assert!(!Ree::Epsilon.matches_path(&mk(&[1, 2], &[b])));
     }

@@ -71,7 +71,11 @@ impl PathExpr {
         match w.len() {
             0 => PathExpr::Epsilon,
             1 => PathExpr::Step(Axis::Forward(w[0])),
-            _ => PathExpr::Concat(w.iter().map(|&l| PathExpr::Step(Axis::Forward(l))).collect()),
+            _ => PathExpr::Concat(
+                w.iter()
+                    .map(|&l| PathExpr::Step(Axis::Forward(l)))
+                    .collect(),
+            ),
         }
     }
 
@@ -137,6 +141,7 @@ impl NodeExpr {
     }
 
     /// `¬ϕ`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> NodeExpr {
         NodeExpr::Not(Box::new(self))
     }

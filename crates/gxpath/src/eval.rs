@@ -1,19 +1,30 @@
 //! PTime evaluation of GXPath-core (the semantics of Figure 1 in the paper).
+//!
+//! Evaluation consumes a frozen [`GraphSnapshot`]: single-label steps come
+//! from the snapshot's cached per-label relations (backward axes from the
+//! backward CSR) and `=`/`≠` tests compare interned value ids. The
+//! graph-taking entry points freeze once and delegate, so serving paths can
+//! share one snapshot across many expressions.
 
 use crate::ast::{Axis, NodeExpr, PathExpr};
-use gde_datagraph::{DataGraph, NodeId, Relation};
+use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation};
 
 /// `[[α]]_G` as a [`Relation`] over dense node indices.
 pub fn eval_path(alpha: &PathExpr, g: &DataGraph) -> Relation {
-    let n = g.n();
+    eval_path_snapshot(alpha, &g.snapshot())
+}
+
+/// [`eval_path`] against a prebuilt snapshot.
+pub fn eval_path_snapshot(alpha: &PathExpr, s: &GraphSnapshot) -> Relation {
+    let n = s.n();
     match alpha {
         PathExpr::Epsilon => Relation::identity(n),
-        PathExpr::Step(axis) => axis_relation(*axis, g),
-        PathExpr::StepStar(axis) => axis_relation(*axis, g).reflexive_transitive_closure(),
+        PathExpr::Step(axis) => axis_relation(*axis, s),
+        PathExpr::StepStar(axis) => axis_relation(*axis, s).reflexive_transitive_closure(),
         PathExpr::Concat(parts) => {
             let mut acc = Relation::identity(n);
             for p in parts {
-                acc = acc.compose(&eval_path(p, g));
+                acc = acc.compose(&eval_path_snapshot(p, s));
                 if acc.is_empty() {
                     break;
                 }
@@ -23,18 +34,14 @@ pub fn eval_path(alpha: &PathExpr, g: &DataGraph) -> Relation {
         PathExpr::Union(parts) => {
             let mut acc = Relation::empty(n);
             for p in parts {
-                acc.union_with(&eval_path(p, g));
+                acc.union_with(&eval_path_snapshot(p, s));
             }
             acc
         }
-        PathExpr::Eq(p) => {
-            eval_path(p, g).filter(|i, j| g.value_at(i as u32).sql_eq(g.value_at(j as u32)))
-        }
-        PathExpr::Neq(p) => {
-            eval_path(p, g).filter(|i, j| g.value_at(i as u32).sql_ne(g.value_at(j as u32)))
-        }
+        PathExpr::Eq(p) => eval_path_snapshot(p, s).filter(|i, j| s.sql_eq(i as u32, j as u32)),
+        PathExpr::Neq(p) => eval_path_snapshot(p, s).filter(|i, j| s.sql_ne(i as u32, j as u32)),
         PathExpr::Filter(phi) => {
-            let set = eval_node_mask(phi, g);
+            let set = eval_node_mask(phi, s);
             let mut r = Relation::empty(n);
             for (i, &b) in set.iter().enumerate() {
                 if b {
@@ -48,11 +55,16 @@ pub fn eval_path(alpha: &PathExpr, g: &DataGraph) -> Relation {
 
 /// `[[ϕ]]_G` as a sorted list of node ids.
 pub fn eval_node(phi: &NodeExpr, g: &DataGraph) -> Vec<NodeId> {
-    let mut out: Vec<NodeId> = eval_node_mask(phi, g)
+    eval_node_snapshot(phi, &g.snapshot())
+}
+
+/// [`eval_node`] against a prebuilt snapshot.
+pub fn eval_node_snapshot(phi: &NodeExpr, s: &GraphSnapshot) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = eval_node_mask(phi, s)
         .iter()
         .enumerate()
         .filter(|(_, &b)| b)
-        .map(|(i, _)| g.id_at(i as u32))
+        .map(|(i, _)| s.id_at(i as u32))
         .collect();
     out.sort();
     out
@@ -60,40 +72,46 @@ pub fn eval_node(phi: &NodeExpr, g: &DataGraph) -> Vec<NodeId> {
 
 /// Does node `v` satisfy `ϕ` in `g`?
 pub fn eval_node_set(phi: &NodeExpr, g: &DataGraph, v: NodeId) -> bool {
-    match g.idx(v) {
-        Some(d) => eval_node_mask(phi, g)[d as usize],
+    eval_node_set_snapshot(phi, &g.snapshot(), v)
+}
+
+/// [`eval_node_set`] against a prebuilt snapshot (freeze once when checking
+/// several formulas on one graph).
+pub fn eval_node_set_snapshot(phi: &NodeExpr, s: &GraphSnapshot, v: NodeId) -> bool {
+    match s.idx(v) {
+        Some(d) => eval_node_mask(phi, s)[d as usize],
         None => false,
     }
 }
 
-fn eval_node_mask(phi: &NodeExpr, g: &DataGraph) -> Vec<bool> {
+fn eval_node_mask(phi: &NodeExpr, s: &GraphSnapshot) -> Vec<bool> {
     match phi {
         NodeExpr::Not(p) => {
-            let mut m = eval_node_mask(p, g);
+            let mut m = eval_node_mask(p, s);
             for b in m.iter_mut() {
                 *b = !*b;
             }
             m
         }
         NodeExpr::And(a, b) => {
-            let mut m = eval_node_mask(a, g);
-            let mb = eval_node_mask(b, g);
+            let mut m = eval_node_mask(a, s);
+            let mb = eval_node_mask(b, s);
             for (x, y) in m.iter_mut().zip(mb) {
                 *x = *x && y;
             }
             m
         }
         NodeExpr::Or(a, b) => {
-            let mut m = eval_node_mask(a, g);
-            let mb = eval_node_mask(b, g);
+            let mut m = eval_node_mask(a, s);
+            let mb = eval_node_mask(b, s);
             for (x, y) in m.iter_mut().zip(mb) {
                 *x = *x || y;
             }
             m
         }
         NodeExpr::Exists(alpha) => {
-            let r = eval_path(alpha, g);
-            let mut m = vec![false; g.n()];
+            let r = eval_path_snapshot(alpha, s);
+            let mut m = vec![false; s.n()];
             for i in r.domain() {
                 m[i] = true;
             }
@@ -102,20 +120,19 @@ fn eval_node_mask(phi: &NodeExpr, g: &DataGraph) -> Vec<bool> {
     }
 }
 
-fn axis_relation(axis: Axis, g: &DataGraph) -> Relation {
-    let mut r = Relation::empty(g.n());
-    let label = axis.label();
-    for u in 0..g.n() as u32 {
-        for &(el, v) in g.out_at(u) {
-            if el == label {
-                match axis {
-                    Axis::Forward(_) => r.insert(u as usize, v as usize),
-                    Axis::Backward(_) => r.insert(v as usize, u as usize),
+fn axis_relation(axis: Axis, s: &GraphSnapshot) -> Relation {
+    match axis {
+        Axis::Forward(l) => s.label_relation_or_empty(l),
+        Axis::Backward(l) => {
+            let mut r = Relation::empty(s.n());
+            for u in 0..s.n() as u32 {
+                for &p in s.inn(l, u) {
+                    r.insert(u as usize, p as usize);
                 }
             }
+            r
         }
     }
-    r
 }
 
 #[cfg(test)]

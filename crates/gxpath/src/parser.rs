@@ -168,7 +168,9 @@ fn pterm(c: &mut Cursor) -> Result<PathExpr, GxParseError> {
     loop {
         c.skip_ws();
         match c.peek() {
-            None | Some('|') | Some('∪') | Some(')') | Some('>') | Some('⟩') | Some(']') => break,
+            None | Some('|') | Some('∪') | Some(')') | Some('>') | Some('⟩') | Some(']') => {
+                break
+            }
             _ => factors.push(pfactor(c)?),
         }
     }

@@ -80,6 +80,7 @@ impl RPath {
     }
 
     /// `¬α` builder.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> RPath {
         RPath::Not(Box::new(self))
     }
@@ -101,7 +102,9 @@ impl RNode {
         use crate::ast::NodeExpr as N;
         match p {
             N::Not(e) => RNode::Not(Box::new(RNode::from_core(e))),
-            N::And(a, b) => RNode::And(Box::new(RNode::from_core(a)), Box::new(RNode::from_core(b))),
+            N::And(a, b) => {
+                RNode::And(Box::new(RNode::from_core(a)), Box::new(RNode::from_core(b)))
+            }
             N::Or(a, b) => RNode::Or(Box::new(RNode::from_core(a)), Box::new(RNode::from_core(b))),
             N::Exists(a) => RNode::Exists(Box::new(RPath::from_core(a))),
         }
@@ -215,9 +218,7 @@ fn eval_rnode_mask(phi: &RNode, g: &DataGraph) -> Vec<bool> {
             }
             m
         }
-        RNode::ValueIs(c) => (0..g.n() as u32)
-            .map(|i| g.value_at(i).sql_eq(c))
-            .collect(),
+        RNode::ValueIs(c) => (0..g.n() as u32).map(|i| g.value_at(i).sql_eq(c)).collect(),
     }
 }
 
@@ -279,7 +280,7 @@ mod tests {
         let r = eval_rpath(&loop_expr, &g);
         assert!(r.contains(0, 0)); // also via the loop
         assert!(!r.contains(0, 1)); // star of the 3-step loop only
-        // core GXPath cannot even write this (its parser rejects `(a a b)*`)
+                                    // core GXPath cannot even write this (its parser rejects `(a a b)*`)
         let mut g2 = g.clone();
         assert!(parse_path_expr("(a a b)*", g2.alphabet_mut()).is_err());
     }

@@ -20,7 +20,7 @@
 
 use crate::pcp::PcpInstance;
 use gde_datagraph::{DataGraph, Label, NodeId, Value};
-use gde_gxpath::{eval_node_set, NodeExpr, PathExpr};
+use gde_gxpath::{NodeExpr, PathExpr};
 
 /// Labels used by the tree encoding.
 pub const TREE_LABELS: [&str; 8] = ["t", "tx", "l", "lx", "r", "rx", "a", "b"];
@@ -149,7 +149,9 @@ pub fn phi_delta(g: &DataGraph, root: NodeId) -> NodeExpr {
 /// The Theorem 7 satisfiability formula `ϕ_G ∧ ϕ_δ ∧ ¬ϕ`: satisfiable iff
 /// some `G' ⊇ G` (tree-shaped, non-repeating) has `root ∉ [[ϕ]]_{G'}`.
 pub fn satisfiability_formula(g: &DataGraph, root: NodeId, phi: &NodeExpr) -> NodeExpr {
-    phi_g(g, root).and(phi_delta(g, root)).and(phi.clone().not())
+    phi_g(g, root)
+        .and(phi_delta(g, root))
+        .and(phi.clone().not())
 }
 
 /// Check that `candidate` (with root `croot`) satisfies `ϕ_G ∧ ϕ_δ` of the
@@ -166,14 +168,16 @@ pub fn pins_down(g: &DataGraph, root: NodeId, candidate: &DataGraph, croot: Node
             _ => return false,
         }
     }
-    eval_node_set(&phi_g(g, root), candidate, croot)
-        && eval_node_set(&phi_delta(g, root), candidate, croot)
+    let snapshot = candidate.snapshot();
+    gde_gxpath::eval::eval_node_set_snapshot(&phi_g(g, root), &snapshot, croot)
+        && gde_gxpath::eval::eval_node_set_snapshot(&phi_delta(g, root), &snapshot, croot)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gde_core::Gsm;
+    use gde_gxpath::eval_node_set;
 
     fn instance() -> PcpInstance {
         PcpInstance::new(&[("a", "ab"), ("ba", "a")])
@@ -203,7 +207,9 @@ mod tests {
         for l in TREE_LABELS {
             pruned.alphabet_mut().intern(l);
         }
-        pruned.add_node(root, g.value(root).unwrap().clone()).unwrap();
+        pruned
+            .add_node(root, g.value(root).unwrap().clone())
+            .unwrap();
         assert!(!eval_node_set(&phi_g(&g, root), &pruned, root));
     }
 
@@ -270,7 +276,9 @@ mod tests {
         bigger.add_edge_str(root, "rx", extra).unwrap();
         assert!(m.is_solution(&g, &bigger));
         let mut pruned = DataGraph::with_alphabet(g.alphabet().clone());
-        pruned.add_node(root, g.value(root).unwrap().clone()).unwrap();
+        pruned
+            .add_node(root, g.value(root).unwrap().clone())
+            .unwrap();
         assert!(!m.is_solution(&g, &pruned));
     }
 }

@@ -282,7 +282,10 @@ mod tests {
         dedup.dedup();
         assert_eq!(vals.len(), dedup.len(), "source values pairwise distinct");
         // tile (a,ab) + tile (ba,a): i + (t,1+↔+2) + (t,2+↔+1) + s + # edges
-        assert_eq!(g.source.edge_count(), 1 + (1 + 1 + 1 + 2) + (1 + 2 + 1 + 1) + 2);
+        assert_eq!(
+            g.source.edge_count(),
+            1 + (1 + 1 + 1 + 2) + (1 + 2 + 1 + 1) + 2
+        );
     }
 
     #[test]
@@ -296,7 +299,10 @@ mod tests {
         let (g, _) = solvable();
         let lazy = g.lazy_target();
         assert!(g.gsm.is_solution(&g.source, &lazy));
-        assert!(g.error_fires(&lazy), "shape complement must catch the junk edge");
+        assert!(
+            g.error_fires(&lazy),
+            "shape complement must catch the junk edge"
+        );
     }
 
     #[test]
@@ -320,14 +326,13 @@ mod tests {
         }
         let mut flipped = false;
         for (u, l, v) in gt.edges() {
-            let is_linked = matches!(gt.value(v), Some(Value::Int(i)) if *i >= 1_000_000 && *i < 2_000_000);
+            let is_linked =
+                matches!(gt.value(v), Some(Value::Int(i)) if *i >= 1_000_000 && *i < 2_000_000);
             if !flipped && l == a && is_linked && !g.source.has_node(v) {
                 mutated.add_edge_str(u, "b", v).unwrap();
                 flipped = true;
             } else {
-                mutated
-                    .add_edge_str(u, gt.alphabet().name(l), v)
-                    .unwrap();
+                mutated.add_edge_str(u, gt.alphabet().name(l), v).unwrap();
             }
         }
         assert!(flipped, "found a letter to flip");

@@ -156,7 +156,7 @@ mod tests {
         let mut src = Instance::new(ss);
         src.insert(s, vec![node(0), node(1)]);
         src.insert(s, vec![node(2), node(3)]);
-        let tgt = chase_st(&src, &[tgd.clone()], ts);
+        let tgt = chase_st(&src, std::slice::from_ref(&tgd), ts);
         assert_eq!(tgt.total_facts(), 4);
         assert_eq!(tgt.nulls().len(), 2);
         assert!(tgd.is_satisfied(&src, &tgt));
@@ -212,7 +212,7 @@ mod tests {
             body: vec![Atom::vars(n, [0, 1]), Atom::vars(n, [0, 2])],
             equalities: vec![(1, 2)],
         };
-        chase_egds(&mut db, &[key.clone()]).unwrap();
+        chase_egds(&mut db, std::slice::from_ref(&key)).unwrap();
         assert!(key.is_satisfied(&db));
         assert_eq!(db.fact_count(n), 2);
         assert_eq!(db.nulls().len(), 1);

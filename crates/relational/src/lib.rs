@@ -30,7 +30,7 @@ pub mod tgd;
 
 pub use certain::{certain_answers_cq, certain_answers_ucq, certain_boolean_cq};
 pub use chase::{chase_egds, chase_st, chase_target, satisfies_all, ChaseError};
-pub use cq::{Atom, CqTerm, ConjunctiveQuery};
+pub use cq::{Atom, ConjunctiveQuery, CqTerm};
 pub use encode::{decode_graph, encode_graph, GraphSchema, ValueNullStyle};
 pub use instance::{Instance, Term};
 pub use schema::{RelId, RelSchema};

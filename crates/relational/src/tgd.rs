@@ -225,7 +225,12 @@ mod tests {
         }
     }
 
-    fn setup() -> (Instance, Instance, crate::schema::RelId, crate::schema::RelId) {
+    fn setup() -> (
+        Instance,
+        Instance,
+        crate::schema::RelId,
+        crate::schema::RelId,
+    ) {
         let mut sch_s = RelSchema::new();
         let s = sch_s.relation("S", 2);
         let mut sch_t = RelSchema::new();

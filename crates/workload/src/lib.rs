@@ -9,9 +9,11 @@
 pub mod graphs;
 pub mod queries;
 pub mod scenarios;
+pub mod serving;
 pub mod social;
 
 pub use graphs::{chain_graph, cycle_graph, random_data_graph, GraphConfig};
 pub use queries::{random_path_test, random_ree, random_rem, QueryConfig};
 pub use scenarios::{random_scenario, ExchangeScenario, ScenarioConfig};
+pub use serving::{social_serving_scenario, ServingScenario};
 pub use social::{social_data_graph, social_network, SocialConfig};

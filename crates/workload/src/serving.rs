@@ -1,0 +1,223 @@
+//! Multi-query serving workloads: one mapping + source graph, many queries.
+//!
+//! The paper's tractability story (Theorems 3–5) is about answering *many*
+//! queries against *one* canonical solution. This module packages that
+//! access pattern as a reusable workload: the social network of
+//! [`crate::social`] exchanged into a contact-graph schema, plus a batch of
+//! named queries spanning every [`DataQuery`] class. The
+//! `prepared_vs_cold` bench and the engine-equivalence tests both consume
+//! it.
+
+use crate::scenarios::ExchangeScenario;
+use crate::social::{social_data_graph, SocialConfig};
+use gde_automata::Regex;
+use gde_core::Gsm;
+use gde_datagraph::Alphabet;
+use gde_dataquery::{parse_ree, parse_rem, CdAtom, ConjunctiveDataRpq, DataQuery};
+
+/// A serving workload: an exchange scenario plus a batch of named queries
+/// over the mapping's target alphabet.
+#[derive(Clone, Debug)]
+pub struct ServingScenario {
+    /// The mapping and its source graph.
+    pub scenario: ExchangeScenario,
+    /// Named queries to serve against the canonical solution.
+    pub queries: Vec<(String, DataQuery)>,
+}
+
+impl ServingScenario {
+    /// Just the queries, unnamed.
+    pub fn query_batch(&self) -> Vec<DataQuery> {
+        self.queries.iter().map(|(_, q)| q.clone()).collect()
+    }
+}
+
+/// The social network exchanged into a contact-graph schema, with a batch
+/// of ten queries covering all query classes (nine of them answerable by
+/// the least-informative engine too).
+///
+/// Mapping (LAV, relational — every target side a word):
+///
+/// | source          | target word        |
+/// |-----------------|--------------------|
+/// | `knows`         | `contact`          |
+/// | `created`       | `authored`         |
+/// | `likes/src`     | `endorses via`     |
+/// | `likes/tgt`     | `on`               |
+/// | `@name`         | `tagged`           |
+/// | `@city`         | `located hub`      |
+///
+/// The two length-2 words invent nodes, so universal solutions genuinely
+/// contain nulls and the `2ⁿ` / `2` engines differ on inequality queries.
+pub fn social_serving_scenario(cfg: &SocialConfig) -> ServingScenario {
+    let source = social_data_graph(cfg);
+    let target_alphabet = Alphabet::from_labels([
+        "contact", "authored", "endorses", "via", "on", "tagged", "located", "hub",
+    ]);
+    let mut gsm = Gsm::new(source.alphabet().clone(), target_alphabet.clone());
+    let rules: [(&str, &[&str]); 6] = [
+        ("knows", &["contact"]),
+        ("created", &["authored"]),
+        ("likes/src", &["endorses", "via"]),
+        ("likes/tgt", &["on"]),
+        ("@name", &["tagged"]),
+        ("@city", &["located", "hub"]),
+    ];
+    for (src, tgt_word) in rules {
+        let src_label = source
+            .alphabet()
+            .label(src)
+            .expect("social encoding provides this label");
+        let word: Vec<_> = tgt_word
+            .iter()
+            .map(|n| target_alphabet.label(n).expect("target label interned"))
+            .collect();
+        gsm.add_rule(Regex::Atom(src_label), Regex::word(&word));
+    }
+    debug_assert!(gsm.classify().relational && gsm.classify().lav);
+    // queries intern against the same target interner so indices line up
+    let mut ta = target_alphabet;
+
+    fn ree(ta: &mut Alphabet, src: &str) -> DataQuery {
+        parse_ree(src, ta).expect("static query parses").into()
+    }
+    fn rpq(ta: &mut Alphabet, src: &str) -> DataQuery {
+        gde_automata::parse_regex(src, ta)
+            .expect("static query parses")
+            .into()
+    }
+    let mut queries: Vec<(String, DataQuery)> = Vec::new();
+    let push = |name: &str, q: DataQuery, queries: &mut Vec<(String, DataQuery)>| {
+        queries.push((name.to_string(), q));
+    };
+    // purely navigational RPQs (words and closures)
+    push(
+        "friend-of-author",
+        rpq(&mut ta, "contact authored"),
+        &mut queries,
+    );
+    push("contact-closure", rpq(&mut ta, "contact+"), &mut queries);
+    push(
+        "endorsement-path",
+        rpq(&mut ta, "endorses via on"),
+        &mut queries,
+    );
+    push("co-located", rpq(&mut ta, "located hub"), &mut queries);
+    // equality REEs: data tests over the exchanged graph
+    push(
+        "same-name-two-hops",
+        ree(&mut ta, "(contact contact)="),
+        &mut queries,
+    );
+    push(
+        "name-repeats-on-walk",
+        ree(&mut ta, "contact* (contact+)= contact*"),
+        &mut queries,
+    );
+    push(
+        "authored-by-namesake",
+        ree(&mut ta, "(contact authored)="),
+        &mut queries,
+    );
+    // an inequality REE: only the 2ⁿ engine answers it
+    push(
+        "different-name-contact",
+        ree(&mut ta, "contact!="),
+        &mut queries,
+    );
+    // a memory RPQ
+    push(
+        "returns-to-first-name",
+        parse_rem("@x.(contact+[x=])", &mut ta)
+            .expect("static query parses")
+            .into(),
+        &mut queries,
+    );
+    // a conjunctive data RPQ: x contacts z, z authored a post, x endorses it
+    push(
+        "endorses-a-contacts-post",
+        ConjunctiveDataRpq::new(
+            (0, 1),
+            vec![
+                CdAtom {
+                    from: 0,
+                    query: ree(&mut ta, "contact"),
+                    to: 1,
+                },
+                CdAtom {
+                    from: 1,
+                    query: ree(&mut ta, "authored"),
+                    to: 2,
+                },
+                CdAtom {
+                    from: 0,
+                    query: ree(&mut ta, "endorses via on"),
+                    to: 2,
+                },
+            ],
+        )
+        .into(),
+        &mut queries,
+    );
+
+    ServingScenario {
+        scenario: ExchangeScenario { gsm, source },
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_core::{universal_solution, PreparedMapping};
+
+    #[test]
+    fn scenario_is_relational_lav_with_inventing_rules() {
+        let sv = social_serving_scenario(&SocialConfig::default());
+        let c = sv.scenario.gsm.classify();
+        assert!(c.relational && c.lav);
+        let sol = universal_solution(&sv.scenario.gsm, &sv.scenario.source).unwrap();
+        assert!(!sol.invented.is_empty(), "length-2 words must invent nodes");
+        assert!(sv.scenario.gsm.is_solution(&sv.scenario.source, &sol.graph));
+    }
+
+    #[test]
+    fn batch_covers_classes_and_serves() {
+        let sv = social_serving_scenario(&SocialConfig {
+            persons: 12,
+            knows_per_person: 2,
+            posts: 8,
+            cities: 2,
+            seed: 11,
+        });
+        assert!(sv.queries.len() >= 8, "serving batch must have ≥8 queries");
+        let eq_only = sv
+            .queries
+            .iter()
+            .filter(|(_, q)| q.is_equality_only())
+            .count();
+        assert!(eq_only >= 8, "most queries answerable by both engines");
+        assert!(
+            sv.queries.iter().any(|(_, q)| !q.is_equality_only()),
+            "at least one inequality query"
+        );
+        // every query evaluates against the prepared engine without panicking
+        let prepared = PreparedMapping::new(&sv.scenario.gsm, &sv.scenario.source);
+        for (name, q) in &sv.queries {
+            let compiled = q.compile();
+            let ans = prepared.certain_answers_nulls(&compiled);
+            assert!(ans.is_ok(), "query {name} failed: {ans:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = social_serving_scenario(&SocialConfig::default());
+        let b = social_serving_scenario(&SocialConfig::default());
+        assert_eq!(a.queries.len(), b.queries.len());
+        for ((na, qa), (nb, qb)) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(na, nb);
+            assert_eq!(qa, qb);
+        }
+    }
+}

@@ -11,12 +11,14 @@
 //! cargo run --example exchange_pipeline
 //! ```
 
-use graph_data_exchange::core::translate::{chase_universal, translate_to_relational, verify_prop1};
+use gde_automata::parse_regex;
+use graph_data_exchange::core::translate::{
+    chase_universal, translate_to_relational, verify_prop1,
+};
 use graph_data_exchange::core::{certain_answers_nulls, universal_solution, Gsm};
 use graph_data_exchange::datagraph::{Alphabet, DataGraph, NodeId, Value};
 use graph_data_exchange::dataquery::{parse_ree, DataQuery};
 use graph_data_exchange::relational::{decode_graph, encode_graph, ValueNullStyle};
-use gde_automata::parse_regex;
 
 fn main() {
     // ----- source: a product catalogue graph ------------------------------
@@ -30,10 +32,18 @@ fn main() {
     for (id, name) in items {
         source.add_node(NodeId(id), Value::str(name)).unwrap();
     }
-    source.add_edge_str(NodeId(0), "bundles", NodeId(1)).unwrap();
-    source.add_edge_str(NodeId(1), "bundles", NodeId(2)).unwrap();
-    source.add_edge_str(NodeId(2), "bundles", NodeId(3)).unwrap();
-    source.add_edge_str(NodeId(0), "variant", NodeId(3)).unwrap();
+    source
+        .add_edge_str(NodeId(0), "bundles", NodeId(1))
+        .unwrap();
+    source
+        .add_edge_str(NodeId(1), "bundles", NodeId(2))
+        .unwrap();
+    source
+        .add_edge_str(NodeId(2), "bundles", NodeId(3))
+        .unwrap();
+    source
+        .add_edge_str(NodeId(0), "variant", NodeId(3))
+        .unwrap();
 
     // ----- mapping: bundles ⇒ contains·part, variant ⇒ sibling -----------
     let mut sa = source.alphabet().clone();
@@ -91,12 +101,9 @@ fn main() {
 
     // ----- certain answers on the exchanged data --------------------------
     // items whose 2-bundle-hop ends on an identically named item
-    let q: DataQuery = parse_ree(
-        "(contains part contains part contains part)=",
-        &mut ta,
-    )
-    .unwrap()
-    .into();
+    let q: DataQuery = parse_ree("(contains part contains part contains part)=", &mut ta)
+        .unwrap()
+        .into();
     let answers = certain_answers_nulls(&m, &q, &source).unwrap().into_pairs();
     println!("certain: same-name items three bundle-hops apart: {answers:?}");
     assert_eq!(answers, vec![(NodeId(0), NodeId(3))]);

@@ -56,7 +56,10 @@ fn main() {
     // mixed: go down a dir, check the child has a link back up to an
     // equally-owned node ([ϕ] filters mid-path)
     let q = parse_path_expr("dir [<(link)=>]", g.alphabet_mut()).unwrap();
-    println!("dir-steps into link-owners: {} pairs", eval_path(&q, &g).len());
+    println!(
+        "dir-steps into link-owners: {} pairs",
+        eval_path(&q, &g).len()
+    );
 
     // ----- the §9 machinery -----------------------------------------------
     println!("\n== Lemma 2 tree encoding ==");

@@ -48,7 +48,8 @@ fn main() {
 
     // ===== Proposition 3: 3-colourability ==================================
     println!("== Proposition 3: 3-colourability via a 3-inequality query ==\n");
-    let cases: Vec<(&str, u32, Vec<(u32, u32)>)> = vec![
+    type ColourCase<'a> = (&'a str, u32, Vec<(u32, u32)>);
+    let cases: Vec<ColourCase> = vec![
         ("triangle", 3, vec![(0, 1), (1, 2), (2, 0)]),
         (
             "K4 (not 3-colourable)",
@@ -72,7 +73,7 @@ fn main() {
         .unwrap();
         println!(
             "{name}: 3-colourable = {colourable}, certain(Q) = {certain}  ({})",
-            if certain == !colourable {
+            if certain != colourable {
                 "agrees: certain ⇔ NOT colourable ✓"
             } else {
                 "DISAGREES ✗"

@@ -6,10 +6,10 @@
 //! cargo run --example property_graphs
 //! ```
 
+use gde_automata::parse_regex;
 use graph_data_exchange::core::{certain_answers_nulls, Gsm};
 use graph_data_exchange::datagraph::{Alphabet, NodeId, PropertyGraph, Value};
 use graph_data_exchange::dataquery::{parse_ree, DataQuery};
-use gde_automata::parse_regex;
 
 fn main() {
     // ----- a property graph: nodes AND edges carry records ----------------
@@ -52,12 +52,18 @@ fn main() {
     // reified edge properties are ordinary nodes now:
     let q = parse_ree("'paid/src' '@amount'", g.alphabet_mut()).unwrap();
     let pairs = q.eval_pairs(&g);
-    println!("payment amounts hang off reified edges: {} path(s)", pairs.len());
+    println!(
+        "payment amounts hang off reified edges: {} path(s)",
+        pairs.len()
+    );
 
     // GXPath handles the inverse-axis comparisons the encoding invites:
     use graph_data_exchange::gxpath::{eval_path, parse_path_expr};
-    let same_city =
-        parse_path_expr("'@city' ('@city'- follows '@city')= '@city'-", g.alphabet_mut()).unwrap();
+    let same_city = parse_path_expr(
+        "'@city' ('@city'- follows '@city')= '@city'-",
+        g.alphabet_mut(),
+    )
+    .unwrap();
     let r = eval_path(&same_city, &g);
     println!(
         "same-city follows-pairs via GXPath: {:?}",

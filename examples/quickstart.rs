@@ -6,10 +6,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use gde_automata::parse_regex;
 use graph_data_exchange::core::{certain_answers_nulls, universal_solution, Gsm};
 use graph_data_exchange::datagraph::{Alphabet, DataGraph, NodeId, Value};
 use graph_data_exchange::dataquery::{parse_ree, DataQuery};
-use gde_automata::parse_regex;
 
 fn main() {
     // ----- 1. a source data graph: each node is (id, data value) ---------
@@ -17,9 +17,15 @@ fn main() {
     for (id, name) in [(0, "ann"), (1, "bob"), (2, "cat"), (3, "ann")] {
         source.add_node(NodeId(id), Value::str(name)).unwrap();
     }
-    source.add_edge_str(NodeId(0), "follows", NodeId(1)).unwrap();
-    source.add_edge_str(NodeId(1), "follows", NodeId(2)).unwrap();
-    source.add_edge_str(NodeId(2), "follows", NodeId(3)).unwrap();
+    source
+        .add_edge_str(NodeId(0), "follows", NodeId(1))
+        .unwrap();
+    source
+        .add_edge_str(NodeId(1), "follows", NodeId(2))
+        .unwrap();
+    source
+        .add_edge_str(NodeId(2), "follows", NodeId(3))
+        .unwrap();
     println!("source graph:\n{source}");
 
     // ----- 2. a data RPQ: same display name at both ends of a follows-chain

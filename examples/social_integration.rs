@@ -9,10 +9,10 @@
 //! cargo run --example social_integration
 //! ```
 
+use gde_automata::parse_regex;
 use graph_data_exchange::core::integration::Integration;
 use graph_data_exchange::datagraph::{Alphabet, NodeId, Value};
 use graph_data_exchange::dataquery::{parse_ree, DataQuery};
-use gde_automata::parse_regex;
 
 fn person(id: u32, name: &str) -> (NodeId, Value) {
     (NodeId(id), Value::str(name))
@@ -60,10 +60,7 @@ fn main() {
         ("who knows whom (certainly)?", "knows"),
         ("two-hop acquaintance", "knows knows"),
         ("manager of someone with a different name", "manages!="),
-        (
-            "a manages-chain reaching a knows-edge",
-            "manages knows",
-        ),
+        ("a manages-chain reaching a knows-edge", "manages knows"),
     ];
     for (what, src) in queries {
         let q: DataQuery = parse_ree(src, &mut global).unwrap().into();

@@ -67,16 +67,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut g = load_graph(graph_file)?;
     match lang.as_str() {
         "gxnode" => {
-            let phi = gde_gxpath::parse_node_expr(query, g.alphabet_mut())
-                .map_err(|e| e.to_string())?;
+            let phi =
+                gde_gxpath::parse_node_expr(query, g.alphabet_mut()).map_err(|e| e.to_string())?;
             for node in gde_gxpath::eval_node(&phi, &g) {
                 println!("{node}");
             }
             Ok(())
         }
         "gxpath" => {
-            let alpha = gde_gxpath::parse_path_expr(query, g.alphabet_mut())
-                .map_err(|e| e.to_string())?;
+            let alpha =
+                gde_gxpath::parse_path_expr(query, g.alphabet_mut()).map_err(|e| e.to_string())?;
             let r = gde_gxpath::eval_path(&alpha, &g);
             for (i, j) in r.iter() {
                 println!("{}\t{}", g.id_at(i as u32), g.id_at(j as u32));
@@ -113,7 +113,10 @@ fn cmd_exchange(args: &[String]) -> Result<(), String> {
     let gs = load_graph(source_file)?;
     let m = load_mapping(mapping_file, gs.alphabet())?;
     let sol = universal_solution(&m, &gs).map_err(|e| e.to_string())?;
-    println!("# universal solution ({} invented nodes)", sol.invented.len());
+    println!(
+        "# universal solution ({} invented nodes)",
+        sol.invented.len()
+    );
     print!("{}", serialize_graph(&sol.graph));
     if let Some(qsrc) = query {
         let mut ta = m.target_alphabet().clone();

@@ -12,9 +12,38 @@
 //!   data RPQs (§3, §5, §7, §8)
 //! * [`gxpath`] — GXPath-core with data tests, plus the regular extension (§9)
 //! * [`relational`] — relational data-exchange substrate: chase, tgds (§6)
-//! * [`core`] — graph schema mappings and certain-answer algorithms (§4–§8)
+//! * [`core`] — graph schema mappings, certain-answer algorithms and the
+//!   prepared-mapping serving engine (§4–§8)
 //! * [`reductions`] — the paper's hardness gadgets, executable (§5, §6, §9)
 //! * [`workload`] — scenario generators used by examples, tests and benches
+//!
+//! ## Serving many queries: cold vs prepared
+//!
+//! The certain-answer free functions are one-shot: each call rebuilds the
+//! canonical solution and re-lowers the query. When answering a *stream* of
+//! queries against one mapping and source — the paper's own access pattern,
+//! since one universal solution serves every hom-closed query — prepare
+//! once and serve repeatedly:
+//!
+//! ```
+//! use graph_data_exchange::prelude::*;
+//! use graph_data_exchange::workload::{social_serving_scenario, SocialConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sv = social_serving_scenario(&SocialConfig::default());
+//! let prepared = PreparedMapping::new(&sv.scenario.gsm, &sv.scenario.source);
+//! // lower each query once; the engine caches solutions + snapshots
+//! for (name, query) in &sv.queries {
+//!     let compiled = query.compile();
+//!     let answers = prepared.certain_answers_nulls(&compiled)?;
+//!     let _ = (name, answers);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `prepared_vs_cold` bench in `gde-bench` measures the difference and
+//! records a baseline in `BENCH_prepared.json` at the workspace root.
 //!
 //! The sixty-second version of the whole story:
 //!

@@ -37,8 +37,16 @@ fn conjunctive_certain_answers_via_nulls() {
     let q: DataQuery = ConjunctiveDataRpq::new(
         (0, 1),
         vec![
-            CdAtom { from: 0, query: eq, to: 9 },
-            CdAtom { from: 9, query: neq, to: 1 },
+            CdAtom {
+                from: 0,
+                query: eq,
+                to: 9,
+            },
+            CdAtom {
+                from: 9,
+                query: neq,
+                to: 1,
+            },
         ],
     )
     .into();
@@ -56,8 +64,16 @@ fn conjunctive_nulls_contained_in_exact() {
     let q: DataQuery = ConjunctiveDataRpq::new(
         (0, 1),
         vec![
-            CdAtom { from: 0, query: branch1, to: 1 },
-            CdAtom { from: 0, query: branch2, to: 1 },
+            CdAtom {
+                from: 0,
+                query: branch1,
+                to: 1,
+            },
+            CdAtom {
+                from: 0,
+                query: branch2,
+                to: 1,
+            },
         ],
     )
     .into();
@@ -84,8 +100,16 @@ fn conjunctive_with_existential_middle_over_exchange() {
     let q: DataQuery = ConjunctiveDataRpq::new(
         (0, 2),
         vec![
-            CdAtom { from: 0, query: hop.clone(), to: 1 },
-            CdAtom { from: 1, query: hop, to: 2 },
+            CdAtom {
+                from: 0,
+                query: hop.clone(),
+                to: 1,
+            },
+            CdAtom {
+                from: 1,
+                query: hop,
+                to: 2,
+            },
         ],
     )
     .into();

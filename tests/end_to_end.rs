@@ -113,8 +113,10 @@ fn two_step_exchange_chain() {
     for (i, name) in [(0, "zoe"), (1, "amir"), (2, "zoe")] {
         src.add_node(NodeId(i), Value::str(name)).unwrap();
     }
-    src.add_edge_str(NodeId(0), "ordered_with", NodeId(1)).unwrap();
-    src.add_edge_str(NodeId(1), "ordered_with", NodeId(2)).unwrap();
+    src.add_edge_str(NodeId(0), "ordered_with", NodeId(1))
+        .unwrap();
+    src.add_edge_str(NodeId(1), "ordered_with", NodeId(2))
+        .unwrap();
 
     // step 1: source → staging
     let mut sa = src.alphabet().clone();
@@ -135,7 +137,9 @@ fn two_step_exchange_chain() {
     );
 
     // same-name customers two hops apart survive both exchanges
-    let q: DataQuery = parse_ree("(audit link audit link)=", &mut wa).unwrap().into();
+    let q: DataQuery = parse_ree("(audit link audit link)=", &mut wa)
+        .unwrap()
+        .into();
     let answers = certain_answers_nulls(&m2, &q, &staged.graph)
         .unwrap()
         .into_pairs();
@@ -148,7 +152,10 @@ fn vacuous_mapping_cases() {
     let mut sa = Alphabet::from_labels(["a"]);
     let ta = Alphabet::from_labels(["x"]);
     let mut m = Gsm::new(sa.clone(), ta.clone());
-    m.add_rule(parse_regex("a", &mut sa).unwrap(), gde_automata::Regex::Epsilon);
+    m.add_rule(
+        parse_regex("a", &mut sa).unwrap(),
+        gde_automata::Regex::Epsilon,
+    );
     let mut gs = DataGraph::new();
     gs.add_node(NodeId(0), Value::int(1)).unwrap();
     gs.add_node(NodeId(1), Value::int(2)).unwrap();

@@ -51,8 +51,8 @@ fn rem_all_differ_not_ree_expressible_naively() {
     let rem_pairs = rem.eval_pairs(&g);
     assert!(rem_pairs.contains(&(NodeId(0), NodeId(1))));
     assert!(!rem_pairs.contains(&(NodeId(0), NodeId(2)))); // 1 reappears
-    // natural REE attempts either miss the first comparison or only test
-    // endpoints:
+                                                           // natural REE attempts either miss the first comparison or only test
+                                                           // endpoints:
     let attempt1 = parse_ree("(a!=)+", g.alphabet_mut()).unwrap(); // consecutive ≠
     assert!(attempt1.eval_pairs(&g).contains(&(NodeId(0), NodeId(2))));
     let attempt2 = parse_ree("(a+)!=", g.alphabet_mut()).unwrap(); // endpoints ≠

@@ -1,0 +1,239 @@
+//! Engine/free-function equivalence: the prepared-mapping serving engine
+//! must answer exactly like the one-shot free functions, across the
+//! workload generators' scenarios and every query class.
+//!
+//! This is the contract that makes the `PreparedMapping` refactor safe:
+//! the free functions are thin wrappers over the engine, and the engine's
+//! cached solutions + snapshots + compiled queries must be observationally
+//! identical to rebuilding everything per call.
+//!
+//! Since the wrappers now share the snapshot-based evaluation code with
+//! the engine, the wrapper-vs-engine checks alone would not catch a bug in
+//! the snapshot layer itself (both sides would be identically wrong). The
+//! `snapshot_eval_matches_naive_oracle` test closes that hole: it
+//! re-implements REE/RPQ evaluation directly over the graph's adjacency
+//! iterators — the pre-snapshot evaluation strategy — and compares the
+//! production path against it on random graphs and queries.
+
+use gde_core::{
+    certain_answers_least_informative, certain_answers_nulls, certain_boolean_least_informative,
+    certain_boolean_nulls, PreparedMapping,
+};
+use gde_datagraph::{DataGraph, Relation};
+use gde_dataquery::{DataQuery, Ree};
+use gde_workload::{
+    random_data_graph, random_ree, random_rem, random_scenario, social_serving_scenario,
+    GraphConfig, QueryConfig, ScenarioConfig, SocialConfig,
+};
+
+/// A mixed query batch over the target labels of a random scenario.
+fn random_query_batch(seed: u64) -> Vec<DataQuery> {
+    let mut out: Vec<DataQuery> = Vec::new();
+    for (i, allow_inequality) in [(0u64, false), (1, false), (2, true), (3, true)] {
+        let cfg = QueryConfig {
+            seed: seed.wrapping_mul(31).wrapping_add(i),
+            allow_inequality,
+            depth: 2,
+            ..QueryConfig::default()
+        };
+        out.push(random_ree(&cfg).into());
+        out.push(random_rem(&cfg).into());
+    }
+    out
+}
+
+#[test]
+fn prepared_matches_free_functions_on_random_scenarios() {
+    for seed in 0..12u64 {
+        let sc = random_scenario(&ScenarioConfig {
+            graph: GraphConfig {
+                nodes: 10,
+                edges: 18,
+                value_pool: 3,
+                seed,
+                ..GraphConfig::default()
+            },
+            max_word_len: 3,
+            seed: seed ^ 0xA11CE,
+            ..ScenarioConfig::default()
+        });
+        let prepared = PreparedMapping::new(&sc.gsm, &sc.source);
+        for (qi, q) in random_query_batch(seed).into_iter().enumerate() {
+            let compiled = q.compile();
+            // 2ⁿ engine
+            let free = certain_answers_nulls(&sc.gsm, &q, &sc.source).unwrap();
+            let served = prepared.certain_answers_nulls(&compiled).unwrap();
+            assert_eq!(free, served, "2ⁿ mismatch: seed {seed} query {qi} {q:?}");
+            let free_b = certain_boolean_nulls(&sc.gsm, &q, &sc.source).unwrap();
+            let served_b = prepared.certain_boolean_nulls(&compiled).unwrap();
+            assert_eq!(
+                free_b, served_b,
+                "2ⁿ boolean mismatch: seed {seed} query {qi}"
+            );
+            // 2 engine (equality-only fragment)
+            let free_li = certain_answers_least_informative(&sc.gsm, &q, &sc.source);
+            let served_li = prepared.certain_answers_least_informative(&compiled);
+            assert_eq!(
+                free_li, served_li,
+                "2 mismatch: seed {seed} query {qi} {q:?}"
+            );
+            let free_lib = certain_boolean_least_informative(&sc.gsm, &q, &sc.source);
+            let served_lib = prepared.certain_boolean_least_informative(&compiled);
+            assert_eq!(
+                free_lib, served_lib,
+                "2 boolean mismatch: seed {seed} query {qi}"
+            );
+            // serving dispatch agrees with whichever engine it routes to
+            let dispatched = prepared.certain_answers(&compiled).unwrap();
+            if q.is_equality_only() {
+                assert_eq!(dispatched, served_li.unwrap(), "dispatch ≠ 2: seed {seed}");
+            } else {
+                assert_eq!(dispatched, served, "dispatch ≠ 2ⁿ: seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn prepared_matches_free_functions_on_social_serving_scenario() {
+    let sv = social_serving_scenario(&SocialConfig {
+        persons: 25,
+        knows_per_person: 3,
+        posts: 15,
+        cities: 3,
+        seed: 0xBEE,
+    });
+    let gsm = &sv.scenario.gsm;
+    let source = &sv.scenario.source;
+    let prepared = PreparedMapping::new(gsm, source);
+    let mut nonempty = 0;
+    for (name, q) in &sv.queries {
+        let compiled = q.compile();
+        let free = certain_answers_nulls(gsm, q, source).unwrap();
+        let served = prepared.certain_answers_nulls(&compiled).unwrap();
+        assert_eq!(free, served, "2ⁿ mismatch on {name}");
+        if !free.clone().into_pairs().is_empty() {
+            nonempty += 1;
+        }
+        if q.is_equality_only() {
+            let free_li = certain_answers_least_informative(gsm, q, source).unwrap();
+            let served_li = prepared
+                .certain_answers_least_informative(&compiled)
+                .unwrap();
+            assert_eq!(free_li, served_li, "2 mismatch on {name}");
+        }
+    }
+    assert!(
+        nonempty >= 3,
+        "serving workload should produce non-trivial answers, got {nonempty}"
+    );
+}
+
+/// Independent REE oracle: the relation-algebra semantics evaluated
+/// directly over [`DataGraph`]'s adjacency iterators and `Value`
+/// comparisons — no `GraphSnapshot`, no interned vids, no cached label
+/// relations. This mirrors the pre-snapshot evaluation strategy.
+fn naive_ree_eval(e: &Ree, g: &DataGraph) -> Relation {
+    let n = g.n();
+    match e {
+        Ree::Epsilon => Relation::identity(n),
+        Ree::Atom(l) => {
+            let mut r = Relation::empty(n);
+            for u in g.node_ids() {
+                for (el, v) in g.out_edges(u) {
+                    if el == *l {
+                        r.insert(g.idx(u).unwrap() as usize, g.idx(v).unwrap() as usize);
+                    }
+                }
+            }
+            r
+        }
+        Ree::Concat(es) => {
+            let mut acc = Relation::identity(n);
+            for e in es {
+                acc = acc.compose(&naive_ree_eval(e, g));
+            }
+            acc
+        }
+        Ree::Union(es) => {
+            let mut acc = Relation::empty(n);
+            for e in es {
+                acc.union_with(&naive_ree_eval(e, g));
+            }
+            acc
+        }
+        Ree::Plus(e) => naive_ree_eval(e, g).transitive_closure(),
+        Ree::Star(e) => naive_ree_eval(e, g).reflexive_transitive_closure(),
+        Ree::Eq(e) => {
+            naive_ree_eval(e, g).filter(|i, j| g.value_at(i as u32).sql_eq(g.value_at(j as u32)))
+        }
+        Ree::Neq(e) => {
+            naive_ree_eval(e, g).filter(|i, j| g.value_at(i as u32).sql_ne(g.value_at(j as u32)))
+        }
+    }
+}
+
+#[test]
+fn snapshot_eval_matches_naive_oracle() {
+    for seed in 0..30u64 {
+        let g = random_data_graph(&GraphConfig {
+            nodes: 9,
+            edges: 16,
+            value_pool: 3,
+            seed,
+            ..GraphConfig::default()
+        });
+        let snap = g.snapshot();
+        for (qi, allow_inequality) in [(0u64, false), (1, true), (2, true)] {
+            let e = random_ree(&QueryConfig {
+                seed: seed.wrapping_mul(101).wrapping_add(qi),
+                allow_inequality,
+                depth: 3,
+                ..QueryConfig::default()
+            });
+            let expected = naive_ree_eval(&e, &g);
+            // production paths: direct, snapshot-shared, and compiled
+            assert_eq!(e.eval(&g), expected, "Ree::eval seed {seed} q{qi} {e:?}");
+            assert_eq!(
+                e.eval_snapshot(&snap),
+                expected,
+                "Ree::eval_snapshot seed {seed} q{qi}"
+            );
+            let q: DataQuery = e.clone().into();
+            let mut expected_pairs: Vec<_> = expected
+                .iter()
+                .map(|(i, j)| (g.id_at(i as u32), g.id_at(j as u32)))
+                .collect();
+            expected_pairs.sort();
+            assert_eq!(
+                q.compile().eval_pairs(&snap),
+                expected_pairs,
+                "CompiledQuery seed {seed} q{qi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_serving_is_stable() {
+    // answering the same compiled query many times must be idempotent
+    let sv = social_serving_scenario(&SocialConfig {
+        persons: 15,
+        knows_per_person: 2,
+        posts: 10,
+        cities: 2,
+        seed: 7,
+    });
+    let prepared = PreparedMapping::new(&sv.scenario.gsm, &sv.scenario.source);
+    for (name, q) in &sv.queries {
+        let compiled = q.compile();
+        let first = prepared.certain_answers_nulls(&compiled).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                prepared.certain_answers_nulls(&compiled).unwrap(),
+                first,
+                "unstable answers for {name}"
+            );
+        }
+    }
+}

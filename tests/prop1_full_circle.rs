@@ -11,10 +11,7 @@ use gde_workload::{random_scenario, GraphConfig, ScenarioConfig};
 
 /// Build the CQ `q_w(x, y) = ∃z̄ E_{a₁}(x,z₁) ∧ … ∧ E_{a_k}(z_{k-1}, y)`
 /// for a target word given by label names.
-fn word_cq(
-    rm: &gde_core::translate::RelationalMapping,
-    word: &[&str],
-) -> ConjunctiveQuery {
+fn word_cq(rm: &gde_core::translate::RelationalMapping, word: &[&str]) -> ConjunctiveQuery {
     let rels: Vec<_> = word
         .iter()
         .map(|name| rm.target.schema.lookup(&format!("E_{name}")).unwrap())
@@ -50,7 +47,13 @@ fn word_queries_agree_across_the_two_stacks() {
         let rm = translate_to_relational(&sc.gsm, &sc.source).unwrap();
         let chased = chase_universal(&rm).unwrap();
 
-        for word in [vec!["x"], vec!["y"], vec!["x", "y"], vec!["y", "x"], vec!["x", "x"]] {
+        for word in [
+            vec!["x"],
+            vec!["y"],
+            vec!["x", "y"],
+            vec!["y", "x"],
+            vec!["x", "x"],
+        ] {
             // graph side
             let mut ta = sc.gsm.target_alphabet().clone();
             let q: DataQuery = parse_ree(&word.join(" "), &mut ta).unwrap().into();

@@ -19,10 +19,7 @@ fn arb_label() -> impl Strategy<Value = Label> {
 }
 
 fn arb_regex() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        arb_label().prop_map(Regex::Atom),
-        Just(Regex::Epsilon),
-    ];
+    let leaf = prop_oneof![arb_label().prop_map(Regex::Atom), Just(Regex::Epsilon),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
