@@ -6,7 +6,7 @@
 //! textbook NLogspace RPQ algorithm.
 
 use crate::regex::Regex;
-use gde_datagraph::{DataGraph, GraphSnapshot, Label, NodeId, Relation};
+use gde_datagraph::{DataGraph, GraphSnapshot, Label, NodeId, Relation, RelationBuilder};
 use std::collections::VecDeque;
 
 /// A nondeterministic finite automaton over edge labels.
@@ -570,16 +570,18 @@ impl Nfa {
         self.eval_snapshot(&g.snapshot())
     }
 
-    /// Full RPQ evaluation against a prebuilt snapshot.
+    /// Full RPQ evaluation against a prebuilt snapshot. Rows are collected
+    /// through a [`RelationBuilder`], so large sparse answers get the CSR
+    /// representation directly.
     pub fn eval_snapshot(&self, s: &GraphSnapshot) -> Relation {
         let n = s.n();
-        let mut rel = Relation::empty(n);
+        let mut b = RelationBuilder::new(n);
         for u in 0..n as u32 {
             for v in self.eval_from_snapshot(s, s.id_at(u)) {
-                rel.insert(u as usize, s.idx(v).unwrap() as usize);
+                b.push(u as usize, s.idx(v).unwrap() as usize);
             }
         }
-        rel
+        b.build()
     }
 
     /// Full RPQ evaluation as `(NodeId, NodeId)` pairs, sorted.
@@ -591,7 +593,7 @@ impl Nfa {
     pub fn eval_pairs_snapshot(&self, s: &GraphSnapshot) -> Vec<(NodeId, NodeId)> {
         let mut out: Vec<(NodeId, NodeId)> = self
             .eval_snapshot(s)
-            .iter()
+            .iter_pairs()
             .map(|(i, j)| (s.id_at(i as u32), s.id_at(j as u32)))
             .collect();
         out.sort();

@@ -1,0 +1,230 @@
+//! Relation-backend scaling bench: sparse social-style graphs at
+//! 1k/5k/20k nodes, exercising the adaptive dense/sparse `Relation` and
+//! its parallel row-block algebra.
+//!
+//! Per size, the graph's `knows` label relation is frozen from a snapshot
+//! (CSR-built, sparse), then we measure:
+//!
+//! * `compose` — `knows ∘ knows` (sparse block path),
+//! * `union` — `knows ∪ (knows ∘ knows)` (sparse row-merge path),
+//! * `closure_adaptive` — SCC-condensation transitive closure,
+//! * `closure_warshall` — the dense `O(n³/64)` baseline, timed once
+//!   (it is the algorithm the adaptive backend replaced; at 20k nodes a
+//!   single run takes tens of seconds).
+//!
+//! Memory is recorded as heap bytes of the sparse relations vs the dense
+//! `O(n²)` bit-matrix cost the old backend paid for *every* relation.
+//!
+//! Full runs write `BENCH_relation.json` at the workspace root. Smoke mode
+//! (`RELATION_SCALING_SMOKE=1`, used by CI) runs only the smallest size
+//! with a forced thread count so the parallel code paths are exercised,
+//! and writes nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_datagraph::{par, GraphSnapshot, Relation};
+use gde_workload::{random_data_graph, GraphConfig};
+use std::time::Instant;
+
+const EDGES_PER_NODE: usize = 3;
+
+fn sizes() -> Vec<usize> {
+    if smoke() {
+        vec![1024]
+    } else {
+        vec![1024, 5120, 20480]
+    }
+}
+
+fn smoke() -> bool {
+    std::env::var("RELATION_SCALING_SMOKE").is_ok()
+}
+
+struct SizeResult {
+    n: usize,
+    edges: usize,
+    label_rel_bytes: usize,
+    compose_bytes: usize,
+    dense_equiv_bytes: usize,
+    mem_ratio: f64,
+    compose_ns: u64,
+    union_ns: u64,
+    closure_adaptive_ns: u64,
+    closure_warshall_ns: u64,
+    closure_speedup: f64,
+    closure_repr: &'static str,
+}
+
+fn knows_relation(n: usize) -> (GraphSnapshot, Relation) {
+    let g = random_data_graph(&GraphConfig {
+        nodes: n,
+        edges: n * EDGES_PER_NODE,
+        labels: vec!["knows".into()],
+        value_pool: (n / 8).max(2),
+        seed: 0x5CA1E ^ n as u64,
+    });
+    let s = g.snapshot();
+    let l = g.alphabet().label("knows").expect("knows label");
+    let rel = s.label_relation(l).expect("knows relation").clone();
+    (s, rel)
+}
+
+fn bench(c: &mut Criterion) {
+    // The parallel block paths must run even on single-core CI runners.
+    par::set_max_threads(2);
+    let threads = par::max_threads();
+
+    // First pass: run the measured operations (criterion holds a mutable
+    // borrow of `c` through the group, so medians are read afterwards).
+    struct Raw {
+        n: usize,
+        edges: usize,
+        label_rel_bytes: usize,
+        compose_bytes: usize,
+        warshall_ns: u64,
+        closure_repr: &'static str,
+    }
+    let mut raws: Vec<Raw> = Vec::new();
+    {
+        let mut group = c.benchmark_group("relation_scaling");
+        group.sample_size(10);
+        for n in sizes() {
+            let (_snap, rel) = knows_relation(n);
+            assert!(rel.is_sparse(), "knows relation should be sparse at n={n}");
+            let edges = rel.len();
+
+            group.bench_with_input(BenchmarkId::new("compose", n), &rel, |b, rel| {
+                b.iter(|| rel.compose(rel))
+            });
+            let composed = rel.compose(&rel);
+            group.bench_with_input(BenchmarkId::new("union", n), &rel, |b, rel| {
+                b.iter(|| rel.union(&composed))
+            });
+            group.bench_with_input(BenchmarkId::new("closure_adaptive", n), &rel, |b, rel| {
+                b.iter(|| rel.transitive_closure())
+            });
+
+            // Dense Warshall baseline: one timed run (quadratic memory,
+            // cubic time — the cost profile this PR retires).
+            let mut dense = rel.clone();
+            dense.force_dense();
+            let t = Instant::now();
+            let warshall = dense.transitive_closure_warshall();
+            let warshall_ns = t.elapsed().as_nanos() as u64;
+            let adaptive = rel.transitive_closure();
+            assert_eq!(adaptive, warshall, "closure algorithms disagree at n={n}");
+
+            raws.push(Raw {
+                n,
+                edges,
+                label_rel_bytes: rel.heap_bytes(),
+                compose_bytes: composed.heap_bytes(),
+                warshall_ns,
+                closure_repr: if adaptive.is_dense() {
+                    "dense"
+                } else {
+                    "sparse"
+                },
+            });
+        }
+        group.finish();
+    }
+    par::set_max_threads(0);
+
+    let mut results: Vec<SizeResult> = Vec::new();
+    for raw in raws {
+        let n = raw.n;
+        let compose_ns = c
+            .median_ns("relation_scaling", &format!("compose/{n}"))
+            .expect("compose measured");
+        let union_ns = c
+            .median_ns("relation_scaling", &format!("union/{n}"))
+            .expect("union measured");
+        let closure_ns = c
+            .median_ns("relation_scaling", &format!("closure_adaptive/{n}"))
+            .expect("closure measured");
+        let dense_equiv_bytes = Relation::dense_bytes(n);
+        let peak_sparse = raw.label_rel_bytes.max(raw.compose_bytes);
+        let mem_ratio = dense_equiv_bytes as f64 / peak_sparse.max(1) as f64;
+        let closure_speedup = raw.warshall_ns as f64 / closure_ns.max(1) as f64;
+        println!(
+            "n={n}: {} edges, sparse algebra ≤ {peak_sparse} B vs dense {dense_equiv_bytes} B \
+             ({mem_ratio:.0}x less), closure {:.1} ms vs warshall {:.1} ms ({closure_speedup:.0}x), \
+             closure output {}",
+            raw.edges,
+            closure_ns as f64 / 1e6,
+            raw.warshall_ns as f64 / 1e6,
+            raw.closure_repr,
+        );
+        results.push(SizeResult {
+            n,
+            edges: raw.edges,
+            label_rel_bytes: raw.label_rel_bytes,
+            compose_bytes: raw.compose_bytes,
+            dense_equiv_bytes,
+            mem_ratio,
+            compose_ns,
+            union_ns,
+            closure_adaptive_ns: closure_ns,
+            closure_warshall_ns: raw.warshall_ns,
+            closure_speedup,
+            closure_repr: raw.closure_repr,
+        });
+    }
+
+    if smoke() {
+        println!("smoke mode: skipping BENCH_relation.json");
+        return;
+    }
+
+    // Acceptance gates at the largest size: sparse algebra ≥ 10x below the
+    // dense O(n²) memory cost, adaptive closure ≥ 2x over dense Warshall.
+    let last = results.last().expect("at least one size");
+    assert!(
+        last.mem_ratio >= 10.0,
+        "memory ratio {:.1}x below 10x at n={}",
+        last.mem_ratio,
+        last.n
+    );
+    assert!(
+        last.closure_speedup >= 2.0,
+        "closure speedup {:.1}x below 2x at n={}",
+        last.closure_speedup,
+        last.n
+    );
+
+    let mut entries = String::new();
+    for (k, r) in results.iter().enumerate() {
+        if k > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{ \"n\": {}, \"edges\": {}, \"label_rel_bytes\": {}, \"compose_bytes\": {}, \
+             \"dense_equiv_bytes\": {}, \"mem_ratio\": {:.1}, \"compose_ns\": {}, \"union_ns\": {}, \
+             \"closure_adaptive_ns\": {}, \"closure_warshall_ns\": {}, \"closure_speedup\": {:.1}, \
+             \"closure_repr\": \"{}\" }}",
+            r.n,
+            r.edges,
+            r.label_rel_bytes,
+            r.compose_bytes,
+            r.dense_equiv_bytes,
+            r.mem_ratio,
+            r.compose_ns,
+            r.union_ns,
+            r.closure_adaptive_ns,
+            r.closure_warshall_ns,
+            r.closure_speedup,
+            r.closure_repr,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"relation_scaling\",\n  \"workload\": \"random sparse social-style \
+         digraph, {EDGES_PER_NODE} knows-edges per node\",\n  \"threads\": {threads},\n  \
+         \"sizes\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_relation.json");
+    std::fs::write(path, json).expect("write BENCH_relation.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

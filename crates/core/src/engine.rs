@@ -33,18 +33,28 @@ use gde_datagraph::{DataGraph, GraphSnapshot, NodeId};
 use gde_dataquery::{CompiledQuery, DataQuery};
 use std::sync::OnceLock;
 
-/// A canonical solution frozen for serving: the solution itself plus its
-/// snapshot.
+/// A canonical solution frozen for serving: the solution itself, its
+/// snapshot, and a dense-index mask of the invented nodes (so dom-filtering
+/// is an array lookup per endpoint instead of a hash probe per pair).
 #[derive(Debug)]
 pub struct PreparedSolution {
     solution: CanonicalSolution,
     snapshot: GraphSnapshot,
+    invented_mask: Vec<bool>,
 }
 
 impl PreparedSolution {
     fn new(solution: CanonicalSolution) -> PreparedSolution {
         let snapshot = solution.graph.snapshot();
-        PreparedSolution { solution, snapshot }
+        let invented = solution.invented_set();
+        let invented_mask = (0..snapshot.n() as u32)
+            .map(|d| invented.contains(&snapshot.id_at(d)))
+            .collect();
+        PreparedSolution {
+            solution,
+            snapshot,
+            invented_mask,
+        }
     }
 
     /// The canonical solution.
@@ -58,13 +68,17 @@ impl PreparedSolution {
     }
 
     /// Evaluate a compiled query on the snapshot and keep pairs over
-    /// `dom(M, G_s)` (drop tuples touching invented nodes).
+    /// `dom(M, G_s)` (drop tuples touching invented nodes). The query is
+    /// consumed in relation form: filtering walks the relation's rows with
+    /// the dense invented mask, and only surviving pairs pay the
+    /// node-id translation.
     fn answers_over_dom(&self, q: &CompiledQuery) -> Vec<(NodeId, NodeId)> {
-        let invented = self.solution.invented_set();
-        let mut pairs: Vec<(NodeId, NodeId)> = q
-            .eval_pairs(&self.snapshot)
-            .into_iter()
-            .filter(|(u, v)| !invented.contains(u) && !invented.contains(v))
+        let rel = q.eval_relation(&self.snapshot);
+        let mask = &self.invented_mask;
+        let mut pairs: Vec<(NodeId, NodeId)> = rel
+            .iter_pairs()
+            .filter(|&(i, j)| !mask[i] && !mask[j])
+            .map(|(i, j)| (self.snapshot.id_at(i as u32), self.snapshot.id_at(j as u32)))
             .collect();
         pairs.sort();
         pairs

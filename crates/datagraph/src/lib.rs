@@ -17,8 +17,10 @@
 //!   algorithms in the sibling crates;
 //! * [`Path`] and [`DataPath`] — paths `v₁a₁v₂…` and their data projections
 //!   `δ(π) = d₁a₁d₂…` (§2);
-//! * [`Relation`] — dense bitset binary relations over the nodes of a graph,
-//!   the workhorse of REE and GXPath evaluation;
+//! * [`Relation`] — adaptive binary relations over the nodes of a graph
+//!   (dense bit matrix or sparse CSR, switching by density), the workhorse
+//!   of REE and GXPath evaluation, with row-block-parallel algebra tuned by
+//!   [`par::set_max_threads`];
 //! * [`GraphSnapshot`] — a frozen, label-partitioned CSR view with interned
 //!   values and cached per-label relations, the substrate of the
 //!   prepared-mapping serving engine in `gde-core`;
@@ -31,6 +33,7 @@ pub mod hom;
 pub mod io;
 pub mod label;
 pub mod node;
+pub mod par;
 pub mod path;
 pub mod property;
 pub mod relation;
@@ -44,6 +47,6 @@ pub use label::{Alphabet, Label};
 pub use node::NodeId;
 pub use path::{DataPath, Path};
 pub use property::{Properties, PropertyGraph};
-pub use relation::Relation;
+pub use relation::{Relation, RelationBuilder, RowIter};
 pub use snapshot::GraphSnapshot;
 pub use value::Value;

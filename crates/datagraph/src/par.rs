@@ -1,0 +1,126 @@
+//! Scoped-thread helpers for row-block-parallel relation algebra.
+//!
+//! The hot [`crate::Relation`] operations (composition, unions, closure
+//! materialisation) split their work into contiguous **row blocks** and run
+//! the blocks on `std::thread::scope` workers — no external thread-pool
+//! dependency, and borrows of the input relations flow straight into the
+//! workers. Row blocks are also the sharding shape the serving engine
+//! needs: a block of CSR rows is a self-contained sub-relation.
+//!
+//! One process-wide knob bounds every parallel operation:
+//! [`set_max_threads`]. The default (`0`) resolves to the machine's
+//! available parallelism capped at 8 — relation algebra is memory-bound
+//! and gains little beyond that. Parallel paths only engage when a block
+//! would hold enough rows to amortise thread spawn cost; small relations
+//! always run sequentially on the calling thread.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` = auto-detect (available parallelism capped at [`AUTO_CAP`]).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Serialises tests that mutate the process-global [`MAX_THREADS`] knob, so
+/// exact-value assertions don't race across the test binary's threads.
+#[cfg(test)]
+pub(crate) fn test_knob_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Upper bound for auto-detected parallelism.
+const AUTO_CAP: usize = 8;
+
+/// Hard upper bound for explicitly configured parallelism.
+const HARD_CAP: usize = 64;
+
+/// Set the maximum number of worker threads used by relation algebra.
+/// `0` restores auto-detection. Values above 64 are clamped.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n.min(HARD_CAP), Ordering::Relaxed);
+}
+
+/// The resolved maximum number of worker threads (≥ 1).
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .min(AUTO_CAP),
+        n => n,
+    }
+    .max(1)
+}
+
+/// How many workers to use for `items` units of work, requiring at least
+/// `min_per_thread` units per worker. Returns 1 when parallelism is off or
+/// the work is too small to split.
+pub(crate) fn threads_for(items: usize, min_per_thread: usize) -> usize {
+    let t = max_threads();
+    if t <= 1 || items < 2 * min_per_thread.max(1) {
+        return 1;
+    }
+    t.min(items / min_per_thread.max(1)).max(1)
+}
+
+/// Run `f` over contiguous index blocks covering `0..items`, in scoped
+/// worker threads, and collect the per-block results **in block order**.
+/// Falls back to a single inline call when the work is too small.
+pub(crate) fn map_blocks<T, F>(items: usize, min_per_thread: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let t = threads_for(items, min_per_thread);
+    if t <= 1 {
+        return vec![f(0..items)];
+    }
+    let per = items.div_ceil(t);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..t)
+            .map(|k| {
+                let lo = k * per;
+                let hi = items.min(lo + per);
+                scope.spawn(move || f(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("relation worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_roundtrip_and_floor() {
+        let _guard = test_knob_lock();
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(1_000);
+        assert_eq!(max_threads(), 64);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn blocks_cover_everything_in_order() {
+        let _guard = test_knob_lock();
+        set_max_threads(4);
+        let blocks = map_blocks(1025, 100, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = blocks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..1025).collect::<Vec<usize>>());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn small_work_stays_inline() {
+        assert_eq!(threads_for(10, 512), 1);
+        let blocks = map_blocks(10, 512, |r| r.len());
+        assert_eq!(blocks, vec![10]);
+    }
+}

@@ -29,7 +29,7 @@ use crate::fxhash::FxHashMap;
 use crate::graph::DataGraph;
 use crate::label::Label;
 use crate::node::NodeId;
-use crate::relation::Relation;
+use crate::relation::{Relation, RelationBuilder};
 use crate::value::Value;
 use std::sync::OnceLock;
 
@@ -297,13 +297,16 @@ impl GraphSnapshot {
             return None;
         }
         Some(self.label_rel[label.index()].get_or_init(|| {
-            let mut r = Relation::empty(self.n);
+            // Bulk-build so large sparse graphs get the CSR representation
+            // directly instead of paying per-pair dense bits (or sparse
+            // arena splices).
+            let mut b = RelationBuilder::new(self.n);
             for u in 0..self.n as u32 {
                 for &v in self.out(label, u) {
-                    r.insert(u as usize, v as usize);
+                    b.push(u as usize, v as usize);
                 }
             }
-            r
+            b.build()
         }))
     }
 

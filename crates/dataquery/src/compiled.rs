@@ -26,7 +26,7 @@
 use crate::crpq::{join_atom_answers, AtomAnswers};
 use crate::query::DataQuery;
 use gde_automata::{Nfa, RegisterAutomaton};
-use gde_datagraph::{DataGraph, GraphSnapshot, NodeId};
+use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation, RelationBuilder};
 
 /// The lowered form of one query class.
 #[derive(Clone, Debug)]
@@ -98,9 +98,33 @@ impl CompiledQuery {
         }
     }
 
+    /// Evaluate to a [`Relation`] over the snapshot's dense node indices.
+    /// RPQs and REEs already evaluate natively to relations (no pair
+    /// materialisation or sort); the other classes build one from their
+    /// pair answers. The serving engine consumes this form so its
+    /// dom-filtering runs on packed rows instead of hashed node ids.
+    pub fn eval_relation(&self, s: &GraphSnapshot) -> Relation {
+        match &*self.form {
+            CompiledForm::Rpq(nfa) => nfa.eval_snapshot(s),
+            CompiledForm::Ree(e) => e.eval_snapshot(s),
+            _ => {
+                let mut b = RelationBuilder::new(s.n());
+                for (u, v) in self.eval_pairs(s) {
+                    if let (Some(i), Some(j)) = (s.idx(u), s.idx(v)) {
+                        b.push(i as usize, j as usize);
+                    }
+                }
+                b.build()
+            }
+        }
+    }
+
     /// Boolean projection: is the answer set non-empty on this snapshot?
     pub fn holds_somewhere(&self, s: &GraphSnapshot) -> bool {
-        !self.eval_pairs(s).is_empty()
+        match &*self.form {
+            CompiledForm::Rpq(_) | CompiledForm::Ree(_) => self.eval_relation(s).any(),
+            _ => !self.eval_pairs(s).is_empty(),
+        }
     }
 
     /// Convenience: evaluate against a graph by freezing it first. Prefer

@@ -17,7 +17,7 @@
 //! Membership `w ∈ L(e)` reuses the same algebra over the *positions* of the
 //! data path — both are instances of one internal evaluation context.
 
-use gde_datagraph::{DataGraph, DataPath, GraphSnapshot, Label, Relation, Value};
+use gde_datagraph::{DataGraph, DataPath, GraphSnapshot, Label, Relation, RelationBuilder, Value};
 
 /// A regular expression with equality.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -182,7 +182,7 @@ impl Ree {
     ) -> Vec<(gde_datagraph::NodeId, gde_datagraph::NodeId)> {
         let mut out: Vec<_> = self
             .eval_snapshot(s)
-            .iter()
+            .iter_pairs()
             .map(|(i, j)| (s.id_at(i as u32), s.id_at(j as u32)))
             .collect();
         out.sort();
@@ -364,13 +364,13 @@ impl ReeContext for PathCtx<'_> {
         self.w.len() + 1
     }
     fn atom(&self, l: Label) -> Relation {
-        let mut r = Relation::empty(self.w.len() + 1);
+        let mut b = RelationBuilder::new(self.w.len() + 1);
         for (i, &wl) in self.w.labels().iter().enumerate() {
             if wl == l {
-                r.insert(i, i + 1);
+                b.push(i, i + 1);
             }
         }
-        r
+        b.build()
     }
     fn value(&self, i: usize) -> &Value {
         &self.w.values()[i]

@@ -7,7 +7,7 @@
 //! share one snapshot across many expressions.
 
 use crate::ast::{Axis, NodeExpr, PathExpr};
-use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation};
+use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation, RelationBuilder};
 
 /// `[[α]]_G` as a [`Relation`] over dense node indices.
 pub fn eval_path(alpha: &PathExpr, g: &DataGraph) -> Relation {
@@ -42,13 +42,13 @@ pub fn eval_path_snapshot(alpha: &PathExpr, s: &GraphSnapshot) -> Relation {
         PathExpr::Neq(p) => eval_path_snapshot(p, s).filter(|i, j| s.sql_ne(i as u32, j as u32)),
         PathExpr::Filter(phi) => {
             let set = eval_node_mask(phi, s);
-            let mut r = Relation::empty(n);
-            for (i, &b) in set.iter().enumerate() {
-                if b {
-                    r.insert(i, i);
+            let mut b = RelationBuilder::new(n);
+            for (i, &keep) in set.iter().enumerate() {
+                if keep {
+                    b.push(i, i);
                 }
             }
-            r
+            b.build()
         }
     }
 }
@@ -124,13 +124,13 @@ fn axis_relation(axis: Axis, s: &GraphSnapshot) -> Relation {
     match axis {
         Axis::Forward(l) => s.label_relation_or_empty(l),
         Axis::Backward(l) => {
-            let mut r = Relation::empty(s.n());
+            let mut b = RelationBuilder::new(s.n());
             for u in 0..s.n() as u32 {
                 for &p in s.inn(l, u) {
-                    r.insert(u as usize, p as usize);
+                    b.push(u as usize, p as usize);
                 }
             }
-            r
+            b.build()
         }
     }
 }
@@ -159,7 +159,7 @@ mod tests {
 
     fn pairs(r: &Relation, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
         let mut out: Vec<_> = r
-            .iter()
+            .iter_pairs()
             .map(|(i, j)| (g.id_at(i as u32), g.id_at(j as u32)))
             .collect();
         out.sort();

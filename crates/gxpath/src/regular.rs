@@ -19,7 +19,7 @@
 //! mappings, which is exactly the paper's point.
 
 use crate::ast::Axis;
-use gde_datagraph::{DataGraph, NodeId, Relation, Value};
+use gde_datagraph::{DataGraph, NodeId, Relation, RelationBuilder, Value};
 
 /// A regular GXPath path expression.
 #[derive(Clone, Debug, PartialEq)]
@@ -117,19 +117,19 @@ pub fn eval_rpath(alpha: &RPath, g: &DataGraph) -> Relation {
     match alpha {
         RPath::Epsilon => Relation::identity(n),
         RPath::Step(axis) => {
-            let mut r = Relation::empty(n);
+            let mut b = RelationBuilder::new(n);
             let label = axis.label();
             for u in 0..n as u32 {
                 for &(el, v) in g.out_at(u) {
                     if el == label {
                         match axis {
-                            Axis::Forward(_) => r.insert(u as usize, v as usize),
-                            Axis::Backward(_) => r.insert(v as usize, u as usize),
+                            Axis::Forward(_) => b.push(u as usize, v as usize),
+                            Axis::Backward(_) => b.push(v as usize, u as usize),
                         }
                     }
                 }
             }
-            r
+            b.build()
         }
         RPath::Concat(parts) => {
             let mut acc = Relation::identity(n);
@@ -146,10 +146,7 @@ pub fn eval_rpath(alpha: &RPath, g: &DataGraph) -> Relation {
             acc
         }
         RPath::Star(p) => eval_rpath(p, g).reflexive_transitive_closure(),
-        RPath::Not(p) => {
-            let r = eval_rpath(p, g);
-            Relation::full(n).filter(|i, j| !r.contains(i, j))
-        }
+        RPath::Not(p) => eval_rpath(p, g).complement(),
         RPath::And(a, b) => {
             let mut r = eval_rpath(a, g);
             r.intersect_with(&eval_rpath(b, g));
@@ -164,13 +161,13 @@ pub fn eval_rpath(alpha: &RPath, g: &DataGraph) -> Relation {
         RPath::EndValue(p, c) => eval_rpath(p, g).filter(|_, j| g.value_at(j as u32).sql_eq(c)),
         RPath::Filter(phi) => {
             let mask = eval_rnode_mask(phi, g);
-            let mut r = Relation::empty(n);
-            for (i, &b) in mask.iter().enumerate() {
-                if b {
-                    r.insert(i, i);
+            let mut b = RelationBuilder::new(n);
+            for (i, &keep) in mask.iter().enumerate() {
+                if keep {
+                    b.push(i, i);
                 }
             }
-            r
+            b.build()
         }
     }
 }
