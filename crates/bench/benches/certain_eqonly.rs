@@ -2,7 +2,7 @@
 //! solutions (Thm 5) — polynomial.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gde_core::certain_answers_least_informative;
+use gde_core::{answer_once, Semantics};
 use gde_dataquery::{parse_ree, DataQuery};
 use gde_workload::{random_scenario, GraphConfig, ScenarioConfig};
 
@@ -25,7 +25,15 @@ fn bench(c: &mut Criterion) {
             .unwrap()
             .into();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| certain_answers_least_informative(&sc.gsm, &q, &sc.source).unwrap())
+            b.iter(|| {
+                answer_once(
+                    &sc.gsm,
+                    &sc.source,
+                    &q.compile(),
+                    Semantics::least_informative(),
+                )
+                .unwrap()
+            })
         });
     }
     group.finish();

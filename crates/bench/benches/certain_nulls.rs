@@ -1,7 +1,7 @@
 //! E3 timing: certain answers via universal solutions + SQL nulls (Thm 3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gde_core::certain_answers_nulls;
+use gde_core::{answer_once, Semantics};
 use gde_dataquery::{parse_ree, DataQuery};
 use gde_workload::{random_scenario, GraphConfig, ScenarioConfig};
 
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             .unwrap()
             .into();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| certain_answers_nulls(&sc.gsm, &q, &sc.source).unwrap())
+            b.iter(|| answer_once(&sc.gsm, &sc.source, &q.compile(), Semantics::nulls()).unwrap())
         });
     }
     group.finish();

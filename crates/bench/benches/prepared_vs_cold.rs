@@ -1,12 +1,13 @@
-//! Serving bench: a batch of queries answered cold (per-call free
-//! functions, rebuilding the universal solution and re-lowering the query
-//! every time) vs prepared (one `PreparedMapping` + precompiled queries).
+//! Serving bench: a batch of queries answered cold (one-shot `answer_once`
+//! calls, rebuilding the universal solution and re-lowering the query every
+//! time) vs prepared (one `MappingService` registration + precompiled
+//! queries).
 //!
 //! Emits `BENCH_prepared.json` at the workspace root as a
 //! machine-readable perf baseline for future changes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gde_core::{certain_answers_nulls, PreparedMapping};
+use gde_core::{answer_once, MappingService, Semantics};
 use gde_dataquery::CompiledQuery;
 use gde_workload::{social_serving_scenario, SocialConfig};
 
@@ -38,24 +39,26 @@ fn bench(c: &mut Criterion) {
         |b, batch| {
             b.iter(|| {
                 for q in batch {
-                    certain_answers_nulls(gsm, q, source).unwrap();
+                    answer_once(gsm, source, &q.compile(), Semantics::nulls()).unwrap();
                 }
             })
         },
     );
 
     // Prepared: lower the batch once, then serve from the cached solution
-    // snapshot. The engine is built inside the closure so the (one-time)
-    // preparation cost is charged to the measured path.
+    // snapshot. The service is built (and the mapping registered) inside
+    // the closure so the one-time preparation cost is charged to the
+    // measured path.
     group.bench_with_input(
         BenchmarkId::from_parameter("prepared_batch"),
         &batch,
         |b, batch| {
             let compiled: Vec<CompiledQuery> = batch.iter().map(|q| q.compile()).collect();
             b.iter(|| {
-                let prepared = PreparedMapping::new(gsm, source);
+                let svc = MappingService::new();
+                let id = svc.register(gsm.clone(), source.clone());
                 for q in &compiled {
-                    prepared.certain_answers_nulls(q).unwrap();
+                    svc.answer(id, q, Semantics::nulls()).unwrap();
                 }
             })
         },

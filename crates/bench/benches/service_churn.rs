@@ -1,0 +1,161 @@
+//! Churn bench for the owned `MappingService`: register several mappings,
+//! then interleave answers and additive source deltas under an eviction
+//! budget. Two arms differ in one knob only:
+//!
+//! * **patched** — delta patching on: additive LAV deltas are absorbed by
+//!   patching the cached canonical solutions in place (snapshots refreeze
+//!   lazily);
+//! * **rebuild** — delta patching off: every delta invalidates the
+//!   mapping's caches and the next answer pays a full re-preparation.
+//!
+//! Emits `BENCH_service.json` at the workspace root as a machine-readable
+//! perf baseline. `SERVICE_CHURN_SMOKE=1` shrinks the workload for CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_core::{Gsm, MappingService, Semantics};
+use gde_datagraph::{DataGraph, GraphDelta};
+use gde_dataquery::CompiledQuery;
+use gde_workload::{social_churn_deltas, social_serving_scenario, SocialConfig};
+use std::sync::Arc;
+
+struct ChurnWorkload {
+    mappings: Vec<(Arc<Gsm>, Arc<DataGraph>)>,
+    queries: Vec<Vec<CompiledQuery>>,
+    deltas: Vec<Vec<GraphDelta>>,
+    rounds: usize,
+    budget: usize,
+}
+
+fn workload(smoke: bool) -> ChurnWorkload {
+    let n_mappings = if smoke { 2 } else { 4 };
+    let rounds = if smoke { 2 } else { 6 };
+    let edges_per_round = 5;
+    let mut mappings = Vec::new();
+    let mut queries = Vec::new();
+    let mut deltas = Vec::new();
+    for i in 0..n_mappings {
+        let cfg = SocialConfig {
+            persons: if smoke { 40 } else { 100 },
+            knows_per_person: 3,
+            posts: if smoke { 25 } else { 70 },
+            cities: 5,
+            seed: 0xC4A0 + i as u64,
+        };
+        let sv = social_serving_scenario(&cfg);
+        queries.push(
+            sv.queries
+                .iter()
+                .map(|(_, q)| q.compile())
+                .collect::<Vec<_>>(),
+        );
+        deltas.push(social_churn_deltas(
+            &cfg,
+            rounds,
+            edges_per_round,
+            0xD3 + i as u64,
+        ));
+        mappings.push((Arc::new(sv.scenario.gsm), Arc::new(sv.scenario.source)));
+    }
+    ChurnWorkload {
+        mappings,
+        queries,
+        deltas,
+        rounds,
+        // roomy enough that eviction trims rather than thrashes
+        budget: 256 << 20,
+    }
+}
+
+/// One full churn run: fresh service, register everything, then per round
+/// and mapping apply the delta and re-answer the whole batch (both
+/// canonical semantics). Returns (patched, invalidating) delta counts.
+fn churn(w: &ChurnWorkload, patching: bool) -> (u64, u64) {
+    let svc = MappingService::with_cache_budget(w.budget);
+    svc.set_delta_patching(patching);
+    let ids: Vec<_> = w
+        .mappings
+        .iter()
+        .map(|(m, g)| svc.register(m.clone(), g.clone()))
+        .collect();
+    // warm every cache so round 1 deltas have something to reconcile
+    for (i, &id) in ids.iter().enumerate() {
+        for q in &w.queries[i] {
+            svc.answer(id, q, Semantics::nulls()).unwrap();
+            if q.is_equality_only() {
+                svc.answer(id, q, Semantics::least_informative()).unwrap();
+            }
+        }
+    }
+    for round in 0..w.rounds {
+        for (i, &id) in ids.iter().enumerate() {
+            svc.apply_delta(id, &w.deltas[i][round]).unwrap();
+            for q in &w.queries[i] {
+                svc.answer(id, q, Semantics::nulls()).unwrap();
+                if q.is_equality_only() {
+                    svc.answer(id, q, Semantics::least_informative()).unwrap();
+                }
+            }
+        }
+    }
+    let stats = svc.stats();
+    (stats.patched_deltas, stats.invalidating_deltas)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var("SERVICE_CHURN_SMOKE").is_ok();
+    let w = workload(smoke);
+
+    // sanity: the two arms really take the two paths
+    let (patched, _) = churn(&w, true);
+    assert!(patched > 0, "patching arm must patch deltas in place");
+    let (patched_off, invalidated) = churn(&w, false);
+    assert_eq!(patched_off, 0, "rebuild arm must never patch");
+    assert!(invalidated > 0);
+
+    let mut group = c.benchmark_group("service_churn");
+    group.sample_size(if smoke { 3 } else { 10 });
+    group.bench_with_input(BenchmarkId::from_parameter("patched"), &w, |b, w| {
+        b.iter(|| churn(w, true))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("rebuild"), &w, |b, w| {
+        b.iter(|| churn(w, false))
+    });
+    group.finish();
+
+    let patched_ns = c
+        .median_ns("service_churn", "patched")
+        .expect("patched measured");
+    let rebuild_ns = c
+        .median_ns("service_churn", "rebuild")
+        .expect("rebuild measured");
+    let speedup = rebuild_ns as f64 / patched_ns.max(1) as f64;
+    println!(
+        "churn ({} mappings x {} rounds): patched {:.3} ms, rebuild {:.3} ms, speedup {speedup:.2}x",
+        w.mappings.len(),
+        w.rounds,
+        patched_ns as f64 / 1e6,
+        rebuild_ns as f64 / 1e6,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"service_churn\",\n  \"workload\": \"social_serving_scenario + social_churn_deltas\",\n  \
+         \"smoke\": {},\n  \"mappings\": {},\n  \"rounds\": {},\n  \"queries_per_mapping\": {},\n  \
+         \"cache_budget_bytes\": {},\n  \"patched_deltas_per_run\": {},\n  \
+         \"churn_patched_ns\": {},\n  \"churn_rebuild_ns\": {},\n  \"speedup\": {:.2}\n}}\n",
+        smoke,
+        w.mappings.len(),
+        w.rounds,
+        w.queries[0].len(),
+        w.budget,
+        patched,
+        patched_ns,
+        rebuild_ns,
+        speedup,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

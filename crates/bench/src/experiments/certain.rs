@@ -7,8 +7,8 @@ use crate::table::{fmt_ms, time_ms, Table};
 use gde_core::certain::CertainAnswers;
 use gde_core::exact::pattern_count;
 use gde_core::{
-    certain_answers_arbitrary, certain_answers_exact, certain_answers_least_informative,
-    certain_answers_nulls, ArbitraryOptions, ExactOptions,
+    answer_once, certain_answers_arbitrary, certain_answers_exact, ArbitraryOptions, ExactOptions,
+    Semantics,
 };
 use gde_dataquery::{parse_ree, DataQuery};
 use gde_workload::{
@@ -64,7 +64,10 @@ pub fn e03_certain_nulls() -> Table {
         let sol = gde_core::universal_solution(&sc.gsm, &sc.source).unwrap();
         let mut count = 0usize;
         let ms = time_ms(3, || {
-            count = match certain_answers_nulls(&sc.gsm, &q, &sc.source).unwrap() {
+            count = match answer_once(&sc.gsm, &sc.source, &q.compile(), Semantics::nulls())
+                .unwrap()
+                .into_tuples()
+            {
                 CertainAnswers::Pairs(p) => p.len(),
                 CertainAnswers::AllVacuously => usize::MAX,
             };
@@ -137,7 +140,7 @@ pub fn e04_exact_vs_nulls() -> Table {
             let _ = certain_answers_exact(&sc.gsm, &q, &sc.source, opts).unwrap();
         });
         let nulls_ms = time_ms(3, || {
-            let _ = certain_answers_nulls(&sc.gsm, &q, &sc.source).unwrap();
+            let _ = answer_once(&sc.gsm, &sc.source, &q.compile(), Semantics::nulls()).unwrap();
         });
         t.row(&[
             invented.to_string(),
@@ -176,9 +179,14 @@ pub fn e06_equality_only() -> Table {
         let q: DataQuery = e.clone().into();
         let mut li_pairs = Vec::new();
         let li_ms = time_ms(3, || {
-            li_pairs = certain_answers_least_informative(&sc.gsm, &q, &sc.source)
-                .unwrap()
-                .into_pairs();
+            li_pairs = answer_once(
+                &sc.gsm,
+                &sc.source,
+                &q.compile(),
+                Semantics::least_informative(),
+            )
+            .unwrap()
+            .into_pairs();
         });
         let mut exact_pairs = Vec::new();
         let ex_ms = time_ms(1, || {
@@ -228,7 +236,7 @@ pub fn e07_approximation() -> Table {
             seed: seed + 100,
         });
         let q: DataQuery = e.into();
-        let nulls = certain_answers_nulls(&sc.gsm, &q, &sc.source)
+        let nulls = answer_once(&sc.gsm, &sc.source, &q.compile(), Semantics::nulls())
             .unwrap()
             .into_pairs();
         let exact = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
@@ -302,7 +310,7 @@ pub fn e11_one_inequality() -> Table {
         let q: DataQuery = p.into();
         let mut nulls = Vec::new();
         let n_ms = time_ms(3, || {
-            nulls = certain_answers_nulls(&sc.gsm, &q, &sc.source)
+            nulls = answer_once(&sc.gsm, &sc.source, &q.compile(), Semantics::nulls())
                 .unwrap()
                 .into_pairs();
         });

@@ -11,13 +11,15 @@
 //!   REM=/REE= queries (Theorem 5): evaluate on the least informative
 //!   solution and keep tuples over `dom(M, G_s)`.
 //!
-//! These free functions are **one-shot wrappers** over the prepared-mapping
-//! serving engine ([`crate::engine::PreparedMapping`]): each call prepares
-//! the mapping, compiles the query, answers once and throws the artifacts
-//! away. Serving paths that answer many queries against one `(M, G_s)`
-//! should hold a `PreparedMapping` (and precompiled queries) instead.
+//! These free functions are **deprecated one-shot shims** over the unified
+//! serving entry point: each is `answer_once(m, gs, &q.compile(), sem)` for
+//! the corresponding [`crate::engine::Semantics`], so every call rebuilds
+//! the canonical solution, refreezes the graph and re-lowers the query.
+//! Serving paths that answer many queries against one `(M, G_s)` should
+//! hold a [`crate::engine::MappingService`] (register once, answer many,
+//! absorb deltas) and precompiled queries instead.
 
-use crate::engine::PreparedMapping;
+use crate::engine::{answer_once, solve_error, Answer, Semantics};
 use crate::gsm::Gsm;
 use gde_datagraph::{DataGraph, NodeId};
 use gde_dataquery::DataQuery;
@@ -75,46 +77,84 @@ impl CertainAnswers {
 }
 
 /// `2ⁿ_M(Q, G_s)`: certain answers over target graphs with SQL-null values
-/// (Theorem 3/4). Polynomial data complexity. One-shot wrapper over
-/// [`PreparedMapping::certain_answers_nulls`].
+/// (Theorem 3/4). Polynomial data complexity.
+///
+/// **Migration**: this is `answer_once(m, gs, &q.compile(),
+/// Semantics::nulls())`; long-lived callers should register the mapping in
+/// a [`crate::engine::MappingService`] once and call
+/// `service.answer(id, &q, Semantics::nulls())` per query instead, which
+/// caches the universal solution across calls and survives source deltas.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MappingService::answer(id, &q, Semantics::nulls()) — or answer_once for one-shot calls"
+)]
 pub fn certain_answers_nulls(
     m: &Gsm,
     q: &DataQuery,
     gs: &DataGraph,
 ) -> Result<CertainAnswers, SolveError> {
-    PreparedMapping::new(m, gs).certain_answers_nulls(&q.compile())
+    answer_once(m, gs, &q.compile(), Semantics::nulls())
+        .map(Answer::into_tuples)
+        .map_err(solve_error)
 }
 
 /// Boolean `2ⁿ`: does `Q` hold (have any match) in every solution over
 /// `D ∪ {n}`? For hom-closed Boolean queries this is just `Q` holding on
 /// the universal solution.
+///
+/// **Migration**: `Semantics::nulls_boolean()` through a
+/// [`crate::engine::MappingService`] (or [`answer_once`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use MappingService::answer(id, &q, Semantics::nulls_boolean()) — or answer_once for one-shot calls"
+)]
 pub fn certain_boolean_nulls(m: &Gsm, q: &DataQuery, gs: &DataGraph) -> Result<bool, SolveError> {
-    PreparedMapping::new(m, gs).certain_boolean_nulls(&q.compile())
+    answer_once(m, gs, &q.compile(), Semantics::nulls_boolean())
+        .map(|a| a.boolean())
+        .map_err(solve_error)
 }
 
 /// `2_M(Q, G_s)` for equality-only queries (REM=/REE=, and plain RPQs):
 /// evaluate on the least informative solution, keep tuples over
 /// `dom(M, G_s)` (Theorem 5). Polynomial data complexity; **exact** plain
-/// certain answers for this fragment. One-shot wrapper over
-/// [`PreparedMapping::certain_answers_least_informative`].
+/// certain answers for this fragment.
+///
+/// **Migration**: `Semantics::least_informative()` through a
+/// [`crate::engine::MappingService`] (or [`answer_once`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use MappingService::answer(id, &q, Semantics::least_informative()) — or answer_once for one-shot calls"
+)]
 pub fn certain_answers_least_informative(
     m: &Gsm,
     q: &DataQuery,
     gs: &DataGraph,
 ) -> Result<CertainAnswers, SolveError> {
-    PreparedMapping::new(m, gs).certain_answers_least_informative(&q.compile())
+    answer_once(m, gs, &q.compile(), Semantics::least_informative())
+        .map(Answer::into_tuples)
+        .map_err(solve_error)
 }
 
 /// Boolean variant of [`certain_answers_least_informative`].
+///
+/// **Migration**: `Semantics::least_informative_boolean()` through a
+/// [`crate::engine::MappingService`] (or [`answer_once`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use MappingService::answer(id, &q, Semantics::least_informative_boolean()) — or answer_once for one-shot calls"
+)]
 pub fn certain_boolean_least_informative(
     m: &Gsm,
     q: &DataQuery,
     gs: &DataGraph,
 ) -> Result<bool, SolveError> {
-    PreparedMapping::new(m, gs).certain_boolean_least_informative(&q.compile())
+    answer_once(m, gs, &q.compile(), Semantics::least_informative_boolean())
+        .map(|a| a.boolean())
+        .map_err(solve_error)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep answering exactly as before
 mod tests {
     use super::*;
     use gde_automata::parse_regex;

@@ -1,27 +1,50 @@
-//! The prepared-mapping serving engine.
+//! The owned serving engine: [`MappingService`].
 //!
 //! The paper's tractability results (Theorems 3–5) share one shape: build a
 //! canonical solution for `(M, G_s)` **once**, then answer every
-//! (hom-closed) query by direct evaluation on it. The free functions in
-//! [`crate::certain`] expose that result per call — and therefore rebuild
-//! the solution, refreeze the graph and re-lower the query every time.
-//! [`PreparedMapping`] is the amortized form:
+//! (hom-closed) query by direct evaluation on it. The service packages that
+//! recipe as a long-lived, multi-tenant engine. Its lifecycle:
 //!
 //! ```text
-//! let prepared = PreparedMapping::new(&gsm, &source);
-//! let q = query.compile();                   // lower once (gde-dataquery)
-//! for _ in serving_loop {
-//!     prepared.certain_answers_nulls(&q)?;   // cached solution + snapshot
-//! }
+//! register ─► prepare ─► answer ─► apply_delta ─► (evict) ─► answer …
 //! ```
 //!
-//! On first use per engine, the mapping's canonical solution
-//! ([`universal_solution`] for the `2ⁿ` engine, [`least_informative_solution`]
-//! for the `2` REM=/REE= engine) is built and frozen into a
-//! [`GraphSnapshot`] (label-partitioned CSR + interned values + cached
-//! per-label relations); every subsequent query hits the caches. The free
-//! functions in [`crate::certain`] are now thin wrappers over this type, so
-//! cold-path callers keep working unchanged.
+//! * **register** — [`MappingService::register`] takes ownership of a
+//!   mapping and its source graph as `Arc<Gsm>` + `Arc<DataGraph>` and
+//!   returns a [`MappingId`]. Registration does no work; graphs are shared,
+//!   not copied.
+//! * **prepare** — on first use per `(mapping, flavour)`, the canonical
+//!   solution ([`universal_solution`] for the `2ⁿ`/exact engines,
+//!   [`least_informative_solution`] for the `2` REM=/REE= engine) is built
+//!   and frozen into a [`PreparedSolution`] (solution + [`GraphSnapshot`] +
+//!   dense invented-node mask). [`MappingService::prepare`] warms it
+//!   eagerly; [`MappingService::answer`] warms it lazily.
+//! * **answer** — the single entry point
+//!   [`MappingService::answer`]`(id, q, sem)` unifies the former
+//!   `certain_answers_nulls` / `certain_answers_least_informative` /
+//!   `certain_answers_exact` / `certain_boolean_*` family: [`Semantics`]
+//!   picks the engine (`Nulls`, `LeastInformative`, `Exact`), [`Mode`]
+//!   picks tuple vs Boolean answers, and [`Answer`] carries the result.
+//!   The service is `Send + Sync`; scoped threads can call `answer`
+//!   concurrently, and [`MappingService::answer_batch`] fans a query batch
+//!   out over [`gde_datagraph::par`] workers itself.
+//! * **apply_delta** — [`MappingService::apply_delta`] mutates the owned
+//!   source graph (copy-on-write behind the shared `Arc`), bumps the
+//!   mapping's generation stamp, and reconciles cached solutions: additive
+//!   deltas under LAV mappings are **patched in place** (rule matches are
+//!   per-edge, [`CanonicalSolution::patch_lav_edges`]) with the snapshot
+//!   rebuilt lazily on the next answer; anything else invalidates the
+//!   cache and the next answer rebuilds from scratch.
+//! * **evict** — prepared solutions live behind interior mutability under
+//!   a byte budget ([`MappingService::set_cache_budget`]); when the cache
+//!   outgrows it, the least-recently-served solutions are dropped (and
+//!   rebuilt on demand), so a service can hold many registered mappings
+//!   with only the hot ones resident.
+//!
+//! [`PreparedMapping`] — the previous, borrow-based engine — and the free
+//! functions in [`crate::certain`] survive as thin deprecated wrappers over
+//! this service. One-shot callers can also use [`answer_once`], which
+//! skips the registry and caches entirely.
 
 use crate::certain::{CertainAnswers, SolveError};
 use crate::exact::{exact_answers_from, exact_boolean_from, ExactError, ExactOptions};
@@ -29,9 +52,282 @@ use crate::gsm::Gsm;
 use crate::solution::{
     least_informative_solution, universal_solution, CanonicalSolution, SolutionError,
 };
-use gde_datagraph::{DataGraph, GraphSnapshot, NodeId};
+use gde_datagraph::{par, DataGraph, FxHashMap, GraphDelta, GraphError, GraphSnapshot, NodeId};
 use gde_dataquery::{CompiledQuery, DataQuery};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// Poisoning recovery: a panicking worker must not wedge the whole service,
+// so every lock acquisition falls back to the inner value.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Handle to a mapping registered in a [`MappingService`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MappingId(u64);
+
+impl MappingId {
+    /// The raw numeric id (stable for the life of the service).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for MappingId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mapping#{}", self.0)
+    }
+}
+
+/// Tuple vs Boolean certain answers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// All certain pairs, as [`Answer::Tuples`].
+    Tuples,
+    /// Just "does `Q` certainly hold somewhere?", as [`Answer::Boolean`].
+    Boolean,
+}
+
+/// Which certain-answer engine serves the query — the unified form of the
+/// former `certain_*` method family.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// `2ⁿ_M(Q, G_s)` (Theorems 3/4): certain answers over targets with
+    /// SQL nulls, from the cached universal solution. Sound and complete
+    /// for every query closed under null-absorbing homomorphisms — all
+    /// [`DataQuery`] classes; underapproximates plain `2`.
+    Nulls(Mode),
+    /// `2_M(Q, G_s)` for equality-only queries (Theorem 5): **exact**
+    /// plain certain answers for REM=/REE=/RPQs, from the cached least
+    /// informative solution. Rejects queries with inequalities.
+    LeastInformative(Mode),
+    /// Exact plain certain answers (Theorem 2's coNP procedure), reusing
+    /// the cached universal solution as the enumeration skeleton.
+    /// Exponential in the number of invented nodes; bounded by the
+    /// [`ExactOptions`].
+    Exact(Mode, ExactOptions),
+}
+
+impl Semantics {
+    /// `2ⁿ` tuple answers.
+    pub fn nulls() -> Semantics {
+        Semantics::Nulls(Mode::Tuples)
+    }
+
+    /// `2ⁿ` Boolean answers.
+    pub fn nulls_boolean() -> Semantics {
+        Semantics::Nulls(Mode::Boolean)
+    }
+
+    /// `2` tuple answers via least informative solutions.
+    pub fn least_informative() -> Semantics {
+        Semantics::LeastInformative(Mode::Tuples)
+    }
+
+    /// `2` Boolean answers via least informative solutions.
+    pub fn least_informative_boolean() -> Semantics {
+        Semantics::LeastInformative(Mode::Boolean)
+    }
+
+    /// Exact tuple answers with default search bounds.
+    pub fn exact() -> Semantics {
+        Semantics::Exact(Mode::Tuples, ExactOptions::default())
+    }
+
+    /// Exact Boolean answers with default search bounds.
+    pub fn exact_boolean() -> Semantics {
+        Semantics::Exact(Mode::Boolean, ExactOptions::default())
+    }
+
+    /// The serving default for a query: exact `2` when the query allows it
+    /// (equality-only, Theorem 5), the `2ⁿ` under-approximation otherwise
+    /// (Theorem 4). Tuple mode.
+    pub fn preferred_for(q: &CompiledQuery) -> Semantics {
+        if q.is_equality_only() {
+            Semantics::least_informative()
+        } else {
+            Semantics::nulls()
+        }
+    }
+
+    /// The answer mode.
+    pub fn mode(&self) -> Mode {
+        match *self {
+            Semantics::Nulls(m) | Semantics::LeastInformative(m) | Semantics::Exact(m, _) => m,
+        }
+    }
+
+    /// The canonical-solution flavour this engine evaluates on.
+    fn flavour(&self) -> Flavour {
+        match self {
+            Semantics::Nulls(_) | Semantics::Exact(..) => Flavour::Universal,
+            Semantics::LeastInformative(_) => Flavour::LeastInformative,
+        }
+    }
+}
+
+/// A certain-answer result from [`MappingService::answer`]: tuples for
+/// [`Mode::Tuples`], a Boolean for [`Mode::Boolean`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// The certain pairs (or the vacuous "everything" marker).
+    Tuples(CertainAnswers),
+    /// The Boolean certain answer.
+    Boolean(bool),
+}
+
+impl Answer {
+    /// The tuple answers; panics on a Boolean answer.
+    pub fn into_tuples(self) -> CertainAnswers {
+        match self {
+            Answer::Tuples(t) => t,
+            Answer::Boolean(_) => panic!("Boolean answer where tuples were expected"),
+        }
+    }
+
+    /// The certain pairs; panics on a Boolean or vacuous answer.
+    pub fn into_pairs(self) -> Vec<(NodeId, NodeId)> {
+        self.into_tuples().into_pairs()
+    }
+
+    /// The Boolean answer; panics on a tuple answer.
+    pub fn boolean(&self) -> bool {
+        match self {
+            Answer::Boolean(b) => *b,
+            Answer::Tuples(_) => panic!("tuple answer where a Boolean was expected"),
+        }
+    }
+}
+
+/// Errors from the serving engine. `NoSolution` only surfaces from the
+/// solution accessors ([`MappingService::solution`] and the deprecated
+/// `PreparedMapping` ones); [`MappingService::answer`] converts it into the
+/// vacuous answer (every tuple certain) instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// No mapping is registered under this id (never was, or unregistered).
+    UnknownMapping(MappingId),
+    /// The mapping is not relational; canonical-solution engines require
+    /// word targets.
+    NotRelational,
+    /// No solution exists at all (an ε-rule conflict).
+    NoSolution {
+        /// The offending source pair.
+        pair: (NodeId, NodeId),
+    },
+    /// The query is outside the fragment the chosen semantics supports.
+    UnsupportedQuery(&'static str),
+    /// The exact engine's search bounds were exceeded.
+    TooComplex {
+        /// Number of invented nodes in the skeleton.
+        invented: usize,
+        /// The configured cap that was exceeded.
+        cap: String,
+    },
+    /// A delta failed validation against the source graph.
+    InvalidDelta(GraphError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownMapping(id) => write!(f, "unknown {id}"),
+            ServeError::NotRelational => write!(f, "mapping is not relational"),
+            ServeError::NoSolution { pair } => write!(
+                f,
+                "no solution exists: ε-rule forces distinct nodes {} = {}",
+                pair.0, pair.1
+            ),
+            ServeError::UnsupportedQuery(what) => write!(f, "unsupported query: {what}"),
+            ServeError::TooComplex { invented, cap } => write!(
+                f,
+                "instance too large for exhaustive search ({invented} invented nodes; cap: {cap})"
+            ),
+            ServeError::InvalidDelta(e) => write!(f, "invalid delta: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SolutionError> for ServeError {
+    fn from(e: SolutionError) -> ServeError {
+        match e {
+            SolutionError::NotRelational => ServeError::NotRelational,
+            SolutionError::NoSolution { pair } => ServeError::NoSolution { pair },
+        }
+    }
+}
+
+impl From<ExactError> for ServeError {
+    fn from(e: ExactError) -> ServeError {
+        match e {
+            ExactError::NotRelational => ServeError::NotRelational,
+            ExactError::TooComplex { invented, cap } => ServeError::TooComplex { invented, cap },
+        }
+    }
+}
+
+/// Convert a serving error back into the legacy `SolveError` (for the
+/// deprecated canonical-engine wrappers, which cannot hit the other arms).
+pub(crate) fn solve_error(e: ServeError) -> SolveError {
+    match e {
+        ServeError::NotRelational => SolveError::NotRelational,
+        ServeError::UnsupportedQuery(what) => SolveError::UnsupportedQuery(what),
+        other => unreachable!("canonical serving cannot fail with {other:?}"),
+    }
+}
+
+/// Convert a serving error back into the legacy `ExactError` (for the
+/// exact-engine wrappers, which cannot hit the other arms).
+pub(crate) fn exact_error(e: ServeError) -> ExactError {
+    match e {
+        ServeError::NotRelational => ExactError::NotRelational,
+        ServeError::TooComplex { invented, cap } => ExactError::TooComplex { invented, cap },
+        other => unreachable!("exact serving cannot fail with {other:?}"),
+    }
+}
+
+/// What [`MappingService::apply_delta`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// The mapping's generation stamp after the delta.
+    pub generation: u64,
+    /// `true` when every cached solution was patched in place (or nothing
+    /// was cached); `false` when caches had to be invalidated and the next
+    /// answer pays a full rebuild.
+    pub patched: bool,
+    /// Nodes added.
+    pub added_nodes: usize,
+    /// Edges actually added (already-present edges don't count).
+    pub added_edges: usize,
+    /// Edges actually removed.
+    pub removed_edges: usize,
+}
+
+/// A point-in-time snapshot of service-wide counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Registered mappings.
+    pub mappings: usize,
+    /// Resident cached solutions (ready or patched), across flavours.
+    pub cached_solutions: usize,
+    /// Approximate bytes held by resident solutions.
+    pub cached_bytes: usize,
+    /// Solutions evicted under the byte budget so far.
+    pub evictions: u64,
+    /// Deltas fully absorbed by in-place patching.
+    pub patched_deltas: u64,
+    /// Deltas that invalidated at least one cached solution.
+    pub invalidating_deltas: u64,
+}
 
 /// A canonical solution frozen for serving: the solution itself, its
 /// snapshot, and a dense-index mask of the invented nodes (so dom-filtering
@@ -67,6 +363,17 @@ impl PreparedSolution {
         &self.snapshot
     }
 
+    /// Approximate heap footprint (solution + snapshot + mask), the unit
+    /// the service's eviction budget is counted in.
+    pub fn approx_bytes(&self) -> usize {
+        self.solution.approx_bytes() + self.snapshot.approx_bytes() + self.invented_mask.len()
+    }
+
+    /// Unfreeze, keeping only the solution (the delta-patching path).
+    fn into_solution(self) -> CanonicalSolution {
+        self.solution
+    }
+
     /// Evaluate a compiled query on the snapshot and keep pairs over
     /// `dom(M, G_s)` (drop tuples touching invented nodes). The query is
     /// consumed in relation form: filtering walks the relation's rows with
@@ -85,33 +392,719 @@ impl PreparedSolution {
     }
 }
 
-/// The two canonical-solution flavours an engine can be prepared over.
+/// The two canonical-solution flavours a mapping can be served from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 enum Flavour {
-    Universal,
-    LeastInformative,
+    Universal = 0,
+    LeastInformative = 1,
+}
+
+/// Cache slot state for one `(mapping, flavour)`.
+#[derive(Debug, Default)]
+enum SlotState {
+    /// Nothing cached; the next answer builds from the source graph.
+    #[default]
+    Empty,
+    /// A delta-patched solution whose snapshot is rebuilt lazily on the
+    /// next answer.
+    Patched(Box<CanonicalSolution>),
+    /// Fully frozen and servable.
+    Ready(Arc<PreparedSolution>),
+    /// Building failed; the error is replayed (NoSolution ⇒ vacuous
+    /// answers, NotRelational ⇒ error).
+    Failed(SolutionError),
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    state: SlotState,
+    /// Generation the state was computed at.
+    generation: u64,
+    /// LRU tick of the last serve from this slot.
+    last_used: u64,
+    /// Bytes charged against the service budget (0 unless resident).
+    bytes: usize,
+}
+
+/// One registered mapping: shared graphs, generation stamp, and the
+/// per-flavour solution cache.
+struct MappingEntry {
+    id: MappingId,
+    gsm: Arc<Gsm>,
+    source: RwLock<Arc<DataGraph>>,
+    generation: AtomicU64,
+    cache: Mutex<[Slot; 2]>,
+}
+
+/// The owned, concurrent serving engine. See the module docs for the
+/// lifecycle; see [`MappingService::answer`] for the unified entry point.
+#[derive(Default)]
+pub struct MappingService {
+    registry: RwLock<FxHashMap<MappingId, Arc<MappingEntry>>>,
+    next_id: AtomicU64,
+    /// Monotonic LRU clock; bumped on every serve/build.
+    clock: AtomicU64,
+    /// Cache budget in bytes; 0 = unlimited.
+    budget: AtomicUsize,
+    /// Approximate bytes currently resident.
+    cached: AtomicUsize,
+    /// Whether additive LAV deltas patch caches in place (default true).
+    patching_off: AtomicBool,
+    evictions: AtomicU64,
+    patched_deltas: AtomicU64,
+    invalidating_deltas: AtomicU64,
+}
+
+// The whole point of the owned engine: one service instance, many serving
+// threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MappingService>();
+};
+
+impl MappingService {
+    /// An empty service with an unlimited cache budget.
+    pub fn new() -> MappingService {
+        MappingService::default()
+    }
+
+    /// An empty service with a cache budget (approximate bytes; see
+    /// [`MappingService::set_cache_budget`]).
+    pub fn with_cache_budget(bytes: usize) -> MappingService {
+        let s = MappingService::new();
+        s.set_cache_budget(bytes);
+        s
+    }
+
+    /// Bound the resident prepared-solution cache to approximately `bytes`
+    /// ([`PreparedSolution::approx_bytes`]); least-recently-served
+    /// solutions are evicted first. `0` = unlimited. The budget is soft:
+    /// the solution serving the current answer is never evicted, so one
+    /// resident solution can exceed a tiny budget.
+    pub fn set_cache_budget(&self, bytes: usize) {
+        self.budget.store(bytes, Ordering::Relaxed);
+        self.enforce_budget(None);
+    }
+
+    /// The configured cache budget (0 = unlimited).
+    pub fn cache_budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes currently held by cached solutions.
+    pub fn cached_bytes(&self) -> usize {
+        self.cached.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable in-place delta patching (on by default). With
+    /// patching off every delta invalidates the mapping's cached solutions
+    /// — the full-rebuild baseline the `service_churn` bench compares
+    /// against.
+    pub fn set_delta_patching(&self, on: bool) {
+        self.patching_off.store(!on, Ordering::Relaxed);
+    }
+
+    /// Register a mapping with its source graph. Accepts owned values or
+    /// `Arc`s (graphs are shared, never copied). Registration is free; the
+    /// first answer per flavour builds the canonical solution.
+    pub fn register(
+        &self,
+        gsm: impl Into<Arc<Gsm>>,
+        source: impl Into<Arc<DataGraph>>,
+    ) -> MappingId {
+        let id = MappingId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let entry = Arc::new(MappingEntry {
+            id,
+            gsm: gsm.into(),
+            source: RwLock::new(source.into()),
+            generation: AtomicU64::new(0),
+            cache: Mutex::new(Default::default()),
+        });
+        write(&self.registry).insert(id, entry);
+        id
+    }
+
+    /// Drop a mapping and its cached solutions. Returns `false` for
+    /// unknown ids.
+    pub fn unregister(&self, id: MappingId) -> bool {
+        let entry = write(&self.registry).remove(&id);
+        match entry {
+            Some(e) => {
+                let mut slots = lock(&e.cache);
+                for slot in slots.iter_mut() {
+                    self.release(slot);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of registered mappings.
+    pub fn mapping_count(&self) -> usize {
+        read(&self.registry).len()
+    }
+
+    /// The mapping behind an id.
+    pub fn gsm(&self, id: MappingId) -> Option<Arc<Gsm>> {
+        read(&self.registry).get(&id).map(|e| e.gsm.clone())
+    }
+
+    /// The current source graph behind an id (a point-in-time `Arc`;
+    /// later deltas copy-on-write and do not affect it).
+    pub fn source(&self, id: MappingId) -> Option<Arc<DataGraph>> {
+        read(&self.registry)
+            .get(&id)
+            .map(|e| read(&e.source).clone())
+    }
+
+    /// The mapping's generation stamp: 0 at registration, +1 per
+    /// state-changing delta. Answers are always served from a solution of
+    /// the current generation.
+    pub fn generation(&self, id: MappingId) -> Option<u64> {
+        read(&self.registry)
+            .get(&id)
+            .map(|e| e.generation.load(Ordering::Acquire))
+    }
+
+    /// Is a fully frozen, current-generation solution resident for this
+    /// semantics' flavour right now?
+    pub fn is_cached(&self, id: MappingId, sem: Semantics) -> bool {
+        match self.entry(id) {
+            Ok(e) => {
+                let slots = lock(&e.cache);
+                let slot = &slots[sem.flavour() as usize];
+                matches!(slot.state, SlotState::Ready(_))
+                    && slot.generation == e.generation.load(Ordering::Acquire)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Service-wide counters.
+    pub fn stats(&self) -> ServiceStats {
+        let entries: Vec<Arc<MappingEntry>> = read(&self.registry).values().cloned().collect();
+        let mut cached_solutions = 0;
+        for e in &entries {
+            let slots = lock(&e.cache);
+            cached_solutions += slots.iter().filter(|s| s.bytes > 0).count();
+        }
+        ServiceStats {
+            mappings: entries.len(),
+            cached_solutions,
+            cached_bytes: self.cached_bytes(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            patched_deltas: self.patched_deltas.load(Ordering::Relaxed),
+            invalidating_deltas: self.invalidating_deltas.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every cached solution (registrations stay).
+    pub fn evict_all(&self) {
+        let entries: Vec<Arc<MappingEntry>> = read(&self.registry).values().cloned().collect();
+        for e in entries {
+            let mut slots = lock(&e.cache);
+            for slot in slots.iter_mut() {
+                self.release(slot);
+            }
+        }
+    }
+
+    /// The unified serving entry point: answer `q` on mapping `id` under
+    /// the chosen [`Semantics`]. Solutions and snapshots are cached per
+    /// `(mapping, flavour)` and reused across calls, flavours and threads.
+    ///
+    /// Mappings with no solution at all (ε-rule conflicts) make every
+    /// answer vacuously certain: `Tuples(AllVacuously)` / `Boolean(true)`.
+    pub fn answer(
+        &self,
+        id: MappingId,
+        q: &CompiledQuery,
+        sem: Semantics,
+    ) -> Result<Answer, ServeError> {
+        let entry = self.entry(id)?;
+        self.answer_entry(&entry, q, sem)
+    }
+
+    /// Answer a whole batch under one semantics, fanning out over
+    /// [`gde_datagraph::par`] scoped workers (bounded by
+    /// `par::set_max_threads` / `GDE_MAX_THREADS`). Results come back in
+    /// input order; per-query errors don't abort the batch.
+    pub fn answer_batch(
+        &self,
+        id: MappingId,
+        queries: &[CompiledQuery],
+        sem: Semantics,
+    ) -> Vec<Result<Answer, ServeError>> {
+        let entry = match self.entry(id) {
+            Ok(e) => e,
+            Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        // warm the flavour once so workers don't serialize on the build
+        let _ = self.prepared(&entry, sem.flavour());
+        par::map_blocks(queries.len(), 1, |range| {
+            range
+                .map(|i| self.answer_entry(&entry, &queries[i], sem))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Eagerly build (or re-freeze) the solution this semantics serves
+    /// from. `Ok(true)` when a solution is resident afterwards, `Ok(false)`
+    /// when the mapping has no solution at all (answers are vacuous).
+    pub fn prepare(&self, id: MappingId, sem: Semantics) -> Result<bool, ServeError> {
+        match self.solution(id, sem) {
+            Ok(_) => Ok(true),
+            Err(ServeError::NoSolution { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The frozen canonical solution this semantics serves from (building
+    /// it if needed). Unlike [`MappingService::answer`], a mapping without
+    /// solutions surfaces as [`ServeError::NoSolution`] here.
+    pub fn solution(
+        &self,
+        id: MappingId,
+        sem: Semantics,
+    ) -> Result<Arc<PreparedSolution>, ServeError> {
+        let entry = self.entry(id)?;
+        self.prepared(&entry, sem.flavour())
+            .map_err(ServeError::from)
+    }
+
+    /// Apply a batch of source-graph mutations. The owned graph is updated
+    /// copy-on-write (previously handed-out `Arc`s keep the old state), the
+    /// generation stamp is bumped, and cached solutions are reconciled:
+    ///
+    /// * additive deltas under LAV relational mappings **patch** cached
+    ///   solutions in place (one fresh path per new edge and matching
+    ///   rule); snapshots are rebuilt lazily on the next answer;
+    /// * deltas with removals, non-LAV mappings, or id collisions
+    ///   invalidate the cache — the next answer rebuilds from the new
+    ///   source.
+    ///
+    /// No-op deltas (nothing actually changed) bump nothing.
+    pub fn apply_delta(
+        &self,
+        id: MappingId,
+        delta: &GraphDelta,
+    ) -> Result<DeltaReport, ServeError> {
+        let entry = self.entry(id)?;
+        // lock order everywhere: cache, then source
+        let mut slots = lock(&entry.cache);
+        let applied = {
+            let mut src = write(&entry.source);
+            Arc::make_mut(&mut src)
+                .apply_delta(delta)
+                .map_err(ServeError::InvalidDelta)?
+        };
+        if !applied.changed() {
+            return Ok(DeltaReport {
+                generation: entry.generation.load(Ordering::Acquire),
+                patched: true,
+                added_nodes: 0,
+                added_edges: 0,
+                removed_edges: 0,
+            });
+        }
+        let generation = entry.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let source = read(&entry.source).clone();
+        let try_patch = !self.patching_off.load(Ordering::Relaxed) && applied.removed_edges == 0;
+        // Under a LAV mapping, source answers are exactly the per-label edge
+        // sets: added nodes and edges matching no rule atom leave every
+        // cached solution — snapshots included — valid as-is.
+        let class = entry.gsm.classify();
+        if try_patch
+            && class.lav
+            && class.relational
+            && !applied.added_edges.iter().any(|&(_, l, _)| {
+                entry
+                    .gsm
+                    .rules()
+                    .iter()
+                    .any(|r| r.source.as_atom() == Some(l))
+            })
+        {
+            for slot in slots.iter_mut() {
+                if !matches!(slot.state, SlotState::Empty) {
+                    slot.generation = generation;
+                }
+            }
+            drop(slots);
+            self.patched_deltas.fetch_add(1, Ordering::Relaxed);
+            return Ok(DeltaReport {
+                generation,
+                patched: true,
+                added_nodes: applied.added_nodes,
+                added_edges: applied.added_edges.len(),
+                removed_edges: 0,
+            });
+        }
+        let mut patched = true;
+        for (fi, slot) in slots.iter_mut().enumerate() {
+            let universal = fi == Flavour::Universal as usize;
+            match std::mem::take(&mut slot.state) {
+                SlotState::Empty => {}
+                // the mapping's class doesn't change with data
+                SlotState::Failed(SolutionError::NotRelational) => {
+                    slot.state = SlotState::Failed(SolutionError::NotRelational);
+                    slot.generation = generation;
+                }
+                // additive deltas can't un-conflict an ε-rule
+                SlotState::Failed(e @ SolutionError::NoSolution { .. }) if try_patch => {
+                    slot.state = SlotState::Failed(e);
+                    slot.generation = generation;
+                }
+                SlotState::Failed(_) => {
+                    self.release(slot);
+                    patched = false;
+                }
+                state @ (SlotState::Patched(_) | SlotState::Ready(_)) if try_patch => {
+                    let mut sol = match state {
+                        SlotState::Patched(sol) => *sol,
+                        SlotState::Ready(prep) => match Arc::try_unwrap(prep) {
+                            Ok(prep) => prep.into_solution(),
+                            Err(shared) => shared.solution().clone(),
+                        },
+                        _ => unreachable!(),
+                    };
+                    match sol.patch_lav_edges(&entry.gsm, &source, &applied.added_edges, universal)
+                    {
+                        Ok(true) => {
+                            self.sub_bytes(slot.bytes);
+                            slot.bytes = sol.approx_bytes();
+                            self.add_bytes(slot.bytes);
+                            slot.state = SlotState::Patched(Box::new(sol));
+                            slot.generation = generation;
+                        }
+                        Ok(false) => {
+                            self.release(slot);
+                            patched = false;
+                        }
+                        Err(e) => {
+                            // the delta made the mapping unsatisfiable:
+                            // answers are vacuous from here on
+                            self.release(slot);
+                            slot.state = SlotState::Failed(e);
+                            slot.generation = generation;
+                        }
+                    }
+                }
+                SlotState::Patched(_) | SlotState::Ready(_) => {
+                    self.release(slot);
+                    patched = false;
+                }
+            }
+        }
+        drop(slots);
+        if patched {
+            self.patched_deltas.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.invalidating_deltas.fetch_add(1, Ordering::Relaxed);
+        }
+        self.enforce_budget(None);
+        self.release_if_unregistered(&entry);
+        Ok(DeltaReport {
+            generation,
+            patched,
+            added_nodes: applied.added_nodes,
+            added_edges: applied.added_edges.len(),
+            removed_edges: applied.removed_edges,
+        })
+    }
+
+    // ----- internals -----
+
+    fn entry(&self, id: MappingId) -> Result<Arc<MappingEntry>, ServeError> {
+        read(&self.registry)
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownMapping(id))
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn add_bytes(&self, n: usize) {
+        self.cached.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sub_bytes(&self, n: usize) {
+        self.cached.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Clear a slot and give its bytes back to the budget.
+    fn release(&self, slot: &mut Slot) {
+        self.sub_bytes(slot.bytes);
+        *slot = Slot::default();
+    }
+
+    fn answer_entry(
+        &self,
+        entry: &MappingEntry,
+        q: &CompiledQuery,
+        sem: Semantics,
+    ) -> Result<Answer, ServeError> {
+        check_fragment(q, sem)?;
+        let prep = match self.prepared(entry, sem.flavour()) {
+            Ok(p) => p,
+            Err(SolutionError::NotRelational) => return Err(ServeError::NotRelational),
+            Err(SolutionError::NoSolution { .. }) => return Ok(vacuous_answer(sem.mode())),
+        };
+        eval_semantics(&prep, q, sem)
+    }
+
+    /// Get (building or re-freezing if necessary) the cached prepared
+    /// solution for a flavour. Builds happen under the entry's cache lock —
+    /// concurrent first answers to one mapping serialize, different
+    /// mappings don't.
+    fn prepared(
+        &self,
+        entry: &MappingEntry,
+        flavour: Flavour,
+    ) -> Result<Arc<PreparedSolution>, SolutionError> {
+        let out;
+        {
+            let mut slots = lock(&entry.cache);
+            let generation = entry.generation.load(Ordering::Acquire);
+            let slot = &mut slots[flavour as usize];
+            if slot.generation != generation && !matches!(slot.state, SlotState::Empty) {
+                // apply_delta reconciles eagerly; this is belt and braces
+                self.release(slot);
+            }
+            match &slot.state {
+                SlotState::Ready(p) => {
+                    slot.last_used = self.tick();
+                    return Ok(p.clone());
+                }
+                SlotState::Failed(e) => return Err(e.clone()),
+                SlotState::Empty | SlotState::Patched(_) => {}
+            }
+            let built = match std::mem::take(&mut slot.state) {
+                // a delta-patched solution only needs re-freezing
+                SlotState::Patched(sol) => Ok(PreparedSolution::new(*sol)),
+                SlotState::Empty => {
+                    let source = read(&entry.source).clone();
+                    match flavour {
+                        Flavour::Universal => universal_solution(&entry.gsm, &source),
+                        Flavour::LeastInformative => {
+                            least_informative_solution(&entry.gsm, &source)
+                        }
+                    }
+                    .map(PreparedSolution::new)
+                }
+                _ => unreachable!("ready/failed handled above"),
+            };
+            self.sub_bytes(slot.bytes);
+            slot.bytes = 0;
+            slot.generation = generation;
+            match built {
+                Ok(prep) => {
+                    let prep = Arc::new(prep);
+                    slot.bytes = prep.approx_bytes();
+                    self.add_bytes(slot.bytes);
+                    slot.last_used = self.tick();
+                    slot.state = SlotState::Ready(prep.clone());
+                    out = Ok(prep);
+                }
+                Err(e) => {
+                    slot.state = SlotState::Failed(e.clone());
+                    out = Err(e);
+                }
+            }
+        }
+        if out.is_ok() {
+            self.enforce_budget(Some((entry.id, flavour)));
+            self.release_if_unregistered(entry);
+        }
+        out
+    }
+
+    /// A racing `unregister` can drop an entry from the registry while a
+    /// build still holds its `Arc` and is about to charge bytes for it;
+    /// anything charged to such an orphan would be unreachable to both
+    /// eviction and `unregister` forever. Called after every charge.
+    /// (`release` zeroes `bytes`, so double releases are no-ops.)
+    fn release_if_unregistered(&self, entry: &MappingEntry) {
+        if !read(&self.registry).contains_key(&entry.id) {
+            let mut slots = lock(&entry.cache);
+            for slot in slots.iter_mut() {
+                self.release(slot);
+            }
+        }
+    }
+
+    /// Evict least-recently-served solutions until the cache fits the
+    /// budget. `protect` shields the slot serving the current answer. Locks
+    /// at most one entry cache at a time (and is only ever called with no
+    /// cache lock held), so builders in different entries cannot deadlock.
+    fn enforce_budget(&self, protect: Option<(MappingId, Flavour)>) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        // bounded sweeps: a concurrent toucher can invalidate one pick, not
+        // starve the loop
+        for _ in 0..64 {
+            if self.cached.load(Ordering::Relaxed) <= budget {
+                return;
+            }
+            let entries: Vec<Arc<MappingEntry>> = read(&self.registry).values().cloned().collect();
+            let mut victim: Option<(u64, Arc<MappingEntry>, usize)> = None;
+            for e in &entries {
+                let slots = lock(&e.cache);
+                for (fi, slot) in slots.iter().enumerate() {
+                    if slot.bytes == 0 {
+                        continue;
+                    }
+                    if protect
+                        == Some((
+                            e.id,
+                            if fi == 0 {
+                                Flavour::Universal
+                            } else {
+                                Flavour::LeastInformative
+                            },
+                        ))
+                    {
+                        continue;
+                    }
+                    if victim
+                        .as_ref()
+                        .is_none_or(|(lu, _, _)| slot.last_used < *lu)
+                    {
+                        victim = Some((slot.last_used, e.clone(), fi));
+                    }
+                }
+            }
+            let Some((last_used, e, fi)) = victim else {
+                return; // nothing evictable (only the protected slot is resident)
+            };
+            let mut slots = lock(&e.cache);
+            let slot = &mut slots[fi];
+            if slot.bytes > 0 && slot.last_used == last_used {
+                self.release(slot);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The §8 engine only supports the inequality-free fragment.
+fn check_fragment(q: &CompiledQuery, sem: Semantics) -> Result<(), ServeError> {
+    if matches!(sem, Semantics::LeastInformative(_)) && !q.is_equality_only() {
+        return Err(ServeError::UnsupportedQuery(
+            "least-informative engine requires an inequality-free query (REM=/REE=)",
+        ));
+    }
+    Ok(())
+}
+
+/// When no solution exists, every tuple is vacuously certain.
+fn vacuous_answer(mode: Mode) -> Answer {
+    match mode {
+        Mode::Tuples => Answer::Tuples(CertainAnswers::AllVacuously),
+        Mode::Boolean => Answer::Boolean(true),
+    }
+}
+
+/// Evaluate a query on a frozen solution under the chosen semantics.
+fn eval_semantics(
+    prep: &PreparedSolution,
+    q: &CompiledQuery,
+    sem: Semantics,
+) -> Result<Answer, ServeError> {
+    Ok(match sem {
+        Semantics::Nulls(Mode::Tuples) | Semantics::LeastInformative(Mode::Tuples) => {
+            Answer::Tuples(CertainAnswers::Pairs(prep.answers_over_dom(q)))
+        }
+        Semantics::Nulls(Mode::Boolean) | Semantics::LeastInformative(Mode::Boolean) => {
+            Answer::Boolean(q.holds_somewhere(prep.snapshot()))
+        }
+        Semantics::Exact(Mode::Tuples, opts) => {
+            Answer::Tuples(exact_answers_from(prep.solution(), q.source(), opts)?)
+        }
+        Semantics::Exact(Mode::Boolean, opts) => {
+            Answer::Boolean(exact_boolean_from(prep.solution(), q.source(), opts)?)
+        }
+    })
+}
+
+/// One-shot serving without a service: build the needed canonical solution
+/// for `(gsm, source)`, answer `q` under `sem`, throw the artifacts away.
+/// This is what the deprecated free functions in [`crate::certain`] now
+/// wrap; hold a [`MappingService`] instead when answering more than once.
+pub fn answer_once(
+    gsm: &Gsm,
+    source: &DataGraph,
+    q: &CompiledQuery,
+    sem: Semantics,
+) -> Result<Answer, ServeError> {
+    check_fragment(q, sem)?;
+    let sol = match sem.flavour() {
+        Flavour::Universal => universal_solution(gsm, source),
+        Flavour::LeastInformative => least_informative_solution(gsm, source),
+    };
+    let sol = match sol {
+        Ok(sol) => sol,
+        Err(SolutionError::NotRelational) => return Err(ServeError::NotRelational),
+        Err(SolutionError::NoSolution { .. }) => return Ok(vacuous_answer(sem.mode())),
+    };
+    if let Semantics::Exact(mode, opts) = sem {
+        // the exact enumeration consumes the solution directly — skip the
+        // snapshot freeze
+        return Ok(match mode {
+            Mode::Tuples => Answer::Tuples(exact_answers_from(&sol, q.source(), opts)?),
+            Mode::Boolean => Answer::Boolean(exact_boolean_from(&sol, q.source(), opts)?),
+        });
+    }
+    eval_semantics(&PreparedSolution::new(sol), q, sem)
 }
 
 /// A schema mapping prepared against one source graph, serving certain
 /// answers for many queries.
 ///
-/// Construction is free: solutions and snapshots are built lazily, at most
-/// once per flavour, on first use. The borrowed mapping and source must
-/// outlive the engine; for an owned variant clone them into an enclosing
-/// struct.
+/// This is the pre-[`MappingService`] engine, kept as a thin borrowing
+/// wrapper over a single-mapping service: construction clones the mapping
+/// and source into a private service; every `certain_*` method forwards to
+/// [`MappingService::answer`] with the corresponding [`Semantics`].
+///
+/// Migration: replace
+/// `PreparedMapping::new(&gsm, &source).certain_answers_nulls(&q)` with
+/// a service you keep around —
+/// `let id = svc.register(gsm, source); svc.answer(id, &q, Semantics::nulls())`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MappingService: register(gsm, source) once, then answer(id, &query, Semantics); \
+            the service owns Arc-shared graphs, caches under a byte budget and absorbs deltas"
+)]
 pub struct PreparedMapping<'a> {
     gsm: &'a Gsm,
     source: &'a DataGraph,
-    universal: OnceLock<Result<PreparedSolution, SolutionError>>,
-    least_informative: OnceLock<Result<PreparedSolution, SolutionError>>,
+    service: MappingService,
+    id: MappingId,
+    universal: OnceLock<Result<Arc<PreparedSolution>, SolutionError>>,
+    least_informative: OnceLock<Result<Arc<PreparedSolution>, SolutionError>>,
 }
 
+#[allow(deprecated)]
 impl<'a> PreparedMapping<'a> {
-    /// Prepare a mapping against a source graph. No work happens until the
-    /// first query.
+    /// Prepare a mapping against a source graph. The pair is cloned into a
+    /// private single-mapping [`MappingService`]; solutions are still built
+    /// lazily, at most once per flavour, on first use.
     pub fn new(gsm: &'a Gsm, source: &'a DataGraph) -> PreparedMapping<'a> {
+        let service = MappingService::new();
+        let id = service.register(gsm.clone(), source.clone());
         PreparedMapping {
             gsm,
             source,
+            service,
+            id,
             universal: OnceLock::new(),
             least_informative: OnceLock::new(),
         }
@@ -127,51 +1120,72 @@ impl<'a> PreparedMapping<'a> {
         self.source
     }
 
-    fn prepared(&self, flavour: Flavour) -> &Result<PreparedSolution, SolutionError> {
-        match flavour {
-            Flavour::Universal => self.universal.get_or_init(|| {
-                universal_solution(self.gsm, self.source).map(PreparedSolution::new)
-            }),
-            Flavour::LeastInformative => self.least_informative.get_or_init(|| {
-                least_informative_solution(self.gsm, self.source).map(PreparedSolution::new)
-            }),
-        }
+    fn cached(&self, sem: Semantics) -> &Result<Arc<PreparedSolution>, SolutionError> {
+        let cell = match sem.flavour() {
+            Flavour::Universal => &self.universal,
+            Flavour::LeastInformative => &self.least_informative,
+        };
+        cell.get_or_init(|| {
+            self.service.solution(self.id, sem).map_err(|e| match e {
+                ServeError::NotRelational => SolutionError::NotRelational,
+                ServeError::NoSolution { pair } => SolutionError::NoSolution { pair },
+                other => unreachable!("solution access cannot fail with {other:?}"),
+            })
+        })
     }
 
     /// The cached universal solution (§7), building it on first call.
     pub fn universal(&self) -> Result<&PreparedSolution, SolutionError> {
-        self.prepared(Flavour::Universal)
-            .as_ref()
-            .map_err(Clone::clone)
+        match self.cached(Semantics::nulls()) {
+            Ok(p) => Ok(p),
+            Err(e) => Err(e.clone()),
+        }
     }
 
     /// The cached least-informative solution (§8), building it on first
     /// call.
     pub fn least_informative(&self) -> Result<&PreparedSolution, SolutionError> {
-        self.prepared(Flavour::LeastInformative)
-            .as_ref()
-            .map_err(Clone::clone)
+        match self.cached(Semantics::least_informative()) {
+            Ok(p) => Ok(p),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    fn forward_tuples(
+        &self,
+        q: &CompiledQuery,
+        sem: Semantics,
+    ) -> Result<CertainAnswers, SolveError> {
+        // reject out-of-fragment queries before building anything (the
+        // pre-redesign behaviour), then pin the solution so the wrapper
+        // keeps its historical "built at most once" pointer stability
+        check_fragment(q, sem).map_err(solve_error)?;
+        let _ = self.cached(sem);
+        self.service
+            .answer(self.id, q, sem)
+            .map(Answer::into_tuples)
+            .map_err(solve_error)
+    }
+
+    fn forward_boolean(&self, q: &CompiledQuery, sem: Semantics) -> Result<bool, SolveError> {
+        check_fragment(q, sem).map_err(solve_error)?;
+        let _ = self.cached(sem);
+        self.service
+            .answer(self.id, q, sem)
+            .map(|a| a.boolean())
+            .map_err(solve_error)
     }
 
     /// `2ⁿ_M(Q, G_s)` (Theorems 3/4): certain answers over targets with SQL
-    /// nulls, served from the cached universal solution. Sound and complete
-    /// for every query closed under null-absorbing homomorphisms — all
-    /// [`DataQuery`] classes.
+    /// nulls, served from the cached universal solution.
     pub fn certain_answers_nulls(&self, q: &CompiledQuery) -> Result<CertainAnswers, SolveError> {
-        serve(
-            self.universal(),
-            SolveError::NotRelational,
-            CertainAnswers::AllVacuously,
-            |prep| Ok(CertainAnswers::Pairs(prep.answers_over_dom(q))),
-        )
+        self.forward_tuples(q, Semantics::nulls())
     }
 
     /// Boolean `2ⁿ`: does `Q` match somewhere in every solution over
     /// `D ∪ {n}`?
     pub fn certain_boolean_nulls(&self, q: &CompiledQuery) -> Result<bool, SolveError> {
-        serve(self.universal(), SolveError::NotRelational, true, |prep| {
-            Ok(q.holds_somewhere(prep.snapshot()))
-        })
+        self.forward_boolean(q, Semantics::nulls_boolean())
     }
 
     /// `2_M(Q, G_s)` for equality-only queries (Theorem 5): **exact** plain
@@ -181,36 +1195,20 @@ impl<'a> PreparedMapping<'a> {
         &self,
         q: &CompiledQuery,
     ) -> Result<CertainAnswers, SolveError> {
-        require_equality_only(q)?;
-        serve(
-            self.least_informative(),
-            SolveError::NotRelational,
-            CertainAnswers::AllVacuously,
-            |prep| Ok(CertainAnswers::Pairs(prep.answers_over_dom(q))),
-        )
+        self.forward_tuples(q, Semantics::least_informative())
     }
 
     /// Boolean variant of
     /// [`PreparedMapping::certain_answers_least_informative`].
     pub fn certain_boolean_least_informative(&self, q: &CompiledQuery) -> Result<bool, SolveError> {
-        require_equality_only(q)?;
-        serve(
-            self.least_informative(),
-            SolveError::NotRelational,
-            true,
-            |prep| Ok(q.holds_somewhere(prep.snapshot())),
-        )
+        self.forward_boolean(q, Semantics::least_informative_boolean())
     }
 
     /// The serving default: exact `2` answers when the query allows it
     /// (equality-only, Theorem 5), the `2ⁿ` under-approximation otherwise
     /// (Theorem 4).
     pub fn certain_answers(&self, q: &CompiledQuery) -> Result<CertainAnswers, SolveError> {
-        if q.is_equality_only() {
-            self.certain_answers_least_informative(q)
-        } else {
-            self.certain_answers_nulls(q)
-        }
+        self.forward_tuples(q, Semantics::preferred_for(q))
     }
 
     /// Exact plain certain answers `2_M(Q, G_s)` (Theorem 2's coNP
@@ -222,12 +1220,13 @@ impl<'a> PreparedMapping<'a> {
         q: &DataQuery,
         opts: ExactOptions,
     ) -> Result<CertainAnswers, ExactError> {
-        serve(
-            self.universal(),
-            ExactError::NotRelational,
-            CertainAnswers::AllVacuously,
-            |prep| exact_answers_from(prep.solution(), q, opts),
-        )
+        // consume the cached skeleton directly — the enumeration needs the
+        // DataQuery itself, so there is nothing to gain from compiling
+        match self.cached(Semantics::nulls()) {
+            Ok(prep) => exact_answers_from(prep.solution(), q, opts),
+            Err(SolutionError::NotRelational) => Err(ExactError::NotRelational),
+            Err(SolutionError::NoSolution { .. }) => Ok(CertainAnswers::AllVacuously),
+        }
     }
 
     /// Boolean variant of [`PreparedMapping::certain_answers_exact`].
@@ -236,40 +1235,16 @@ impl<'a> PreparedMapping<'a> {
         q: &DataQuery,
         opts: ExactOptions,
     ) -> Result<bool, ExactError> {
-        serve(self.universal(), ExactError::NotRelational, true, |prep| {
-            exact_boolean_from(prep.solution(), q, opts)
-        })
-    }
-}
-
-/// The shared error policy of every serving method: non-relational
-/// mappings are an error; mappings with no solution at all make every
-/// answer vacuously certain; otherwise defer to the engine body.
-fn serve<T, E>(
-    prepared: Result<&PreparedSolution, SolutionError>,
-    not_relational: E,
-    vacuous: T,
-    body: impl FnOnce(&PreparedSolution) -> Result<T, E>,
-) -> Result<T, E> {
-    match prepared {
-        Ok(prep) => body(prep),
-        Err(SolutionError::NotRelational) => Err(not_relational),
-        Err(SolutionError::NoSolution { .. }) => Ok(vacuous),
-    }
-}
-
-/// The §8 engines only support the inequality-free fragment.
-fn require_equality_only(q: &CompiledQuery) -> Result<(), SolveError> {
-    if q.is_equality_only() {
-        Ok(())
-    } else {
-        Err(SolveError::UnsupportedQuery(
-            "least-informative engine requires an inequality-free query (REM=/REE=)",
-        ))
+        match self.cached(Semantics::nulls()) {
+            Ok(prep) => exact_boolean_from(prep.solution(), q, opts),
+            Err(SolutionError::NotRelational) => Err(ExactError::NotRelational),
+            Err(SolutionError::NoSolution { .. }) => Ok(true),
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use gde_automata::parse_regex;
@@ -293,6 +1268,95 @@ mod tests {
         gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
         gs.add_edge_str(NodeId(1), "a", NodeId(2)).unwrap();
         (m, gs)
+    }
+
+    #[test]
+    fn service_serves_all_semantics() {
+        let (m, gs) = scenario();
+        let svc = MappingService::new();
+        let id = svc.register(m.clone(), gs);
+        let mut ta = m.target_alphabet().clone();
+        let q = gde_dataquery::DataQuery::from(parse_ree("(x y)=", &mut ta).unwrap()).compile();
+        let nulls = svc.answer(id, &q, Semantics::nulls()).unwrap().into_pairs();
+        assert_eq!(nulls, vec![(NodeId(0), NodeId(1))]);
+        let li = svc
+            .answer(id, &q, Semantics::least_informative())
+            .unwrap()
+            .into_pairs();
+        assert_eq!(li, nulls);
+        let exact = svc.answer(id, &q, Semantics::exact()).unwrap().into_pairs();
+        assert_eq!(exact, nulls);
+        assert!(svc
+            .answer(id, &q, Semantics::nulls_boolean())
+            .unwrap()
+            .boolean());
+        assert!(svc
+            .answer(id, &q, Semantics::least_informative_boolean())
+            .unwrap()
+            .boolean());
+        assert!(svc
+            .answer(id, &q, Semantics::exact_boolean())
+            .unwrap()
+            .boolean());
+        // dispatch helper routes by fragment
+        let neq = gde_dataquery::DataQuery::from(parse_ree("(x y)!=", &mut ta).unwrap()).compile();
+        assert_eq!(Semantics::preferred_for(&q), Semantics::least_informative());
+        assert_eq!(Semantics::preferred_for(&neq), Semantics::nulls());
+        assert!(matches!(
+            svc.answer(id, &neq, Semantics::least_informative()),
+            Err(ServeError::UnsupportedQuery(_))
+        ));
+        // caches are resident and accounted
+        assert!(svc.is_cached(id, Semantics::nulls()));
+        assert!(svc.is_cached(id, Semantics::least_informative()));
+        assert!(svc.cached_bytes() > 0);
+        assert_eq!(svc.stats().cached_solutions, 2);
+    }
+
+    #[test]
+    fn unknown_and_unregistered_mappings_error() {
+        let (m, gs) = scenario();
+        let svc = MappingService::new();
+        let id = svc.register(m.clone(), gs);
+        let bogus = MappingId(999);
+        let mut ta = m.target_alphabet().clone();
+        let q = gde_dataquery::DataQuery::from(parse_ree("x", &mut ta).unwrap()).compile();
+        assert_eq!(
+            svc.answer(bogus, &q, Semantics::nulls()).err(),
+            Some(ServeError::UnknownMapping(bogus))
+        );
+        assert!(svc.answer(id, &q, Semantics::nulls()).is_ok());
+        assert!(svc.unregister(id));
+        assert!(!svc.unregister(id));
+        assert_eq!(svc.mapping_count(), 0);
+        assert_eq!(svc.cached_bytes(), 0, "unregister releases cache bytes");
+        assert_eq!(
+            svc.answer(id, &q, Semantics::nulls()).err(),
+            Some(ServeError::UnknownMapping(id))
+        );
+    }
+
+    #[test]
+    fn answer_once_and_batch_agree_with_service() {
+        let (m, gs) = scenario();
+        let svc = MappingService::new();
+        let id = svc.register(m.clone(), gs.clone());
+        let mut ta = m.target_alphabet().clone();
+        let queries: Vec<CompiledQuery> = ["x y", "(x y)=", "y x"]
+            .iter()
+            .map(|s| gde_dataquery::DataQuery::from(parse_ree(s, &mut ta).unwrap()).compile())
+            .collect();
+        for sem in [
+            Semantics::nulls(),
+            Semantics::nulls_boolean(),
+            Semantics::exact(),
+        ] {
+            let batch = svc.answer_batch(id, &queries, sem);
+            for (q, got) in queries.iter().zip(batch) {
+                assert_eq!(got, svc.answer(id, q, sem));
+                assert_eq!(got, answer_once(&m, &gs, q, sem));
+            }
+        }
     }
 
     #[test]
@@ -398,6 +1462,14 @@ mod tests {
             CertainAnswers::AllVacuously
         );
         assert!(prepared.certain_boolean_nulls(&q).unwrap());
+        // ... and through the service accessor it surfaces as an error
+        let svc = MappingService::new();
+        let id = svc.register(m, gs);
+        assert!(matches!(
+            svc.solution(id, Semantics::nulls()),
+            Err(ServeError::NoSolution { .. })
+        ));
+        assert_eq!(svc.prepare(id, Semantics::nulls()), Ok(false));
 
         // non-relational mapping rejected by every engine
         let (m2, gs2) = scenario();
@@ -411,6 +1483,16 @@ mod tests {
         assert_eq!(
             prepared.certain_answers_nulls(&q).err(),
             Some(SolveError::NotRelational)
+        );
+        let svc = MappingService::new();
+        let id = svc.register(m3, gs2);
+        assert_eq!(
+            svc.answer(id, &q, Semantics::nulls()).err(),
+            Some(ServeError::NotRelational)
+        );
+        assert_eq!(
+            svc.answer(id, &q, Semantics::exact()).err(),
+            Some(ServeError::NotRelational)
         );
     }
 }

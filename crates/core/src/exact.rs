@@ -28,7 +28,7 @@ use gde_datagraph::{DataGraph, FxHashSet, NodeId, Value};
 use gde_dataquery::DataQuery;
 
 /// Search bounds for the exact engine.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ExactOptions {
     /// Maximum number of invented nodes to enumerate over.
     pub max_invented: usize,
@@ -74,14 +74,20 @@ impl std::fmt::Display for ExactError {
 impl std::error::Error for ExactError {}
 
 /// Exact plain certain answers `2_M(Q, G_s)` for a relational GSM.
-/// Exponential in the number of invented nodes — see module docs.
+/// Exponential in the number of invented nodes — see module docs. One-shot
+/// wrapper over the unified serving entry point
+/// ([`crate::engine::answer_once`] with [`crate::engine::Semantics::Exact`]); serving
+/// paths should hold a [`crate::engine::MappingService`] instead.
 pub fn certain_answers_exact(
     m: &Gsm,
     q: &DataQuery,
     gs: &DataGraph,
     opts: ExactOptions,
 ) -> Result<CertainAnswers, ExactError> {
-    crate::engine::PreparedMapping::new(m, gs).certain_answers_exact(q, opts)
+    use crate::engine::{answer_once, exact_error, Answer, Mode, Semantics};
+    answer_once(m, gs, &q.compile(), Semantics::Exact(Mode::Tuples, opts))
+        .map(Answer::into_tuples)
+        .map_err(exact_error)
 }
 
 /// The enumeration core of [`certain_answers_exact`], starting from an
@@ -114,7 +120,10 @@ pub fn certain_boolean_exact(
     gs: &DataGraph,
     opts: ExactOptions,
 ) -> Result<bool, ExactError> {
-    crate::engine::PreparedMapping::new(m, gs).certain_boolean_exact(q, opts)
+    use crate::engine::{answer_once, exact_error, Mode, Semantics};
+    answer_once(m, gs, &q.compile(), Semantics::Exact(Mode::Boolean, opts))
+        .map(|a| a.boolean())
+        .map_err(exact_error)
 }
 
 /// The enumeration core of [`certain_boolean_exact`], from a prebuilt
@@ -313,6 +322,7 @@ pub(crate) fn intersect_over_patterns(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // compares against the legacy one-shot wrappers
 mod tests {
     use super::*;
     use gde_automata::parse_regex;

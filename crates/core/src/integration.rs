@@ -9,7 +9,8 @@
 //!
 //! [`Integration`] wraps that construction behind a task-oriented API.
 
-use crate::certain::{certain_answers_nulls, CertainAnswers, SolveError};
+use crate::certain::{CertainAnswers, SolveError};
+use crate::engine::{answer_once, solve_error, Answer, Semantics};
 use crate::exact::{certain_answers_exact, ExactError, ExactOptions};
 use crate::gsm::Gsm;
 use gde_automata::Regex;
@@ -83,7 +84,9 @@ impl Integration {
     /// Certain answers over global instances with SQL-null values
     /// (tractable; requires word views, i.e. a relational mapping).
     pub fn certain_answers(&self, q: &DataQuery) -> Result<CertainAnswers, SolveError> {
-        certain_answers_nulls(&self.gsm, q, &self.sources)
+        answer_once(&self.gsm, &self.sources, &q.compile(), Semantics::nulls())
+            .map(Answer::into_tuples)
+            .map_err(solve_error)
     }
 
     /// Exact certain answers (exponential; relational views only).

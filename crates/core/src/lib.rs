@@ -23,25 +23,36 @@
 //!
 //! [`integration`] exposes the LAV virtual-data-integration reading of §4.
 //!
-//! ## Cold vs prepared serving
+//! ## Serving: the owned `MappingService` engine
 //!
 //! The tractable engines all follow one recipe: build a canonical solution
-//! once, then answer queries by direct evaluation on it. There are two ways
-//! to consume that recipe:
+//! once, then answer queries by direct evaluation on it. The primary way to
+//! consume that recipe is the owned, concurrent serving engine
+//! [`engine::MappingService`]:
 //!
-//! * **Cold** — the free functions ([`certain_answers_nulls`],
-//!   [`certain_answers_least_informative`], [`certain_answers_exact`] and
-//!   their Boolean variants) rebuild the solution, refreeze its graph and
-//!   re-lower the query on *every call*. They are the right entry point for
-//!   one-shot computations and remain the public contract for all existing
-//!   call sites — each is now a thin wrapper over the engine below.
-//! * **Prepared** — [`engine::PreparedMapping`] caches, per `(M, G_s)`, the
-//!   universal and least-informative solutions *and* their frozen
-//!   `GraphSnapshot`s (label-partitioned CSR adjacency, interned values,
-//!   cached per-label relations), then serves any number of precompiled
-//!   [`gde_dataquery::CompiledQuery`]s against them. On the social serving
-//!   workload a batch of ten queries answers several times faster than the
-//!   cold path (see the `prepared_vs_cold` bench and `BENCH_prepared.json`).
+//! * **register** a mapping with its source graph (`Arc`-shared, never
+//!   copied) and get a [`engine::MappingId`];
+//! * **answer** precompiled [`gde_dataquery::CompiledQuery`]s through the
+//!   single entry point [`engine::MappingService::answer`], picking the
+//!   engine per call with [`engine::Semantics`] (`Nulls`,
+//!   `LeastInformative`, `Exact` — each in tuple or Boolean [`engine::Mode`]);
+//! * **apply deltas** to the owned source
+//!   ([`engine::MappingService::apply_delta`]): additive LAV deltas patch
+//!   the cached solutions in place, everything else invalidates them under
+//!   a generation stamp;
+//! * cached solutions live under a byte budget with least-recently-served
+//!   **eviction**, and the service is `Send + Sync`, so scoped threads
+//!   serve one instance concurrently.
+//!
+//! One-shot callers can use [`engine::answer_once`], which skips registry
+//! and caches. The previous engines survive as thin deprecated wrappers:
+//! [`engine::PreparedMapping`] (borrowing, per-`(M, G_s)`) and the
+//! `certain_*` free functions in [`certain`] (cold path: rebuild solution
+//! and re-lower the query per call). On the social serving workload a
+//! prepared batch of ten queries answers several times faster than the
+//! cold path (`prepared_vs_cold` bench, `BENCH_prepared.json`), and
+//! delta-aware patching beats full re-preparation on the churn workload
+//! (`service_churn` bench, `BENCH_service.json`).
 
 pub mod arbitrary;
 pub mod certain;
@@ -54,11 +65,18 @@ pub mod solution;
 pub mod translate;
 
 pub use arbitrary::{certain_answers_arbitrary, ArbitraryOptions};
+#[allow(deprecated)]
 pub use certain::{
     certain_answers_least_informative, certain_answers_nulls, certain_boolean_least_informative,
-    certain_boolean_nulls, SolveError,
+    certain_boolean_nulls,
 };
-pub use engine::{PreparedMapping, PreparedSolution};
+pub use certain::{CertainAnswers, SolveError};
+#[allow(deprecated)]
+pub use engine::PreparedMapping;
+pub use engine::{
+    answer_once, Answer, DeltaReport, MappingId, MappingService, Mode, PreparedSolution, Semantics,
+    ServeError, ServiceStats,
+};
 pub use exact::{certain_answers_exact, certain_boolean_exact, ExactOptions};
 pub use gsm::{Gsm, MappingClass, Rule};
 pub use rel2graph::{RelToGraphMapping, RelToGraphRule};
@@ -66,10 +84,12 @@ pub use solution::{least_informative_solution, universal_solution, CanonicalSolu
 
 /// Names used by virtually every program built on the library.
 pub mod prelude {
-    pub use crate::certain::{certain_answers_nulls, certain_boolean_nulls};
-    pub use crate::engine::PreparedMapping;
+    pub use crate::engine::{
+        answer_once, Answer, MappingId, MappingService, Mode, Semantics, ServeError,
+    };
     pub use crate::exact::{certain_answers_exact, ExactOptions};
     pub use crate::gsm::{Gsm, Rule};
     pub use crate::solution::universal_solution;
+    pub use gde_datagraph::GraphDelta;
     pub use gde_dataquery::{CompiledQuery, DataQuery};
 }

@@ -19,7 +19,7 @@
 //! `v a₁ v₁ a₂ … v_{k-1} a_k v'`.
 
 use crate::gsm::Gsm;
-use gde_datagraph::{DataGraph, FxHashSet, NodeId, Value};
+use gde_datagraph::{DataGraph, FxHashSet, Label, NodeId, Value};
 use std::sync::OnceLock;
 
 /// Why a canonical solution could not be built.
@@ -98,6 +98,112 @@ impl CanonicalSolution {
     /// Is this node one of the invented ones?
     pub fn is_invented(&self, id: NodeId) -> bool {
         self.invented_set().contains(&id)
+    }
+
+    /// Approximate heap footprint of the solution in bytes (graph storage
+    /// plus the invented-node list and its index). An estimate for cache
+    /// budgeting, not an allocator measurement: nodes are costed at the
+    /// id/value/hash-index/adjacency-header rate, edges at the
+    /// hash-set-entry plus two-adjacency-slots rate.
+    pub fn approx_bytes(&self) -> usize {
+        self.graph.node_count() * 96 + self.graph.edge_count() * 56 + self.invented.len() * 20
+    }
+
+    /// Patch this canonical solution in place for a batch of **newly
+    /// added** source edges under a LAV mapping — the incremental
+    /// maintenance step of the delta-aware serving engine.
+    ///
+    /// For a LAV rule `(a, a₁…a_k)` the source answers are exactly the
+    /// `a`-labelled edges, so `q(G_s ∪ Δ) = q(G_s) ∪ q(Δ)`: each new edge
+    /// `(u, a, v)` contributes precisely one fresh path `u a₁ … a_k v` per
+    /// matching rule, and nothing already built changes. `source` must be
+    /// the graph *after* the delta (it provides the values of endpoints
+    /// that just entered `dom(M, G_s)`).
+    ///
+    /// Returns `Ok(false)` — solution untouched — when the patch does not
+    /// apply and the caller must rebuild instead: the mapping is not
+    /// LAV+relational, or a new dom node's id collides with an
+    /// already-invented node (fresh source ids start exactly where invented
+    /// ids did). Returns `Err(NoSolution)` when an ε-target rule meets a
+    /// new non-loop pair — the mapping now has **no** solution at all, and
+    /// the caller should serve every answer as vacuously certain.
+    pub fn patch_lav_edges(
+        &mut self,
+        m: &Gsm,
+        source: &DataGraph,
+        new_edges: &[(NodeId, Label, NodeId)],
+        universal: bool,
+    ) -> Result<bool, SolutionError> {
+        let class = m.classify();
+        if !(class.lav && class.relational) {
+            return Ok(false);
+        }
+        // collect the (rule, pair) matches up front and pre-check both
+        // failure modes, so the mutation below cannot stop halfway
+        let mut matches: Vec<(Vec<Label>, NodeId, NodeId)> = Vec::new();
+        for rule in m.rules() {
+            let atom = rule.source.as_atom().expect("LAV checked");
+            let word = rule.target.as_word().expect("relational checked");
+            for &(u, l, v) in new_edges {
+                if l != atom {
+                    continue;
+                }
+                if word.is_empty() && u != v {
+                    return Err(SolutionError::NoSolution { pair: (u, v) });
+                }
+                for endpoint in [u, v] {
+                    if self.is_invented(endpoint) {
+                        // a fresh source id collides with an invented node:
+                        // id spaces are no longer disjoint, rebuild
+                        return Ok(false);
+                    }
+                }
+                // an ε-target self-loop match contributes no path, but its
+                // endpoint still joins dom(M, G_s) below
+                matches.push((word.clone(), u, v));
+            }
+        }
+        if matches.is_empty() {
+            return Ok(true); // nothing to do, solution still current
+        }
+        // re-establish build()'s disjoint-id invariant against the
+        // post-delta source: fresh invented ids must clear every source id
+        // (including nodes the delta just added), or a new dom node would
+        // be conflated with an invented node allocated by this very patch
+        self.graph.reserve_ids(source.fresh_id_watermark());
+        let mut fresh_counter = self.invented.len() as u64;
+        let mut new_invented = Vec::new();
+        for (word, u, v) in matches {
+            for endpoint in [u, v] {
+                if !self.graph.has_node(endpoint) {
+                    let val = source.value(endpoint).expect("delta endpoint exists");
+                    self.graph
+                        .add_node(endpoint, val.clone())
+                        .expect("checked absent");
+                }
+            }
+            let mut cur = u;
+            for (i, &label) in word.iter().enumerate() {
+                let next = if i + 1 == word.len() {
+                    v
+                } else {
+                    let val = if universal {
+                        Value::Null
+                    } else {
+                        fresh_counter += 1;
+                        Value::str(format!("fresh#{fresh_counter}"))
+                    };
+                    let id = self.graph.fresh_node(val);
+                    new_invented.push(id);
+                    id
+                };
+                self.graph.add_edge(cur, label, next).expect("nodes exist");
+                cur = next;
+            }
+        }
+        self.invented.extend(new_invented);
+        self.invented_index = OnceLock::new(); // membership index is stale
+        Ok(true)
     }
 }
 
@@ -294,6 +400,183 @@ mod tests {
         gs2.add_node(NodeId(0), Value::int(1)).unwrap();
         gs2.add_edge_str(NodeId(0), "a", NodeId(0)).unwrap();
         assert!(universal_solution(&m, &gs2).is_ok());
+    }
+
+    #[test]
+    fn lav_patch_tracks_full_rebuild() {
+        let (m, mut gs) = scenario();
+        let mut sol = universal_solution(&m, &gs).unwrap();
+        // delta: a new a-edge between existing nodes 2 -a-> 0
+        let a = gs.alphabet().label("a").unwrap();
+        gs.add_edge(NodeId(2), a, NodeId(0)).unwrap();
+        assert!(sol
+            .patch_lav_edges(&m, &gs, &[(NodeId(2), a, NodeId(0))], true)
+            .unwrap());
+        assert!(m.is_solution(&gs, &sol.graph));
+        let rebuilt = universal_solution(&m, &gs).unwrap();
+        assert_eq!(sol.dom_nodes(), rebuilt.dom_nodes());
+        assert_eq!(sol.invented.len(), rebuilt.invented.len());
+        assert_eq!(sol.graph.edge_count(), rebuilt.graph.edge_count());
+        // membership index was refreshed
+        let new_invented = *sol.invented.last().unwrap();
+        assert!(sol.is_invented(new_invented));
+    }
+
+    #[test]
+    fn lav_patch_least_informative_keeps_values_fresh() {
+        let (m, mut gs) = scenario();
+        let mut sol = least_informative_solution(&m, &gs).unwrap();
+        let a = gs.alphabet().label("a").unwrap();
+        gs.add_edge(NodeId(2), a, NodeId(1)).unwrap();
+        assert!(sol
+            .patch_lav_edges(&m, &gs, &[(NodeId(2), a, NodeId(1))], false)
+            .unwrap());
+        assert!(m.is_solution(&gs, &sol.graph));
+        // all invented values pairwise distinct and non-null
+        let vals: std::collections::HashSet<_> = sol
+            .invented
+            .iter()
+            .map(|&id| sol.graph.value(id).unwrap().clone())
+            .collect();
+        assert_eq!(vals.len(), sol.invented.len());
+        assert!(vals.iter().all(|v| !v.is_null()));
+    }
+
+    #[test]
+    fn patch_refuses_what_it_cannot_express() {
+        let (m, mut gs) = scenario();
+        let mut sol = universal_solution(&m, &gs).unwrap();
+        let before_edges = sol.graph.edge_count();
+        // non-LAV mapping: refuse
+        let mut m2 = m.clone();
+        let mut sa = m2.source_alphabet().clone();
+        m2.add_rule(
+            parse_regex("a b", &mut sa).unwrap(),
+            parse_regex("x", &mut m2.target_alphabet().clone()).unwrap(),
+        );
+        let a = gs.alphabet().label("a").unwrap();
+        assert!(!sol
+            .patch_lav_edges(&m2, &gs, &[(NodeId(0), a, NodeId(2))], true)
+            .unwrap());
+        // id collision with an invented node: refuse (fresh source ids start
+        // exactly at the invented watermark)
+        let inv = sol.invented[0];
+        gs.add_node(inv, Value::int(99)).unwrap();
+        gs.add_edge(NodeId(0), a, inv).unwrap();
+        assert!(!sol
+            .patch_lav_edges(&m, &gs, &[(NodeId(0), a, inv)], true)
+            .unwrap());
+        assert_eq!(
+            sol.graph.edge_count(),
+            before_edges,
+            "refusals mutate nothing"
+        );
+        // ε-target rule meeting a non-loop pair: no solution exists any more
+        let mut sa3 = Alphabet::from_labels(["a"]);
+        let mut m3 = Gsm::new(sa3.clone(), Alphabet::from_labels(["x"]));
+        m3.add_rule(
+            parse_regex("a", &mut sa3).unwrap(),
+            gde_automata::Regex::Epsilon,
+        );
+        let mut gs3 = DataGraph::new();
+        gs3.add_node(NodeId(0), Value::int(1)).unwrap();
+        gs3.add_edge_str(NodeId(0), "a", NodeId(0)).unwrap();
+        let mut sol3 = universal_solution(&m3, &gs3).unwrap();
+        gs3.add_node(NodeId(1), Value::int(2)).unwrap();
+        let a3 = gs3.alphabet().label("a").unwrap();
+        gs3.add_edge(NodeId(0), a3, NodeId(1)).unwrap();
+        assert_eq!(
+            sol3.patch_lav_edges(&m3, &gs3, &[(NodeId(0), a3, NodeId(1))], true),
+            Err(SolutionError::NoSolution {
+                pair: (NodeId(0), NodeId(1))
+            })
+        );
+    }
+
+    #[test]
+    fn patch_fresh_ids_clear_delta_added_source_nodes() {
+        // solution next_fresh sits exactly at the source watermark; a delta
+        // that adds source node F plus two matching edges (old-pair first)
+        // must not let the patch's own fresh_node() allocate F
+        let mut sa = Alphabet::from_labels(["a"]);
+        let mut ta = Alphabet::from_labels(["x", "y"]);
+        let mut m = Gsm::new(sa.clone(), ta.clone());
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            parse_regex("x y", &mut ta).unwrap(),
+        );
+        let mut gs = DataGraph::new();
+        for i in 0..3 {
+            gs.add_node(NodeId(i), Value::int(i as i64)).unwrap();
+        }
+        gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        let mut sol = universal_solution(&m, &gs).unwrap();
+        // invented node took id 3; the next fresh id is 4 == F
+        let f = NodeId(gs.fresh_id_watermark() + 1);
+        assert_eq!(sol.invented, vec![NodeId(3)]);
+        // delta: new source node F, edges (1 -a-> 2) then (2 -a-> F)
+        let a = gs.alphabet().label("a").unwrap();
+        gs.add_node(f, Value::int(40)).unwrap();
+        gs.add_edge(NodeId(1), a, NodeId(2)).unwrap();
+        gs.add_edge(NodeId(2), a, f).unwrap();
+        assert!(sol
+            .patch_lav_edges(
+                &m,
+                &gs,
+                &[(NodeId(1), a, NodeId(2)), (NodeId(2), a, f)],
+                true
+            )
+            .unwrap());
+        // F is a dom node with its source value, not an invented null
+        assert!(!sol.is_invented(f));
+        assert_eq!(sol.graph.value(f), Some(&Value::int(40)));
+        let rebuilt = universal_solution(&m, &gs).unwrap();
+        assert_eq!(sol.dom_nodes(), rebuilt.dom_nodes());
+        assert_eq!(sol.invented.len(), rebuilt.invented.len());
+        assert!(m.is_solution(&gs, &sol.graph));
+    }
+
+    #[test]
+    fn epsilon_self_loop_patch_extends_dom_like_rebuild() {
+        // rules: a => x y, b => ε. A new b-self-loop at a node outside dom
+        // contributes no path but must still pull the node into dom.
+        let mut sa = Alphabet::from_labels(["a", "b"]);
+        let mut ta = Alphabet::from_labels(["x", "y"]);
+        let mut m = Gsm::new(sa.clone(), ta.clone());
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            parse_regex("x y", &mut ta).unwrap(),
+        );
+        m.add_rule(
+            parse_regex("b", &mut sa).unwrap(),
+            gde_automata::Regex::Epsilon,
+        );
+        let mut gs = DataGraph::new();
+        gs.add_node(NodeId(0), Value::int(1)).unwrap();
+        gs.add_node(NodeId(1), Value::int(2)).unwrap();
+        gs.add_node(NodeId(2), Value::int(3)).unwrap();
+        gs.add_edge_str(NodeId(0), "a", NodeId(1)).unwrap();
+        let mut sol = universal_solution(&m, &gs).unwrap();
+        assert_eq!(sol.dom_nodes(), vec![NodeId(0), NodeId(1)]);
+        // delta: node 2 gains a b-self-loop ("b" interns as index 1,
+        // matching the mapping's source alphabet)
+        gs.add_edge_str(NodeId(2), "b", NodeId(2)).unwrap();
+        let b = gs.alphabet().label("b").unwrap();
+        assert!(sol
+            .patch_lav_edges(&m, &gs, &[(NodeId(2), b, NodeId(2))], true)
+            .unwrap());
+        let rebuilt = universal_solution(&m, &gs).unwrap();
+        assert_eq!(sol.dom_nodes(), rebuilt.dom_nodes());
+        assert_eq!(sol.dom_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sol.graph.edge_count(), rebuilt.graph.edge_count());
+        // a b-edge between distinct nodes still kills the mapping
+        gs.add_edge(NodeId(2), b, NodeId(0)).unwrap();
+        assert_eq!(
+            sol.patch_lav_edges(&m, &gs, &[(NodeId(2), b, NodeId(0))], true),
+            Err(SolutionError::NoSolution {
+                pair: (NodeId(2), NodeId(0))
+            })
+        );
     }
 
     #[test]

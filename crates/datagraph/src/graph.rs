@@ -165,6 +165,83 @@ impl DataGraph {
         self.add_edge(u, l, v)
     }
 
+    /// Remove an edge `(u, label, v)`; returns `true` if it was present.
+    /// Removal is `O(deg(u) + deg(v))` — adjacency lists are compacted by
+    /// swap-remove, so iteration order of a node's edges is not stable
+    /// across removals.
+    pub fn remove_edge(&mut self, u: NodeId, label: Label, v: NodeId) -> bool {
+        let (du, dv) = match (self.index.get(&u), self.index.get(&v)) {
+            (Some(&du), Some(&dv)) => (du, dv),
+            _ => return false,
+        };
+        if !self.edges.remove(&(du, label, dv)) {
+            return false;
+        }
+        let out = &mut self.out[du as usize];
+        if let Some(p) = out.iter().position(|&(l, d)| l == label && d == dv) {
+            out.swap_remove(p);
+        }
+        let inn = &mut self.inn[dv as usize];
+        if let Some(p) = inn.iter().position(|&(l, d)| l == label && d == du) {
+            inn.swap_remove(p);
+        }
+        true
+    }
+
+    /// Remove an edge naming the label by string. `false` when the label was
+    /// never interned (the edge cannot exist then).
+    pub fn remove_edge_str(&mut self, u: NodeId, label: &str, v: NodeId) -> bool {
+        match self.alphabet.label(label) {
+            Some(l) => self.remove_edge(u, l, v),
+            None => false,
+        }
+    }
+
+    /// Apply a [`GraphDelta`] in one shot: new nodes, then new edges, then
+    /// edge removals. The delta is validated **before** anything is applied
+    /// (duplicate node ids, edge endpoints that exist neither in the graph
+    /// nor among the delta's new nodes), so an `Err` leaves the graph
+    /// untouched. Returns a [`DeltaApplied`] summary listing the edges that
+    /// were actually new — already-present edges are ignored, which is what
+    /// lets delta-aware serving caches patch per *new* rule match.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaApplied, GraphError> {
+        // validate first so application cannot fail halfway
+        let mut fresh: FxHashSet<NodeId> = FxHashSet::default();
+        for &(id, _) in &delta.add_nodes {
+            if self.index.contains_key(&id) || !fresh.insert(id) {
+                return Err(GraphError::DuplicateNode(id));
+            }
+        }
+        for &(u, _, v) in &delta.add_edges {
+            for id in [u, v] {
+                if !self.index.contains_key(&id) && !fresh.contains(&id) {
+                    return Err(GraphError::UnknownNode(id));
+                }
+            }
+        }
+        for (id, value) in &delta.add_nodes {
+            self.add_node(*id, value.clone()).expect("validated fresh");
+        }
+        let mut added_edges = Vec::new();
+        for (u, label, v) in &delta.add_edges {
+            let l = self.alphabet.intern(label);
+            if self.add_edge(*u, l, *v).expect("validated endpoints") {
+                added_edges.push((*u, l, *v));
+            }
+        }
+        let mut removed_edges = 0;
+        for (u, label, v) in &delta.remove_edges {
+            if self.remove_edge_str(*u, label, *v) {
+                removed_edges += 1;
+            }
+        }
+        Ok(DeltaApplied {
+            added_nodes: delta.add_nodes.len(),
+            added_edges,
+            removed_edges,
+        })
+    }
+
     /// Does the graph contain this edge?
     pub fn contains_edge(&self, u: NodeId, label: Label, v: NodeId) -> bool {
         match (self.index.get(&u), self.index.get(&v)) {
@@ -332,6 +409,87 @@ impl DataGraph {
     }
 }
 
+/// A batch of mutations to apply to a [`DataGraph`] — the unit of change
+/// the delta-aware serving engine in `gde-core` consumes. Labels are named
+/// by string (interned on application) so a delta can be built without
+/// access to the graph's alphabet.
+///
+/// Build one with the chainable helpers:
+///
+/// ```
+/// use gde_datagraph::{GraphDelta, NodeId, Value};
+/// let delta = GraphDelta::new()
+///     .with_node(NodeId(7), Value::str("ann"))
+///     .with_edge(NodeId(0), "knows", NodeId(7))
+///     .without_edge(NodeId(0), "knows", NodeId(1));
+/// assert!(!delta.is_additive());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GraphDelta {
+    /// Nodes to add, as `(id, value)`. Ids must be fresh.
+    pub add_nodes: Vec<(NodeId, Value)>,
+    /// Edges to add, as `(source, label name, target)`. Endpoints must
+    /// exist in the graph or among [`GraphDelta::add_nodes`].
+    pub add_edges: Vec<(NodeId, String, NodeId)>,
+    /// Edges to remove (missing edges are ignored).
+    pub remove_edges: Vec<(NodeId, String, NodeId)>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> GraphDelta {
+        GraphDelta::default()
+    }
+
+    /// Add a node insertion.
+    pub fn with_node(mut self, id: NodeId, value: Value) -> GraphDelta {
+        self.add_nodes.push((id, value));
+        self
+    }
+
+    /// Add an edge insertion.
+    pub fn with_edge(mut self, u: NodeId, label: &str, v: NodeId) -> GraphDelta {
+        self.add_edges.push((u, label.to_string(), v));
+        self
+    }
+
+    /// Add an edge removal.
+    pub fn without_edge(mut self, u: NodeId, label: &str, v: NodeId) -> GraphDelta {
+        self.remove_edges.push((u, label.to_string(), v));
+        self
+    }
+
+    /// Does the delta change nothing?
+    pub fn is_empty(&self) -> bool {
+        self.add_nodes.is_empty() && self.add_edges.is_empty() && self.remove_edges.is_empty()
+    }
+
+    /// Does the delta only *add* (no removals)? Additive deltas are the
+    /// ones LAV serving caches can patch instead of rebuilding.
+    pub fn is_additive(&self) -> bool {
+        self.remove_edges.is_empty()
+    }
+}
+
+/// Summary of an applied [`GraphDelta`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaApplied {
+    /// Number of nodes added.
+    pub added_nodes: usize,
+    /// The edges that were actually new, with their interned labels
+    /// (already-present edges are skipped).
+    pub added_edges: Vec<(NodeId, Label, NodeId)>,
+    /// Number of edges actually removed.
+    pub removed_edges: usize,
+}
+
+impl DeltaApplied {
+    /// Did the application change the graph at all?
+    pub fn changed(&self) -> bool {
+        self.added_nodes > 0 || !self.added_edges.is_empty() || self.removed_edges > 0
+    }
+}
+
 impl fmt::Display for DataGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -491,6 +649,73 @@ mod tests {
             assert_eq!(g.value_at(d), g.value(id).unwrap());
         }
         assert_eq!(g.n(), 3);
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = triangle();
+        let a = g.alphabet().label("a").unwrap();
+        assert!(g.remove_edge(NodeId(0), a, NodeId(1)));
+        assert!(!g.contains_edge(NodeId(0), a, NodeId(1)));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_edges(NodeId(0)).count(), 0);
+        assert_eq!(g.in_edges(NodeId(1)).count(), 0);
+        // removing again, or removing a never-present edge, is a no-op
+        assert!(!g.remove_edge(NodeId(0), a, NodeId(1)));
+        assert!(!g.remove_edge(NodeId(0), a, NodeId(42)));
+        assert!(!g.remove_edge_str(NodeId(1), "zz", NodeId(2)));
+        // re-adding works
+        assert!(g.add_edge(NodeId(0), a, NodeId(1)).unwrap());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn apply_delta_adds_and_removes() {
+        let mut g = triangle();
+        let delta = GraphDelta::new()
+            .with_node(NodeId(10), Value::str("x"))
+            .with_edge(NodeId(2), "c", NodeId(10))
+            .with_edge(NodeId(0), "a", NodeId(1)) // already present: skipped
+            .without_edge(NodeId(1), "b", NodeId(2))
+            .without_edge(NodeId(1), "b", NodeId(0)); // absent: ignored
+        let applied = g.apply_delta(&delta).unwrap();
+        assert_eq!(applied.added_nodes, 1);
+        assert_eq!(applied.added_edges.len(), 1);
+        assert_eq!(applied.removed_edges, 1);
+        assert!(applied.changed());
+        let c = g.alphabet().label("c").unwrap();
+        assert!(g.contains_edge(NodeId(2), c, NodeId(10)));
+        let b = g.alphabet().label("b").unwrap();
+        assert!(!g.contains_edge(NodeId(1), b, NodeId(2)));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn apply_delta_validates_before_mutating() {
+        let mut g = triangle();
+        // duplicate node id: rejected, nothing applied
+        let bad = GraphDelta::new()
+            .with_node(NodeId(0), Value::int(9))
+            .with_edge(NodeId(0), "z", NodeId(1));
+        assert_eq!(
+            g.apply_delta(&bad),
+            Err(GraphError::DuplicateNode(NodeId(0)))
+        );
+        assert!(g.alphabet().label("z").is_none());
+        // unknown endpoint: rejected even when named among later adds only
+        let bad = GraphDelta::new().with_edge(NodeId(0), "a", NodeId(42));
+        assert_eq!(
+            g.apply_delta(&bad),
+            Err(GraphError::UnknownNode(NodeId(42)))
+        );
+        assert_eq!(g.edge_count(), 3);
+        // an edge may target a node added by the same delta
+        let ok = GraphDelta::new()
+            .with_node(NodeId(5), Value::int(5))
+            .with_edge(NodeId(5), "a", NodeId(5));
+        assert!(g.apply_delta(&ok).unwrap().changed());
+        assert!(GraphDelta::new().is_empty());
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //! * [`Relation`] — adaptive binary relations over the nodes of a graph
 //!   (dense bit matrix or sparse CSR, switching by density), the workhorse
 //!   of REE and GXPath evaluation, with row-block-parallel algebra tuned by
-//!   [`par::set_max_threads`];
+//!   [`par::set_max_threads`] — or, deployment-side, by the
+//!   `GDE_MAX_THREADS` environment variable (read once per process; see
+//!   [`par`]);
+//! * [`GraphDelta`] — batched graph mutations with an all-or-nothing
+//!   [`DataGraph::apply_delta`], the change unit consumed by the
+//!   delta-aware `MappingService` in `gde-core`;
 //! * [`GraphSnapshot`] — a frozen, label-partitioned CSR view with interned
 //!   values and cached per-label relations, the substrate of the
 //!   prepared-mapping serving engine in `gde-core`;
@@ -41,7 +46,7 @@ pub mod snapshot;
 pub mod value;
 
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use graph::{DataGraph, GraphError};
+pub use graph::{DataGraph, DeltaApplied, GraphDelta, GraphError};
 pub use hom::{apply_hom, check_hom, find_hom, HomMode};
 pub use label::{Alphabet, Label};
 pub use node::NodeId;

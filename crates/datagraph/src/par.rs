@@ -8,17 +8,41 @@
 //! needs: a block of CSR rows is a self-contained sub-relation.
 //!
 //! One process-wide knob bounds every parallel operation:
-//! [`set_max_threads`]. The default (`0`) resolves to the machine's
-//! available parallelism capped at 8 — relation algebra is memory-bound
-//! and gains little beyond that. Parallel paths only engage when a block
-//! would hold enough rows to amortise thread spawn cost; small relations
-//! always run sequentially on the calling thread.
+//! [`set_max_threads`]. The default (`0`) resolves to the `GDE_MAX_THREADS`
+//! environment variable — read **once**, on first use — and, when that is
+//! unset (or `0`, or unparsable), to the machine's available parallelism
+//! capped at 8: relation algebra is memory-bound and gains little beyond
+//! that. Parallel paths only engage when a block would hold enough rows to
+//! amortise thread spawn cost; small relations always run sequentially on
+//! the calling thread.
+//!
+//! `GDE_MAX_THREADS` is the deployment-side form of the knob: a serving
+//! process (e.g. `gde-core`'s `MappingService`) can be pinned to a core
+//! budget without a code change. [`set_max_threads`] still overrides it at
+//! runtime; passing `0` restores the environment/auto default.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// `0` = auto-detect (available parallelism capped at [`AUTO_CAP`]).
+/// `0` = default (the `GDE_MAX_THREADS` env var, else available
+/// parallelism capped at [`AUTO_CAP`]).
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The `GDE_MAX_THREADS` value, parsed once per process. `0` = unset.
+static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+/// Parse a `GDE_MAX_THREADS` setting: a positive thread count (clamped to
+/// [`HARD_CAP`]), with unset/empty/unparsable/`0` all meaning "no default".
+fn parse_thread_env(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(0)
+        .min(HARD_CAP)
+}
+
+fn env_default() -> usize {
+    *ENV_DEFAULT.get_or_init(|| parse_thread_env(std::env::var("GDE_MAX_THREADS").ok().as_deref()))
+}
 
 /// Serialises tests that mutate the process-global [`MAX_THREADS`] knob, so
 /// exact-value assertions don't race across the test binary's threads.
@@ -35,7 +59,9 @@ const AUTO_CAP: usize = 8;
 const HARD_CAP: usize = 64;
 
 /// Set the maximum number of worker threads used by relation algebra.
-/// `0` restores auto-detection. Values above 64 are clamped.
+/// `0` restores the default (the `GDE_MAX_THREADS` environment variable,
+/// read once per process, else auto-detection). Values above 64 are
+/// clamped.
 pub fn set_max_threads(n: usize) {
     MAX_THREADS.store(n.min(HARD_CAP), Ordering::Relaxed);
 }
@@ -43,10 +69,13 @@ pub fn set_max_threads(n: usize) {
 /// The resolved maximum number of worker threads (≥ 1).
 pub fn max_threads() -> usize {
     match MAX_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1)
-            .min(AUTO_CAP),
+        0 => match env_default() {
+            0 => std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+                .min(AUTO_CAP),
+            n => n,
+        },
         n => n,
     }
     .max(1)
@@ -66,7 +95,10 @@ pub(crate) fn threads_for(items: usize, min_per_thread: usize) -> usize {
 /// Run `f` over contiguous index blocks covering `0..items`, in scoped
 /// worker threads, and collect the per-block results **in block order**.
 /// Falls back to a single inline call when the work is too small.
-pub(crate) fn map_blocks<T, F>(items: usize, min_per_thread: usize, f: F) -> Vec<T>
+///
+/// Public so engines layered above (the relation algebra here, batch
+/// serving in `gde-core`) share one fan-out primitive and one thread knob.
+pub fn map_blocks<T, F>(items: usize, min_per_thread: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
@@ -115,6 +147,17 @@ mod tests {
         let flat: Vec<usize> = blocks.into_iter().flatten().collect();
         assert_eq!(flat, (0..1025).collect::<Vec<usize>>());
         set_max_threads(0);
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(parse_thread_env(None), 0);
+        assert_eq!(parse_thread_env(Some("")), 0);
+        assert_eq!(parse_thread_env(Some("not a number")), 0);
+        assert_eq!(parse_thread_env(Some("0")), 0);
+        assert_eq!(parse_thread_env(Some("6")), 6);
+        assert_eq!(parse_thread_env(Some(" 12 ")), 12);
+        assert_eq!(parse_thread_env(Some("100000")), HARD_CAP);
     }
 
     #[test]

@@ -318,6 +318,30 @@ impl GraphSnapshot {
             None => Relation::empty(self.n),
         }
     }
+
+    /// Approximate heap footprint of the snapshot in bytes: the CSR and
+    /// value-group arrays, the id/value indexes (counted at typical
+    /// hash-map-entry cost), and every per-label relation cached so far.
+    /// Used by eviction policies that budget cached snapshots; it is an
+    /// estimate, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let cached_rels: usize = self
+            .label_rel
+            .iter()
+            .filter_map(|c| c.get())
+            .map(Relation::heap_bytes)
+            .sum();
+        self.ids.len() * size_of::<NodeId>()
+            + self.index.len() * (size_of::<(NodeId, u32)>() + 8)
+            + (self.fwd_off.len() + self.bwd_off.len()) * size_of::<u32>()
+            + (self.fwd_dst.len() + self.bwd_src.len()) * size_of::<u32>()
+            + self.vid.len() * size_of::<u32>()
+            + self.values.len() * (size_of::<Value>() + 8)
+            + self.value_index.len() * (size_of::<(Value, u32)>() + 8)
+            + (self.group_off.len() + self.group_members.len()) * size_of::<u32>()
+            + cached_rels
+    }
 }
 
 impl DataGraph {

@@ -45,9 +45,17 @@ enum CompiledForm {
 }
 
 /// A [`DataQuery`] lowered once for repeated evaluation.
+///
+/// The source query is retained (it is query-sized, not graph-sized), so a
+/// compiled query is a self-contained serving artifact: engines that need
+/// the original AST — like the exact certain-answer enumeration behind
+/// `gde-core`'s unified `Semantics` entry point — can recover it via
+/// [`CompiledQuery::source`] instead of threading the `DataQuery`
+/// alongside.
 #[derive(Clone, Debug)]
 pub struct CompiledQuery {
     form: Box<CompiledForm>,
+    source: Box<DataQuery>,
     equality_only: bool,
 }
 
@@ -72,8 +80,14 @@ impl CompiledQuery {
         };
         CompiledQuery {
             form: Box::new(form),
+            source: Box::new(q.clone()),
             equality_only: q.is_equality_only(),
         }
+    }
+
+    /// The query this artifact was lowered from.
+    pub fn source(&self) -> &DataQuery {
+        &self.source
     }
 
     /// Does the query avoid inequality comparisons? (Cached from the source
@@ -202,6 +216,7 @@ mod tests {
             );
             assert_eq!(compiled.holds_somewhere(&snap), q.holds_somewhere(&g));
             assert_eq!(compiled.is_equality_only(), q.is_equality_only());
+            assert_eq!(compiled.source(), q, "compiled query retains its source");
         }
     }
 

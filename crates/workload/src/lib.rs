@@ -15,5 +15,5 @@ pub mod social;
 pub use graphs::{chain_graph, cycle_graph, random_data_graph, GraphConfig};
 pub use queries::{random_path_test, random_ree, random_rem, QueryConfig};
 pub use scenarios::{random_scenario, ExchangeScenario, ScenarioConfig};
-pub use serving::{social_serving_scenario, ServingScenario};
+pub use serving::{social_churn_deltas, social_serving_scenario, ServingScenario};
 pub use social::{social_data_graph, social_network, SocialConfig};

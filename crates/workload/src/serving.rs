@@ -12,8 +12,10 @@ use crate::scenarios::ExchangeScenario;
 use crate::social::{social_data_graph, SocialConfig};
 use gde_automata::Regex;
 use gde_core::Gsm;
-use gde_datagraph::Alphabet;
+use gde_datagraph::{Alphabet, GraphDelta, NodeId};
 use gde_dataquery::{parse_ree, parse_rem, CdAtom, ConjunctiveDataRpq, DataQuery};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// A serving workload: an exchange scenario plus a batch of named queries
 /// over the mapping's target alphabet.
@@ -166,10 +168,38 @@ pub fn social_serving_scenario(cfg: &SocialConfig) -> ServingScenario {
     }
 }
 
+/// A stream of churn deltas for the social serving scenario: each round
+/// adds `edges_per_round` random `knows` edges between existing persons —
+/// the additive, LAV-patchable change shape a delta-aware serving engine
+/// ([`gde_core::MappingService::apply_delta`]) absorbs without rebuilding
+/// its cached solutions. Deterministic in `seed`; duplicate picks are fine
+/// (graph-level dedup reports them as no-ops).
+pub fn social_churn_deltas(
+    cfg: &SocialConfig,
+    rounds: usize,
+    edges_per_round: usize,
+    seed: u64,
+) -> Vec<GraphDelta> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..rounds)
+        .map(|_| {
+            let mut delta = GraphDelta::new();
+            for _ in 0..edges_per_round {
+                let p = rng.gen_range(0..cfg.persons);
+                let q = rng.gen_range(0..cfg.persons);
+                if p != q {
+                    delta = delta.with_edge(NodeId(p as u32), "knows", NodeId(q as u32));
+                }
+            }
+            delta
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gde_core::{universal_solution, PreparedMapping};
+    use gde_core::{universal_solution, MappingService, Semantics};
 
     #[test]
     fn scenario_is_relational_lav_with_inventing_rules() {
@@ -201,12 +231,32 @@ mod tests {
             sv.queries.iter().any(|(_, q)| !q.is_equality_only()),
             "at least one inequality query"
         );
-        // every query evaluates against the prepared engine without panicking
-        let prepared = PreparedMapping::new(&sv.scenario.gsm, &sv.scenario.source);
+        // every query evaluates against the serving engine without panicking
+        let svc = MappingService::new();
+        let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
         for (name, q) in &sv.queries {
             let compiled = q.compile();
-            let ans = prepared.certain_answers_nulls(&compiled);
+            let ans = svc.answer(id, &compiled, Semantics::nulls());
             assert!(ans.is_ok(), "query {name} failed: {ans:?}");
+        }
+    }
+
+    #[test]
+    fn churn_deltas_are_additive_lav_material() {
+        let cfg = SocialConfig::default();
+        let deltas = social_churn_deltas(&cfg, 4, 6, 99);
+        assert_eq!(deltas.len(), 4);
+        assert!(deltas.iter().all(|d| d.is_additive()));
+        assert!(deltas.iter().any(|d| !d.add_edges.is_empty()));
+        // deterministic
+        assert_eq!(deltas, social_churn_deltas(&cfg, 4, 6, 99));
+        // endpoints are existing persons, so the engine accepts them
+        let sv = social_serving_scenario(&cfg);
+        let svc = MappingService::new();
+        let id = svc.register(sv.scenario.gsm, sv.scenario.source);
+        for d in &deltas {
+            let report = svc.apply_delta(id, d).unwrap();
+            assert_eq!(report.removed_edges, 0);
         }
     }
 

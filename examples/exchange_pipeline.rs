@@ -15,7 +15,7 @@ use gde_automata::parse_regex;
 use graph_data_exchange::core::translate::{
     chase_universal, translate_to_relational, verify_prop1,
 };
-use graph_data_exchange::core::{certain_answers_nulls, universal_solution, Gsm};
+use graph_data_exchange::core::{universal_solution, Gsm, MappingService, Semantics};
 use graph_data_exchange::datagraph::{Alphabet, DataGraph, NodeId, Value};
 use graph_data_exchange::dataquery::{parse_ree, DataQuery};
 use graph_data_exchange::relational::{decode_graph, encode_graph, ValueNullStyle};
@@ -99,17 +99,25 @@ fn main() {
     assert!(verify_prop1(&m, &source).unwrap());
     println!("\nProposition 1 verified: chase(D_G) ≅ direct universal solution\n");
 
-    // ----- certain answers on the exchanged data --------------------------
+    // ----- certain answers on the exchanged data, served by the engine ----
+    let svc = MappingService::new();
+    let id = svc.register(m, source);
     // items whose 2-bundle-hop ends on an identically named item
     let q: DataQuery = parse_ree("(contains part contains part contains part)=", &mut ta)
         .unwrap()
         .into();
-    let answers = certain_answers_nulls(&m, &q, &source).unwrap().into_pairs();
+    let answers = svc
+        .answer(id, &q.compile(), Semantics::nulls())
+        .unwrap()
+        .into_pairs();
     println!("certain: same-name items three bundle-hops apart: {answers:?}");
     assert_eq!(answers, vec![(NodeId(0), NodeId(3))]);
 
     let q: DataQuery = parse_ree("sibling=", &mut ta).unwrap().into();
-    let answers = certain_answers_nulls(&m, &q, &source).unwrap().into_pairs();
+    let answers = svc
+        .answer(id, &q.compile(), Semantics::nulls())
+        .unwrap()
+        .into_pairs();
     println!("certain: same-name siblings: {answers:?}");
     assert_eq!(answers, vec![(NodeId(0), NodeId(3))]);
 }

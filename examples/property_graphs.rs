@@ -7,7 +7,7 @@
 //! ```
 
 use gde_automata::parse_regex;
-use graph_data_exchange::core::{certain_answers_nulls, Gsm};
+use graph_data_exchange::core::{answer_once, Gsm, Semantics};
 use graph_data_exchange::datagraph::{Alphabet, NodeId, PropertyGraph, Value};
 use graph_data_exchange::dataquery::{parse_ree, DataQuery};
 
@@ -81,7 +81,9 @@ fn main() {
         parse_regex("contact hop", &mut ta).unwrap(),
     );
     let q: DataQuery = parse_ree("(contact hop)!=", &mut ta).unwrap().into();
-    let certain = certain_answers_nulls(&m, &q, &g).unwrap().into_pairs();
+    let certain = answer_once(&m, &g, &q.compile(), Semantics::nulls())
+        .unwrap()
+        .into_pairs();
     println!("certain different-name contacts after exchange: {certain:?}");
     assert_eq!(certain, vec![(NodeId(0), NodeId(1))]);
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use gde_automata::parse_regex;
-use graph_data_exchange::core::{certain_answers_nulls, universal_solution, Gsm};
+use graph_data_exchange::core::{universal_solution, Gsm, MappingService, Semantics};
 use graph_data_exchange::datagraph::{Alphabet, DataGraph, NodeId, Value};
 use graph_data_exchange::dataquery::{parse_ree, DataQuery};
 
@@ -54,11 +54,18 @@ fn main() {
     let sol = universal_solution(&m, &source).unwrap();
     println!("\nuniversal solution:\n{}", sol.graph);
 
-    // ----- 5. certain answers over the target ----------------------------
+    // ----- 5. certain answers over the target, through the serving engine
+    // register once; the service owns the graphs (Arc-shared), caches the
+    // canonical solutions, and answers any number of compiled queries
+    let svc = MappingService::new();
+    let id = svc.register(m, source);
     let q: DataQuery = parse_ree("(knows trusts knows trusts knows trusts)=", &mut ta)
         .unwrap()
         .into();
-    let answers = certain_answers_nulls(&m, &q, &source).unwrap().into_pairs();
+    let answers = svc
+        .answer(id, &q.compile(), Semantics::nulls())
+        .unwrap()
+        .into_pairs();
     println!("certain answers to (knows·trusts)³ with equal endpoints: {answers:?}");
     assert_eq!(answers, vec![(NodeId(0), NodeId(3))]); // ann …→ ann
 }

@@ -17,7 +17,7 @@
 //! one `rule <source-rpq> => <target-rpq>` per line (with `#` comments).
 
 use gde_automata::parse_regex;
-use gde_core::{certain_answers_nulls, universal_solution, Gsm};
+use gde_core::{answer_once, universal_solution, Gsm, Semantics};
 use gde_datagraph::io::{parse_graph, serialize_graph};
 use gde_datagraph::{Alphabet, DataGraph};
 use gde_dataquery::{parse_ree, parse_rem, DataQuery};
@@ -122,7 +122,10 @@ fn cmd_exchange(args: &[String]) -> Result<(), String> {
         let mut ta = m.target_alphabet().clone();
         let q: DataQuery = parse_ree(qsrc, &mut ta).map_err(|e| e.to_string())?.into();
         println!("# certain answers to {qsrc}");
-        match certain_answers_nulls(&m, &q, &gs).map_err(|e| e.to_string())? {
+        let certain = answer_once(&m, &gs, &q.compile(), Semantics::nulls())
+            .map_err(|e| e.to_string())?
+            .into_tuples();
+        match certain {
             gde_core::certain::CertainAnswers::Pairs(pairs) => {
                 for (u, v) in pairs {
                     println!("{u}\t{v}");

@@ -13,37 +13,46 @@
 //! * [`gxpath`] — GXPath-core with data tests, plus the regular extension (§9)
 //! * [`relational`] — relational data-exchange substrate: chase, tgds (§6)
 //! * [`core`] — graph schema mappings, certain-answer algorithms and the
-//!   prepared-mapping serving engine (§4–§8)
+//!   owned `MappingService` serving engine (§4–§8)
 //! * [`reductions`] — the paper's hardness gadgets, executable (§5, §6, §9)
 //! * [`workload`] — scenario generators used by examples, tests and benches
 //!
-//! ## Serving many queries: cold vs prepared
+//! ## Serving many queries: the owned `MappingService`
 //!
 //! The certain-answer free functions are one-shot: each call rebuilds the
 //! canonical solution and re-lowers the query. When answering a *stream* of
-//! queries against one mapping and source — the paper's own access pattern,
-//! since one universal solution serves every hom-closed query — prepare
-//! once and serve repeatedly:
+//! queries — the paper's own access pattern, since one universal solution
+//! serves every hom-closed query — register the mapping in a
+//! [`core::MappingService`] once and serve repeatedly. The service owns its
+//! graphs (`Arc`-shared), is `Send + Sync`, evicts cold solutions under a
+//! byte budget, and absorbs source deltas (patching its caches in place
+//! for additive LAV changes):
 //!
 //! ```
 //! use graph_data_exchange::prelude::*;
 //! use graph_data_exchange::workload::{social_serving_scenario, SocialConfig};
+//! use gde_datagraph::NodeId;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let sv = social_serving_scenario(&SocialConfig::default());
-//! let prepared = PreparedMapping::new(&sv.scenario.gsm, &sv.scenario.source);
-//! // lower each query once; the engine caches solutions + snapshots
+//! let service = MappingService::new();
+//! let id = service.register(sv.scenario.gsm, sv.scenario.source);
+//! // lower each query once; the service caches solutions + snapshots
 //! for (name, query) in &sv.queries {
 //!     let compiled = query.compile();
-//!     let answers = prepared.certain_answers_nulls(&compiled)?;
+//!     let answers = service.answer(id, &compiled, Semantics::preferred_for(&compiled))?;
 //!     let _ = (name, answers);
 //! }
+//! // a source delta: the caches are patched, not rebuilt
+//! let delta = GraphDelta::new().with_edge(NodeId(0), "knows", NodeId(1));
+//! assert!(service.apply_delta(id, &delta)?.patched);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! The `prepared_vs_cold` bench in `gde-bench` measures the difference and
-//! records a baseline in `BENCH_prepared.json` at the workspace root.
+//! The `prepared_vs_cold` bench in `gde-bench` measures cold vs cached
+//! serving (`BENCH_prepared.json`); the `service_churn` bench measures
+//! delta patching vs full re-preparation (`BENCH_service.json`).
 //!
 //! The sixty-second version of the whole story:
 //!
@@ -74,7 +83,7 @@
 //! // certain answers to a data RPQ, true in EVERY possible target:
 //! // same-name endpoints two exchange-hops apart
 //! let q: DataQuery = parse_ree("(knows trusts knows trusts)=", &mut ta)?.into();
-//! let answers = certain_answers_nulls(&m, &q, &source)?.into_pairs();
+//! let answers = answer_once(&m, &source, &q.compile(), Semantics::nulls())?.into_pairs();
 //! assert_eq!(answers, vec![(NodeId(0), NodeId(2))]); // ann …→ ann
 //! # Ok(())
 //! # }

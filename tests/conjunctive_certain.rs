@@ -4,7 +4,7 @@
 //! the "conjunctive RPQ" route of §5, with data atoms.
 
 use gde_automata::parse_regex;
-use gde_core::{certain_answers_exact, certain_answers_nulls, ExactOptions, Gsm};
+use gde_core::{answer_once, certain_answers_exact, ExactOptions, Gsm, Semantics};
 use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
 use gde_dataquery::{parse_ree, CdAtom, ConjunctiveDataRpq, DataQuery};
 
@@ -50,7 +50,9 @@ fn conjunctive_certain_answers_via_nulls() {
         ],
     )
     .into();
-    let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+    let ans = answer_once(&m, &gs, &q.compile(), Semantics::nulls())
+        .unwrap()
+        .into_pairs();
     // 0 =(5,5)= 1 then 1 ≠(5,7)≠ 2
     assert_eq!(ans, vec![(NodeId(0), NodeId(2))]);
 }
@@ -77,7 +79,9 @@ fn conjunctive_nulls_contained_in_exact() {
         ],
     )
     .into();
-    let nulls = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+    let nulls = answer_once(&m, &gs, &q.compile(), Semantics::nulls())
+        .unwrap()
+        .into_pairs();
     let exact = certain_answers_exact(&m, &q, &gs, ExactOptions::default())
         .unwrap()
         .into_pairs();
@@ -113,6 +117,8 @@ fn conjunctive_with_existential_middle_over_exchange() {
         ],
     )
     .into();
-    let ans = certain_answers_nulls(&m, &q, &gs).unwrap().into_pairs();
+    let ans = answer_once(&m, &gs, &q.compile(), Semantics::nulls())
+        .unwrap()
+        .into_pairs();
     assert_eq!(ans, vec![(NodeId(0), NodeId(2))]);
 }

@@ -4,8 +4,8 @@
 use gde_automata::parse_regex;
 use gde_core::certain::CertainAnswers;
 use gde_core::{
-    certain_answers_arbitrary, certain_answers_exact, certain_answers_least_informative,
-    certain_answers_nulls, universal_solution, ArbitraryOptions, ExactOptions, Gsm,
+    answer_once, certain_answers_arbitrary, certain_answers_exact, universal_solution,
+    ArbitraryOptions, ExactOptions, Gsm, Semantics,
 };
 use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
 use gde_dataquery::{parse_ree, DataQuery};
@@ -33,7 +33,7 @@ fn nulls_is_contained_in_exact_on_random_scenarios() {
         let mut ta = sc.gsm.target_alphabet().clone();
         for qsrc in ["x", "x y", "(x y)=", "(x | y)+", "((x | y)+)=", "(x y)!="] {
             let q: DataQuery = parse_ree(qsrc, &mut ta).unwrap().into();
-            let nulls = certain_answers_nulls(&sc.gsm, &q, &sc.source)
+            let nulls = answer_once(&sc.gsm, &sc.source, &q.compile(), Semantics::nulls())
                 .unwrap()
                 .into_pairs();
             let exact = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
@@ -56,9 +56,14 @@ fn least_informative_equals_exact_for_equality_only() {
         let mut ta = sc.gsm.target_alphabet().clone();
         for qsrc in ["x", "x y", "(x y)=", "((x | y)+)=", "(x= y)="] {
             let q: DataQuery = parse_ree(qsrc, &mut ta).unwrap().into();
-            let li = certain_answers_least_informative(&sc.gsm, &q, &sc.source)
-                .unwrap()
-                .into_pairs();
+            let li = answer_once(
+                &sc.gsm,
+                &sc.source,
+                &q.compile(),
+                Semantics::least_informative(),
+            )
+            .unwrap()
+            .into_pairs();
             let exact = certain_answers_exact(&sc.gsm, &q, &sc.source, ExactOptions::default())
                 .unwrap()
                 .into_pairs();
@@ -140,7 +145,7 @@ fn two_step_exchange_chain() {
     let q: DataQuery = parse_ree("(audit link audit link)=", &mut wa)
         .unwrap()
         .into();
-    let answers = certain_answers_nulls(&m2, &q, &staged.graph)
+    let answers = answer_once(&m2, &staged.graph, &q.compile(), Semantics::nulls())
         .unwrap()
         .into_pairs();
     assert_eq!(answers, vec![(NodeId(0), NodeId(2))]);
@@ -163,7 +168,9 @@ fn vacuous_mapping_cases() {
     let mut ta2 = ta.clone();
     let q: DataQuery = parse_ree("x", &mut ta2).unwrap().into();
     assert_eq!(
-        certain_answers_nulls(&m, &q, &gs).unwrap(),
+        answer_once(&m, &gs, &q.compile(), Semantics::nulls())
+            .unwrap()
+            .into_tuples(),
         CertainAnswers::AllVacuously
     );
     assert_eq!(

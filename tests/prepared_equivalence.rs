@@ -1,11 +1,15 @@
-//! Engine/free-function equivalence: the prepared-mapping serving engine
-//! must answer exactly like the one-shot free functions, across the
-//! workload generators' scenarios and every query class.
+//! Engine equivalence: the owned `MappingService`, the deprecated
+//! `PreparedMapping` wrapper and the deprecated one-shot free functions
+//! must all answer identically, across the workload generators' scenarios
+//! and every query class.
 //!
-//! This is the contract that makes the `PreparedMapping` refactor safe:
-//! the free functions are thin wrappers over the engine, and the engine's
-//! cached solutions + snapshots + compiled queries must be observationally
-//! identical to rebuilding everything per call.
+//! This is the contract that makes the serving-API redesign safe: the
+//! legacy entry points are thin wrappers over `MappingService::answer`,
+//! and the service's cached solutions + snapshots + compiled queries must
+//! be observationally identical to rebuilding everything per call. The
+//! legacy calls below are deliberate — they are the reference being
+//! compared against.
+#![allow(deprecated)]
 //!
 //! Since the wrappers now share the snapshot-based evaluation code with
 //! the engine, the wrapper-vs-engine checks alone would not catch a bug in
@@ -16,8 +20,9 @@
 //! production path against it on random graphs and queries.
 
 use gde_core::{
-    certain_answers_least_informative, certain_answers_nulls, certain_boolean_least_informative,
-    certain_boolean_nulls, PreparedMapping,
+    certain_answers_exact, certain_answers_least_informative, certain_answers_nulls,
+    certain_boolean_least_informative, certain_boolean_nulls, Answer, ExactOptions, MappingService,
+    Mode, PreparedMapping, Semantics, SolveError,
 };
 use gde_datagraph::{DataGraph, Relation};
 use gde_dataquery::{DataQuery, Ree};
@@ -90,6 +95,99 @@ fn prepared_matches_free_functions_on_random_scenarios() {
             } else {
                 assert_eq!(dispatched, served, "dispatch ≠ 2ⁿ: seed {seed}");
             }
+        }
+    }
+}
+
+/// The acceptance contract of the API redesign: `MappingService::answer`
+/// with each `Semantics` variant returns answers identical to the
+/// pre-redesign `PreparedMapping` methods, on the existing workloads.
+#[test]
+fn service_matches_prepared_mapping_on_every_semantics() {
+    for seed in 0..5u64 {
+        let sc = random_scenario(&ScenarioConfig {
+            graph: GraphConfig {
+                nodes: 7,
+                edges: 9,
+                value_pool: 3,
+                seed,
+                ..GraphConfig::default()
+            },
+            max_word_len: 2,
+            seed: seed ^ 0x5EC7,
+            ..ScenarioConfig::default()
+        });
+        let prepared = PreparedMapping::new(&sc.gsm, &sc.source);
+        let svc = MappingService::new();
+        let id = svc.register(sc.gsm.clone(), sc.source.clone());
+        for (qi, q) in random_query_batch(seed).into_iter().enumerate() {
+            let c = q.compile();
+            let ctx = format!("seed {seed} query {qi}");
+            assert_eq!(
+                svc.answer(id, &c, Semantics::nulls())
+                    .map(Answer::into_tuples)
+                    .map_err(|e| e.to_string()),
+                prepared
+                    .certain_answers_nulls(&c)
+                    .map_err(|e| e.to_string()),
+                "Nulls/Tuples {ctx}"
+            );
+            assert_eq!(
+                svc.answer(id, &c, Semantics::nulls_boolean())
+                    .map(|a| a.boolean())
+                    .map_err(|e| e.to_string()),
+                prepared
+                    .certain_boolean_nulls(&c)
+                    .map_err(|e| e.to_string()),
+                "Nulls/Boolean {ctx}"
+            );
+            let li_svc = svc.answer(id, &c, Semantics::least_informative());
+            let li_old = prepared.certain_answers_least_informative(&c);
+            match (li_svc, li_old) {
+                (Ok(a), Ok(b)) => assert_eq!(a.into_tuples(), b, "LI/Tuples {ctx}"),
+                (
+                    Err(gde_core::ServeError::UnsupportedQuery(x)),
+                    Err(SolveError::UnsupportedQuery(y)),
+                ) => {
+                    assert_eq!(x, y, "LI error {ctx}")
+                }
+                (a, b) => panic!("LI divergence {ctx}: {a:?} vs {b:?}"),
+            }
+            // bounded exact comparisons on a query subset (the enumeration
+            // is exponential; both sides must agree on TooComplex too)
+            if qi >= 3 {
+                continue;
+            }
+            let opts = ExactOptions {
+                max_invented: 10,
+                max_patterns: 5_000,
+            };
+            assert_eq!(
+                svc.answer(id, &c, Semantics::Exact(Mode::Tuples, opts))
+                    .map(Answer::into_tuples)
+                    .map_err(|e| e.to_string()),
+                prepared
+                    .certain_answers_exact(&q, opts)
+                    .map_err(|e| e.to_string()),
+                "Exact/Tuples {ctx}"
+            );
+            assert_eq!(
+                svc.answer(id, &c, Semantics::Exact(Mode::Boolean, opts))
+                    .map(|a| a.boolean())
+                    .map_err(|e| e.to_string()),
+                prepared
+                    .certain_boolean_exact(&q, opts)
+                    .map_err(|e| e.to_string()),
+                "Exact/Boolean {ctx}"
+            );
+            // the one-shot exact free function agrees too
+            assert_eq!(
+                svc.answer(id, &c, Semantics::Exact(Mode::Tuples, opts))
+                    .map(Answer::into_tuples)
+                    .map_err(|e| e.to_string()),
+                certain_answers_exact(&sc.gsm, &q, &sc.source, opts).map_err(|e| e.to_string()),
+                "Exact one-shot {ctx}"
+            );
         }
     }
 }

@@ -2,8 +2,8 @@
 //! queries coincide with relational naive evaluation over the chased
 //! `M_rel` — the two stacks answer identically.
 
-use gde_core::certain_answers_nulls;
 use gde_core::translate::{chase_universal, translate_to_relational};
+use gde_core::{answer_once, Semantics};
 use gde_datagraph::NodeId;
 use gde_dataquery::{parse_ree, DataQuery};
 use gde_relational::{certain_answers_cq, Atom, ConjunctiveQuery, Term};
@@ -57,7 +57,7 @@ fn word_queries_agree_across_the_two_stacks() {
             // graph side
             let mut ta = sc.gsm.target_alphabet().clone();
             let q: DataQuery = parse_ree(&word.join(" "), &mut ta).unwrap().into();
-            let graph_answers = certain_answers_nulls(&sc.gsm, &q, &sc.source)
+            let graph_answers = answer_once(&sc.gsm, &sc.source, &q.compile(), Semantics::nulls())
                 .unwrap()
                 .into_pairs();
             // relational side
@@ -100,7 +100,14 @@ fn boolean_certainty_agrees_for_word_queries() {
     for word in [vec!["x"], vec!["x", "y"], vec!["y", "y"]] {
         let mut ta = sc.gsm.target_alphabet().clone();
         let q: DataQuery = parse_ree(&word.join(" "), &mut ta).unwrap().into();
-        let graph_bool = gde_core::certain_boolean_nulls(&sc.gsm, &q, &sc.source).unwrap();
+        let graph_bool = answer_once(
+            &sc.gsm,
+            &sc.source,
+            &q.compile(),
+            Semantics::nulls_boolean(),
+        )
+        .unwrap()
+        .boolean();
         let cq = word_cq(&rm, &word);
         let rel_bool = gde_relational::certain_boolean_cq(&chased, &cq);
         assert_eq!(graph_bool, rel_bool, "word {word:?}");
