@@ -20,6 +20,36 @@ pub mod parser;
 pub mod regex;
 pub mod register;
 
+/// Per-start row evaluation shared by the NFA and register-automaton
+/// row-restricted entry points: run `reach` (the automaton's
+/// eval-from-one-start) from every start row in `rows`, collecting the
+/// reached rows into a relation. The start set is what restricts the
+/// work; the walk itself crosses row-range boundaries freely.
+pub(crate) fn eval_rows_by(
+    s: &gde_datagraph::GraphSnapshot,
+    rows: std::ops::Range<usize>,
+    reach: impl Fn(gde_datagraph::NodeId) -> Vec<gde_datagraph::NodeId>,
+) -> gde_datagraph::Relation {
+    let n = s.n();
+    let mut b = gde_datagraph::RelationBuilder::new(n);
+    for u in rows.start..rows.end.min(n) {
+        for v in reach(s.id_at(u as u32)) {
+            b.push(u, s.idx(v).expect("reached node is in snapshot") as usize);
+        }
+    }
+    b.build()
+}
+
+/// Boolean projection of [`eval_rows_by`]: does any start row in `rows`
+/// reach an answer? Early-exits on the first matching start row.
+pub(crate) fn holds_in_rows_by(
+    s: &gde_datagraph::GraphSnapshot,
+    rows: std::ops::Range<usize>,
+    reach: impl Fn(gde_datagraph::NodeId) -> Vec<gde_datagraph::NodeId>,
+) -> bool {
+    (rows.start..rows.end.min(s.n())).any(|u| !reach(s.id_at(u as u32)).is_empty())
+}
+
 pub use dfa::Dfa;
 pub use nfa::Nfa;
 pub use parser::{parse_regex, ParseError};

@@ -584,6 +584,23 @@ impl Nfa {
         b.build()
     }
 
+    /// Row-restricted RPQ evaluation: the rows of
+    /// [`Nfa::eval_snapshot`]'s relation whose *source* index lies in
+    /// `rows`. The product BFS runs only from the given start rows — it
+    /// still walks the whole graph, crossing stripe boundaries freely —
+    /// so a partition of `0..n` splits the full evaluation's work across
+    /// shards exactly, with no overlap and no merge conflicts.
+    pub fn eval_rows_snapshot(&self, s: &GraphSnapshot, rows: std::ops::Range<usize>) -> Relation {
+        crate::eval_rows_by(s, rows, |from| self.eval_from_snapshot(s, from))
+    }
+
+    /// Does any source row in `rows` reach an answer? Early-exits on the
+    /// first matching start row — the Boolean projection sharded serving
+    /// OR-merges across stripes.
+    pub fn holds_in_rows(&self, s: &GraphSnapshot, rows: std::ops::Range<usize>) -> bool {
+        crate::holds_in_rows_by(s, rows, |from| self.eval_from_snapshot(s, from))
+    }
+
     /// Full RPQ evaluation as `(NodeId, NodeId)` pairs, sorted.
     pub fn eval_pairs(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
         self.eval_pairs_snapshot(&g.snapshot())

@@ -18,7 +18,7 @@
 //! this coincides with plain equality, so one implementation serves both.
 
 use gde_datagraph::{
-    DataGraph, DataPath, FxHashMap, FxHashSet, GraphSnapshot, Label, NodeId, Value,
+    DataGraph, DataPath, FxHashMap, FxHashSet, GraphSnapshot, Label, NodeId, Relation, Value,
 };
 use std::collections::VecDeque;
 
@@ -401,6 +401,21 @@ impl RegisterAutomaton {
             .filter(|&d| out[d as usize])
             .map(|d| s.id_at(d))
             .collect()
+    }
+
+    /// Row-restricted evaluation: the rows of the full answer relation
+    /// whose *source* index lies in `rows`, over dense snapshot indices.
+    /// The per-start BFS only launches from the given rows (configurations
+    /// still roam the whole graph), so a partition of `0..n` splits the
+    /// full evaluation's work across shards exactly.
+    pub fn eval_rows_snapshot(&self, s: &GraphSnapshot, rows: std::ops::Range<usize>) -> Relation {
+        crate::eval_rows_by(s, rows, |from| self.eval_from_snapshot(s, from))
+    }
+
+    /// Does any source row in `rows` reach an answer? Early-exits on the
+    /// first matching start row.
+    pub fn holds_in_rows(&self, s: &GraphSnapshot, rows: std::ops::Range<usize>) -> bool {
+        crate::holds_in_rows_by(s, rows, |from| self.eval_from_snapshot(s, from))
     }
 
     /// Full evaluation `e(G)` as sorted `(NodeId, NodeId)` pairs. The graph

@@ -1,0 +1,223 @@
+//! Sharded serving bench: one prepared mapping served at shard counts
+//! K ∈ {1, 2, 4, 8}, measuring steady-state **batch throughput** of
+//! `MappingService::answer_batch` on the ~20k-node social workload
+//! (`sharded_serving_scenario`).
+//!
+//! The measured batch is a serving mix: the selective data-test queries
+//! are answered in **tuple** mode (their results are what a caller
+//! returns), while the heavy navigational/analytic queries are answered
+//! as Boolean **existence checks** ("is there any endorsement path?") —
+//! the classic cheap probe in front of an expensive report. Both modes
+//! are also measured separately and all three series land in the JSON.
+//!
+//! Where the K-speedup comes from:
+//!
+//! * **Boolean mode** is where sharding pays even on one core: the
+//!   unsharded engine evaluates the full answer relation before its
+//!   `any()`, while the sharded pipeline's per-stripe evaluation
+//!   OR-merges with a short-circuit — per-start classes stop at the
+//!   first satisfying start row, and a satisfied flag stops remaining
+//!   stripes from starting. Satisfiable existence checks drop from
+//!   full-evaluation cost to near-constant.
+//! * **Tuple mode** splits every query into `(query, stripe)` tasks the
+//!   dynamic scheduler spreads over `par` workers, so on multi-core
+//!   hosts the batch makespan is no longer pinned to the heaviest
+//!   query. (On a single-core host tuple throughput is flat across K —
+//!   the work is identical, and the JSON records the thread count.)
+//!
+//! Answers are asserted byte-identical across every K, in both modes,
+//! before anything is measured.
+//!
+//! Emits `BENCH_sharded.json` at the workspace root as a machine-readable
+//! perf baseline (full mode only). `SHARDED_SERVING_SMOKE=1` (CI) shrinks
+//! the graph, runs K ∈ {1, 2} on 2 forced threads, and writes nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde_core::{Gsm, MappingId, MappingService, Semantics};
+use gde_datagraph::{par, DataGraph};
+use gde_dataquery::CompiledQuery;
+use gde_workload::{sharded_serving_scenario, SHARDED_BOOLEAN_QUERIES};
+use std::sync::Arc;
+
+fn smoke() -> bool {
+    std::env::var("SHARDED_SERVING_SMOKE").is_ok()
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = smoke();
+    if smoke {
+        // the sharded scheduler must run even on single-core CI runners
+        par::set_max_threads(2);
+    }
+    let threads = par::max_threads();
+    let scale = if smoke { 1600 } else { 20480 };
+    let ks: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let sv = sharded_serving_scenario(scale, 0x5AD5);
+    let queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
+    let boolean: Vec<CompiledQuery> = sv
+        .queries
+        .iter()
+        .filter(|(n, _)| SHARDED_BOOLEAN_QUERIES.contains(&n.as_str()))
+        .map(|(_, q)| q.compile())
+        .collect();
+    let tuple: Vec<CompiledQuery> = sv
+        .queries
+        .iter()
+        .filter(|(n, _)| !SHARDED_BOOLEAN_QUERIES.contains(&n.as_str()))
+        .map(|(_, q)| q.compile())
+        .collect();
+    assert_eq!(
+        boolean.len(),
+        SHARDED_BOOLEAN_QUERIES.len(),
+        "names stay in sync"
+    );
+    let gsm: Arc<Gsm> = Arc::new(sv.scenario.gsm);
+    let source: Arc<DataGraph> = Arc::new(sv.scenario.source);
+    println!(
+        "sharded_serving: {} source nodes, {} source edges, {} queries \
+         ({} tuple + {} boolean), {} threads",
+        source.node_count(),
+        source.edge_count(),
+        queries.len(),
+        tuple.len(),
+        boolean.len(),
+        threads,
+    );
+
+    // one service per K, prepared outside the measured path: the bench is
+    // steady-state serving, not preparation
+    let services: Vec<(usize, MappingService, MappingId)> = ks
+        .iter()
+        .map(|&k| {
+            let svc = MappingService::new();
+            let id = svc.register(gsm.clone(), source.clone());
+            svc.set_shard_count(id, k).expect("registered");
+            svc.prepare(id, Semantics::nulls()).expect("prepares");
+            (k, svc, id)
+        })
+        .collect();
+
+    // sanity: every K serves byte-identical answers in both modes
+    let tuple_ref = services[0]
+        .1
+        .answer_batch(services[0].2, &queries, Semantics::nulls());
+    let bool_ref = services[0]
+        .1
+        .answer_batch(services[0].2, &queries, Semantics::nulls_boolean());
+    for (k, svc, id) in &services[1..] {
+        assert_eq!(
+            svc.answer_batch(*id, &queries, Semantics::nulls()),
+            tuple_ref,
+            "tuple answers must match at k={k}"
+        );
+        assert_eq!(
+            svc.answer_batch(*id, &queries, Semantics::nulls_boolean()),
+            bool_ref,
+            "boolean answers must match at k={k}"
+        );
+    }
+
+    let mut group = c.benchmark_group("sharded_serving");
+    group.sample_size(if smoke { 3 } else { 5 });
+    for (k, svc, id) in &services {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("mixed_k{k}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let t = svc.answer_batch(*id, &tuple, Semantics::nulls());
+                    let e = svc.answer_batch(*id, &boolean, Semantics::nulls_boolean());
+                    (t, e)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tuple_k{k}")),
+            &(),
+            |b, ()| b.iter(|| svc.answer_batch(*id, &queries, Semantics::nulls())),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("boolean_k{k}")),
+            &(),
+            |b, ()| b.iter(|| svc.answer_batch(*id, &queries, Semantics::nulls_boolean())),
+        );
+    }
+    group.finish();
+
+    let series = |name: &str| -> Vec<(usize, u64)> {
+        ks.iter()
+            .map(|&k| {
+                (
+                    k,
+                    c.median_ns("sharded_serving", &format!("{name}_k{k}"))
+                        .expect("measured"),
+                )
+            })
+            .collect()
+    };
+    let mixed = series("mixed");
+    let tuples = series("tuple");
+    let booleans = series("boolean");
+    let speedup_at = |s: &[(usize, u64)], k: usize| -> f64 {
+        let t1 = s[0].1;
+        s.iter()
+            .find(|&&(kk, _)| kk == k)
+            .map(|&(_, ns)| t1 as f64 / ns.max(1) as f64)
+            .unwrap_or(1.0)
+    };
+    for &(k, ns) in &mixed {
+        println!(
+            "k={k}: mixed batch {:.3} ms ({:.2}x over k=1), tuple {:.3} ms, boolean {:.3} ms",
+            ns as f64 / 1e6,
+            speedup_at(&mixed, k),
+            tuples.iter().find(|&&(kk, _)| kk == k).unwrap().1 as f64 / 1e6,
+            booleans.iter().find(|&&(kk, _)| kk == k).unwrap().1 as f64 / 1e6,
+        );
+    }
+    // overlay cost of the partition, from the largest-K service
+    let (k_max, svc, id) = services.last().expect("at least one K");
+    let prep = svc.solution(*id, Semantics::nulls()).expect("prepared");
+    let boundary = prep.sharded().map_or(0, |s| s.boundary_edges());
+    println!("k={k_max}: {boundary} boundary edges across stripes");
+
+    if smoke {
+        return;
+    }
+    let per_k: Vec<String> = ks
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            format!(
+                "    {{ \"k\": {k}, \"mixed_batch_ns\": {}, \"tuple_batch_ns\": {}, \
+                 \"boolean_batch_ns\": {} }}",
+                mixed[i].1, tuples[i].1, booleans[i].1
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"sharded_serving\",\n  \"workload\": \"sharded_serving_scenario\",\n  \
+         \"smoke\": false,\n  \"scale\": {},\n  \"source_nodes\": {},\n  \"source_edges\": {},\n  \
+         \"solution_nodes\": {},\n  \"queries\": {},\n  \"boolean_queries\": {},\n  \
+         \"threads\": {},\n  \"boundary_edges_at_kmax\": {},\n  \"per_k\": [\n{}\n  ],\n  \
+         \"speedup_k4_over_k1\": {:.2},\n  \"tuple_speedup_k4_over_k1\": {:.2},\n  \
+         \"boolean_speedup_k4_over_k1\": {:.2}\n}}\n",
+        scale,
+        source.node_count(),
+        source.edge_count(),
+        prep.snapshot().n(),
+        queries.len(),
+        boolean.len(),
+        threads,
+        boundary,
+        per_k.join(",\n"),
+        speedup_at(&mixed, 4),
+        speedup_at(&tuples, 4),
+        speedup_at(&booleans, 4),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharded.json");
+    std::fs::write(path, json).expect("write BENCH_sharded.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

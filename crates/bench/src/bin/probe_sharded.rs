@@ -1,0 +1,75 @@
+//! Per-query timing probe for the sharded serving workload (dev tool).
+//! `cargo run --release -p gde-bench --bin probe_sharded [scale] [k]`
+
+use gde_core::{MappingService, Semantics};
+use gde_dataquery::CompiledQuery;
+use gde_workload::{sharded_serving_scenario, SHARDED_BOOLEAN_QUERIES};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20480);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let t0 = Instant::now();
+    let sv = sharded_serving_scenario(scale, 0x5AD5);
+    let queries: Vec<(String, CompiledQuery)> = sv
+        .queries
+        .iter()
+        .map(|(n, q)| (n.clone(), q.compile()))
+        .collect();
+    let svc = MappingService::new();
+    let id = svc.register(Arc::new(sv.scenario.gsm), Arc::new(sv.scenario.source));
+    svc.set_shard_count(id, k).unwrap();
+    println!("gen {:?}; preparing…", t0.elapsed());
+    let t = Instant::now();
+    svc.prepare(id, Semantics::nulls()).unwrap();
+    println!("prepare {:?}", t.elapsed());
+    for (name, q) in &queries {
+        let t = Instant::now();
+        let a = svc.answer(id, q, Semantics::nulls()).unwrap();
+        let n = match a {
+            gde_core::Answer::Tuples(t) => t.into_pairs().len(),
+            _ => 0,
+        };
+        println!("{name}: {:?} ({n} pairs)", t.elapsed());
+    }
+    for (name, q) in &queries {
+        let t = Instant::now();
+        let a = svc.answer(id, q, Semantics::nulls_boolean()).unwrap();
+        println!("bool {name}: {:?} ({:?})", t.elapsed(), a.boolean());
+    }
+    let batch: Vec<CompiledQuery> = queries.iter().map(|(_, q)| q.clone()).collect();
+    for round in 0..2 {
+        let t = Instant::now();
+        let _ = svc.answer_batch(id, &batch, Semantics::nulls());
+        println!("tuple batch round {round}: {:?}", t.elapsed());
+        let t = Instant::now();
+        let _ = svc.answer_batch(id, &batch, Semantics::nulls_boolean());
+        println!("bool batch round {round}: {:?}", t.elapsed());
+    }
+    // the sharded_serving bench's "mixed" serving loop: selective queries
+    // in tuple mode, heavy analytics as existence checks
+    let tuple_qs: Vec<CompiledQuery> = queries
+        .iter()
+        .filter(|(n, _)| !SHARDED_BOOLEAN_QUERIES.contains(&n.as_str()))
+        .map(|(_, q)| q.clone())
+        .collect();
+    let bool_qs: Vec<CompiledQuery> = queries
+        .iter()
+        .filter(|(n, _)| SHARDED_BOOLEAN_QUERIES.contains(&n.as_str()))
+        .map(|(_, q)| q.clone())
+        .collect();
+    for round in 0..3 {
+        let t = Instant::now();
+        let a = svc.answer_batch(id, &tuple_qs, Semantics::nulls());
+        let mid = t.elapsed();
+        let b = svc.answer_batch(id, &bool_qs, Semantics::nulls_boolean());
+        println!(
+            "mixed round {round}: {:?} (tuple part {mid:?}, {} + {} answers)",
+            t.elapsed(),
+            a.len(),
+            b.len()
+        );
+    }
+}

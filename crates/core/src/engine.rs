@@ -28,13 +28,23 @@
 //!   The service is `Send + Sync`; scoped threads can call `answer`
 //!   concurrently, and [`MappingService::answer_batch`] fans a query batch
 //!   out over [`gde_datagraph::par`] workers itself.
+//! * **shard** — [`MappingService::set_shard_count`] partitions a
+//!   mapping's prepared solutions into K node-range stripes
+//!   ([`ShardedSnapshot`]). Tuple answers evaluate per stripe on
+//!   [`gde_datagraph::par`] workers and union; Boolean answers OR across
+//!   stripes with a short-circuit; `answer_batch` schedules
+//!   `(query, stripe)` tasks dynamically. Answers are byte-identical at
+//!   every K.
 //! * **apply_delta** — [`MappingService::apply_delta`] mutates the owned
 //!   source graph (copy-on-write behind the shared `Arc`), bumps the
-//!   mapping's generation stamp, and reconciles cached solutions: additive
-//!   deltas under LAV mappings are **patched in place** (rule matches are
-//!   per-edge, [`CanonicalSolution::patch_lav_edges`]) with the snapshot
-//!   rebuilt lazily on the next answer; anything else invalidates the
-//!   cache and the next answer rebuilds from scratch.
+//!   mapping's generation stamp, and reconciles cached solutions: under
+//!   LAV mappings added edges are **patched in place** (rule matches are
+//!   per-edge, [`CanonicalSolution::patch_lav_edges`]) and bounded
+//!   removals **unpatched** ([`CanonicalSolution::unpatch_lav_edges`]),
+//!   with snapshots re-frozen lazily on the next answer — per label, and
+//!   per stripe (untouched stripes keep their slices and generation
+//!   stamps); anything else invalidates the cache and the next answer
+//!   rebuilds from scratch.
 //! * **evict** — prepared solutions live behind interior mutability under
 //!   a byte budget ([`MappingService::set_cache_budget`]); when the cache
 //!   outgrows it, the least-recently-served solutions are dropped (and
@@ -50,10 +60,13 @@ use crate::certain::{CertainAnswers, SolveError};
 use crate::exact::{exact_answers_from, exact_boolean_from, ExactError, ExactOptions};
 use crate::gsm::Gsm;
 use crate::solution::{
-    least_informative_solution, universal_solution, CanonicalSolution, SolutionError,
+    least_informative_solution, universal_solution, CanonicalSolution, LavPatch, SolutionError,
 };
-use gde_datagraph::{par, DataGraph, FxHashMap, GraphDelta, GraphError, GraphSnapshot, NodeId};
-use gde_dataquery::{CompiledQuery, DataQuery};
+use gde_datagraph::{
+    par, DataGraph, FxHashMap, FxHashSet, GraphDelta, GraphError, GraphSnapshot, Label, NodeId,
+    ShardPlan, ShardedSnapshot,
+};
+use gde_dataquery::{CompiledQuery, DataQuery, RowEvalShared};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -329,27 +342,162 @@ pub struct ServiceStats {
     pub invalidating_deltas: u64,
 }
 
+/// Refreeze material carried alongside a delta-patched solution: the
+/// previous frozen artifacts plus what the patches made stale. On the next
+/// answer, [`PreparedSolution::refreeze`] rebuilds only the stale parts —
+/// per-label relation carry-over on the snapshot, per-shard slice and
+/// stamp carry-over on the sharded view.
+#[derive(Debug)]
+struct RefreezeCarry {
+    /// The snapshot before the patch(es).
+    snapshot: Arc<GraphSnapshot>,
+    /// The sharded view before the patch(es) (when sharding was on).
+    sharded: Option<Arc<ShardedSnapshot>>,
+    /// Per-shard generation stamps before the patch(es).
+    stamps: Vec<u64>,
+    /// Target labels whose edge sets changed.
+    stale_labels: FxHashSet<Label>,
+    /// Dense rows (in `snapshot`) of nodes the patches touched.
+    touched_rows: FxHashSet<u32>,
+    /// `false` once the node set changed (grew/shrank): a full freeze is
+    /// required and only the accounting above survives.
+    reusable: bool,
+}
+
+impl RefreezeCarry {
+    fn from_prepared(prep: &PreparedSolution) -> RefreezeCarry {
+        RefreezeCarry {
+            snapshot: prep.snapshot.clone(),
+            sharded: prep.sharded.clone(),
+            stamps: prep.shard_stamps.clone(),
+            stale_labels: FxHashSet::default(),
+            touched_rows: FxHashSet::default(),
+            reusable: true,
+        }
+    }
+
+    /// Approximate heap bytes the carry keeps alive (the previous
+    /// snapshot and shard slices), charged against the cache budget while
+    /// the slot waits for its refreeze.
+    fn approx_bytes(&self) -> usize {
+        self.snapshot.approx_bytes() + self.sharded.as_ref().map_or(0, |s| s.approx_bytes())
+    }
+
+    /// Fold a patch summary into the carry.
+    fn absorb(&mut self, patch: &LavPatch) {
+        self.stale_labels
+            .extend(patch.touched_labels.iter().copied());
+        for &node in &patch.touched_nodes {
+            if let Some(row) = self.snapshot.idx(node) {
+                self.touched_rows.insert(row);
+            }
+        }
+        if patch.grew || patch.shrank {
+            self.reusable = false;
+        }
+    }
+}
+
 /// A canonical solution frozen for serving: the solution itself, its
-/// snapshot, and a dense-index mask of the invented nodes (so dom-filtering
-/// is an array lookup per endpoint instead of a hash probe per pair).
+/// snapshot, a dense-index mask of the invented nodes (so dom-filtering
+/// is an array lookup per endpoint instead of a hash probe per pair), and
+/// — when the mapping is sharded — the node-range-partitioned view with
+/// per-shard generation stamps.
 #[derive(Debug)]
 pub struct PreparedSolution {
     solution: CanonicalSolution,
-    snapshot: GraphSnapshot,
+    snapshot: Arc<GraphSnapshot>,
     invented_mask: Vec<bool>,
+    /// Present when the mapping serves from more than one stripe.
+    sharded: Option<Arc<ShardedSnapshot>>,
+    /// Generation stamp per stripe: the last generation whose delta
+    /// touched rows in that stripe (so untouched stripes keep their
+    /// slices — and their stamp — across a refreeze).
+    shard_stamps: Vec<u64>,
 }
 
 impl PreparedSolution {
-    fn new(solution: CanonicalSolution) -> PreparedSolution {
-        let snapshot = solution.graph.snapshot();
+    fn new(solution: CanonicalSolution, shards: usize, generation: u64) -> PreparedSolution {
+        let snapshot = Arc::new(solution.graph.snapshot());
+        PreparedSolution::assemble(solution, snapshot, shards, generation, None)
+    }
+
+    /// Refreeze a delta-patched solution, reusing whatever the carry says
+    /// is still fresh; falls back to a full freeze when the node set
+    /// changed (or no carry is available).
+    fn refreeze(
+        solution: CanonicalSolution,
+        carry: Option<RefreezeCarry>,
+        shards: usize,
+        generation: u64,
+    ) -> PreparedSolution {
+        if let Some(c) = carry {
+            if c.reusable {
+                if let Some(snap) =
+                    GraphSnapshot::refreeze_from(&solution.graph, &c.snapshot, &c.stale_labels)
+                {
+                    return PreparedSolution::assemble(
+                        solution,
+                        Arc::new(snap),
+                        shards,
+                        generation,
+                        Some(&c),
+                    );
+                }
+            }
+        }
+        PreparedSolution::new(solution, shards, generation)
+    }
+
+    fn assemble(
+        solution: CanonicalSolution,
+        snapshot: Arc<GraphSnapshot>,
+        shards: usize,
+        generation: u64,
+        carry: Option<&RefreezeCarry>,
+    ) -> PreparedSolution {
         let invented = solution.invented_set();
         let invented_mask = (0..snapshot.n() as u32)
             .map(|d| invented.contains(&snapshot.id_at(d)))
             .collect();
+        let k = shards.max(1);
+        let (sharded, shard_stamps) = if k > 1 {
+            let plan = match carry.and_then(|c| c.sharded.as_ref()) {
+                // keep the previous stripe layout so slices and stamps line up
+                Some(prev) if prev.plan().n() == snapshot.n() => prev.plan().clone(),
+                _ => ShardPlan::by_out_degree(&snapshot, k),
+            };
+            let ss = ShardedSnapshot::new(snapshot.clone(), plan);
+            let mut stamps = vec![generation; ss.shard_count()];
+            if let Some(c) = carry {
+                if let Some(prev) = c.sharded.as_ref().filter(|p| p.plan() == ss.plan()) {
+                    let mut touched = vec![false; ss.shard_count()];
+                    for &row in &c.touched_rows {
+                        touched[ss.plan().shard_of(row)] = true;
+                    }
+                    for (i, stamp) in stamps.iter_mut().enumerate() {
+                        if !touched[i] {
+                            *stamp = c.stamps.get(i).copied().unwrap_or(generation);
+                        }
+                    }
+                    // a stripe keeps a label's slice unless that label went
+                    // stale *and* the stripe holds a touched row
+                    ss.carry_from(prev, |shard, l| {
+                        !touched[shard] || !c.stale_labels.contains(&l)
+                    });
+                }
+            }
+            ss.warm();
+            (Some(Arc::new(ss)), stamps)
+        } else {
+            (None, vec![generation])
+        };
         PreparedSolution {
             solution,
             snapshot,
             invented_mask,
+            sharded,
+            shard_stamps,
         }
     }
 
@@ -363,10 +511,32 @@ impl PreparedSolution {
         &self.snapshot
     }
 
-    /// Approximate heap footprint (solution + snapshot + mask), the unit
-    /// the service's eviction budget is counted in.
+    /// The sharded view (when the mapping serves from more than one
+    /// stripe).
+    pub fn sharded(&self) -> Option<&ShardedSnapshot> {
+        self.sharded.as_deref()
+    }
+
+    /// Number of stripes this solution serves from (1 = unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |s| s.shard_count())
+    }
+
+    /// Per-stripe generation stamps: entry `i` is the last generation
+    /// whose delta touched rows in stripe `i`. Untouched stripes keep
+    /// their stamp (and their cached slices) across delta refreezes —
+    /// invalidation is per shard, not per mapping.
+    pub fn shard_stamps(&self) -> &[u64] {
+        &self.shard_stamps
+    }
+
+    /// Approximate heap footprint (solution + snapshot + mask + shard
+    /// slices), the unit the service's eviction budget is counted in.
     pub fn approx_bytes(&self) -> usize {
-        self.solution.approx_bytes() + self.snapshot.approx_bytes() + self.invented_mask.len()
+        self.solution.approx_bytes()
+            + self.snapshot.approx_bytes()
+            + self.invented_mask.len()
+            + self.sharded.as_ref().map_or(0, |s| s.approx_bytes())
     }
 
     /// Unfreeze, keeping only the solution (the delta-patching path).
@@ -374,21 +544,70 @@ impl PreparedSolution {
         self.solution
     }
 
-    /// Evaluate a compiled query on the snapshot and keep pairs over
-    /// `dom(M, G_s)` (drop tuples touching invented nodes). The query is
-    /// consumed in relation form: filtering walks the relation's rows with
-    /// the dense invented mask, and only surviving pairs pay the
-    /// node-id translation.
+    /// Evaluate a compiled query and keep pairs over `dom(M, G_s)` (drop
+    /// tuples touching invented nodes). Unsharded, the query is consumed
+    /// in relation form: filtering walks the relation's rows with the
+    /// dense invented mask, and only surviving pairs pay the node-id
+    /// translation. Sharded, every stripe evaluates its own rows on a
+    /// [`par::map_shards`] worker and the sorted partials merge — the
+    /// result is identical either way.
     fn answers_over_dom(&self, q: &CompiledQuery) -> Vec<(NodeId, NodeId)> {
-        let rel = q.eval_relation(&self.snapshot);
-        let mask = &self.invented_mask;
-        let mut pairs: Vec<(NodeId, NodeId)> = rel
-            .iter_pairs()
-            .filter(|&(i, j)| !mask[i] && !mask[j])
-            .map(|(i, j)| (self.snapshot.id_at(i as u32), self.snapshot.id_at(j as u32)))
-            .collect();
+        let mut pairs = match &self.sharded {
+            None => self.dom_pairs(&q.eval_relation(&self.snapshot)),
+            Some(ss) => {
+                let shared = RowEvalShared::new();
+                let parts = par::map_shards(&ss.plan().ranges(), |shard, _| {
+                    self.shard_pairs(q, shard, &shared)
+                });
+                parts.concat()
+            }
+        };
         pairs.sort();
         pairs
+    }
+
+    /// The dom-filter-and-translate pipeline shared by the sharded and
+    /// unsharded tuple paths — one implementation so they cannot diverge.
+    fn dom_pairs(&self, rel: &gde_datagraph::Relation) -> Vec<(NodeId, NodeId)> {
+        let mask = &self.invented_mask;
+        rel.iter_pairs()
+            .filter(|&(i, j)| !mask[i] && !mask[j])
+            .map(|(i, j)| (self.snapshot.id_at(i as u32), self.snapshot.id_at(j as u32)))
+            .collect()
+    }
+
+    /// One stripe's dom-filtered pairs (the unit sharded batch serving
+    /// schedules).
+    fn shard_pairs(
+        &self,
+        q: &CompiledQuery,
+        shard: usize,
+        shared: &RowEvalShared,
+    ) -> Vec<(NodeId, NodeId)> {
+        let ss = self.sharded.as_ref().expect("sharded serving only");
+        self.dom_pairs(&q.eval_relation_rows(ss, shard, shared))
+    }
+
+    /// Boolean projection: does the query hold anywhere? Sharded, stripes
+    /// evaluate concurrently and OR-merge with a short-circuit flag (a
+    /// stripe that finds a match stops the others from starting).
+    fn holds(&self, q: &CompiledQuery) -> bool {
+        match &self.sharded {
+            None => q.holds_somewhere(&self.snapshot),
+            Some(ss) => {
+                let shared = RowEvalShared::new();
+                let found = AtomicBool::new(false);
+                par::map_shards(&ss.plan().ranges(), |shard, _| {
+                    if found.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if q.holds_in_rows(ss, shard, &shared) {
+                        found.store(true, Ordering::Relaxed);
+                    }
+                });
+                found.load(Ordering::Relaxed)
+            }
+        }
     }
 }
 
@@ -405,9 +624,12 @@ enum SlotState {
     /// Nothing cached; the next answer builds from the source graph.
     #[default]
     Empty,
-    /// A delta-patched solution whose snapshot is rebuilt lazily on the
-    /// next answer.
-    Patched(Box<CanonicalSolution>),
+    /// A delta-patched solution whose snapshot is re-frozen lazily on the
+    /// next answer — incrementally, when the carry allows it.
+    Patched {
+        sol: Box<CanonicalSolution>,
+        carry: Option<RefreezeCarry>,
+    },
     /// Fully frozen and servable.
     Ready(Arc<PreparedSolution>),
     /// Building failed; the error is replayed (NoSolution ⇒ vacuous
@@ -426,13 +648,16 @@ struct Slot {
     bytes: usize,
 }
 
-/// One registered mapping: shared graphs, generation stamp, and the
-/// per-flavour solution cache.
+/// One registered mapping: shared graphs, generation stamp, shard
+/// configuration, and the per-flavour solution cache.
 struct MappingEntry {
     id: MappingId,
     gsm: Arc<Gsm>,
     source: RwLock<Arc<DataGraph>>,
     generation: AtomicU64,
+    /// Stripes the mapping's prepared solutions are partitioned into
+    /// (1 = unsharded).
+    shards: AtomicUsize,
     cache: Mutex<[Slot; 2]>,
 }
 
@@ -518,10 +743,37 @@ impl MappingService {
             gsm: gsm.into(),
             source: RwLock::new(source.into()),
             generation: AtomicU64::new(0),
+            shards: AtomicUsize::new(1),
             cache: Mutex::new(Default::default()),
         });
         write(&self.registry).insert(id, entry);
         id
+    }
+
+    /// Partition this mapping's prepared solutions into `k` node-range
+    /// stripes (`0`/`1` = unsharded). Answers evaluate per stripe on
+    /// [`gde_datagraph::par`] workers and merge — union for tuple mode,
+    /// OR-short-circuit for Boolean — and deltas invalidate per stripe
+    /// instead of per mapping. Changing the count drops resident frozen
+    /// solutions (they re-prepare under the new stripe layout on the next
+    /// answer); answers are byte-identical at every `k`.
+    pub fn set_shard_count(&self, id: MappingId, k: usize) -> Result<(), ServeError> {
+        let entry = self.entry(id)?;
+        let k = k.max(1);
+        if entry.shards.swap(k, Ordering::Relaxed) != k {
+            let mut slots = lock(&entry.cache);
+            for slot in slots.iter_mut() {
+                self.release(slot);
+            }
+        }
+        Ok(())
+    }
+
+    /// The configured stripe count for a mapping (1 = unsharded).
+    pub fn shard_count(&self, id: MappingId) -> Option<usize> {
+        read(&self.registry)
+            .get(&id)
+            .map(|e| e.shards.load(Ordering::Relaxed))
     }
 
     /// Drop a mapping and its cached solutions. Returns `false` for
@@ -630,6 +882,14 @@ impl MappingService {
     /// [`gde_datagraph::par`] scoped workers (bounded by
     /// `par::set_max_threads` / `GDE_MAX_THREADS`). Results come back in
     /// input order; per-query errors don't abort the batch.
+    ///
+    /// When the mapping is sharded ([`MappingService::set_shard_count`])
+    /// the scheduling unit is a `(query, stripe)` task instead of a whole
+    /// query: workers claim tasks dynamically (stripe-major, so one
+    /// query's stripes land on different workers), partial answers merge
+    /// per query — union for tuples, OR with cross-stripe short-circuit
+    /// for Booleans — and heavy queries no longer pin a whole worker for
+    /// their full duration.
     pub fn answer_batch(
         &self,
         id: MappingId,
@@ -641,15 +901,72 @@ impl MappingService {
             Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
         };
         // warm the flavour once so workers don't serialize on the build
-        let _ = self.prepared(&entry, sem.flavour());
-        par::map_blocks(queries.len(), 1, |range| {
-            range
-                .map(|i| self.answer_entry(&entry, &queries[i], sem))
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        let prep = self.prepared(&entry, sem.flavour());
+        // the exact enumeration doesn't decompose by stripe: keep
+        // per-query scheduling for it (and for unsharded mappings)
+        let sharded = match (&prep, sem) {
+            (Ok(p), Semantics::Nulls(_) | Semantics::LeastInformative(_))
+                if p.sharded.is_some() =>
+            {
+                Some(p.clone())
+            }
+            _ => None,
+        };
+        let Some(prep) = sharded else {
+            return par::map_blocks(queries.len(), 1, |range| {
+                range
+                    .map(|i| self.answer_entry(&entry, &queries[i], sem))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        };
+        let nq = queries.len();
+        let k = prep.shard_count();
+        let pre: Vec<Result<(), ServeError>> =
+            queries.iter().map(|q| check_fragment(q, sem)).collect();
+        let shareds: Vec<RowEvalShared> = queries.iter().map(|_| RowEvalShared::new()).collect();
+        let found: Vec<AtomicBool> = queries.iter().map(|_| AtomicBool::new(false)).collect();
+        let mut parts: Vec<Option<Vec<(NodeId, NodeId)>>> = par::map_tasks(nq * k, |t| {
+            // stripe-major order: task t → (query t % nq, stripe t / nq)
+            let (qi, shard) = (t % nq, t / nq);
+            if pre[qi].is_err() {
+                return None;
+            }
+            let q = &queries[qi];
+            match sem.mode() {
+                Mode::Tuples => Some(prep.shard_pairs(q, shard, &shareds[qi])),
+                Mode::Boolean => {
+                    if !found[qi].load(Ordering::Relaxed)
+                        && q.holds_in_rows(
+                            prep.sharded.as_ref().expect("sharded batch"),
+                            shard,
+                            &shareds[qi],
+                        )
+                    {
+                        found[qi].store(true, Ordering::Relaxed);
+                    }
+                    None
+                }
+            }
+        });
+        (0..nq)
+            .map(|qi| {
+                pre[qi].clone()?;
+                Ok(match sem.mode() {
+                    Mode::Boolean => Answer::Boolean(found[qi].load(Ordering::Relaxed)),
+                    Mode::Tuples => {
+                        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+                        for shard in 0..k {
+                            pairs.extend(parts[shard * nq + qi].take().expect("tuple task ran"));
+                        }
+                        pairs.sort();
+                        Answer::Tuples(CertainAnswers::Pairs(pairs))
+                    }
+                })
+            })
+            .collect()
     }
 
     /// Eagerly build (or re-freeze) the solution this semantics serves
@@ -680,12 +997,16 @@ impl MappingService {
     /// copy-on-write (previously handed-out `Arc`s keep the old state), the
     /// generation stamp is bumped, and cached solutions are reconciled:
     ///
-    /// * additive deltas under LAV relational mappings **patch** cached
+    /// * under LAV relational mappings, added edges **patch** cached
     ///   solutions in place (one fresh path per new edge and matching
-    ///   rule); snapshots are rebuilt lazily on the next answer;
-    /// * deltas with removals, non-LAV mappings, or id collisions
-    ///   invalidate the cache — the next answer rebuilds from the new
-    ///   source.
+    ///   rule) and bounded edge removals **unpatch** them (the matching
+    ///   fresh paths are deleted; see
+    ///   [`CanonicalSolution::unpatch_lav_edges`]); an edge added and
+    ///   removed by the same delta cancels out. Snapshots re-freeze lazily
+    ///   on the next answer — per label, and (sharded) per stripe;
+    /// * anything else — non-LAV mappings, id collisions, removals no
+    ///   clean fresh path exists for — invalidates the cache and the next
+    ///   answer rebuilds from the new source.
     ///
     /// No-op deltas (nothing actually changed) bump nothing.
     pub fn apply_delta(
@@ -713,21 +1034,47 @@ impl MappingService {
         }
         let generation = entry.generation.fetch_add(1, Ordering::AcqRel) + 1;
         let source = read(&entry.source).clone();
-        let try_patch = !self.patching_off.load(Ordering::Relaxed) && applied.removed_edges == 0;
+        let report = |patched: bool| DeltaReport {
+            generation,
+            patched,
+            added_nodes: applied.added_nodes,
+            added_edges: applied.added_edges.len(),
+            removed_edges: applied.removed_edges.len(),
+        };
+        // An edge both added and removed by this delta (adds apply first)
+        // is a net no-op for every cached solution; cancel the pair so the
+        // patch path reasons about the delta's net effect only.
+        let added_set: FxHashSet<_> = applied.added_edges.iter().copied().collect();
+        let removed_set: FxHashSet<_> = applied.removed_edges.iter().copied().collect();
+        let net_added: Vec<_> = applied
+            .added_edges
+            .iter()
+            .filter(|e| !removed_set.contains(e))
+            .copied()
+            .collect();
+        let net_removed: Vec<_> = applied
+            .removed_edges
+            .iter()
+            .filter(|e| !added_set.contains(e))
+            .copied()
+            .collect();
+        let try_patch = !self.patching_off.load(Ordering::Relaxed);
         // Under a LAV mapping, source answers are exactly the per-label edge
-        // sets: added nodes and edges matching no rule atom leave every
-        // cached solution — snapshots included — valid as-is.
+        // sets: changes matching no rule atom leave every cached solution —
+        // snapshots included — valid as-is.
         let class = entry.gsm.classify();
+        let matches_rule = |&(_, l, _): &(NodeId, Label, NodeId)| {
+            entry
+                .gsm
+                .rules()
+                .iter()
+                .any(|r| r.source.as_atom() == Some(l))
+        };
         if try_patch
             && class.lav
             && class.relational
-            && !applied.added_edges.iter().any(|&(_, l, _)| {
-                entry
-                    .gsm
-                    .rules()
-                    .iter()
-                    .any(|r| r.source.as_atom() == Some(l))
-            })
+            && !net_added.iter().any(matches_rule)
+            && !net_removed.iter().any(matches_rule)
         {
             for slot in slots.iter_mut() {
                 if !matches!(slot.state, SlotState::Empty) {
@@ -736,13 +1083,7 @@ impl MappingService {
             }
             drop(slots);
             self.patched_deltas.fetch_add(1, Ordering::Relaxed);
-            return Ok(DeltaReport {
-                generation,
-                patched: true,
-                added_nodes: applied.added_nodes,
-                added_edges: applied.added_edges.len(),
-                removed_edges: 0,
-            });
+            return Ok(report(true));
         }
         let mut patched = true;
         for (fi, slot) in slots.iter_mut().enumerate() {
@@ -754,8 +1095,11 @@ impl MappingService {
                     slot.state = SlotState::Failed(SolutionError::NotRelational);
                     slot.generation = generation;
                 }
-                // additive deltas can't un-conflict an ε-rule
-                SlotState::Failed(e @ SolutionError::NoSolution { .. }) if try_patch => {
+                // additions can't un-conflict an ε-rule; a removal might,
+                // so it falls through to invalidation below
+                SlotState::Failed(e @ SolutionError::NoSolution { .. })
+                    if try_patch && net_removed.is_empty() =>
+                {
                     slot.state = SlotState::Failed(e);
                     slot.generation = generation;
                 }
@@ -763,25 +1107,51 @@ impl MappingService {
                     self.release(slot);
                     patched = false;
                 }
-                state @ (SlotState::Patched(_) | SlotState::Ready(_)) if try_patch => {
-                    let mut sol = match state {
-                        SlotState::Patched(sol) => *sol,
-                        SlotState::Ready(prep) => match Arc::try_unwrap(prep) {
-                            Ok(prep) => prep.into_solution(),
-                            Err(shared) => shared.solution().clone(),
-                        },
+                state @ (SlotState::Patched { .. } | SlotState::Ready(_)) if try_patch => {
+                    let (mut sol, mut carry) = match state {
+                        SlotState::Patched { sol, carry } => (*sol, carry),
+                        SlotState::Ready(prep) => {
+                            let carry = Some(RefreezeCarry::from_prepared(&prep));
+                            let sol = match Arc::try_unwrap(prep) {
+                                Ok(prep) => prep.into_solution(),
+                                Err(shared) => shared.solution().clone(),
+                            };
+                            (sol, carry)
+                        }
                         _ => unreachable!(),
                     };
-                    match sol.patch_lav_edges(&entry.gsm, &source, &applied.added_edges, universal)
-                    {
-                        Ok(true) => {
+                    let outcome = sol
+                        .patch_lav_edges(&entry.gsm, &source, &net_added, universal)
+                        .map(|add| {
+                            add.and_then(|mut summary| {
+                                if net_removed.is_empty() {
+                                    return Some(summary);
+                                }
+                                sol.unpatch_lav_edges(&entry.gsm, &source, &net_removed)
+                                    .map(|rem| {
+                                        summary.merge(rem);
+                                        summary
+                                    })
+                            })
+                        });
+                    match outcome {
+                        Ok(Some(summary)) => {
+                            if let Some(c) = carry.as_mut() {
+                                c.absorb(&summary);
+                            }
                             self.sub_bytes(slot.bytes);
-                            slot.bytes = sol.approx_bytes();
+                            // the carry's retained snapshot/slices stay
+                            // resident until the refreeze: charge them too
+                            slot.bytes =
+                                sol.approx_bytes() + carry.as_ref().map_or(0, |c| c.approx_bytes());
                             self.add_bytes(slot.bytes);
-                            slot.state = SlotState::Patched(Box::new(sol));
+                            slot.state = SlotState::Patched {
+                                sol: Box::new(sol),
+                                carry,
+                            };
                             slot.generation = generation;
                         }
-                        Ok(false) => {
+                        Ok(None) => {
                             self.release(slot);
                             patched = false;
                         }
@@ -794,7 +1164,7 @@ impl MappingService {
                         }
                     }
                 }
-                SlotState::Patched(_) | SlotState::Ready(_) => {
+                SlotState::Patched { .. } | SlotState::Ready(_) => {
                     self.release(slot);
                     patched = false;
                 }
@@ -808,13 +1178,7 @@ impl MappingService {
         }
         self.enforce_budget(None);
         self.release_if_unregistered(&entry);
-        Ok(DeltaReport {
-            generation,
-            patched,
-            added_nodes: applied.added_nodes,
-            added_edges: applied.added_edges.len(),
-            removed_edges: applied.removed_edges,
-        })
+        Ok(report(patched))
     }
 
     // ----- internals -----
@@ -883,11 +1247,15 @@ impl MappingService {
                     return Ok(p.clone());
                 }
                 SlotState::Failed(e) => return Err(e.clone()),
-                SlotState::Empty | SlotState::Patched(_) => {}
+                SlotState::Empty | SlotState::Patched { .. } => {}
             }
+            let shards = entry.shards.load(Ordering::Relaxed);
             let built = match std::mem::take(&mut slot.state) {
-                // a delta-patched solution only needs re-freezing
-                SlotState::Patched(sol) => Ok(PreparedSolution::new(*sol)),
+                // a delta-patched solution only needs re-freezing — and the
+                // carry keeps untouched labels/stripes from re-freezing too
+                SlotState::Patched { sol, carry } => {
+                    Ok(PreparedSolution::refreeze(*sol, carry, shards, generation))
+                }
                 SlotState::Empty => {
                     let source = read(&entry.source).clone();
                     match flavour {
@@ -896,7 +1264,7 @@ impl MappingService {
                             least_informative_solution(&entry.gsm, &source)
                         }
                     }
-                    .map(PreparedSolution::new)
+                    .map(|sol| PreparedSolution::new(sol, shards, generation))
                 }
                 _ => unreachable!("ready/failed handled above"),
             };
@@ -1024,7 +1392,7 @@ fn eval_semantics(
             Answer::Tuples(CertainAnswers::Pairs(prep.answers_over_dom(q)))
         }
         Semantics::Nulls(Mode::Boolean) | Semantics::LeastInformative(Mode::Boolean) => {
-            Answer::Boolean(q.holds_somewhere(prep.snapshot()))
+            Answer::Boolean(prep.holds(q))
         }
         Semantics::Exact(Mode::Tuples, opts) => {
             Answer::Tuples(exact_answers_from(prep.solution(), q.source(), opts)?)
@@ -1063,7 +1431,7 @@ pub fn answer_once(
             Mode::Boolean => Answer::Boolean(exact_boolean_from(&sol, q.source(), opts)?),
         });
     }
-    eval_semantics(&PreparedSolution::new(sol), q, sem)
+    eval_semantics(&PreparedSolution::new(sol, 1, 0), q, sem)
 }
 
 /// A schema mapping prepared against one source graph, serving certain
@@ -1311,6 +1679,116 @@ mod tests {
         assert!(svc.is_cached(id, Semantics::least_informative()));
         assert!(svc.cached_bytes() > 0);
         assert_eq!(svc.stats().cached_solutions, 2);
+    }
+
+    #[test]
+    fn sharded_serving_matches_unsharded() {
+        let (m, gs) = scenario();
+        let reference = MappingService::new();
+        let rid = reference.register(m.clone(), gs.clone());
+        let mut ta = m.target_alphabet().clone();
+        let queries: Vec<CompiledQuery> = ["x y", "(x y)=", "x+", "y x"]
+            .iter()
+            .map(|s| gde_dataquery::DataQuery::from(parse_ree(s, &mut ta).unwrap()).compile())
+            .collect();
+        for k in [2, 3, 8] {
+            let svc = MappingService::new();
+            let id = svc.register(m.clone(), gs.clone());
+            svc.set_shard_count(id, k).unwrap();
+            assert_eq!(svc.shard_count(id), Some(k));
+            for sem in [
+                Semantics::nulls(),
+                Semantics::nulls_boolean(),
+                Semantics::least_informative(),
+                Semantics::least_informative_boolean(),
+                Semantics::exact(),
+                Semantics::exact_boolean(),
+            ] {
+                for q in &queries {
+                    assert_eq!(
+                        svc.answer(id, q, sem),
+                        reference.answer(rid, q, sem),
+                        "k={k} {sem:?}"
+                    );
+                }
+                let batch = svc.answer_batch(id, &queries, sem);
+                for (q, got) in queries.iter().zip(batch) {
+                    assert_eq!(got, reference.answer(rid, q, sem), "batch k={k} {sem:?}");
+                }
+            }
+            let prep = svc.solution(id, Semantics::nulls()).unwrap();
+            assert_eq!(prep.shard_count(), k);
+            assert_eq!(prep.shard_stamps().len(), k);
+            assert!(prep.sharded().is_some());
+        }
+        // resizing (including back to 1) re-prepares and keeps answers
+        let svc = MappingService::new();
+        let id = svc.register(m.clone(), gs.clone());
+        svc.set_shard_count(id, 4).unwrap();
+        let a4 = svc.answer(id, &queries[0], Semantics::nulls());
+        svc.set_shard_count(id, 1).unwrap();
+        assert_eq!(svc.answer(id, &queries[0], Semantics::nulls()), a4);
+        assert!(svc
+            .solution(id, Semantics::nulls())
+            .unwrap()
+            .sharded()
+            .is_none());
+    }
+
+    #[test]
+    fn deltas_bump_only_touched_shard_stamps() {
+        // a LAV mapping with two labels: a => x (no invented nodes, so the
+        // dense domain never grows and refreezes stay incremental)
+        let mut sa = Alphabet::from_labels(["a", "b"]);
+        let mut ta = Alphabet::from_labels(["x", "y"]);
+        let mut m = Gsm::new(sa.clone(), ta.clone());
+        m.add_rule(
+            parse_regex("a", &mut sa).unwrap(),
+            parse_regex("x", &mut ta).unwrap(),
+        );
+        m.add_rule(
+            parse_regex("b", &mut sa).unwrap(),
+            parse_regex("y", &mut ta).unwrap(),
+        );
+        let mut gs = DataGraph::new();
+        for i in 0..16u32 {
+            gs.add_node(NodeId(i), Value::int(i as i64)).unwrap();
+        }
+        for i in 0..15u32 {
+            gs.add_edge_str(NodeId(i), "a", NodeId(i + 1)).unwrap();
+        }
+        gs.add_edge_str(NodeId(0), "b", NodeId(15)).unwrap();
+        let svc = MappingService::new();
+        let id = svc.register(m, gs);
+        svc.set_shard_count(id, 4).unwrap();
+        let mut ta2 = ta.clone();
+        let q = gde_dataquery::DataQuery::from(parse_ree("x", &mut ta2).unwrap()).compile();
+        svc.answer(id, &q, Semantics::nulls()).unwrap();
+        let prep0 = svc.solution(id, Semantics::nulls()).unwrap();
+        assert_eq!(prep0.shard_stamps(), &[0, 0, 0, 0]);
+
+        // an a-edge between two low-row nodes touches exactly their stripe
+        let delta = GraphDelta::new().with_edge(NodeId(0), "a", NodeId(2));
+        let report = svc.apply_delta(id, &delta).unwrap();
+        assert!(report.patched);
+        let answer = svc.answer(id, &q, Semantics::nulls()).unwrap();
+        let prep1 = svc.solution(id, Semantics::nulls()).unwrap();
+        let bumped: Vec<usize> = prep1
+            .shard_stamps()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == 1)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !bumped.is_empty() && bumped.len() < 4,
+            "only the touched stripes refreeze, got stamps {:?}",
+            prep1.shard_stamps()
+        );
+        // and the answers still match a cold rebuild
+        let fresh = MappingService::new();
+        let fid = fresh.register(svc.gsm(id).unwrap(), svc.source(id).unwrap());
+        assert_eq!(answer, fresh.answer(fid, &q, Semantics::nulls()).unwrap());
     }
 
     #[test]

@@ -322,12 +322,20 @@ pub(crate) fn intersect_over_patterns(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // compares against the legacy one-shot wrappers
 mod tests {
     use super::*;
+    use crate::engine::{answer_once, Semantics};
     use gde_automata::parse_regex;
     use gde_datagraph::{Alphabet, Value};
     use gde_dataquery::parse_ree;
+
+    /// The `2ⁿ` answers through the unified serving entry point (what the
+    /// deprecated `certain_answers_nulls` free function now wraps).
+    fn nulls_pairs(m: &Gsm, q: &DataQuery, gs: &DataGraph) -> Vec<(NodeId, NodeId)> {
+        answer_once(m, gs, &q.compile(), Semantics::nulls())
+            .unwrap()
+            .into_pairs()
+    }
 
     /// Source: 0(v5) -a-> 1(v5); mapping (a, x y).
     fn scenario() -> (Gsm, DataGraph) {
@@ -353,9 +361,7 @@ mod tests {
         let exact = certain_answers_exact(&m, &q, &gs, ExactOptions::default())
             .unwrap()
             .into_pairs();
-        let nulls = crate::certain::certain_answers_nulls(&m, &q, &gs)
-            .unwrap()
-            .into_pairs();
+        let nulls = nulls_pairs(&m, &q, &gs);
         assert_eq!(exact, nulls);
         assert_eq!(exact, vec![(NodeId(0), NodeId(1))]);
     }
@@ -375,9 +381,7 @@ mod tests {
         let (m, gs) = scenario();
         let mut ta = m.target_alphabet().clone();
         let q: DataQuery = parse_ree("(x= y) | (x!= y)", &mut ta).unwrap().into();
-        let nulls = crate::certain::certain_answers_nulls(&m, &q, &gs)
-            .unwrap()
-            .into_pairs();
+        let nulls = nulls_pairs(&m, &q, &gs);
         assert!(nulls.is_empty(), "2ⁿ misses the disjunction over nulls");
         let exact = certain_answers_exact(&m, &q, &gs, ExactOptions::default())
             .unwrap()
@@ -395,9 +399,7 @@ mod tests {
         let mut ta = m.target_alphabet().clone();
         for src in ["x y", "(x y)=", "(x y)!=", "x= y", "(x | y)+"] {
             let q: DataQuery = parse_ree(src, &mut ta).unwrap().into();
-            let nulls = crate::certain::certain_answers_nulls(&m, &q, &gs)
-                .unwrap()
-                .into_pairs();
+            let nulls = nulls_pairs(&m, &q, &gs);
             let exact = certain_answers_exact(&m, &q, &gs, ExactOptions::default())
                 .unwrap()
                 .into_pairs();

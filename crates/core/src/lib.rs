@@ -37,9 +37,15 @@
 //!   engine per call with [`engine::Semantics`] (`Nulls`,
 //!   `LeastInformative`, `Exact` — each in tuple or Boolean [`engine::Mode`]);
 //! * **apply deltas** to the owned source
-//!   ([`engine::MappingService::apply_delta`]): additive LAV deltas patch
-//!   the cached solutions in place, everything else invalidates them under
-//!   a generation stamp;
+//!   ([`engine::MappingService::apply_delta`]): under LAV mappings, added
+//!   edges patch the cached solutions in place and bounded removals
+//!   delete the matching fresh paths; everything else invalidates them
+//!   under a generation stamp;
+//! * **shard** a mapping into K node-range stripes
+//!   ([`engine::MappingService::set_shard_count`]): answers evaluate per
+//!   stripe and merge (union / Boolean OR with short-circuit), batches
+//!   schedule `(query, stripe)` tasks, and deltas invalidate per stripe —
+//!   answers are byte-identical at every K;
 //! * cached solutions live under a byte budget with least-recently-served
 //!   **eviction**, and the service is `Send + Sync`, so scoped threads
 //!   serve one instance concurrently.
@@ -80,7 +86,7 @@ pub use engine::{
 pub use exact::{certain_answers_exact, certain_boolean_exact, ExactOptions};
 pub use gsm::{Gsm, MappingClass, Rule};
 pub use rel2graph::{RelToGraphMapping, RelToGraphRule};
-pub use solution::{least_informative_solution, universal_solution, CanonicalSolution};
+pub use solution::{least_informative_solution, universal_solution, CanonicalSolution, LavPatch};
 
 /// Names used by virtually every program built on the library.
 pub mod prelude {

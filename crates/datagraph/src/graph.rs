@@ -197,6 +197,94 @@ impl DataGraph {
         }
     }
 
+    /// Remove a node together with its incident edges; returns `false` for
+    /// unknown ids. `O(deg)` plus a swap-remove of the dense slot, so dense
+    /// indices obtained earlier (and snapshots) are invalidated; node ids
+    /// of other nodes are untouched, and the fresh-id watermark does not
+    /// move backwards (a removed id is never reissued by
+    /// [`DataGraph::fresh_node`]).
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        let Some(&d) = self.index.get(&id) else {
+            return false;
+        };
+        // detach incident edges (self-loops appear in both lists; the
+        // second erase is a no-op)
+        for (l, v) in std::mem::take(&mut self.out[d as usize]) {
+            self.edges.remove(&(d, l, v));
+            if v != d {
+                let inn = &mut self.inn[v as usize];
+                if let Some(p) = inn.iter().position(|&e| e == (l, d)) {
+                    inn.swap_remove(p);
+                }
+            }
+        }
+        for (l, u) in std::mem::take(&mut self.inn[d as usize]) {
+            self.edges.remove(&(u, l, d));
+            if u != d {
+                let out = &mut self.out[u as usize];
+                if let Some(p) = out.iter().position(|&e| e == (l, d)) {
+                    out.swap_remove(p);
+                }
+            }
+        }
+        self.index.remove(&id);
+        let last = (self.ids.len() - 1) as u32;
+        if d != last {
+            // renumber the swapped-in last node: rewrite its edge triples…
+            for &(l, v) in &self.out[last as usize] {
+                self.edges.remove(&(last, l, v));
+                let v = if v == last { d } else { v };
+                self.edges.insert((d, l, v));
+            }
+            for &(l, u) in &self.inn[last as usize] {
+                if u == last {
+                    continue; // self-loop re-inserted above
+                }
+                self.edges.remove(&(u, l, last));
+                self.edges.insert((u, l, d));
+            }
+            self.index.insert(self.ids[last as usize], d);
+        }
+        self.ids.swap_remove(d as usize);
+        self.values.swap_remove(d as usize);
+        self.out.swap_remove(d as usize);
+        self.inn.swap_remove(d as usize);
+        if d != last {
+            // …then every adjacency entry still pointing at the old slot
+            for e in self.out[d as usize].iter_mut() {
+                if e.1 == last {
+                    e.1 = d;
+                }
+            }
+            for e in self.inn[d as usize].iter_mut() {
+                if e.1 == last {
+                    e.1 = d;
+                }
+            }
+            let moved_out = self.out[d as usize].clone();
+            for (l, v) in moved_out {
+                if v != d {
+                    for e in self.inn[v as usize].iter_mut() {
+                        if *e == (l, last) {
+                            *e = (l, d);
+                        }
+                    }
+                }
+            }
+            let moved_in = self.inn[d as usize].clone();
+            for (l, u) in moved_in {
+                if u != d {
+                    for e in self.out[u as usize].iter_mut() {
+                        if *e == (l, last) {
+                            *e = (l, d);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Apply a [`GraphDelta`] in one shot: new nodes, then new edges, then
     /// edge removals. The delta is validated **before** anything is applied
     /// (duplicate node ids, edge endpoints that exist neither in the graph
@@ -229,10 +317,12 @@ impl DataGraph {
                 added_edges.push((*u, l, *v));
             }
         }
-        let mut removed_edges = 0;
+        let mut removed_edges = Vec::new();
         for (u, label, v) in &delta.remove_edges {
-            if self.remove_edge_str(*u, label, *v) {
-                removed_edges += 1;
+            if let Some(l) = self.alphabet.label(label) {
+                if self.remove_edge(*u, l, *v) {
+                    removed_edges.push((*u, l, *v));
+                }
             }
         }
         Ok(DeltaApplied {
@@ -479,14 +569,16 @@ pub struct DeltaApplied {
     /// The edges that were actually new, with their interned labels
     /// (already-present edges are skipped).
     pub added_edges: Vec<(NodeId, Label, NodeId)>,
-    /// Number of edges actually removed.
-    pub removed_edges: usize,
+    /// The edges actually removed, with their interned labels (absent
+    /// edges are skipped). Labels let delta-aware serving caches unpatch
+    /// per removed rule match.
+    pub removed_edges: Vec<(NodeId, Label, NodeId)>,
 }
 
 impl DeltaApplied {
     /// Did the application change the graph at all?
     pub fn changed(&self) -> bool {
-        self.added_nodes > 0 || !self.added_edges.is_empty() || self.removed_edges > 0
+        self.added_nodes > 0 || !self.added_edges.is_empty() || !self.removed_edges.is_empty()
     }
 }
 
@@ -681,7 +773,8 @@ mod tests {
         let applied = g.apply_delta(&delta).unwrap();
         assert_eq!(applied.added_nodes, 1);
         assert_eq!(applied.added_edges.len(), 1);
-        assert_eq!(applied.removed_edges, 1);
+        let b = g.alphabet().label("b").unwrap();
+        assert_eq!(applied.removed_edges, vec![(NodeId(1), b, NodeId(2))]);
         assert!(applied.changed());
         let c = g.alphabet().label("c").unwrap();
         assert!(g.contains_edge(NodeId(2), c, NodeId(10)));
@@ -716,6 +809,88 @@ mod tests {
             .with_edge(NodeId(5), "a", NodeId(5));
         assert!(g.apply_delta(&ok).unwrap().changed());
         assert!(GraphDelta::new().is_empty());
+    }
+
+    #[test]
+    fn apply_delta_edge_cases() {
+        // empty delta: nothing changes, no error
+        let mut g = triangle();
+        let applied = g.apply_delta(&GraphDelta::new()).unwrap();
+        assert!(!applied.changed());
+        assert_eq!(g.edge_count(), 3);
+
+        // duplicate edge add within one delta: applied once, reported once
+        let delta = GraphDelta::new()
+            .with_edge(NodeId(0), "c", NodeId(2))
+            .with_edge(NodeId(0), "c", NodeId(2));
+        let applied = g.apply_delta(&delta).unwrap();
+        assert_eq!(applied.added_edges.len(), 1);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_edges(NodeId(0)).count(), 2);
+
+        // add-then-remove of the same edge in one delta: adds apply first,
+        // so the edge is gone at the end but both sides are reported
+        let delta = GraphDelta::new()
+            .with_edge(NodeId(1), "d", NodeId(0))
+            .without_edge(NodeId(1), "d", NodeId(0));
+        let applied = g.apply_delta(&delta).unwrap();
+        let d = g.alphabet().label("d").unwrap();
+        assert_eq!(applied.added_edges, vec![(NodeId(1), d, NodeId(0))]);
+        assert_eq!(applied.removed_edges, vec![(NodeId(1), d, NodeId(0))]);
+        assert!(!g.contains_edge(NodeId(1), d, NodeId(0)));
+
+        // removal of a nonexistent edge (and of a never-interned label):
+        // ignored, not an error, not reported
+        let delta = GraphDelta::new()
+            .without_edge(NodeId(0), "a", NodeId(2))
+            .without_edge(NodeId(0), "nope", NodeId(1))
+            .without_edge(NodeId(42), "a", NodeId(0));
+        let applied = g.apply_delta(&delta).unwrap();
+        assert!(!applied.changed());
+        assert!(applied.removed_edges.is_empty());
+        assert!(g.alphabet().label("nope").is_none());
+    }
+
+    #[test]
+    fn remove_node_detaches_and_renumbers() {
+        let mut g = triangle();
+        g.add_node(NodeId(7), Value::str("x")).unwrap();
+        g.add_edge_str(NodeId(7), "z", NodeId(7)).unwrap(); // self-loop
+        g.add_edge_str(NodeId(2), "z", NodeId(7)).unwrap();
+        // remove a middle node: 1 had edges 0-a->1 and 1-b->2
+        assert!(g.remove_node(NodeId(1)));
+        assert!(!g.has_node(NodeId(1)));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3); // 2-a->0, 7-z->7, 2-z->7
+        let a = g.alphabet().label("a").unwrap();
+        let z = g.alphabet().label("z").unwrap();
+        assert!(g.contains_edge(NodeId(2), a, NodeId(0)));
+        assert!(g.contains_edge(NodeId(7), z, NodeId(7)));
+        assert!(g.contains_edge(NodeId(2), z, NodeId(7)));
+        // dense view stays coherent after the swap-remove
+        for id in [NodeId(0), NodeId(2), NodeId(7)] {
+            let d = g.idx(id).unwrap();
+            assert_eq!(g.id_at(d), id);
+        }
+        let succ: Vec<_> = g.successors(NodeId(2), z).collect();
+        assert_eq!(succ, vec![NodeId(7)]);
+        assert_eq!(g.in_edges(NodeId(7)).count(), 2);
+        // unknown / double removal
+        assert!(!g.remove_node(NodeId(1)));
+        assert!(!g.remove_node(NodeId(99)));
+        // removed ids are not reissued
+        assert!(g.fresh_node(Value::Null).0 >= 8);
+        // removing the last-dense node works too
+        let n_before = g.node_count();
+        assert!(g.remove_node(NodeId(7)));
+        assert_eq!(g.node_count(), n_before - 1);
+        assert_eq!(
+            g.in_edges(NodeId(0)).count() + g.out_edges(NodeId(2)).count(),
+            {
+                // 2-a->0 survives; both z-edges died with node 7
+                2
+            }
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`GraphSnapshot`] — a frozen, label-partitioned CSR view with interned
 //!   values and cached per-label relations, the substrate of the
 //!   prepared-mapping serving engine in `gde-core`;
+//! * [`ShardPlan`] and [`ShardedSnapshot`] — node-range stripes over a
+//!   snapshot with per-shard label relations and a boundary-edge overlay,
+//!   scheduled onto workers by [`par::map_shards`]: the partition unit of
+//!   the sharded serving pipeline in `gde-core`;
 //! * homomorphisms between data graphs, both the exact form of §6 and the
 //!   null-absorbing form of §7 ([`hom`]).
 
@@ -42,6 +46,7 @@ pub mod par;
 pub mod path;
 pub mod property;
 pub mod relation;
+pub mod shard;
 pub mod snapshot;
 pub mod value;
 
@@ -53,5 +58,6 @@ pub use node::NodeId;
 pub use path::{DataPath, Path};
 pub use property::{Properties, PropertyGraph};
 pub use relation::{Relation, RelationBuilder, RowIter};
+pub use shard::{ShardPlan, ShardedSnapshot};
 pub use snapshot::GraphSnapshot;
 pub use value::Value;

@@ -124,6 +124,69 @@ where
     })
 }
 
+/// Run `f(i)` for every task index `0..count` on scoped worker threads,
+/// collecting the results **in task order**. Tasks are claimed one at a
+/// time from a shared atomic queue — the dynamic scheduler behind
+/// [`map_shards`] and the sharded batch serving in `gde-core`, where task
+/// costs are too uneven for [`map_blocks`]'s static cuts. Runs inline
+/// when parallelism is off or there is at most one task.
+pub fn map_tasks<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let t = max_threads().min(count);
+    if t <= 1 {
+        return (0..count).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let (f, next) = (&f, &next);
+        let handles: Vec<_> = (0..t)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break out;
+                        }
+                        out.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("task worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task claimed"))
+        .collect()
+}
+
+/// Run `f` over explicit index ranges — the stripes of a shard plan — on
+/// scoped worker threads, and collect the per-stripe results **in stripe
+/// order**. Unlike [`map_blocks`], which cuts `0..items` into equal
+/// blocks, the caller owns the partition here; stripes are claimed whole
+/// (each worker owns one stripe at a time) from a shared queue, so
+/// imbalanced stripes don't idle workers.
+///
+/// `f` receives `(stripe_index, range)`.
+pub fn map_shards<T, F>(ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    map_tasks(ranges.len(), |i| f(i, ranges[i].clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +228,17 @@ mod tests {
         assert_eq!(threads_for(10, 512), 1);
         let blocks = map_blocks(10, 512, |r| r.len());
         assert_eq!(blocks, vec![10]);
+    }
+
+    #[test]
+    fn shards_come_back_in_stripe_order() {
+        let _guard = test_knob_lock();
+        for t in [1, 3] {
+            set_max_threads(t);
+            let ranges = vec![0..5, 5..6, 6..40, 40..40, 40..41];
+            let got = map_shards(&ranges, |i, r| (i, r.len()));
+            assert_eq!(got, vec![(0, 5), (1, 1), (2, 34), (3, 0), (4, 1)]);
+        }
+        set_max_threads(0);
     }
 }

@@ -51,6 +51,7 @@
 
 use crate::par;
 use std::fmt;
+use std::ops::Range;
 
 /// Dimensions at or below this always use the dense matrix (≤ 8 KiB).
 const DENSE_MAX_N: usize = 256;
@@ -1114,6 +1115,25 @@ impl Relation {
     /// Project onto a boolean "has any pair" flag.
     pub fn any(&self) -> bool {
         !self.is_empty()
+    }
+
+    /// The sub-relation keeping only rows in `rows` (same dimension; other
+    /// rows become empty). This is the stripe shape of sharded serving:
+    /// the union of `restrict_rows` over a partition of `0..n` rebuilds
+    /// the relation exactly.
+    pub fn restrict_rows(&self, rows: Range<usize>) -> Relation {
+        let mut b = RelationBuilder::new(self.n);
+        for i in rows.start..rows.end.min(self.n) {
+            for j in self.row_iter(i) {
+                b.push(i, j);
+            }
+        }
+        b.build()
+    }
+
+    /// Do any of the given rows hold at least one pair?
+    pub fn any_in_rows(&self, rows: Range<usize>) -> bool {
+        (rows.start..rows.end.min(self.n)).any(|i| self.row_iter(i).next().is_some())
     }
 }
 

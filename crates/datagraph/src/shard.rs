@@ -1,0 +1,413 @@
+//! Node-range sharding of a frozen [`GraphSnapshot`].
+//!
+//! The certain-answer semantics served by `gde-core` are embarrassingly
+//! partitionable over the answer relation's *source* rows: the full answer
+//! is the disjoint union of its row stripes, so K workers can each own one
+//! contiguous dense-index range and evaluate independently, with a single
+//! cheap merge at the end. This module provides the two pieces a sharded
+//! serving engine needs below the query layer:
+//!
+//! * [`ShardPlan`] — a partition of the dense node domain `0..n` into K
+//!   contiguous stripes (even by node count, or balanced by out-degree so
+//!   hub-heavy graphs don't leave workers idle);
+//! * [`ShardedSnapshot`] — a [`GraphSnapshot`] plus, per shard and label,
+//!   the **intra-stripe** label relation (both endpoints inside the
+//!   stripe) and a thin **boundary overlay** of edges whose target falls
+//!   outside the stripe. Their union is exactly the row slice of the full
+//!   label relation, which is what row-restricted query evaluation
+//!   consumes as its atoms. All slices are built lazily, at most once per
+//!   `(shard, label)`, and can be carried over a refreeze when neither the
+//!   stripe's rows nor the label's edge set changed (the per-shard
+//!   invalidation path of `MappingService::apply_delta`).
+//!
+//! Scheduling stripes onto workers is [`crate::par::map_shards`].
+
+use crate::label::Label;
+use crate::relation::{Relation, RelationBuilder};
+use crate::snapshot::GraphSnapshot;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// A partition of the dense node domain `0..n` into contiguous stripes.
+///
+/// `bounds` has `K + 1` monotone entries with `bounds[0] = 0` and
+/// `bounds[K] = n`; stripe `i` is `bounds[i]..bounds[i+1]`. Stripes may be
+/// empty (more shards than nodes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// A single stripe covering everything — the unsharded plan.
+    pub fn single(n: usize) -> ShardPlan {
+        ShardPlan::even(n, 1)
+    }
+
+    /// `k` stripes of (nearly) equal node count.
+    pub fn even(n: usize, k: usize) -> ShardPlan {
+        let k = k.max(1);
+        assert!(n <= u32::MAX as usize, "node domain exceeds u32");
+        let per = n.div_ceil(k).max(1);
+        let mut bounds = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            bounds.push(((i * per).min(n)) as u32);
+        }
+        ShardPlan { bounds }
+    }
+
+    /// `k` stripes balanced by out-degree, so each worker owns roughly the
+    /// same number of edge *sources* even when the graph has hubs. Every
+    /// node also counts 1 (isolated nodes still cost a visit in
+    /// per-source evaluation).
+    pub fn by_out_degree(s: &GraphSnapshot, k: usize) -> ShardPlan {
+        let k = k.max(1);
+        let n = s.n();
+        let mut weight = vec![1u64; n];
+        for li in 0..s.label_count() {
+            let l = Label(li as u16);
+            for (u, w) in weight.iter_mut().enumerate() {
+                *w += s.out(l, u as u32).len() as u64;
+            }
+        }
+        let total: u64 = weight.iter().sum();
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0u32);
+        let mut acc = 0u64;
+        let mut cut = 1usize;
+        for (u, w) in weight.iter().enumerate() {
+            // cut *before* node u once the running weight reaches the next
+            // 1/k quantile, keeping later stripes non-degenerate
+            while cut < k && acc * (k as u64) >= total * (cut as u64) {
+                bounds.push(u as u32);
+                cut += 1;
+            }
+            acc += w;
+        }
+        while bounds.len() < k {
+            bounds.push(n as u32);
+        }
+        bounds.push(n as u32);
+        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        ShardPlan { bounds }
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The node domain size being partitioned.
+    pub fn n(&self) -> usize {
+        *self.bounds.last().expect("bounds nonempty") as usize
+    }
+
+    /// The dense-index range of stripe `i`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        self.bounds[i] as usize..self.bounds[i + 1] as usize
+    }
+
+    /// All stripe ranges, in order.
+    pub fn ranges(&self) -> Vec<Range<usize>> {
+        (0..self.shard_count()).map(|i| self.range(i)).collect()
+    }
+
+    /// The stripe containing a dense row (out-of-range rows clamp to the
+    /// last stripe).
+    pub fn shard_of(&self, row: u32) -> usize {
+        // first bound strictly above `row`, minus one
+        let p = self.bounds.partition_point(|&b| b <= row);
+        p.clamp(1, self.shard_count()) - 1
+    }
+}
+
+/// The cached slices of one `(shard, label)` cell. Only two relations are
+/// stored — the full row slice (what evaluation reads) and the thin
+/// boundary overlay — so edges inside the stripe are materialised once;
+/// the intra-stripe part is derived on demand.
+#[derive(Debug)]
+struct ShardSlice {
+    /// The row slice of the full label relation (all edges whose source
+    /// lies in the stripe) — the atom row-restricted evaluation starts
+    /// from.
+    rows: Relation,
+    /// The boundary overlay: edges whose source is inside the stripe and
+    /// whose target is outside.
+    boundary: Relation,
+}
+
+/// A [`GraphSnapshot`] partitioned into node-range stripes, with lazily
+/// built per-shard label relations (see the module docs).
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    base: Arc<GraphSnapshot>,
+    plan: ShardPlan,
+    /// `shard * label_count + label` → slices, built at most once.
+    slices: Vec<OnceLock<ShardSlice>>,
+}
+
+impl ShardedSnapshot {
+    /// Shard a snapshot under a plan. The plan must cover the snapshot's
+    /// node domain.
+    pub fn new(base: Arc<GraphSnapshot>, plan: ShardPlan) -> ShardedSnapshot {
+        assert_eq!(plan.n(), base.n(), "plan does not cover the snapshot");
+        let cells = plan.shard_count() * base.label_count();
+        ShardedSnapshot {
+            base,
+            plan,
+            slices: (0..cells).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The underlying full snapshot.
+    pub fn base(&self) -> &GraphSnapshot {
+        &self.base
+    }
+
+    /// The underlying snapshot, shared.
+    pub fn base_arc(&self) -> &Arc<GraphSnapshot> {
+        &self.base
+    }
+
+    /// The stripe plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of stripes.
+    pub fn shard_count(&self) -> usize {
+        self.plan.shard_count()
+    }
+
+    fn cell(&self, shard: usize, l: Label) -> Option<&ShardSlice> {
+        if l.index() >= self.base.label_count() {
+            return None; // label interned after freezing: no edges
+        }
+        let idx = shard * self.base.label_count() + l.index();
+        Some(self.slices[idx].get_or_init(|| {
+            let range = self.plan.range(shard);
+            let n = self.base.n();
+            let mut boundary = RelationBuilder::new(n);
+            let mut rows = RelationBuilder::new(n);
+            for u in range.clone() {
+                for &v in self.base.out(l, u as u32) {
+                    if !range.contains(&(v as usize)) {
+                        boundary.push(u, v as usize);
+                    }
+                    rows.push(u, v as usize);
+                }
+            }
+            ShardSlice {
+                rows: rows.build(),
+                boundary: boundary.build(),
+            }
+        }))
+    }
+
+    /// The row slice of `E_label` owned by a stripe: all edges whose
+    /// source lies in the stripe (intra ∪ boundary). `None` for labels the
+    /// snapshot has never seen.
+    pub fn label_rows(&self, shard: usize, l: Label) -> Option<&Relation> {
+        self.cell(shard, l).map(|s| &s.rows)
+    }
+
+    /// The intra-stripe part of a stripe's label relation (derived:
+    /// `rows` minus the boundary overlay; diagnostic use).
+    pub fn intra(&self, shard: usize, l: Label) -> Option<Relation> {
+        self.cell(shard, l)
+            .map(|s| s.rows.filter(|i, j| !s.boundary.contains(i, j)))
+    }
+
+    /// The boundary overlay of a stripe's label relation (edges crossing
+    /// out of the stripe).
+    pub fn boundary(&self, shard: usize, l: Label) -> Option<&Relation> {
+        self.cell(shard, l).map(|s| &s.boundary)
+    }
+
+    /// Build every `(shard, label)` slice now, fanning stripes out over
+    /// [`crate::par::map_shards`] workers. Useful to move slice
+    /// construction out of first-query latency.
+    pub fn warm(&self) {
+        let ranges = self.plan.ranges();
+        crate::par::map_shards(&ranges, |shard, _| {
+            for li in 0..self.base.label_count() {
+                let _ = self.cell(shard, Label(li as u16));
+            }
+        });
+    }
+
+    /// Number of boundary edges across all stripes built so far (the
+    /// overlay cost of the partition; `warm` first for an exact figure).
+    pub fn boundary_edges(&self) -> usize {
+        self.slices
+            .iter()
+            .filter_map(|c| c.get())
+            .map(|s| s.boundary.len())
+            .sum()
+    }
+
+    /// Approximate heap bytes of the cached slices (the base snapshot is
+    /// accounted separately by its own `approx_bytes`).
+    pub fn approx_bytes(&self) -> usize {
+        self.slices
+            .iter()
+            .filter_map(|c| c.get())
+            .map(|s| s.rows.heap_bytes() + s.boundary.heap_bytes())
+            .sum()
+    }
+
+    /// Clone cached slices over from a previous sharded view of an
+    /// equal-dimension snapshot, for every cell where `keep(shard, label)`
+    /// holds — the per-shard carry of a lazy refreeze. Cells not yet built
+    /// in `prev` stay lazy here.
+    pub fn carry_from(&self, prev: &ShardedSnapshot, mut keep: impl FnMut(usize, Label) -> bool) {
+        if prev.base.n() != self.base.n() || prev.plan != self.plan {
+            return;
+        }
+        let labels = self.base.label_count().min(prev.base.label_count());
+        for shard in 0..self.plan.shard_count() {
+            for li in 0..labels {
+                let l = Label(li as u16);
+                if !keep(shard, l) {
+                    continue;
+                }
+                if let Some(slice) = prev.slices[shard * prev.base.label_count() + li].get() {
+                    let _ = self.slices[shard * self.base.label_count() + li].set(ShardSlice {
+                        rows: slice.rows.clone(),
+                        boundary: slice.boundary.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DataGraph;
+    use crate::node::NodeId;
+    use crate::value::Value;
+
+    fn ring(n: usize) -> DataGraph {
+        let mut g = DataGraph::new();
+        for i in 0..n {
+            g.add_node(NodeId(i as u32), Value::int(i as i64 % 3))
+                .unwrap();
+        }
+        for i in 0..n {
+            g.add_edge_str(NodeId(i as u32), "a", NodeId(((i + 1) % n) as u32))
+                .unwrap();
+            if i % 3 == 0 {
+                g.add_edge_str(NodeId(i as u32), "b", NodeId(((i + 5) % n) as u32))
+                    .unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn plan_partitions_domain() {
+        for (n, k) in [(10, 3), (0, 2), (5, 8), (100, 1), (7, 7)] {
+            for plan in [ShardPlan::even(n, k)] {
+                assert_eq!(plan.n(), n);
+                assert_eq!(plan.shard_count(), k.max(1));
+                let mut covered = 0;
+                for i in 0..plan.shard_count() {
+                    let r = plan.range(i);
+                    assert_eq!(r.start, covered);
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+                for row in 0..n as u32 {
+                    let s = plan.shard_of(row);
+                    assert!(plan.range(s).contains(&(row as usize)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_degree_plan_balances_edges() {
+        let g = ring(64);
+        let s = g.snapshot();
+        let plan = ShardPlan::by_out_degree(&s, 4);
+        assert_eq!(plan.shard_count(), 4);
+        assert_eq!(plan.n(), 64);
+        // every stripe nonempty on this uniform graph
+        for i in 0..4 {
+            assert!(!plan.range(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn out_of_range_rows_clamp_to_last_shard() {
+        let plan = ShardPlan::even(10, 2);
+        assert_eq!(plan.shard_of(12), 1);
+        assert_eq!(plan.shard_of(u32::MAX), 1);
+    }
+
+    #[test]
+    fn slices_partition_label_relations() {
+        let g = ring(32);
+        let snap = Arc::new(g.snapshot());
+        for k in [1, 2, 4, 7] {
+            let sharded = ShardedSnapshot::new(snap.clone(), ShardPlan::even(snap.n(), k));
+            sharded.warm();
+            for name in ["a", "b"] {
+                let l = g.alphabet().label(name).unwrap();
+                let full = snap.label_relation(l).unwrap();
+                let mut union = Relation::empty(snap.n());
+                for shard in 0..sharded.shard_count() {
+                    let intra = sharded.intra(shard, l).unwrap();
+                    let boundary = sharded.boundary(shard, l).unwrap().clone();
+                    let rows = sharded.label_rows(shard, l).unwrap();
+                    // rows = intra ⊎ boundary, and rows stay in the stripe
+                    assert_eq!(&intra.union(&boundary), rows);
+                    assert!(intra.iter_pairs().all(|(i, j)| sharded
+                        .plan()
+                        .range(shard)
+                        .contains(&i)
+                        && sharded.plan().range(shard).contains(&j)));
+                    assert!(boundary.iter_pairs().all(|(i, j)| sharded
+                        .plan()
+                        .range(shard)
+                        .contains(&i)
+                        && !sharded.plan().range(shard).contains(&j)));
+                    union.union_with(rows);
+                }
+                assert_eq!(&union, full, "shards cover E_{name} exactly at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_labels_have_no_slices() {
+        let mut g = ring(8);
+        let snap = Arc::new(g.snapshot());
+        let sharded = ShardedSnapshot::new(snap, ShardPlan::even(8, 2));
+        let c = g.alphabet_mut().intern("zz");
+        assert!(sharded.label_rows(0, c).is_none());
+        assert!(sharded.boundary(1, c).is_none());
+    }
+
+    #[test]
+    fn carry_from_clones_kept_cells() {
+        let g = ring(16);
+        let snap = Arc::new(g.snapshot());
+        let a = g.alphabet().label("a").unwrap();
+        let b = g.alphabet().label("b").unwrap();
+        let prev = ShardedSnapshot::new(snap.clone(), ShardPlan::even(16, 2));
+        prev.warm();
+        let next = ShardedSnapshot::new(snap.clone(), ShardPlan::even(16, 2));
+        // keep only label a in shard 0
+        next.carry_from(&prev, |shard, l| shard == 0 && l == a);
+        assert_eq!(next.approx_bytes(), {
+            let s = prev.slices[a.index()].get().unwrap();
+            s.rows.heap_bytes() + s.boundary.heap_bytes()
+        });
+        // carried and rebuilt cells agree with the base either way
+        assert_eq!(next.label_rows(0, a), prev.label_rows(0, a));
+        assert_eq!(next.label_rows(1, b), prev.label_rows(1, b));
+    }
+}

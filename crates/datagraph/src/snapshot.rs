@@ -25,7 +25,7 @@
 //! values out of the graph, so the graph can be dropped or mutated freely
 //! afterwards (mutations are *not* reflected — take a new snapshot).
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::graph::DataGraph;
 use crate::label::Label;
 use crate::node::NodeId;
@@ -35,6 +35,42 @@ use std::sync::OnceLock;
 
 /// A vid that never occurs (no graph has `u32::MAX` distinct values here).
 const NO_VID: u32 = u32::MAX;
+
+/// Label-partitioned CSR adjacency (forward and backward) of a graph, in
+/// two counting-sort passes. Shared by the full freeze and the
+/// edges-changed-only refreeze.
+#[allow(clippy::type_complexity)]
+fn build_csr(g: &DataGraph, n: usize, n_labels: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let stripe = n + 1;
+    let mut fwd_off = vec![0u32; n_labels * stripe + 1];
+    let mut bwd_off = vec![0u32; n_labels * stripe + 1];
+    for u in 0..n as u32 {
+        for &(l, v) in g.out_at(u) {
+            fwd_off[l.index() * stripe + u as usize + 1] += 1;
+            bwd_off[l.index() * stripe + v as usize + 1] += 1;
+        }
+    }
+    for i in 1..fwd_off.len() {
+        fwd_off[i] += fwd_off[i - 1];
+        bwd_off[i] += bwd_off[i - 1];
+    }
+    let m = fwd_off[fwd_off.len() - 1] as usize;
+    let mut fwd_dst = vec![0u32; m];
+    let mut bwd_src = vec![0u32; m];
+    let mut fwd_cursor = fwd_off.clone();
+    let mut bwd_cursor = bwd_off.clone();
+    for u in 0..n as u32 {
+        for &(l, v) in g.out_at(u) {
+            let fslot = &mut fwd_cursor[l.index() * stripe + u as usize];
+            fwd_dst[*fslot as usize] = v;
+            *fslot += 1;
+            let bslot = &mut bwd_cursor[l.index() * stripe + v as usize];
+            bwd_src[*bslot as usize] = u;
+            *bslot += 1;
+        }
+    }
+    (fwd_off, fwd_dst, bwd_off, bwd_src)
+}
 
 /// An immutable, label-partitioned CSR view of a data graph.
 #[derive(Debug)]
@@ -78,35 +114,7 @@ impl GraphSnapshot {
             .map(|(d, &id)| (id, d as u32))
             .collect();
 
-        // ---- label-partitioned CSR, two counting-sort passes ----
-        let stripe = n + 1;
-        let mut fwd_off = vec![0u32; n_labels * stripe + 1];
-        let mut bwd_off = vec![0u32; n_labels * stripe + 1];
-        for u in 0..n as u32 {
-            for &(l, v) in g.out_at(u) {
-                fwd_off[l.index() * stripe + u as usize + 1] += 1;
-                bwd_off[l.index() * stripe + v as usize + 1] += 1;
-            }
-        }
-        for i in 1..fwd_off.len() {
-            fwd_off[i] += fwd_off[i - 1];
-            bwd_off[i] += bwd_off[i - 1];
-        }
-        let m = fwd_off[fwd_off.len() - 1] as usize;
-        let mut fwd_dst = vec![0u32; m];
-        let mut bwd_src = vec![0u32; m];
-        let mut fwd_cursor = fwd_off.clone();
-        let mut bwd_cursor = bwd_off.clone();
-        for u in 0..n as u32 {
-            for &(l, v) in g.out_at(u) {
-                let fslot = &mut fwd_cursor[l.index() * stripe + u as usize];
-                fwd_dst[*fslot as usize] = v;
-                *fslot += 1;
-                let bslot = &mut bwd_cursor[l.index() * stripe + v as usize];
-                bwd_src[*bslot as usize] = u;
-                *bslot += 1;
-            }
-        }
+        let (fwd_off, fwd_dst, bwd_off, bwd_src) = build_csr(g, n, n_labels);
 
         // ---- value interning ----
         let mut values: Vec<Value> = Vec::new();
@@ -157,6 +165,68 @@ impl GraphSnapshot {
             group_members,
             label_rel: (0..n_labels).map(|_| OnceLock::new()).collect(),
         }
+    }
+
+    /// Refreeze a graph whose **edge set** changed but whose node set did
+    /// not, reusing everything node-shaped from a previous snapshot: the
+    /// id table, the interned value table and the value groups are carried
+    /// over (no re-hashing), only the CSR adjacency is rebuilt, and cached
+    /// per-label relations survive for every label not in `stale` — the
+    /// per-label lazy refreeze used by delta-patched serving caches.
+    ///
+    /// Returns `None` when `prev` is not reusable (node count, dense
+    /// order, or a node value differs), in which case the caller should
+    /// pay the full [`GraphSnapshot::new`].
+    pub fn refreeze_from(
+        g: &DataGraph,
+        prev: &GraphSnapshot,
+        stale: &FxHashSet<Label>,
+    ) -> Option<GraphSnapshot> {
+        let n = g.n();
+        if n != prev.n {
+            return None;
+        }
+        for d in 0..n as u32 {
+            if g.id_at(d) != prev.ids[d as usize] || g.value_at(d) != prev.value_at(d) {
+                return None;
+            }
+        }
+        let n_labels = g.alphabet().len();
+        let (fwd_off, fwd_dst, bwd_off, bwd_src) = build_csr(g, n, n_labels);
+        let mut stale_ix = vec![false; n_labels];
+        for l in stale {
+            if l.index() < n_labels {
+                stale_ix[l.index()] = true;
+            }
+        }
+        let label_rel: Vec<OnceLock<Relation>> = (0..n_labels)
+            .map(|li| {
+                let cell = OnceLock::new();
+                if li < prev.n_labels && !stale_ix[li] {
+                    if let Some(r) = prev.label_rel[li].get() {
+                        let _ = cell.set(r.clone());
+                    }
+                }
+                cell
+            })
+            .collect();
+        Some(GraphSnapshot {
+            n,
+            n_labels,
+            ids: prev.ids.clone(),
+            index: prev.index.clone(),
+            fwd_off,
+            fwd_dst,
+            bwd_off,
+            bwd_src,
+            vid: prev.vid.clone(),
+            values: prev.values.clone(),
+            null_vid: prev.null_vid,
+            value_index: prev.value_index.clone(),
+            group_off: prev.group_off.clone(),
+            group_members: prev.group_members.clone(),
+            label_rel,
+        })
     }
 
     /// Number of nodes.
@@ -473,6 +543,45 @@ mod tests {
             assert_eq!(s.idx(s.id_at(d)), Some(d));
         }
         assert_eq!(s.idx(NodeId(99)), None);
+    }
+
+    #[test]
+    fn refreeze_carries_fresh_labels_and_tables() {
+        use crate::fxhash::FxHashSet;
+        let mut g = g();
+        let s1 = g.snapshot();
+        let a = g.alphabet().label("a").unwrap();
+        let b = g.alphabet().label("b").unwrap();
+        // warm both label relations, then add an a-edge
+        let _ = s1.label_relation(a);
+        let _ = s1.label_relation(b);
+        g.add_edge_str(NodeId(3), "a", NodeId(2)).unwrap();
+        let stale: FxHashSet<_> = [a].into_iter().collect();
+        let s2 = GraphSnapshot::refreeze_from(&g, &s1, &stale).expect("node set unchanged");
+        // CSR reflects the new edge, value tables carried over
+        assert_eq!(s2.edge_count(), 6);
+        assert_eq!(s2.out(a, 3).len(), 2);
+        assert_eq!(s2.vid(0), s1.vid(0));
+        assert!(s2.is_null(3));
+        // the fresh label's relation was carried (same contents as prev),
+        // the stale one rebuilds lazily and sees the new edge
+        assert_eq!(s2.label_relation(b), s1.label_relation(b));
+        let ra = s2.label_relation(a).unwrap();
+        assert!(ra.contains(3, 2) && ra.contains(0, 1));
+        assert_eq!(ra.len(), 4);
+        // full freeze agrees with the refreeze on everything observable
+        let full = g.snapshot();
+        assert_eq!(full.label_relation(a), s2.label_relation(a));
+        assert_eq!(full.label_relation(b), s2.label_relation(b));
+
+        // node-set changes make prev unusable
+        g.fresh_node(Value::int(9));
+        assert!(GraphSnapshot::refreeze_from(&g, &s2, &stale).is_none());
+        // …and so do value rewrites
+        let mut g2 = super::tests::g();
+        let s3 = g2.snapshot();
+        g2.set_value(NodeId(0), Value::int(42)).unwrap();
+        assert!(GraphSnapshot::refreeze_from(&g2, &s3, &FxHashSet::default()).is_none());
     }
 
     #[test]

@@ -25,8 +25,10 @@
 
 use crate::crpq::{join_atom_answers, AtomAnswers};
 use crate::query::DataQuery;
+use crate::ree::ReeRowMemo;
 use gde_automata::{Nfa, RegisterAutomaton};
-use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation, RelationBuilder};
+use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation, RelationBuilder, ShardedSnapshot};
+use std::sync::OnceLock;
 
 /// The lowered form of one query class.
 #[derive(Clone, Debug)]
@@ -147,6 +149,89 @@ impl CompiledQuery {
     pub fn eval_pairs_graph(&self, g: &DataGraph) -> Vec<(NodeId, NodeId)> {
         self.eval_pairs(&g.snapshot())
     }
+
+    /// Row-restricted (sharded) evaluation: the rows of
+    /// [`CompiledQuery::eval_relation`] whose source index lies in stripe
+    /// `shard` of the sharded snapshot. The union over all stripes equals
+    /// the full relation exactly — this is the per-shard evaluation the
+    /// sharded serving engine merges.
+    ///
+    /// How the work splits depends on the query class:
+    ///
+    /// * RPQs and memory RPQs evaluate per *start row* (product BFS), so
+    ///   every stripe does `|stripe| / n` of the full work;
+    /// * REEs decompose their relation algebra by source row, with
+    ///   closures and non-head concatenation factors coming from a shared
+    ///   phase-1 memo (see [`ReeRowMemo`]) built once on first use;
+    /// * conjunctive data RPQs don't decompose (their join mixes
+    ///   variables); the full answer is computed once into `shared` and
+    ///   each stripe takes its row slice.
+    ///
+    /// `shared` carries the lazily built phase-1 state and must be used
+    /// with a single `(query, snapshot)` pairing; create a fresh
+    /// [`RowEvalShared`] per pairing.
+    pub fn eval_relation_rows(
+        &self,
+        shards: &ShardedSnapshot,
+        shard: usize,
+        shared: &RowEvalShared,
+    ) -> Relation {
+        let s = shards.base();
+        let range = shards.plan().range(shard);
+        match &*self.form {
+            CompiledForm::Rpq(nfa) => nfa.eval_rows_snapshot(s, range),
+            CompiledForm::Ree(e) => {
+                let memo = shared.ree_memo.get_or_init(|| ReeRowMemo::build(e, s));
+                e.eval_rows_snapshot(shards, shard, memo)
+            }
+            CompiledForm::Rem(ra) => ra.eval_rows_snapshot(s, range),
+            CompiledForm::Conjunctive { .. } => shared
+                .full
+                .get_or_init(|| self.eval_relation(s))
+                .restrict_rows(range),
+        }
+    }
+
+    /// Boolean projection of one stripe: does any source row in the
+    /// stripe have an answer? Per-start classes early-exit on the first
+    /// matching row; the sharded serving engine OR-merges (and
+    /// short-circuits) across stripes.
+    pub fn holds_in_rows(
+        &self,
+        shards: &ShardedSnapshot,
+        shard: usize,
+        shared: &RowEvalShared,
+    ) -> bool {
+        let s = shards.base();
+        let range = shards.plan().range(shard);
+        match &*self.form {
+            CompiledForm::Rpq(nfa) => nfa.holds_in_rows(s, range),
+            CompiledForm::Rem(ra) => ra.holds_in_rows(s, range),
+            CompiledForm::Ree(_) => self.eval_relation_rows(shards, shard, shared).any(),
+            CompiledForm::Conjunctive { .. } => shared
+                .full
+                .get_or_init(|| self.eval_relation(s))
+                .any_in_rows(range),
+        }
+    }
+}
+
+/// Shared phase-1 state for row-restricted evaluation of **one** compiled
+/// query against **one** sharded snapshot: the REE memo of globally
+/// materialised sub-relations, or (for classes that don't decompose) the
+/// full answer relation. Built lazily by the first stripe worker that
+/// needs it and reused by the rest.
+#[derive(Debug, Default)]
+pub struct RowEvalShared {
+    ree_memo: OnceLock<ReeRowMemo>,
+    full: OnceLock<Relation>,
+}
+
+impl RowEvalShared {
+    /// Fresh, empty shared state.
+    pub fn new() -> RowEvalShared {
+        RowEvalShared::default()
+    }
 }
 
 impl DataQuery {
@@ -241,5 +326,55 @@ mod tests {
         let mut g = sample_graph();
         let q: DataQuery = parse_regex("a", g.alphabet_mut()).unwrap().into();
         assert_eq!(q.compile().eval_pairs_graph(&g), q.eval_pairs(&g));
+    }
+
+    #[test]
+    fn sharded_rows_union_to_full_eval_for_every_class() {
+        use gde_datagraph::{ShardPlan, ShardedSnapshot, Value};
+        use std::sync::Arc;
+
+        // a denser graph than sample_graph so stripes are non-trivial
+        let mut g = DataGraph::new();
+        for i in 0..12u32 {
+            g.add_node(NodeId(i), Value::int(i as i64 % 4)).unwrap();
+        }
+        for i in 0..12u32 {
+            g.add_edge_str(NodeId(i), "a", NodeId((i + 1) % 12))
+                .unwrap();
+            if i % 2 == 0 {
+                g.add_edge_str(NodeId(i), "b", NodeId((i + 5) % 12))
+                    .unwrap();
+            }
+        }
+        let queries = all_query_classes(&mut g);
+        // closure-heavy REEs exercise the memoised two-phase path
+        let extra: Vec<DataQuery> = ["a* (a+)= b*", "(a b)= a", "a+ + (b b)!="]
+            .iter()
+            .map(|s| parse_ree(s, g.alphabet_mut()).unwrap().into())
+            .collect();
+        let snap = Arc::new(g.snapshot());
+        for q in queries.iter().chain(&extra) {
+            let compiled = q.compile();
+            let full = compiled.eval_relation(&snap);
+            for k in [1, 2, 3, 5] {
+                let shards = ShardedSnapshot::new(snap.clone(), ShardPlan::even(snap.n(), k));
+                let shared = RowEvalShared::new();
+                let mut union = Relation::empty(snap.n());
+                let mut holds = false;
+                for shard in 0..shards.shard_count() {
+                    let rows = compiled.eval_relation_rows(&shards, shard, &shared);
+                    // stripe results stay inside the stripe
+                    let range = shards.plan().range(shard);
+                    assert!(rows.iter_pairs().all(|(i, _)| range.contains(&i)));
+                    union.union_with(&rows);
+                    holds |= compiled.holds_in_rows(&shards, shard, &shared);
+                }
+                assert_eq!(
+                    union, full,
+                    "stripes must union to the full answer (k={k}, {q:?})"
+                );
+                assert_eq!(holds, compiled.holds_somewhere(&snap));
+            }
+        }
     }
 }

@@ -35,10 +35,10 @@ pub mod query;
 pub mod ree;
 pub mod rem;
 
-pub use compiled::CompiledQuery;
+pub use compiled::{CompiledQuery, RowEvalShared};
 pub use crpq::{CdAtom, ConjunctiveDataRpq};
 pub use parser::{parse_ree, parse_rem};
 pub use pathtest::PathTest;
 pub use query::DataQuery;
-pub use ree::Ree;
+pub use ree::{Ree, ReeRowMemo};
 pub use rem::Rem;

@@ -17,7 +17,10 @@
 //! Membership `w ∈ L(e)` reuses the same algebra over the *positions* of the
 //! data path — both are instances of one internal evaluation context.
 
-use gde_datagraph::{DataGraph, DataPath, GraphSnapshot, Label, Relation, RelationBuilder, Value};
+use gde_datagraph::{
+    DataGraph, DataPath, FxHashMap, GraphSnapshot, Label, Relation, RelationBuilder,
+    ShardedSnapshot, Value,
+};
 
 /// A regular expression with equality.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -197,6 +200,92 @@ impl Ree {
         r.contains(0, w.len())
     }
 
+    /// Number of AST nodes in this expression (used for the stable
+    /// pre-order numbering shared by [`ReeRowMemo::build`] and
+    /// [`Ree::eval_rows_snapshot`]).
+    fn subtree_size(&self) -> usize {
+        1 + match self {
+            Ree::Epsilon | Ree::Atom(_) => 0,
+            Ree::Concat(es) | Ree::Union(es) => es.iter().map(Ree::subtree_size).sum(),
+            Ree::Plus(e) | Ree::Star(e) | Ree::Eq(e) | Ree::Neq(e) => e.subtree_size(),
+        }
+    }
+
+    /// Phase 2 of sharded REE evaluation: the stripe's rows of `R(e)` —
+    /// exactly `eval_snapshot(…).restrict_rows(stripe)`, but computed from
+    /// the stripe's own atoms wherever the algebra decomposes by source
+    /// row. Letter atoms come from the stripe's cached label slices
+    /// ([`ShardedSnapshot::label_rows`]), head concatenation factors and
+    /// tests evaluate per stripe, while closures and non-head factors —
+    /// whose paths cross stripes arbitrarily — come from the shared
+    /// `memo` built once by [`ReeRowMemo::build`]. The union over a
+    /// partition's stripes equals the full evaluation exactly.
+    pub fn eval_rows_snapshot(
+        &self,
+        shards: &ShardedSnapshot,
+        shard: usize,
+        memo: &ReeRowMemo,
+    ) -> Relation {
+        let mut id = 0usize;
+        self.eval_rows_rec(shards, shard, memo, &mut id)
+    }
+
+    fn eval_rows_rec(
+        &self,
+        shards: &ShardedSnapshot,
+        shard: usize,
+        memo: &ReeRowMemo,
+        id: &mut usize,
+    ) -> Relation {
+        let my_id = *id;
+        *id += 1;
+        let s = shards.base();
+        let n = s.n();
+        let range = shards.plan().range(shard);
+        match self {
+            Ree::Epsilon => identity_rows(n, range),
+            Ree::Atom(l) => shards
+                .label_rows(shard, *l)
+                .cloned()
+                .unwrap_or_else(|| Relation::empty(n)),
+            Ree::Concat(es) => {
+                let mut it = es.iter();
+                let Some(head) = it.next() else {
+                    return identity_rows(n, range);
+                };
+                let mut acc = head.eval_rows_rec(shards, shard, memo, id);
+                for child in it {
+                    let child_id = *id;
+                    *id += child.subtree_size();
+                    if acc.is_empty() {
+                        continue; // result stays empty; keep ids advancing
+                    }
+                    acc = acc.compose(memo.get(child_id));
+                }
+                acc
+            }
+            Ree::Union(es) => {
+                let mut acc = Relation::empty(n);
+                for child in es {
+                    acc.union_with(&child.eval_rows_rec(shards, shard, memo, id));
+                }
+                acc
+            }
+            Ree::Plus(b) | Ree::Star(b) => {
+                *id += b.subtree_size();
+                memo.get(my_id).restrict_rows(range)
+            }
+            Ree::Eq(b) => {
+                let inner = b.eval_rows_rec(shards, shard, memo, id);
+                inner.filter(|i, j| s.sql_eq(i as u32, j as u32))
+            }
+            Ree::Neq(b) => {
+                let inner = b.eval_rows_rec(shards, shard, memo, id);
+                inner.filter(|i, j| s.sql_ne(i as u32, j as u32))
+            }
+        }
+    }
+
     fn eval_ctx<C: ReeContext>(&self, ctx: &C) -> Relation {
         let n = ctx.dim();
         match self {
@@ -314,6 +403,182 @@ fn compose_ep(r1: u8, r2: u8) -> u8 {
         }
     }
     out
+}
+
+/// The identity relation restricted to a row range.
+fn identity_rows(n: usize, rows: std::ops::Range<usize>) -> Relation {
+    let mut b = RelationBuilder::new(n);
+    for i in rows.start..rows.end.min(n) {
+        b.push(i, i);
+    }
+    b.build()
+}
+
+/// Phase 1 of sharded REE evaluation: the full relations of exactly those
+/// subexpressions row-restricted evaluation cannot decompose by source
+/// row, computed **once** and shared by every stripe worker:
+///
+/// * closure bodies (`e⁺`/`e*`): a path's interior crosses stripes
+///   arbitrarily often, so the closure is materialised globally (over
+///   the already row-block-parallel relation algebra) and each stripe
+///   takes its row slice;
+/// * non-head concatenation factors: `restrict(A·B) = restrict(A) ∘ B`,
+///   so only the head factor is row-restricted and every tail factor is
+///   needed in full.
+///
+/// Entries are keyed by the expression's stable pre-order node numbering,
+/// which [`Ree::eval_rows_snapshot`] reproduces during its walk.
+#[derive(Debug, Default)]
+pub struct ReeRowMemo {
+    rels: FxHashMap<usize, Relation>,
+}
+
+impl ReeRowMemo {
+    /// Build the memo for an expression against a snapshot.
+    pub fn build(e: &Ree, s: &GraphSnapshot) -> ReeRowMemo {
+        let mut memo = ReeRowMemo::default();
+        let mut id = 0usize;
+        build_memo(e, s, MemoMode::Spine, &mut id, &mut memo.rels);
+        memo
+    }
+
+    /// Number of globally materialised sub-relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Is the memo empty (the expression decomposes completely)?
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    fn get(&self, id: usize) -> &Relation {
+        self.rels
+            .get(&id)
+            .expect("memo holds every closure and tail factor")
+    }
+}
+
+/// How a subexpression participates in the two-phase evaluation.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum MemoMode {
+    /// On the row-decomposed spine: no full relation needed, but closures
+    /// along it memoise their own result.
+    Spine,
+    /// A non-head concatenation factor: compute the full relation and
+    /// store it under this node's id.
+    Stored,
+    /// Interior of a stored/closure computation: compute and return the
+    /// full relation bottom-up, storing nothing.
+    Inner,
+}
+
+/// One traversal serving all three modes, advancing the pre-order counter
+/// identically in each so memo keys line up with the phase-2 walk.
+fn build_memo(
+    e: &Ree,
+    s: &GraphSnapshot,
+    mode: MemoMode,
+    id: &mut usize,
+    out: &mut FxHashMap<usize, Relation>,
+) -> Option<Relation> {
+    let my_id = *id;
+    *id += 1;
+    let n = s.n();
+    let full = match e {
+        Ree::Epsilon => match mode {
+            MemoMode::Spine => None,
+            _ => Some(Relation::identity(n)),
+        },
+        Ree::Atom(l) => match mode {
+            MemoMode::Spine => None,
+            _ => Some(s.label_relation_or_empty(*l)),
+        },
+        Ree::Concat(es) => match mode {
+            MemoMode::Spine => {
+                let mut it = es.iter();
+                if let Some(head) = it.next() {
+                    build_memo(head, s, MemoMode::Spine, id, out);
+                }
+                for child in it {
+                    build_memo(child, s, MemoMode::Stored, id, out);
+                }
+                None
+            }
+            _ => {
+                let mut acc: Option<Relation> = None;
+                for child in es {
+                    let f = build_memo(child, s, MemoMode::Inner, id, out)
+                        .expect("inner mode returns the full relation");
+                    acc = Some(match acc {
+                        None => f,
+                        Some(a) => a.compose(&f),
+                    });
+                }
+                Some(acc.unwrap_or_else(|| Relation::identity(n)))
+            }
+        },
+        Ree::Union(es) => match mode {
+            MemoMode::Spine => {
+                for child in es {
+                    build_memo(child, s, MemoMode::Spine, id, out);
+                }
+                None
+            }
+            _ => {
+                let mut acc = Relation::empty(n);
+                for child in es {
+                    let f = build_memo(child, s, MemoMode::Inner, id, out)
+                        .expect("inner mode returns the full relation");
+                    acc.union_with(&f);
+                }
+                Some(acc)
+            }
+        },
+        Ree::Plus(b) => Some(
+            build_memo(b, s, MemoMode::Inner, id, out)
+                .expect("inner mode returns the full relation")
+                .transitive_closure(),
+        ),
+        Ree::Star(b) => Some(
+            build_memo(b, s, MemoMode::Inner, id, out)
+                .expect("inner mode returns the full relation")
+                .reflexive_transitive_closure(),
+        ),
+        Ree::Eq(b) => match mode {
+            MemoMode::Spine => {
+                build_memo(b, s, MemoMode::Spine, id, out);
+                None
+            }
+            _ => Some(
+                build_memo(b, s, MemoMode::Inner, id, out)
+                    .expect("inner mode returns the full relation")
+                    .filter(|i, j| s.sql_eq(i as u32, j as u32)),
+            ),
+        },
+        Ree::Neq(b) => match mode {
+            MemoMode::Spine => {
+                build_memo(b, s, MemoMode::Spine, id, out);
+                None
+            }
+            _ => Some(
+                build_memo(b, s, MemoMode::Inner, id, out)
+                    .expect("inner mode returns the full relation")
+                    .filter(|i, j| s.sql_ne(i as u32, j as u32)),
+            ),
+        },
+    };
+    match (mode, full) {
+        // closures memoise themselves even on the spine; stored factors
+        // always do
+        (MemoMode::Spine | MemoMode::Stored, Some(f)) => {
+            out.insert(my_id, f);
+            None
+        }
+        (MemoMode::Spine, None) => None,
+        (MemoMode::Inner, f) => f,
+        (MemoMode::Stored, None) => unreachable!("stored factors always compute a relation"),
+    }
 }
 
 /// The common shape of REE evaluation: a domain of points, a relation per

@@ -168,6 +168,112 @@ pub fn social_serving_scenario(cfg: &SocialConfig) -> ServingScenario {
     }
 }
 
+/// The social exchange scaled to a target node count, with a query batch
+/// tuned for **sharded** serving: per-start-heavy classes (memory RPQs,
+/// navigational RPQs) that split cleanly across node-range stripes,
+/// row-decomposable equality REEs, one closure REE exercising the
+/// two-phase (memoised) path, and one conjunctive query exercising the
+/// slice-only fallback. Answer sizes stay near-linear in the graph so the
+/// batch measures evaluation work, not result materialisation.
+///
+/// `scale` is the approximate *source-graph* node count (persons, posts,
+/// attribute and reified-like nodes included); the canonical solution adds
+/// the invented nodes on top. The `sharded_serving` bench runs this at
+/// `scale = 20480` against shard counts K ∈ {1, 2, 4, 8}.
+/// The [`sharded_serving_scenario`] queries best served as Boolean
+/// existence checks: the heavy navigational/analytic ones, where "does
+/// any answer exist?" is the realistic cheap probe. The `sharded_serving`
+/// bench and the `probe_sharded` dev tool both consume this split, so
+/// renaming a query cannot silently desynchronise them.
+pub const SHARDED_BOOLEAN_QUERIES: [&str; 6] = [
+    "friend-of-author",
+    "two-hop-contact",
+    "endorsement-path",
+    "co-located",
+    "same-name-reachable",
+    "two-hops-to-namesake",
+];
+
+pub fn sharded_serving_scenario(scale: usize, seed: u64) -> ServingScenario {
+    // node budget per person: 1 + @name + @city = 3; per post: 1 + @topic
+    // = 2, plus ~1.5 reified likes × (1 middle + 1 @reaction) = 3 more
+    let persons = (scale * 31 / 100).max(10);
+    let posts = (scale * 75 / 1000).max(5);
+    let cfg = SocialConfig {
+        persons,
+        knows_per_person: 3,
+        posts,
+        cities: 12,
+        seed,
+    };
+    let base = social_serving_scenario(&cfg);
+    let mut ta = base.scenario.gsm.target_alphabet().clone();
+
+    fn ree(ta: &mut Alphabet, src: &str) -> DataQuery {
+        parse_ree(src, ta).expect("static query parses").into()
+    }
+    fn rpq(ta: &mut Alphabet, src: &str) -> DataQuery {
+        gde_automata::parse_regex(src, ta)
+            .expect("static query parses")
+            .into()
+    }
+    let mut queries: Vec<(String, DataQuery)> = Vec::new();
+    let mut push = |name: &str, q: DataQuery| queries.push((name.to_string(), q));
+    // navigational RPQs: per-start product BFS, shards by start row
+    push("friend-of-author", rpq(&mut ta, "contact authored"));
+    push("two-hop-contact", rpq(&mut ta, "contact contact"));
+    push("endorsement-path", rpq(&mut ta, "endorses via on"));
+    push("co-located", rpq(&mut ta, "located hub"));
+    // equality REEs: row-decomposable relation algebra
+    push("same-name-two-hops", ree(&mut ta, "(contact contact)="));
+    push("authored-by-namesake", ree(&mut ta, "(contact authored)="));
+    push("different-name-contact", ree(&mut ta, "contact!="));
+    // a closure REE: the two-phase path (global closure, per-stripe slice)
+    push("same-name-reachable", ree(&mut ta, "(contact+)="));
+    // memory RPQs: the heaviest per-start work in the batch
+    push(
+        "two-hops-to-namesake",
+        parse_rem("@x.(contact contact[x=])", &mut ta)
+            .expect("static query parses")
+            .into(),
+    );
+    push(
+        "namesake-authored",
+        parse_rem("@x.(contact authored[x=])", &mut ta)
+            .expect("static query parses")
+            .into(),
+    );
+    // a conjunctive data RPQ: the slice-only fallback path
+    push(
+        "endorses-a-contacts-post",
+        ConjunctiveDataRpq::new(
+            (0, 1),
+            vec![
+                CdAtom {
+                    from: 0,
+                    query: ree(&mut ta, "contact"),
+                    to: 1,
+                },
+                CdAtom {
+                    from: 1,
+                    query: ree(&mut ta, "authored"),
+                    to: 2,
+                },
+                CdAtom {
+                    from: 0,
+                    query: ree(&mut ta, "endorses via on"),
+                    to: 2,
+                },
+            ],
+        )
+        .into(),
+    );
+    ServingScenario {
+        scenario: base.scenario,
+        queries,
+    }
+}
+
 /// A stream of churn deltas for the social serving scenario: each round
 /// adds `edges_per_round` random `knows` edges between existing persons —
 /// the additive, LAV-patchable change shape a delta-aware serving engine

@@ -153,7 +153,7 @@ fn additive_lav_delta_patches_and_matches_full_rebuild() {
 }
 
 #[test]
-fn generation_bump_invalidates_stale_caches_on_removal() {
+fn lav_removals_unpatch_in_place_and_match_rebuild() {
     let sv = scenario(0xA7);
     let queries = compiled_batch(&sv);
     let svc = MappingService::new();
@@ -162,7 +162,8 @@ fn generation_bump_invalidates_stale_caches_on_removal() {
     assert!(svc.is_cached(id, Semantics::nulls()));
     let gen0 = svc.generation(id).unwrap();
 
-    // remove an existing knows edge: not patchable, caches must go
+    // remove an existing knows edge (target word length 1): the matching
+    // contact edge is deleted from the cached solutions in place
     let src = svc.source(id).unwrap();
     let (u, _, v) = src
         .edges()
@@ -171,25 +172,58 @@ fn generation_bump_invalidates_stale_caches_on_removal() {
     let delta = GraphDelta::new().without_edge(u, "knows", v);
     let report = svc.apply_delta(id, &delta).unwrap();
     assert_eq!(report.removed_edges, 1);
-    assert!(!report.patched);
+    assert!(report.patched, "bounded LAV removals are absorbed in place");
     assert_eq!(report.generation, gen0 + 1);
     assert_eq!(svc.generation(id), Some(gen0 + 1));
-    assert!(
-        !svc.is_cached(id, Semantics::nulls()),
-        "generation bump invalidates the stale cache"
-    );
 
-    // rebuilt answers match a fresh service over the mutated graph
+    // unpatched answers match a fresh service over the mutated graph
     let fresh = MappingService::new();
     let fid = fresh.register(sv.scenario.gsm.clone(), svc.source(id).unwrap());
     assert_eq!(
         fingerprint(&svc, id, &queries),
         fingerprint(&fresh, fid, &queries)
     );
+
+    // a removal whose fresh path carries an invented middle (likes/src →
+    // endorses·via, target word length 2) unpatches too: the chain and its
+    // invented node disappear exactly as a rebuild would drop them
+    let src = svc.source(id).unwrap();
+    let (lu, _, lv) = src
+        .edges()
+        .find(|&(_, l, _)| src.alphabet().name(l) == "likes/src")
+        .expect("social graph has likes edges");
+    let report = svc
+        .apply_delta(id, &GraphDelta::new().without_edge(lu, "likes/src", lv))
+        .unwrap();
+    assert!(report.patched, "chain removals are absorbed in place");
+    let fresh2 = MappingService::new();
+    let fid2 = fresh2.register(sv.scenario.gsm.clone(), svc.source(id).unwrap());
+    assert_eq!(
+        fingerprint(&svc, id, &queries),
+        fingerprint(&fresh2, fid2, &queries)
+    );
+    assert!(svc.stats().patched_deltas >= 2);
+
+    // with patching disabled the same removal shape invalidates instead
+    let rebuilding = MappingService::new();
+    rebuilding.set_delta_patching(false);
+    let rid = rebuilding.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    fingerprint(&rebuilding, rid, &queries);
+    let report = rebuilding
+        .apply_delta(rid, &GraphDelta::new().without_edge(u, "knows", v))
+        .unwrap();
+    assert!(!report.patched);
+    assert!(
+        !rebuilding.is_cached(rid, Semantics::nulls()),
+        "generation bump invalidates the stale cache"
+    );
+
     // a delta that changes nothing bumps nothing
+    let gen = svc.generation(id).unwrap();
+    fingerprint(&svc, id, &queries); // refreeze so the cache is resident
     let noop = GraphDelta::new().without_edge(u, "knows", v);
     let report = svc.apply_delta(id, &noop).unwrap();
-    assert_eq!(report.generation, gen0 + 1);
+    assert_eq!(report.generation, gen);
     assert!(svc.is_cached(id, Semantics::nulls()));
 }
 

@@ -1,0 +1,140 @@
+//! Sharded serving equivalence: a `MappingService` partitioned into
+//! K ∈ {1, 2, 4, 8} node-range stripes must serve answers byte-identical
+//! to the unsharded engine for **every** `Semantics` × `Mode` on the
+//! social serving workload — through both `answer` and `answer_batch` —
+//! and stay identical while deltas patch stripes incrementally.
+
+use gde_core::{Answer, ExactOptions, MappingService, Mode, Semantics, ServeError};
+use gde_dataquery::CompiledQuery;
+use gde_workload::{
+    sharded_serving_scenario, social_churn_deltas, social_serving_scenario, ServingScenario,
+    SocialConfig,
+};
+
+const KS: [usize; 4] = [1, 2, 4, 8];
+
+fn all_semantics() -> Vec<Semantics> {
+    let mut out = Vec::new();
+    for mode in [Mode::Tuples, Mode::Boolean] {
+        out.push(Semantics::Nulls(mode));
+        out.push(Semantics::LeastInformative(mode));
+        out.push(Semantics::Exact(mode, ExactOptions::default()));
+    }
+    out
+}
+
+/// Answer every query under every semantics (errors included — an
+/// out-of-fragment rejection must be identical too).
+fn fingerprint(
+    svc: &MappingService,
+    id: gde_core::MappingId,
+    queries: &[CompiledQuery],
+) -> Vec<Result<Answer, ServeError>> {
+    let mut out = Vec::new();
+    for sem in all_semantics() {
+        for q in queries {
+            out.push(svc.answer(id, q, sem));
+        }
+        out.extend(svc.answer_batch(id, queries, sem));
+    }
+    out
+}
+
+#[test]
+fn sharded_answers_identical_for_all_semantics_and_modes() {
+    let sv: ServingScenario = social_serving_scenario(&SocialConfig {
+        persons: 30,
+        knows_per_person: 3,
+        posts: 18,
+        cities: 4,
+        seed: 0x5A4D,
+    });
+    let queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
+    let reference = MappingService::new();
+    let rid = reference.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    let expected = fingerprint(&reference, rid, &queries);
+    assert!(
+        expected.iter().any(|a| a.is_ok()),
+        "workload must produce real answers"
+    );
+    for k in KS {
+        let svc = MappingService::new();
+        let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+        svc.set_shard_count(id, k).unwrap();
+        assert_eq!(
+            fingerprint(&svc, id, &queries),
+            expected,
+            "k={k} must serve byte-identical answers"
+        );
+    }
+}
+
+#[test]
+fn sharded_answers_survive_incremental_deltas() {
+    let cfg = SocialConfig {
+        persons: 24,
+        knows_per_person: 3,
+        posts: 14,
+        cities: 3,
+        seed: 0xDE17A,
+    };
+    let sv = social_serving_scenario(&cfg);
+    let queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
+    let deltas = social_churn_deltas(&cfg, 3, 4, 0xBEEF);
+    // one unsharded reference, one service per K, all fed the same churn
+    let reference = MappingService::new();
+    let rid = reference.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    let sharded: Vec<_> = KS
+        .iter()
+        .map(|&k| {
+            let svc = MappingService::new();
+            let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+            svc.set_shard_count(id, k).unwrap();
+            (k, svc, id)
+        })
+        .collect();
+    for delta in &deltas {
+        // warm caches so deltas patch rather than build cold
+        let expected = fingerprint(&reference, rid, &queries);
+        for (k, svc, id) in &sharded {
+            assert_eq!(fingerprint(svc, *id, &queries), expected, "pre-delta k={k}");
+        }
+        reference.apply_delta(rid, delta).unwrap();
+        for (_, svc, id) in &sharded {
+            svc.apply_delta(*id, delta).unwrap();
+        }
+    }
+    let expected = fingerprint(&reference, rid, &queries);
+    for (k, svc, id) in &sharded {
+        assert_eq!(
+            fingerprint(svc, *id, &queries),
+            expected,
+            "post-churn k={k}"
+        );
+        assert!(
+            svc.stats().patched_deltas >= 1,
+            "churn must exercise the patch path at k={k}"
+        );
+    }
+}
+
+#[test]
+fn sharded_scenario_batch_is_consistent_at_small_scale() {
+    // the bench workload itself, shrunk: equivalence across K plus class
+    // coverage sanity
+    let sv = sharded_serving_scenario(900, 0x77);
+    let queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
+    assert!(queries.len() >= 10);
+    assert!(queries.iter().any(|q| !q.is_equality_only()));
+    let reference = MappingService::new();
+    let rid = reference.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    for sem in [Semantics::nulls(), Semantics::nulls_boolean()] {
+        let expected = reference.answer_batch(rid, &queries, sem);
+        for k in [2, 4] {
+            let svc = MappingService::new();
+            let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+            svc.set_shard_count(id, k).unwrap();
+            assert_eq!(svc.answer_batch(id, &queries, sem), expected);
+        }
+    }
+}
