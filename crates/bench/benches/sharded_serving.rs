@@ -32,11 +32,11 @@
 //! perf baseline (full mode only). `SHARDED_SERVING_SMOKE=1` (CI) shrinks
 //! the graph, runs K ∈ {1, 2} on 2 forced threads, and writes nothing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gde_core::{Gsm, MappingId, MappingService, Semantics};
-use gde_datagraph::{par, DataGraph};
+use gde_datagraph::{concat_sort_dedup, merge_sorted_runs, par, DataGraph, NodeId};
 use gde_dataquery::CompiledQuery;
-use gde_workload::{sharded_serving_scenario, SHARDED_BOOLEAN_QUERIES};
+use gde_workload::{merge_bound_queries, sharded_serving_scenario, SHARDED_BOOLEAN_QUERIES};
 use std::sync::Arc;
 
 fn smoke() -> bool {
@@ -97,13 +97,25 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
 
-    // sanity: every K serves byte-identical answers in both modes
+    // the merge-bound batch: high-cardinality tuple queries where the
+    // cross-stripe merge, not the evaluation, is the interesting cost
+    let mut mta = gsm.target_alphabet().clone();
+    let mb_queries: Vec<CompiledQuery> = merge_bound_queries(&mut mta)
+        .iter()
+        .map(|(_, q)| q.compile())
+        .collect();
+
+    // sanity: every K serves byte-identical answers in both modes, on the
+    // merge-bound batch too
     let tuple_ref = services[0]
         .1
         .answer_batch(services[0].2, &queries, Semantics::nulls());
     let bool_ref = services[0]
         .1
         .answer_batch(services[0].2, &queries, Semantics::nulls_boolean());
+    let mb_ref = services[0]
+        .1
+        .answer_batch(services[0].2, &mb_queries, Semantics::nulls());
     for (k, svc, id) in &services[1..] {
         assert_eq!(
             svc.answer_batch(*id, &queries, Semantics::nulls()),
@@ -115,10 +127,75 @@ fn bench(c: &mut Criterion) {
             bool_ref,
             "boolean answers must match at k={k}"
         );
+        assert_eq!(
+            svc.answer_batch(*id, &mb_queries, Semantics::nulls()),
+            mb_ref,
+            "merge-bound answers must match at k={k}"
+        );
     }
+
+    // per-stripe sorted runs of the merge-bound answers at K=4 (the
+    // stripe of a pair is a function of its source row, so filtering the
+    // sorted full answer reconstructs exactly the runs the stripe workers
+    // hand the merge)
+    let (merge_k, merge_svc, merge_id) = services
+        .iter()
+        .find(|(k, _, _)| *k == 4)
+        .unwrap_or_else(|| services.last().expect("at least one K"));
+    let merge_prep = merge_svc
+        .solution(*merge_id, Semantics::nulls())
+        .expect("prepared");
+    let merge_plan = merge_prep.sharded().expect("sharded").plan().clone();
+    let runs_per_query: Vec<Vec<Vec<(NodeId, NodeId)>>> = mb_ref
+        .iter()
+        .map(|a| {
+            let pairs = a.clone().expect("merge-bound answers").into_pairs();
+            let mut runs = vec![Vec::new(); merge_plan.shard_count()];
+            for p in pairs {
+                let row = merge_prep.snapshot().idx(p.0).expect("answer node known");
+                runs[merge_plan.shard_of(row)].push(p);
+            }
+            runs
+        })
+        .collect();
+    let mb_pairs_total: usize = runs_per_query
+        .iter()
+        .flat_map(|rs| rs.iter().map(|r| r.len()))
+        .sum();
 
     let mut group = c.benchmark_group("sharded_serving");
     group.sample_size(if smoke { 3 } else { 5 });
+    // the merge stage in isolation, on the actual runs: streaming k-way
+    // union vs the concatenate-and-sort baseline it replaced
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("merge_stream_k{merge_k}")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                for runs in &runs_per_query {
+                    black_box(merge_sorted_runs(runs));
+                }
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("merge_concat_k{merge_k}")),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                for runs in &runs_per_query {
+                    black_box(concat_sort_dedup(runs));
+                }
+            })
+        },
+    );
+    for (k, svc, id) in &services {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("merge_bound_k{k}")),
+            &(),
+            |b, ()| b.iter(|| svc.answer_batch(*id, &mb_queries, Semantics::nulls())),
+        );
+    }
     for (k, svc, id) in &services {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("mixed_k{k}")),
@@ -158,6 +235,22 @@ fn bench(c: &mut Criterion) {
     let mixed = series("mixed");
     let tuples = series("tuple");
     let booleans = series("boolean");
+    let merge_bound = series("merge_bound");
+    let stream_ns = c
+        .median_ns("sharded_serving", &format!("merge_stream_k{merge_k}"))
+        .expect("measured");
+    let concat_ns = c
+        .median_ns("sharded_serving", &format!("merge_concat_k{merge_k}"))
+        .expect("measured");
+    let merge_speedup = concat_ns as f64 / stream_ns.max(1) as f64;
+    println!(
+        "merge-bound batch: {} queries, {} answer pairs; at k={merge_k} the streaming \
+         k-way merge runs {:.3} ms vs {:.3} ms concat+sort ({merge_speedup:.2}x)",
+        mb_queries.len(),
+        mb_pairs_total,
+        stream_ns as f64 / 1e6,
+        concat_ns as f64 / 1e6,
+    );
     let speedup_at = |s: &[(usize, u64)], k: usize| -> f64 {
         let t1 = s[0].1;
         s.iter()
@@ -189,8 +282,8 @@ fn bench(c: &mut Criterion) {
         .map(|(i, &k)| {
             format!(
                 "    {{ \"k\": {k}, \"mixed_batch_ns\": {}, \"tuple_batch_ns\": {}, \
-                 \"boolean_batch_ns\": {} }}",
-                mixed[i].1, tuples[i].1, booleans[i].1
+                 \"boolean_batch_ns\": {}, \"merge_bound_batch_ns\": {} }}",
+                mixed[i].1, tuples[i].1, booleans[i].1, merge_bound[i].1
             )
         })
         .collect();
@@ -200,7 +293,10 @@ fn bench(c: &mut Criterion) {
          \"solution_nodes\": {},\n  \"queries\": {},\n  \"boolean_queries\": {},\n  \
          \"threads\": {},\n  \"boundary_edges_at_kmax\": {},\n  \"per_k\": [\n{}\n  ],\n  \
          \"speedup_k4_over_k1\": {:.2},\n  \"tuple_speedup_k4_over_k1\": {:.2},\n  \
-         \"boolean_speedup_k4_over_k1\": {:.2}\n}}\n",
+         \"boolean_speedup_k4_over_k1\": {:.2},\n  \"merge_bound\": {{\n    \
+         \"workload\": \"merge_bound_queries\",\n    \"queries\": {},\n    \
+         \"answer_pairs\": {},\n    \"merge_k\": {},\n    \"stream_merge_ns\": {},\n    \
+         \"concat_sort_ns\": {},\n    \"stream_merge_speedup\": {:.2}\n  }}\n}}\n",
         scale,
         source.node_count(),
         source.edge_count(),
@@ -213,6 +309,12 @@ fn bench(c: &mut Criterion) {
         speedup_at(&mixed, 4),
         speedup_at(&tuples, 4),
         speedup_at(&booleans, 4),
+        mb_queries.len(),
+        mb_pairs_total,
+        merge_k,
+        stream_ns,
+        concat_ns,
+        merge_speedup,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharded.json");
     std::fs::write(path, json).expect("write BENCH_sharded.json");

@@ -358,7 +358,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Clone, Debug)]
         pub struct VecStrategy<S> {
             element: S,

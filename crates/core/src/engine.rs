@@ -29,12 +29,16 @@
 //!   concurrently, and [`MappingService::answer_batch`] fans a query batch
 //!   out over [`gde_datagraph::par`] workers itself.
 //! * **shard** — [`MappingService::set_shard_count`] partitions a
-//!   mapping's prepared solutions into K node-range stripes
-//!   ([`ShardedSnapshot`]). Tuple answers evaluate per stripe on
-//!   [`gde_datagraph::par`] workers and union; Boolean answers OR across
-//!   stripes with a short-circuit; `answer_batch` schedules
-//!   `(query, stripe)` tasks dynamically. Answers are byte-identical at
-//!   every K.
+//!   mapping's prepared solutions into node-range stripes
+//!   ([`ShardedSnapshot`], under a cost-model-balanced
+//!   [`ShardPlan`]); it takes a fixed count or [`ShardSpec::Auto`],
+//!   which picks K from the graph size, the thread budget, and the
+//!   observed [`ServingStats`]. Tuple answers evaluate per stripe on
+//!   [`gde_datagraph::par`] workers into sorted runs and union through
+//!   the streaming k-way merge ([`gde_datagraph::merge`]); Boolean
+//!   answers OR across stripes with a short-circuit; `answer_batch`
+//!   schedules `(query, stripe)` tasks dynamically. Answers are
+//!   byte-identical at every K, `Auto` included.
 //! * **apply_delta** — [`MappingService::apply_delta`] mutates the owned
 //!   source graph (copy-on-write behind the shared `Arc`), bumps the
 //!   mapping's generation stamp, and reconciles cached solutions: under
@@ -63,12 +67,13 @@ use crate::solution::{
     least_informative_solution, universal_solution, CanonicalSolution, LavPatch, SolutionError,
 };
 use gde_datagraph::{
-    par, DataGraph, FxHashMap, FxHashSet, GraphDelta, GraphError, GraphSnapshot, Label, NodeId,
-    ShardPlan, ShardedSnapshot,
+    merge_sorted_runs, par, DataGraph, FxHashMap, FxHashSet, GraphDelta, GraphError, GraphSnapshot,
+    Label, NodeId, ShardPlan, ShardedSnapshot,
 };
 use gde_dataquery::{CompiledQuery, DataQuery, RowEvalShared};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 // Poisoning recovery: a panicking worker must not wedge the whole service,
 // so every lock acquisition falls back to the inner value.
@@ -184,6 +189,148 @@ impl Semantics {
             Semantics::LeastInformative(_) => Flavour::LeastInformative,
         }
     }
+}
+
+/// How many node-range stripes a mapping serves from — the argument of
+/// [`MappingService::set_shard_count`]. A plain `usize` converts into
+/// [`ShardSpec::Fixed`], so existing `set_shard_count(id, 4)` call sites
+/// keep working; [`ShardSpec::Auto`] lets the engine pick K itself.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// Exactly this many stripes (`0` and `1` both mean unsharded).
+    Fixed(usize),
+    /// Let the engine choose K per mapping, from the source-graph size,
+    /// the worker-thread budget ([`par::max_threads`] /
+    /// `GDE_MAX_THREADS`), and the observed serving statistics
+    /// ([`MappingService::serving_stats`]): small graphs stay unsharded,
+    /// Boolean-heavy workloads get stripes for the OR-short-circuit even
+    /// on one core, and heavy evaluations oversubscribe stripes so the
+    /// dynamic scheduler can balance them. The pick is re-resolved on
+    /// every (re)preparation, so it tracks the workload as stats accrue.
+    Auto,
+}
+
+/// The `entry.shards` encoding of [`ShardSpec::Auto`] (a fixed stripe
+/// count this large is not meaningful — plans cap far below it).
+const AUTO_SHARDS: usize = usize::MAX;
+
+impl ShardSpec {
+    fn encode(self) -> usize {
+        match self {
+            ShardSpec::Fixed(k) => k.clamp(1, AUTO_SHARDS - 1),
+            ShardSpec::Auto => AUTO_SHARDS,
+        }
+    }
+
+    fn decode(raw: usize) -> ShardSpec {
+        if raw == AUTO_SHARDS {
+            ShardSpec::Auto
+        } else {
+            ShardSpec::Fixed(raw.max(1))
+        }
+    }
+}
+
+impl From<usize> for ShardSpec {
+    fn from(k: usize) -> ShardSpec {
+        ShardSpec::Fixed(k)
+    }
+}
+
+/// Cumulative serving statistics for one stripe of a mapping (part of
+/// [`ServingStats`]). Unsharded mappings record everything under stripe 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StripeServingStats {
+    /// Per-(query, stripe) evaluations recorded against this stripe.
+    pub evals: u64,
+    /// Total evaluation wall-clock nanoseconds.
+    pub eval_ns: u64,
+    /// Total tuples produced (0 for Boolean evaluations).
+    pub tuples: u64,
+}
+
+/// Cumulative per-mapping serving statistics, collected by
+/// [`MappingService::answer`] / [`MappingService::answer_batch`] on every
+/// per-(query, stripe) evaluation: wall-clock evaluation time and result
+/// cardinality, in aggregate and per stripe. [`ShardSpec::Auto`] feeds its
+/// shard-count picks from these; [`MappingService::serving_stats`] exposes
+/// them to operators. The accumulator survives shard-count changes and
+/// cache evictions (it belongs to the mapping, not to a prepared
+/// solution). The exact-enumeration engine ([`Semantics::Exact`]) does
+/// not decompose into stripes and is not recorded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Tuple-mode per-(query, stripe) evaluations.
+    pub tuple_evals: u64,
+    /// Boolean-mode per-(query, stripe) evaluations.
+    pub boolean_evals: u64,
+    /// Total evaluation wall-clock nanoseconds across both modes.
+    pub eval_ns: u64,
+    /// Total tuples produced by tuple-mode evaluations.
+    pub tuples: u64,
+    /// The same counters, split by stripe index (stripe 0 for unsharded
+    /// serving). Grows to the largest stripe index observed.
+    pub per_stripe: Vec<StripeServingStats>,
+}
+
+impl ServingStats {
+    /// Mean nanoseconds per recorded evaluation (0 when nothing has been
+    /// recorded).
+    pub fn mean_eval_ns(&self) -> u64 {
+        self.eval_ns
+            .checked_div(self.tuple_evals + self.boolean_evals)
+            .unwrap_or(0)
+    }
+
+    /// Mean tuples per tuple-mode evaluation (0 before the first one).
+    pub fn mean_tuples(&self) -> u64 {
+        self.tuples.checked_div(self.tuple_evals).unwrap_or(0)
+    }
+
+    fn record(&mut self, stripe: usize, ns: u64, tuples: usize, boolean: bool) {
+        if boolean {
+            self.boolean_evals += 1;
+        } else {
+            self.tuple_evals += 1;
+            self.tuples += tuples as u64;
+        }
+        self.eval_ns += ns;
+        if self.per_stripe.len() <= stripe {
+            self.per_stripe
+                .resize(stripe + 1, StripeServingStats::default());
+        }
+        let s = &mut self.per_stripe[stripe];
+        s.evals += 1;
+        s.eval_ns += ns;
+        s.tuples += tuples as u64;
+    }
+}
+
+/// The [`ShardSpec::Auto`] policy: pick a stripe count from the graph
+/// size, the thread budget, and the observed workload.
+///
+/// * Stripes below ~1k rows don't amortise their slice overhead: tiny
+///   graphs stay unsharded, and K never exceeds `nodes / 1024`.
+/// * The baseline is one stripe per worker thread.
+/// * A Boolean-leaning workload gets at least 4 stripes (when the graph
+///   affords them): the cross-stripe OR-short-circuit pays even on one
+///   core, because an unsharded Boolean answer evaluates the full
+///   relation before its `any()`.
+/// * When observed evaluations are heavy (≥ 10 ms mean), stripes are
+///   oversubscribed 2× so the dynamic `(query, stripe)` scheduler can
+///   balance uneven stripes across workers.
+fn auto_shard_count(nodes: usize, threads: usize, stats: &ServingStats) -> usize {
+    const MIN_STRIPE_ROWS: usize = 1024;
+    const HEAVY_EVAL_NS: u64 = 10_000_000;
+    let by_size = (nodes / MIN_STRIPE_ROWS).max(1);
+    let mut k = threads.max(1).min(by_size);
+    if stats.boolean_evals > stats.tuple_evals {
+        k = k.max(4.min(by_size));
+    }
+    if stats.mean_eval_ns() >= HEAVY_EVAL_NS {
+        k = (2 * k).min(by_size);
+    }
+    k.clamp(1, 64)
 }
 
 /// A certain-answer result from [`MappingService::answer`]: tuples for
@@ -414,6 +561,9 @@ pub struct PreparedSolution {
     /// touched rows in that stripe (so untouched stripes keep their
     /// slices — and their stamp — across a refreeze).
     shard_stamps: Vec<u64>,
+    /// The owning mapping's serving-stats accumulator (a fresh, unshared
+    /// one for solutions prepared outside a service, e.g. `answer_once`).
+    serving: Arc<Mutex<ServingStats>>,
 }
 
 impl PreparedSolution {
@@ -463,9 +613,15 @@ impl PreparedSolution {
         let k = shards.max(1);
         let (sharded, shard_stamps) = if k > 1 {
             let plan = match carry.and_then(|c| c.sharded.as_ref()) {
-                // keep the previous stripe layout so slices and stamps line up
-                Some(prev) if prev.plan().n() == snapshot.n() => prev.plan().clone(),
-                _ => ShardPlan::by_out_degree(&snapshot, k),
+                // keep the previous stripe layout so slices and stamps line
+                // up — but only while it still has the resolved stripe
+                // count, so an `Auto` pick that drifted with the workload
+                // (or an explicit resize) re-plans instead of being
+                // silently pinned to the carried layout
+                Some(prev) if prev.plan().n() == snapshot.n() && prev.plan().shard_count() == k => {
+                    prev.plan().clone()
+                }
+                _ => ShardPlan::by_cost(&snapshot, k),
             };
             let ss = ShardedSnapshot::new(snapshot.clone(), plan);
             let mut stamps = vec![generation; ss.shard_count()];
@@ -498,6 +654,7 @@ impl PreparedSolution {
             invented_mask,
             sharded,
             shard_stamps,
+            serving: Arc::new(Mutex::new(ServingStats::default())),
         }
     }
 
@@ -544,26 +701,42 @@ impl PreparedSolution {
         self.solution
     }
 
+    /// Fold one per-(query, stripe) evaluation into the mapping's serving
+    /// stats (see [`ServingStats`]). One mutex acquisition per evaluation:
+    /// the lock is held for a handful of adds (no allocation once
+    /// `per_stripe` has grown), so at the µs-to-ms granularity of stripe
+    /// evaluations the serialization is noise; revisit with per-worker
+    /// accumulators if evaluations ever get micro enough to contend.
+    fn record(&self, stripe: usize, elapsed: std::time::Duration, tuples: usize, boolean: bool) {
+        lock(&self.serving).record(stripe, elapsed.as_nanos() as u64, tuples, boolean);
+    }
+
     /// Evaluate a compiled query and keep pairs over `dom(M, G_s)` (drop
     /// tuples touching invented nodes). Unsharded, the query is consumed
     /// in relation form: filtering walks the relation's rows with the
     /// dense invented mask, and only surviving pairs pay the node-id
     /// translation. Sharded, every stripe evaluates its own rows on a
-    /// [`par::map_shards`] worker and the sorted partials merge — the
-    /// result is identical either way.
+    /// [`par::map_shards`] worker into a **sorted run**, and the runs
+    /// union through the streaming k-way merge
+    /// ([`gde_datagraph::merge`]) — no intermediate concatenation, and
+    /// the result is identical either way.
     fn answers_over_dom(&self, q: &CompiledQuery) -> Vec<(NodeId, NodeId)> {
-        let mut pairs = match &self.sharded {
-            None => self.dom_pairs(&q.eval_relation(&self.snapshot)),
+        match &self.sharded {
+            None => {
+                let started = Instant::now();
+                let mut pairs = self.dom_pairs(&q.eval_relation(&self.snapshot));
+                pairs.sort();
+                self.record(0, started.elapsed(), pairs.len(), false);
+                pairs
+            }
             Some(ss) => {
                 let shared = RowEvalShared::new();
                 let parts = par::map_shards(&ss.plan().ranges(), |shard, _| {
                     self.shard_pairs(q, shard, &shared)
                 });
-                parts.concat()
+                merge_sorted_runs(&parts)
             }
-        };
-        pairs.sort();
-        pairs
+        }
     }
 
     /// The dom-filter-and-translate pipeline shared by the sharded and
@@ -576,8 +749,10 @@ impl PreparedSolution {
             .collect()
     }
 
-    /// One stripe's dom-filtered pairs (the unit sharded batch serving
-    /// schedules).
+    /// One stripe's dom-filtered pairs as a **sorted run** — the unit
+    /// sharded batch serving schedules, and the input shape of the
+    /// streaming k-way merge. Also records the stripe's evaluation time
+    /// and result cardinality into the serving stats.
     fn shard_pairs(
         &self,
         q: &CompiledQuery,
@@ -585,7 +760,21 @@ impl PreparedSolution {
         shared: &RowEvalShared,
     ) -> Vec<(NodeId, NodeId)> {
         let ss = self.sharded.as_ref().expect("sharded serving only");
-        self.dom_pairs(&q.eval_relation_rows(ss, shard, shared))
+        let started = Instant::now();
+        let mut pairs = self.dom_pairs(&q.eval_relation_rows(ss, shard, shared));
+        pairs.sort();
+        self.record(shard, started.elapsed(), pairs.len(), false);
+        pairs
+    }
+
+    /// One stripe's Boolean evaluation, with stats recording (the Boolean
+    /// counterpart of [`PreparedSolution::shard_pairs`]).
+    fn shard_holds(&self, q: &CompiledQuery, shard: usize, shared: &RowEvalShared) -> bool {
+        let ss = self.sharded.as_ref().expect("sharded serving only");
+        let started = Instant::now();
+        let holds = q.holds_in_rows(ss, shard, shared);
+        self.record(shard, started.elapsed(), 0, true);
+        holds
     }
 
     /// Boolean projection: does the query hold anywhere? Sharded, stripes
@@ -593,7 +782,12 @@ impl PreparedSolution {
     /// stripe that finds a match stops the others from starting).
     fn holds(&self, q: &CompiledQuery) -> bool {
         match &self.sharded {
-            None => q.holds_somewhere(&self.snapshot),
+            None => {
+                let started = Instant::now();
+                let holds = q.holds_somewhere(&self.snapshot);
+                self.record(0, started.elapsed(), 0, true);
+                holds
+            }
             Some(ss) => {
                 let shared = RowEvalShared::new();
                 let found = AtomicBool::new(false);
@@ -601,7 +795,7 @@ impl PreparedSolution {
                     if found.load(Ordering::Relaxed) {
                         return;
                     }
-                    if q.holds_in_rows(ss, shard, &shared) {
+                    if self.shard_holds(q, shard, &shared) {
                         found.store(true, Ordering::Relaxed);
                     }
                 });
@@ -655,10 +849,15 @@ struct MappingEntry {
     gsm: Arc<Gsm>,
     source: RwLock<Arc<DataGraph>>,
     generation: AtomicU64,
-    /// Stripes the mapping's prepared solutions are partitioned into
-    /// (1 = unsharded).
+    /// Encoded [`ShardSpec`]: the stripe count the mapping's prepared
+    /// solutions are partitioned into (1 = unsharded, [`AUTO_SHARDS`] =
+    /// engine-picked).
     shards: AtomicUsize,
     cache: Mutex<[Slot; 2]>,
+    /// Per-(query, stripe) serving statistics, shared with every
+    /// [`PreparedSolution`] built for this mapping so recording needs no
+    /// registry access. Survives evictions and shard-count changes.
+    serving: Arc<Mutex<ServingStats>>,
 }
 
 /// The owned, concurrent serving engine. See the module docs for the
@@ -745,22 +944,30 @@ impl MappingService {
             generation: AtomicU64::new(0),
             shards: AtomicUsize::new(1),
             cache: Mutex::new(Default::default()),
+            serving: Arc::new(Mutex::new(ServingStats::default())),
         });
         write(&self.registry).insert(id, entry);
         id
     }
 
-    /// Partition this mapping's prepared solutions into `k` node-range
-    /// stripes (`0`/`1` = unsharded). Answers evaluate per stripe on
-    /// [`gde_datagraph::par`] workers and merge — union for tuple mode,
-    /// OR-short-circuit for Boolean — and deltas invalidate per stripe
-    /// instead of per mapping. Changing the count drops resident frozen
-    /// solutions (they re-prepare under the new stripe layout on the next
-    /// answer); answers are byte-identical at every `k`.
-    pub fn set_shard_count(&self, id: MappingId, k: usize) -> Result<(), ServeError> {
+    /// Partition this mapping's prepared solutions into node-range
+    /// stripes. Accepts a plain count (`0`/`1` = unsharded) or
+    /// [`ShardSpec::Auto`], which picks K per mapping from the graph
+    /// size, the thread budget, and the observed serving stats. Answers
+    /// evaluate per stripe on [`gde_datagraph::par`] workers and merge —
+    /// a streaming k-way union for tuple mode, OR-short-circuit for
+    /// Boolean — and deltas invalidate per stripe instead of per mapping.
+    /// Changing the spec drops resident frozen solutions (they re-prepare
+    /// under the new stripe layout on the next answer); answers are
+    /// byte-identical at every `k`, `Auto` included.
+    pub fn set_shard_count(
+        &self,
+        id: MappingId,
+        k: impl Into<ShardSpec>,
+    ) -> Result<(), ServeError> {
         let entry = self.entry(id)?;
-        let k = k.max(1);
-        if entry.shards.swap(k, Ordering::Relaxed) != k {
+        let enc = k.into().encode();
+        if entry.shards.swap(enc, Ordering::Relaxed) != enc {
             let mut slots = lock(&entry.cache);
             for slot in slots.iter_mut() {
                 self.release(slot);
@@ -769,11 +976,41 @@ impl MappingService {
         Ok(())
     }
 
-    /// The configured stripe count for a mapping (1 = unsharded).
+    /// The stripe count a mapping currently serves from (1 = unsharded).
+    /// Under [`ShardSpec::Auto`] this is the pick the next preparation
+    /// would use; it can drift as serving statistics accrue.
     pub fn shard_count(&self, id: MappingId) -> Option<usize> {
+        let entry = read(&self.registry).get(&id).cloned()?;
+        Some(self.resolve_shards(&entry))
+    }
+
+    /// The configured [`ShardSpec`] for a mapping.
+    pub fn shard_spec(&self, id: MappingId) -> Option<ShardSpec> {
         read(&self.registry)
             .get(&id)
-            .map(|e| e.shards.load(Ordering::Relaxed))
+            .map(|e| ShardSpec::decode(e.shards.load(Ordering::Relaxed)))
+    }
+
+    /// The cumulative serving statistics recorded for a mapping: one
+    /// entry per (query, stripe) evaluation, aggregated and split by
+    /// stripe. See [`ServingStats`].
+    pub fn serving_stats(&self, id: MappingId) -> Option<ServingStats> {
+        read(&self.registry)
+            .get(&id)
+            .map(|e| lock(&e.serving).clone())
+    }
+
+    /// Resolve a mapping's encoded [`ShardSpec`] to a concrete stripe
+    /// count (the [`auto_shard_count`] policy for `Auto`).
+    fn resolve_shards(&self, entry: &MappingEntry) -> usize {
+        match entry.shards.load(Ordering::Relaxed) {
+            AUTO_SHARDS => {
+                let nodes = read(&entry.source).node_count();
+                let stats = lock(&entry.serving).clone();
+                auto_shard_count(nodes, par::max_threads(), &stats)
+            }
+            k => k,
+        }
     }
 
     /// Drop a mapping and its cached solutions. Returns `false` for
@@ -939,11 +1176,7 @@ impl MappingService {
                 Mode::Tuples => Some(prep.shard_pairs(q, shard, &shareds[qi])),
                 Mode::Boolean => {
                     if !found[qi].load(Ordering::Relaxed)
-                        && q.holds_in_rows(
-                            prep.sharded.as_ref().expect("sharded batch"),
-                            shard,
-                            &shareds[qi],
-                        )
+                        && prep.shard_holds(q, shard, &shareds[qi])
                     {
                         found[qi].store(true, Ordering::Relaxed);
                     }
@@ -957,12 +1190,12 @@ impl MappingService {
                 Ok(match sem.mode() {
                     Mode::Boolean => Answer::Boolean(found[qi].load(Ordering::Relaxed)),
                     Mode::Tuples => {
-                        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
-                        for shard in 0..k {
-                            pairs.extend(parts[shard * nq + qi].take().expect("tuple task ran"));
-                        }
-                        pairs.sort();
-                        Answer::Tuples(CertainAnswers::Pairs(pairs))
+                        // per-stripe sorted runs union through the
+                        // streaming k-way merge — no intermediate concat
+                        let runs: Vec<Vec<(NodeId, NodeId)>> = (0..k)
+                            .map(|shard| parts[shard * nq + qi].take().expect("tuple task ran"))
+                            .collect();
+                        Answer::Tuples(CertainAnswers::Pairs(merge_sorted_runs(&runs)))
                     }
                 })
             })
@@ -1249,7 +1482,7 @@ impl MappingService {
                 SlotState::Failed(e) => return Err(e.clone()),
                 SlotState::Empty | SlotState::Patched { .. } => {}
             }
-            let shards = entry.shards.load(Ordering::Relaxed);
+            let shards = self.resolve_shards(entry);
             let built = match std::mem::take(&mut slot.state) {
                 // a delta-patched solution only needs re-freezing — and the
                 // carry keeps untouched labels/stripes from re-freezing too
@@ -1267,7 +1500,13 @@ impl MappingService {
                     .map(|sol| PreparedSolution::new(sol, shards, generation))
                 }
                 _ => unreachable!("ready/failed handled above"),
-            };
+            }
+            // every solution built for this mapping records into the
+            // mapping's own accumulator
+            .map(|mut p| {
+                p.serving = entry.serving.clone();
+                p
+            });
             self.sub_bytes(slot.bytes);
             slot.bytes = 0;
             slot.generation = generation;
@@ -1733,6 +1972,90 @@ mod tests {
             .unwrap()
             .sharded()
             .is_none());
+    }
+
+    #[test]
+    fn auto_shard_spec_resolves_and_serves_identically() {
+        let (m, gs) = scenario();
+        let reference = MappingService::new();
+        let rid = reference.register(m.clone(), gs.clone());
+        let svc = MappingService::new();
+        let id = svc.register(m.clone(), gs.clone());
+        svc.set_shard_count(id, ShardSpec::Auto).unwrap();
+        assert_eq!(svc.shard_spec(id), Some(ShardSpec::Auto));
+        // tiny graph: the policy keeps it unsharded, and the resolved
+        // count is what shard_count reports
+        let k = svc.shard_count(id).unwrap();
+        assert_eq!(k, 1, "3-node graphs must not shard");
+        let mut ta = m.target_alphabet().clone();
+        let q = gde_dataquery::DataQuery::from(parse_ree("x y", &mut ta).unwrap()).compile();
+        assert_eq!(
+            svc.answer(id, &q, Semantics::nulls()),
+            reference.answer(rid, &q, Semantics::nulls())
+        );
+        assert_eq!(
+            svc.solution(id, Semantics::nulls()).unwrap().shard_count(),
+            k
+        );
+        // switching back to a fixed spec round-trips
+        svc.set_shard_count(id, 3).unwrap();
+        assert_eq!(svc.shard_spec(id), Some(ShardSpec::Fixed(3)));
+        assert_eq!(svc.shard_count(id), Some(3));
+    }
+
+    #[test]
+    fn auto_policy_scales_with_size_threads_and_stats() {
+        let idle = ServingStats::default();
+        // tiny graphs never shard, whatever the thread budget
+        assert_eq!(auto_shard_count(100, 8, &idle), 1);
+        // big graph: one stripe per worker thread
+        assert_eq!(auto_shard_count(100_000, 4, &idle), 4);
+        // ... but never stripes below ~1k rows
+        assert_eq!(auto_shard_count(3000, 8, &idle), 2);
+        // Boolean-leaning workloads get stripes for the OR-short-circuit
+        // even on one thread
+        let boolish = ServingStats {
+            boolean_evals: 10,
+            tuple_evals: 2,
+            ..Default::default()
+        };
+        assert_eq!(auto_shard_count(100_000, 1, &boolish), 4);
+        // heavy evaluations oversubscribe the thread budget 2x
+        let heavy = ServingStats {
+            tuple_evals: 4,
+            eval_ns: 4 * 50_000_000,
+            ..Default::default()
+        };
+        assert_eq!(auto_shard_count(100_000, 4, &heavy), 8);
+        assert_eq!(heavy.mean_eval_ns(), 50_000_000);
+    }
+
+    #[test]
+    fn serving_stats_accumulate_per_stripe() {
+        let (m, gs) = scenario();
+        let svc = MappingService::new();
+        let id = svc.register(m.clone(), gs);
+        assert_eq!(svc.serving_stats(id), Some(ServingStats::default()));
+        let mut ta = m.target_alphabet().clone();
+        let q = gde_dataquery::DataQuery::from(parse_ree("x y", &mut ta).unwrap()).compile();
+        svc.answer(id, &q, Semantics::nulls()).unwrap();
+        svc.answer(id, &q, Semantics::nulls_boolean()).unwrap();
+        let stats = svc.serving_stats(id).unwrap();
+        assert_eq!(stats.tuple_evals, 1);
+        assert_eq!(stats.boolean_evals, 1);
+        assert_eq!(stats.tuples, 2, "x y has two dom answers");
+        assert_eq!(stats.mean_tuples(), 2);
+        assert_eq!(stats.per_stripe.len(), 1, "unsharded records stripe 0");
+        assert_eq!(stats.per_stripe[0].evals, 2);
+        // sharded serving records one eval per (query, stripe)
+        svc.set_shard_count(id, 2).unwrap();
+        svc.answer(id, &q, Semantics::nulls()).unwrap();
+        let stats = svc.serving_stats(id).unwrap();
+        assert_eq!(stats.tuple_evals, 3);
+        assert_eq!(stats.per_stripe.len(), 2);
+        // the accumulator belongs to the mapping: eviction keeps it
+        svc.evict_all();
+        assert_eq!(svc.serving_stats(id).unwrap().tuple_evals, 3);
     }
 
     #[test]

@@ -41,11 +41,15 @@
 //!   edges patch the cached solutions in place and bounded removals
 //!   delete the matching fresh paths; everything else invalidates them
 //!   under a generation stamp;
-//! * **shard** a mapping into K node-range stripes
-//!   ([`engine::MappingService::set_shard_count`]): answers evaluate per
-//!   stripe and merge (union / Boolean OR with short-circuit), batches
-//!   schedule `(query, stripe)` tasks, and deltas invalidate per stripe —
-//!   answers are byte-identical at every K;
+//! * **shard** a mapping into node-range stripes
+//!   ([`engine::MappingService::set_shard_count`], taking a count or
+//!   [`engine::ShardSpec::Auto`]): answers evaluate per stripe into
+//!   sorted runs that union through a streaming k-way merge (Boolean
+//!   answers OR with a short-circuit), batches schedule
+//!   `(query, stripe)` tasks, and deltas invalidate per stripe — answers
+//!   are byte-identical at every K, `Auto` included. Per-(query, stripe)
+//!   serving statistics ([`engine::ServingStats`], via
+//!   [`engine::MappingService::serving_stats`]) feed the `Auto` pick;
 //! * cached solutions live under a byte budget with least-recently-served
 //!   **eviction**, and the service is `Send + Sync`, so scoped threads
 //!   serve one instance concurrently.
@@ -59,6 +63,8 @@
 //! cold path (`prepared_vs_cold` bench, `BENCH_prepared.json`), and
 //! delta-aware patching beats full re-preparation on the churn workload
 //! (`service_churn` bench, `BENCH_service.json`).
+
+#![warn(missing_docs)]
 
 pub mod arbitrary;
 pub mod certain;
@@ -81,7 +87,7 @@ pub use certain::{CertainAnswers, SolveError};
 pub use engine::PreparedMapping;
 pub use engine::{
     answer_once, Answer, DeltaReport, MappingId, MappingService, Mode, PreparedSolution, Semantics,
-    ServeError, ServiceStats,
+    ServeError, ServiceStats, ServingStats, ShardSpec, StripeServingStats,
 };
 pub use exact::{certain_answers_exact, certain_boolean_exact, ExactOptions};
 pub use gsm::{Gsm, MappingClass, Rule};
@@ -91,7 +97,7 @@ pub use solution::{least_informative_solution, universal_solution, CanonicalSolu
 /// Names used by virtually every program built on the library.
 pub mod prelude {
     pub use crate::engine::{
-        answer_once, Answer, MappingId, MappingService, Mode, Semantics, ServeError,
+        answer_once, Answer, MappingId, MappingService, Mode, Semantics, ServeError, ShardSpec,
     };
     pub use crate::exact::{certain_answers_exact, ExactOptions};
     pub use crate::gsm::{Gsm, Rule};

@@ -32,15 +32,25 @@
 //! * [`ShardPlan`] and [`ShardedSnapshot`] — node-range stripes over a
 //!   snapshot with per-shard label relations and a boundary-edge overlay,
 //!   scheduled onto workers by [`par::map_shards`]: the partition unit of
-//!   the sharded serving pipeline in `gde-core`;
+//!   the sharded serving pipeline in `gde-core`. Plans cut evenly, by
+//!   out-degree, or by the cost model of [`ShardPlan::by_cost`], fed by
+//!   the per-stripe statistics of [`ShardPlan::stripe_stats`];
+//! * [`merge`] — streaming k-way unions of sorted runs (heap-of-cursors
+//!   with galloping bulk copies), merging the per-stripe tuple runs of
+//!   sharded serving and the per-row column lists of k-ary relation
+//!   unions ([`Relation::union_many`]) without intermediate
+//!   concatenation;
 //! * homomorphisms between data graphs, both the exact form of §6 and the
 //!   null-absorbing form of §7 ([`hom`]).
+
+#![warn(missing_docs)]
 
 pub mod fxhash;
 pub mod graph;
 pub mod hom;
 pub mod io;
 pub mod label;
+pub mod merge;
 pub mod node;
 pub mod par;
 pub mod path;
@@ -54,10 +64,11 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::{DataGraph, DeltaApplied, GraphDelta, GraphError};
 pub use hom::{apply_hom, check_hom, find_hom, HomMode};
 pub use label::{Alphabet, Label};
+pub use merge::{concat_sort_dedup, merge_sorted_runs};
 pub use node::NodeId;
 pub use path::{DataPath, Path};
 pub use property::{Properties, PropertyGraph};
 pub use relation::{Relation, RelationBuilder, RowIter};
-pub use shard::{ShardPlan, ShardedSnapshot};
+pub use shard::{ShardPlan, ShardedSnapshot, StripeStats};
 pub use snapshot::GraphSnapshot;
 pub use value::Value;

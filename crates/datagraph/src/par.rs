@@ -231,6 +231,69 @@ mod tests {
     }
 
     #[test]
+    fn task_queue_drains_more_tasks_than_threads() {
+        let _guard = test_knob_lock();
+        set_max_threads(3);
+        // 97 tasks over 3 workers: every index must be claimed exactly
+        // once from the shared queue, and results come back in task order
+        let claims = AtomicUsize::new(0);
+        let got = map_tasks(97, |i| {
+            claims.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(claims.load(Ordering::Relaxed), 97);
+        assert_eq!(got, (0..97).map(|i| i * 2).collect::<Vec<usize>>());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn task_queue_single_thread_runs_inline() {
+        let _guard = test_knob_lock();
+        set_max_threads(1);
+        // with one worker the queue degenerates to a sequential loop on
+        // the calling thread — observable through thread identity
+        let caller = std::thread::current().id();
+        let got = map_tasks(10, |i| (i, std::thread::current().id()));
+        for (i, (idx, tid)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*tid, caller, "single-thread fallback must stay inline");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_outputs() {
+        let _guard = test_knob_lock();
+        for t in [1, 4] {
+            set_max_threads(t);
+            assert_eq!(map_tasks(0, |i| i), Vec::<usize>::new());
+            assert_eq!(map_shards(&[], |i, _| i), Vec::<usize>::new());
+            assert_eq!(
+                map_blocks(0, 1, |r| r.len()),
+                vec![0],
+                "map_blocks reports one empty block"
+            );
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn uneven_task_costs_still_cover_all_tasks() {
+        let _guard = test_knob_lock();
+        set_max_threads(4);
+        // one task is much slower: dynamic claiming must not lose or
+        // duplicate the cheap ones behind it
+        let got = map_tasks(16, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(got, (0..16).collect::<Vec<usize>>());
+        set_max_threads(0);
+    }
+
+    #[test]
     fn shards_come_back_in_stripe_order() {
         let _guard = test_knob_lock();
         for t in [1, 3] {

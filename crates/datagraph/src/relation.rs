@@ -189,31 +189,6 @@ fn or_row_into(src: &Relation, j: usize, dst: &mut [u64]) {
     }
 }
 
-/// Merge two sorted, deduplicated column slices into `out` (sorted,
-/// deduplicated).
-fn merge_sorted(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-}
-
 /// Apply `f` to `a[k] (op)= b[k]` over the whole span, in parallel word
 /// chunks when the span is large.
 fn par_word_zip(a: &mut [u64], b: &[u64], f: fn(&mut u64, u64)) {
@@ -549,7 +524,7 @@ impl Relation {
                     };
                     for i in range {
                         let before = out.cols.len();
-                        merge_sorted(a.row(i), b.row(i), &mut out.cols);
+                        crate::merge::merge_two(a.row(i), b.row(i), &mut out.cols);
                         out.lens.push(out.cols.len() - before);
                     }
                     out
@@ -569,6 +544,100 @@ impl Relation {
         let mut r = self.clone();
         r.union_with(other);
         r
+    }
+
+    /// k-ary union in one pass. Sparse CSR rows are already sorted, so the
+    /// union of `k` sparse relations is a per-row **k-way streaming merge**
+    /// ([`crate::merge`]) instead of `k - 1` successive two-way merges that
+    /// rewrite the whole arena each time — `O(nnz log k)` and one output
+    /// arena. Falls back to folding [`Relation::union_with`] when any input
+    /// is dense (bitwise OR is already a single pass there).
+    ///
+    /// `n` is the dimension of the (possibly empty) result; every input
+    /// must share it.
+    pub fn union_many(n: usize, rels: &[&Relation]) -> Relation {
+        assert!(
+            rels.iter().all(|r| r.n == n),
+            "dimension mismatch in union_many"
+        );
+        match rels.len() {
+            0 => return Relation::empty(n),
+            1 => return rels[0].clone(),
+            _ => {}
+        }
+        if let Some(di) = rels.iter().position(|r| r.is_dense()) {
+            // start the fold from a dense input: cloning a sparse arena
+            // only to densify it one union later would be pure waste
+            let mut acc = rels[di].clone();
+            for (i, r) in rels.iter().enumerate() {
+                if i != di {
+                    acc.union_with(r);
+                }
+            }
+            return acc;
+        }
+        let blocks = par::map_blocks(n, PAR_MIN_ROWS, |range| {
+            let mut out = RowBlock {
+                lens: Vec::with_capacity(range.len()),
+                cols: Vec::new(),
+            };
+            let mut heads: Vec<&[u32]> = Vec::with_capacity(rels.len());
+            let mut row = Vec::new();
+            for i in range {
+                heads.clear();
+                for r in rels {
+                    if let Repr::Sparse(s) = &r.repr {
+                        let rr = s.row(i);
+                        if !rr.is_empty() {
+                            heads.push(rr);
+                        }
+                    }
+                }
+                crate::merge::merge_sorted_slices_into(&heads, &mut row);
+                out.cols.extend_from_slice(&row);
+                out.lens.push(row.len());
+            }
+            out
+        });
+        let mut r = Relation {
+            n,
+            repr: Repr::Sparse(assemble_csr(n, blocks)),
+        };
+        if dense_is_better(n, r.len()) {
+            r.force_dense();
+        }
+        r
+    }
+
+    /// Memory-bounded k-ary union over an iterator of owned relations —
+    /// the driver query evaluators use for union nodes. Sparse inputs are
+    /// collected and merged in one k-way pass ([`Relation::union_many`]);
+    /// the moment a **dense** input appears it becomes the accumulator
+    /// and everything else folds into it incrementally, so peak memory
+    /// stays at one dense relation plus one child (folding into a dense
+    /// matrix is already a single-pass bitwise OR — streaming k sparse
+    /// runs is where the merge wins).
+    pub fn union_many_iter(n: usize, rels: impl IntoIterator<Item = Relation>) -> Relation {
+        let mut sparse: Vec<Relation> = Vec::new();
+        let mut dense_acc: Option<Relation> = None;
+        for r in rels {
+            assert_eq!(r.n, n, "dimension mismatch in union_many_iter");
+            match &mut dense_acc {
+                Some(acc) => acc.union_with(&r),
+                None if r.is_dense() => {
+                    let mut acc = r;
+                    for s in sparse.drain(..) {
+                        acc.union_with(&s);
+                    }
+                    dense_acc = Some(acc);
+                }
+                None => sparse.push(r),
+            }
+        }
+        match dense_acc {
+            Some(acc) => acc,
+            None => Relation::union_many(n, &sparse.iter().collect::<Vec<_>>()),
+        }
     }
 
     /// In-place intersection.
@@ -1424,6 +1493,31 @@ mod tests {
             rd.force_dense();
             assert_eq!(rd.transitive_closure_scc(), war, "dense input, dim {dims}");
         }
+    }
+
+    #[test]
+    fn union_many_matches_folded_unions() {
+        let n = 1500; // above the dense threshold so sparse paths engage
+        let a = Relation::from_pairs(n, (0..n - 1).map(|i| (i, i + 1)));
+        let b = Relation::from_pairs(n, (0..n / 3).map(|i| (3 * i, i)));
+        let c = Relation::from_pairs(n, [(7, 9), (0, 1), (1499, 0)]);
+        let oracle = a.union(&b).union(&c);
+        assert_eq!(Relation::union_many(n, &[&a, &b, &c]), oracle);
+        assert_eq!(
+            Relation::union_many_iter(n, [a.clone(), b.clone(), c.clone()]),
+            oracle
+        );
+        // dense input anywhere in the stream switches to the fold path
+        let mut d = b.clone();
+        d.force_dense();
+        assert_eq!(
+            Relation::union_many_iter(n, [a.clone(), d, c.clone()]),
+            oracle
+        );
+        // degenerate arities
+        assert_eq!(Relation::union_many(n, &[]), Relation::empty(n));
+        assert_eq!(Relation::union_many(n, &[&a]), a);
+        assert_eq!(Relation::union_many_iter(n, []), Relation::empty(n));
     }
 
     #[test]

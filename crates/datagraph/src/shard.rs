@@ -70,6 +70,72 @@ impl ShardPlan {
                 *w += s.out(l, u as u32).len() as u64;
             }
         }
+        ShardPlan::cut_by_weight(&weight, k)
+    }
+
+    /// `k` stripes balanced by a **cost model** instead of raw degree: the
+    /// estimated per-node evaluation work, assembled from the per-stripe
+    /// statistics a seed partition exposes ([`ShardPlan::stripe_stats`]).
+    /// Three terms feed the model:
+    ///
+    /// * **out-degree mass** — every edge costs one adjacency visit;
+    /// * **label histogram** — an edge of a dense label costs more: the
+    ///   relation-algebra paths (compose, closure) walk whole rows of
+    ///   `E_label`, so per-edge cost grows with the label's mean
+    ///   out-degree;
+    /// * **boundary-edge count** — an edge leaving its source's stripe
+    ///   (measured under an out-degree-balanced seed plan) pays the
+    ///   boundary-overlay build plus a cross-stripe continuation in the
+    ///   per-start walks.
+    ///
+    /// The result still partitions `0..n` into contiguous stripes — only
+    /// the cut points move — so everything downstream (slices, carries,
+    /// row-restricted eval) is unchanged. Falls back to the seed when the
+    /// model has nothing to add (`k = 1`, empty graphs).
+    pub fn by_cost(s: &GraphSnapshot, k: usize) -> ShardPlan {
+        let k = k.max(1);
+        let n = s.n();
+        if k == 1 || n == 0 {
+            return ShardPlan::even(n, k);
+        }
+        let seed = ShardPlan::by_out_degree(s, k);
+        // label weight = 1 + mean out-degree of the label (integer floor):
+        // compose/closure over E_label touch rows proportional to density
+        let mut label_totals = vec![0u64; s.label_count()];
+        for (li, t) in label_totals.iter_mut().enumerate() {
+            let l = Label(li as u16);
+            for u in 0..n {
+                *t += s.out(l, u as u32).len() as u64;
+            }
+        }
+        let lw: Vec<u64> = label_totals.iter().map(|&t| 1 + t / n as u64).collect();
+        /// Extra cost per edge that crosses out of its stripe.
+        const BOUNDARY_WEIGHT: u64 = 2;
+        let mut weight = vec![1u64; n];
+        for (u, w) in weight.iter_mut().enumerate() {
+            // the node's seed stripe is looked up once, not once per label
+            let stripe = seed.range(seed.shard_of(u as u32));
+            for (li, &w_l) in lw.iter().enumerate() {
+                let out = s.out(Label(li as u16), u as u32);
+                if out.is_empty() {
+                    continue;
+                }
+                *w += out.len() as u64 * w_l;
+                let crossing = out
+                    .iter()
+                    .filter(|&&v| !stripe.contains(&(v as usize)))
+                    .count();
+                *w += crossing as u64 * BOUNDARY_WEIGHT;
+            }
+        }
+        ShardPlan::cut_by_weight(&weight, k)
+    }
+
+    /// Cut `0..weight.len()` into `k` contiguous stripes of roughly equal
+    /// total weight (the shared core of [`ShardPlan::by_out_degree`] and
+    /// [`ShardPlan::by_cost`]).
+    fn cut_by_weight(weight: &[u64], k: usize) -> ShardPlan {
+        let n = weight.len();
         let total: u64 = weight.iter().sum();
         let mut bounds = Vec::with_capacity(k + 1);
         bounds.push(0u32);
@@ -90,6 +156,40 @@ impl ShardPlan {
         bounds.push(n as u32);
         debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
         ShardPlan { bounds }
+    }
+
+    /// Per-stripe statistics of this plan over a snapshot: node count,
+    /// out-edge mass, per-label edge histogram, and the number of edges
+    /// whose target falls outside the stripe (the boundary overlay this
+    /// partition would build). These are the inputs of the cost model
+    /// behind [`ShardPlan::by_cost`] and a planning diagnostic for
+    /// operators.
+    pub fn stripe_stats(&self, s: &GraphSnapshot) -> Vec<StripeStats> {
+        assert_eq!(self.n(), s.n(), "plan does not cover the snapshot");
+        let mut out: Vec<StripeStats> = (0..self.shard_count())
+            .map(|i| StripeStats {
+                nodes: self.range(i).len(),
+                out_edges: 0,
+                boundary_edges: 0,
+                label_edges: vec![0; s.label_count()],
+            })
+            .collect();
+        for li in 0..s.label_count() {
+            let l = Label(li as u16);
+            for (shard, st) in out.iter_mut().enumerate() {
+                let range = self.range(shard);
+                for u in range.clone() {
+                    let outs = s.out(l, u as u32);
+                    st.out_edges += outs.len();
+                    st.label_edges[li] += outs.len();
+                    st.boundary_edges += outs
+                        .iter()
+                        .filter(|&&v| !range.contains(&(v as usize)))
+                        .count();
+                }
+            }
+        }
+        out
     }
 
     /// Number of stripes.
@@ -118,6 +218,34 @@ impl ShardPlan {
         // first bound strictly above `row`, minus one
         let p = self.bounds.partition_point(|&b| b <= row);
         p.clamp(1, self.shard_count()) - 1
+    }
+}
+
+/// Per-stripe static statistics of a [`ShardPlan`] over a snapshot (see
+/// [`ShardPlan::stripe_stats`]): what the cost-informed planner consumes
+/// and what an operator inspects to judge a partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StripeStats {
+    /// Nodes in the stripe.
+    pub nodes: usize,
+    /// Edges whose source lies in the stripe, across all labels.
+    pub out_edges: usize,
+    /// Of those, edges whose target falls outside the stripe — the
+    /// boundary overlay this partition builds.
+    pub boundary_edges: usize,
+    /// Out-edge histogram by label index.
+    pub label_edges: Vec<usize>,
+}
+
+impl StripeStats {
+    /// The fraction of the stripe's out-edges that cross its boundary
+    /// (`0.0` for an edgeless stripe).
+    pub fn boundary_fraction(&self) -> f64 {
+        if self.out_edges == 0 {
+            0.0
+        } else {
+            self.boundary_edges as f64 / self.out_edges as f64
+        }
     }
 }
 
@@ -337,6 +465,59 @@ mod tests {
         // every stripe nonempty on this uniform graph
         for i in 0..4 {
             assert!(!plan.range(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_plan_partitions_domain_and_balances() {
+        let g = ring(96);
+        let s = g.snapshot();
+        for k in [1, 2, 4, 5] {
+            let plan = ShardPlan::by_cost(&s, k);
+            assert_eq!(plan.shard_count(), k);
+            assert_eq!(plan.n(), 96);
+            let mut covered = 0;
+            for i in 0..k {
+                let r = plan.range(i);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, 96);
+            // on this near-uniform graph the cost cuts stay near-even
+            for i in 0..k {
+                assert!(!plan.range(i).is_empty(), "k={k} stripe {i} degenerate");
+            }
+        }
+        // empty graph degenerates gracefully
+        let empty = DataGraph::new().snapshot();
+        assert_eq!(ShardPlan::by_cost(&empty, 4).n(), 0);
+    }
+
+    #[test]
+    fn stripe_stats_account_for_every_edge() {
+        let g = ring(48);
+        let s = g.snapshot();
+        for plan in [ShardPlan::even(48, 4), ShardPlan::by_cost(&s, 3)] {
+            let stats = plan.stripe_stats(&s);
+            assert_eq!(stats.len(), plan.shard_count());
+            assert_eq!(stats.iter().map(|t| t.nodes).sum::<usize>(), 48);
+            assert_eq!(
+                stats.iter().map(|t| t.out_edges).sum::<usize>(),
+                s.edge_count()
+            );
+            // the histogram refines the out-edge mass
+            for t in &stats {
+                assert_eq!(t.label_edges.iter().sum::<usize>(), t.out_edges);
+                assert!(t.boundary_edges <= t.out_edges);
+                assert!((0.0..=1.0).contains(&t.boundary_fraction()));
+            }
+            // stats agree with the slices the sharded snapshot builds
+            let sharded = ShardedSnapshot::new(Arc::new(g.snapshot()), plan.clone());
+            sharded.warm();
+            assert_eq!(
+                stats.iter().map(|t| t.boundary_edges).sum::<usize>(),
+                sharded.boundary_edges()
+            );
         }
     }
 

@@ -265,11 +265,12 @@ impl Ree {
                 acc
             }
             Ree::Union(es) => {
-                let mut acc = Relation::empty(n);
-                for child in es {
-                    acc.union_with(&child.eval_rows_rec(shards, shard, memo, id));
-                }
-                acc
+                // k-ary streaming union: sorted CSR rows merge in one pass
+                Relation::union_many_iter(
+                    n,
+                    es.iter()
+                        .map(|child| child.eval_rows_rec(shards, shard, memo, id)),
+                )
             }
             Ree::Plus(b) | Ree::Star(b) => {
                 *id += b.subtree_size();
@@ -301,13 +302,7 @@ impl Ree {
                 }
                 acc
             }
-            Ree::Union(es) => {
-                let mut acc = Relation::empty(n);
-                for e in es {
-                    acc.union_with(&e.eval_ctx(ctx));
-                }
-                acc
-            }
+            Ree::Union(es) => Relation::union_many_iter(n, es.iter().map(|e| e.eval_ctx(ctx))),
             Ree::Plus(e) => e.eval_ctx(ctx).transitive_closure(),
             Ree::Star(e) => e.eval_ctx(ctx).reflexive_transitive_closure(),
             Ree::Eq(e) => e.eval_ctx(ctx).filter(|i, j| ctx.sql_eq(i, j)),
@@ -525,15 +520,13 @@ fn build_memo(
                 }
                 None
             }
-            _ => {
-                let mut acc = Relation::empty(n);
-                for child in es {
-                    let f = build_memo(child, s, MemoMode::Inner, id, out)
-                        .expect("inner mode returns the full relation");
-                    acc.union_with(&f);
-                }
-                Some(acc)
-            }
+            _ => Some(Relation::union_many_iter(
+                n,
+                es.iter().map(|child| {
+                    build_memo(child, s, MemoMode::Inner, id, out)
+                        .expect("inner mode returns the full relation")
+                }),
+            )),
         },
         Ree::Plus(b) => Some(
             build_memo(b, s, MemoMode::Inner, id, out)

@@ -32,11 +32,7 @@ pub fn eval_path_snapshot(alpha: &PathExpr, s: &GraphSnapshot) -> Relation {
             acc
         }
         PathExpr::Union(parts) => {
-            let mut acc = Relation::empty(n);
-            for p in parts {
-                acc.union_with(&eval_path_snapshot(p, s));
-            }
-            acc
+            Relation::union_many_iter(n, parts.iter().map(|p| eval_path_snapshot(p, s)))
         }
         PathExpr::Eq(p) => eval_path_snapshot(p, s).filter(|i, j| s.sql_eq(i as u32, j as u32)),
         PathExpr::Neq(p) => eval_path_snapshot(p, s).filter(|i, j| s.sql_ne(i as u32, j as u32)),

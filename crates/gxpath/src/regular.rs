@@ -138,13 +138,7 @@ pub fn eval_rpath(alpha: &RPath, g: &DataGraph) -> Relation {
             }
             acc
         }
-        RPath::Union(parts) => {
-            let mut acc = Relation::empty(n);
-            for p in parts {
-                acc.union_with(&eval_rpath(p, g));
-            }
-            acc
-        }
+        RPath::Union(parts) => Relation::union_many_iter(n, parts.iter().map(|p| eval_rpath(p, g))),
         RPath::Star(p) => eval_rpath(p, g).reflexive_transitive_closure(),
         RPath::Not(p) => eval_rpath(p, g).complement(),
         RPath::And(a, b) => {

@@ -16,7 +16,7 @@ pub use graphs::{chain_graph, cycle_graph, random_data_graph, GraphConfig};
 pub use queries::{random_path_test, random_ree, random_rem, QueryConfig};
 pub use scenarios::{random_scenario, ExchangeScenario, ScenarioConfig};
 pub use serving::{
-    sharded_serving_scenario, social_churn_deltas, social_serving_scenario, ServingScenario,
-    SHARDED_BOOLEAN_QUERIES,
+    merge_bound_queries, sharded_serving_scenario, social_churn_deltas, social_serving_scenario,
+    ServingScenario, SHARDED_BOOLEAN_QUERIES,
 };
 pub use social::{social_data_graph, social_network, SocialConfig};

@@ -274,6 +274,41 @@ pub fn sharded_serving_scenario(scale: usize, seed: u64) -> ServingScenario {
     }
 }
 
+/// The **merge-bound** tuple batch for the sharded scenario: long
+/// contact-walk queries whose answer cardinality is a large multiple of
+/// the node count, so at K stripes the per-stripe evaluation produces big
+/// sorted runs and the cross-stripe tuple merge — not the evaluation —
+/// dominates the cost profile. This is the workload the `sharded_serving`
+/// bench uses to compare the streaming k-way merge against the
+/// concatenate-and-sort baseline ([`gde_datagraph::merge`]).
+///
+/// `ta` must be the scenario's target-alphabet interner
+/// (`gsm.target_alphabet().clone()`) so label indices line up.
+pub fn merge_bound_queries(ta: &mut Alphabet) -> Vec<(String, DataQuery)> {
+    fn rpq(ta: &mut Alphabet, src: &str) -> DataQuery {
+        gde_automata::parse_regex(src, ta)
+            .expect("static query parses")
+            .into()
+    }
+    vec![
+        (
+            "three-hop-contact".to_string(),
+            rpq(ta, "contact contact contact"),
+        ),
+        (
+            "four-hop-contact".to_string(),
+            rpq(ta, "contact contact contact contact"),
+        ),
+        (
+            "contact-fanout-mixed".to_string(),
+            rpq(
+                ta,
+                "(contact | endorses via on) (contact | authored) contact",
+            ),
+        ),
+    ]
+}
+
 /// A stream of churn deltas for the social serving scenario: each round
 /// adds `edges_per_round` random `knows` edges between existing persons —
 /// the additive, LAV-patchable change shape a delta-aware serving engine

@@ -89,6 +89,13 @@
 //! # }
 //! ```
 
+/// The end-to-end user guide, compiled straight from `docs/GUIDE.md` so
+/// every code block in it is a doctest (`cargo test --doc`) and the guide
+/// can never drift from the library. The same program as one runnable
+/// file is `examples/guide.rs`.
+#[doc = include_str!("../docs/GUIDE.md")]
+pub mod guide {}
+
 pub use gde_automata as automata;
 pub use gde_core as core;
 pub use gde_datagraph as datagraph;

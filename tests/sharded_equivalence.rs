@@ -4,7 +4,7 @@
 //! social serving workload — through both `answer` and `answer_batch` —
 //! and stay identical while deltas patch stripes incrementally.
 
-use gde_core::{Answer, ExactOptions, MappingService, Mode, Semantics, ServeError};
+use gde_core::{Answer, ExactOptions, MappingService, Mode, Semantics, ServeError, ShardSpec};
 use gde_dataquery::CompiledQuery;
 use gde_workload::{
     sharded_serving_scenario, social_churn_deltas, social_serving_scenario, ServingScenario,
@@ -12,6 +12,14 @@ use gde_workload::{
 };
 
 const KS: [usize; 4] = [1, 2, 4, 8];
+
+/// Every shard configuration under test: the fixed counts plus the
+/// engine-picked `Auto`.
+fn all_specs() -> Vec<ShardSpec> {
+    let mut specs: Vec<ShardSpec> = KS.iter().map(|&k| ShardSpec::Fixed(k)).collect();
+    specs.push(ShardSpec::Auto);
+    specs
+}
 
 fn all_semantics() -> Vec<Semantics> {
     let mut out = Vec::new();
@@ -57,15 +65,18 @@ fn sharded_answers_identical_for_all_semantics_and_modes() {
         expected.iter().any(|a| a.is_ok()),
         "workload must produce real answers"
     );
-    for k in KS {
+    for spec in all_specs() {
         let svc = MappingService::new();
         let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
-        svc.set_shard_count(id, k).unwrap();
+        svc.set_shard_count(id, spec).unwrap();
         assert_eq!(
             fingerprint(&svc, id, &queries),
             expected,
-            "k={k} must serve byte-identical answers"
+            "{spec:?} must serve byte-identical answers"
         );
+        // the spec round-trips and resolves to a concrete stripe count
+        assert_eq!(svc.shard_spec(id), Some(spec));
+        assert!(svc.shard_count(id).unwrap() >= 1);
     }
 }
 
@@ -84,20 +95,20 @@ fn sharded_answers_survive_incremental_deltas() {
     // one unsharded reference, one service per K, all fed the same churn
     let reference = MappingService::new();
     let rid = reference.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
-    let sharded: Vec<_> = KS
-        .iter()
-        .map(|&k| {
+    let sharded: Vec<_> = all_specs()
+        .into_iter()
+        .map(|spec| {
             let svc = MappingService::new();
             let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
-            svc.set_shard_count(id, k).unwrap();
-            (k, svc, id)
+            svc.set_shard_count(id, spec).unwrap();
+            (spec, svc, id)
         })
         .collect();
     for delta in &deltas {
         // warm caches so deltas patch rather than build cold
         let expected = fingerprint(&reference, rid, &queries);
         for (k, svc, id) in &sharded {
-            assert_eq!(fingerprint(svc, *id, &queries), expected, "pre-delta k={k}");
+            assert_eq!(fingerprint(svc, *id, &queries), expected, "pre-delta {k:?}");
         }
         reference.apply_delta(rid, delta).unwrap();
         for (_, svc, id) in &sharded {
@@ -109,11 +120,11 @@ fn sharded_answers_survive_incremental_deltas() {
         assert_eq!(
             fingerprint(svc, *id, &queries),
             expected,
-            "post-churn k={k}"
+            "post-churn {k:?}"
         );
         assert!(
             svc.stats().patched_deltas >= 1,
-            "churn must exercise the patch path at k={k}"
+            "churn must exercise the patch path at {k:?}"
         );
     }
 }
@@ -121,20 +132,27 @@ fn sharded_answers_survive_incremental_deltas() {
 #[test]
 fn sharded_scenario_batch_is_consistent_at_small_scale() {
     // the bench workload itself, shrunk: equivalence across K plus class
-    // coverage sanity
+    // coverage sanity — including the high-cardinality merge-bound batch
+    // whose tuple merges exercise the streaming k-way path
     let sv = sharded_serving_scenario(900, 0x77);
-    let queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
+    let mut queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
     assert!(queries.len() >= 10);
     assert!(queries.iter().any(|q| !q.is_equality_only()));
+    let mut ta = sv.scenario.gsm.target_alphabet().clone();
+    queries.extend(
+        gde_workload::merge_bound_queries(&mut ta)
+            .iter()
+            .map(|(_, q)| q.compile()),
+    );
     let reference = MappingService::new();
     let rid = reference.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
     for sem in [Semantics::nulls(), Semantics::nulls_boolean()] {
         let expected = reference.answer_batch(rid, &queries, sem);
-        for k in [2, 4] {
+        for spec in [ShardSpec::Fixed(2), ShardSpec::Fixed(4), ShardSpec::Auto] {
             let svc = MappingService::new();
             let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
-            svc.set_shard_count(id, k).unwrap();
-            assert_eq!(svc.answer_batch(id, &queries, sem), expected);
+            svc.set_shard_count(id, spec).unwrap();
+            assert_eq!(svc.answer_batch(id, &queries, sem), expected, "{spec:?}");
         }
     }
 }
