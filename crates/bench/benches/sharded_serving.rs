@@ -20,17 +20,30 @@
 //!   stripes from starting. Satisfiable existence checks drop from
 //!   full-evaluation cost to near-constant.
 //! * **Tuple mode** splits every query into `(query, stripe)` tasks the
-//!   dynamic scheduler spreads over `par` workers, so on multi-core
-//!   hosts the batch makespan is no longer pinned to the heaviest
-//!   query. (On a single-core host tuple throughput is flat across K —
-//!   the work is identical, and the JSON records the thread count.)
+//!   dynamic scheduler spreads over `par` workers — and, since the
+//!   generation-stamped sub-relation cache, steady-state sharded serving
+//!   reuses evaluated stripe relations and closure artifacts across
+//!   calls: the timed iterations measure warm-cache serving (slice,
+//!   dom-filter, sort, merge), which is the production access pattern of
+//!   a long-lived service. K=1 serves unsharded and uncached, so the
+//!   tuple K-speedup is the cache + fan-out win, with hit rates recorded
+//!   alongside so the two effects stay diagnosable.
 //!
 //! Answers are asserted byte-identical across every K, in both modes,
 //! before anything is measured.
 //!
+//! A **thread sweep** re-times the tuple and Boolean batches at
+//! GDE_MAX_THREADS ∈ {1, 2, 4, 8} × K (runtime-forced via
+//! `par::set_max_threads`), with per-cell cache hit/miss deltas from
+//! `ServingStats` — the scheduler had only ever been measured on however
+//! many cores the bench host happened to have. `physical_cpus` lands in
+//! the JSON so a 1-CPU container's sweep is read for what it is
+//! (scheduling overhead, not parallel speedup).
+//!
 //! Emits `BENCH_sharded.json` at the workspace root as a machine-readable
 //! perf baseline (full mode only). `SHARDED_SERVING_SMOKE=1` (CI) shrinks
-//! the graph, runs K ∈ {1, 2} on 2 forced threads, and writes nothing.
+//! the graph, runs K ∈ {1, 2}, forces 2 threads unless GDE_MAX_THREADS
+//! is set (the CI matrix leg sets 4), and writes nothing.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gde_core::{Gsm, MappingId, MappingService, Semantics};
@@ -45,11 +58,13 @@ fn smoke() -> bool {
 
 fn bench(c: &mut Criterion) {
     let smoke = smoke();
-    if smoke {
-        // the sharded scheduler must run even on single-core CI runners
+    if smoke && std::env::var("GDE_MAX_THREADS").is_err() {
+        // the sharded scheduler must run even on single-core CI runners —
+        // but an explicit GDE_MAX_THREADS (the CI thread-matrix leg) wins
         par::set_max_threads(2);
     }
     let threads = par::max_threads();
+    let physical_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let scale = if smoke { 1600 } else { 20480 };
     let ks: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
     let sv = sharded_serving_scenario(scale, 0x5AD5);
@@ -221,6 +236,70 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
+    // repeated-batch cache effectiveness, on a *fresh* K=4 (K=2 in
+    // smoke) service so the measured hit rate is the second batch's
+    // alone, not an artifact of the warmed bench services above
+    let fresh_k = if smoke { 2 } else { 4 };
+    let fresh = MappingService::new();
+    let fresh_id = fresh.register(gsm.clone(), source.clone());
+    fresh
+        .set_shard_count(fresh_id, fresh_k)
+        .expect("registered");
+    fresh
+        .prepare(fresh_id, Semantics::nulls())
+        .expect("prepares");
+    let cold = fresh.answer_batch(fresh_id, &queries, Semantics::nulls());
+    let before = fresh.serving_stats(fresh_id).expect("registered");
+    let warm = fresh.answer_batch(fresh_id, &queries, Semantics::nulls());
+    let after = fresh.serving_stats(fresh_id).expect("registered");
+    assert_eq!(cold, warm, "cached batch must serve identical answers");
+    let warm_hits = after.cache_hits - before.cache_hits;
+    let warm_misses = after.cache_misses - before.cache_misses;
+    let repeated_hit_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+    assert!(
+        repeated_hit_rate > 0.0,
+        "a repeated batch must hit the sub-relation cache"
+    );
+    println!(
+        "repeated batch at k={fresh_k}: {warm_hits} hits / {warm_misses} misses \
+         ({:.0}% hit rate), {} cache bytes, memo share {:.2}",
+        repeated_hit_rate * 100.0,
+        after.cache_bytes,
+        after.memo_share(),
+    );
+
+    // the thread sweep: tuple + boolean batches at every (threads, K),
+    // warm-cache steady state, with per-cell cache-counter deltas
+    let sweep_threads: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let mut sweep_cells: Vec<(usize, usize, u64, u64)> = Vec::new();
+    let mut sweep = c.benchmark_group("sharded_sweep");
+    sweep.sample_size(3);
+    for &t in &sweep_threads {
+        par::set_max_threads(t);
+        for (k, svc, id) in &services {
+            let before = svc.serving_stats(*id).expect("registered");
+            sweep.bench_with_input(
+                BenchmarkId::from_parameter(format!("tuple_t{t}_k{k}")),
+                &(),
+                |b, ()| b.iter(|| svc.answer_batch(*id, &queries, Semantics::nulls())),
+            );
+            sweep.bench_with_input(
+                BenchmarkId::from_parameter(format!("boolean_t{t}_k{k}")),
+                &(),
+                |b, ()| b.iter(|| svc.answer_batch(*id, &queries, Semantics::nulls_boolean())),
+            );
+            let s = svc.serving_stats(*id).expect("registered");
+            sweep_cells.push((
+                t,
+                *k,
+                s.cache_hits - before.cache_hits,
+                s.cache_misses - before.cache_misses,
+            ));
+        }
+    }
+    par::set_max_threads(0); // restore the GDE_MAX_THREADS / auto default
+    sweep.finish();
+
     let series = |name: &str| -> Vec<(usize, u64)> {
         ks.iter()
             .map(|&k| {
@@ -273,6 +352,31 @@ fn bench(c: &mut Criterion) {
     let boundary = prep.sharded().map_or(0, |s| s.boundary_edges());
     println!("k={k_max}: {boundary} boundary edges across stripes");
 
+    // sweep summary (printed in smoke too; JSON is full-mode only)
+    let sweep_ns = |name: &str, t: usize, k: usize| -> u64 {
+        c.median_ns("sharded_sweep", &format!("{name}_t{t}_k{k}"))
+            .expect("swept")
+    };
+    for &(t, k, hits, misses) in &sweep_cells {
+        println!(
+            "threads={t} k={k}: tuple {:.3} ms, boolean {:.3} ms, cache {hits} hits / {misses} misses",
+            sweep_ns("tuple", t, k) as f64 / 1e6,
+            sweep_ns("boolean", t, k) as f64 / 1e6,
+        );
+    }
+    let sweep_speedup = |t: usize| -> f64 {
+        let k1 = sweep_ns("tuple", t, ks[0]);
+        let k4 = sweep_ns("tuple", t, if smoke { 2 } else { 4 });
+        k1 as f64 / k4.max(1) as f64
+    };
+    let t_hi = *sweep_threads.last().expect("nonempty sweep");
+    println!(
+        "tuple k{}-over-k1 speedup: {:.2}x at {} threads (physical cpus: {physical_cpus})",
+        if smoke { 2 } else { 4 },
+        sweep_speedup(t_hi),
+        t_hi,
+    );
+
     if smoke {
         return;
     }
@@ -287,13 +391,30 @@ fn bench(c: &mut Criterion) {
             )
         })
         .collect();
+    let sweep_json: Vec<String> = sweep_cells
+        .iter()
+        .map(|&(t, k, hits, misses)| {
+            format!(
+                "    {{ \"threads\": {t}, \"k\": {k}, \"tuple_batch_ns\": {}, \
+                 \"boolean_batch_ns\": {}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
+                 \"cache_hit_rate\": {:.2} }}",
+                sweep_ns("tuple", t, k),
+                sweep_ns("boolean", t, k),
+                hits as f64 / (hits + misses).max(1) as f64,
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"sharded_serving\",\n  \"workload\": \"sharded_serving_scenario\",\n  \
          \"smoke\": false,\n  \"scale\": {},\n  \"source_nodes\": {},\n  \"source_edges\": {},\n  \
          \"solution_nodes\": {},\n  \"queries\": {},\n  \"boolean_queries\": {},\n  \
-         \"threads\": {},\n  \"boundary_edges_at_kmax\": {},\n  \"per_k\": [\n{}\n  ],\n  \
+         \"threads\": {},\n  \"physical_cpus\": {physical_cpus},\n  \
+         \"boundary_edges_at_kmax\": {},\n  \"per_k\": [\n{}\n  ],\n  \
          \"speedup_k4_over_k1\": {:.2},\n  \"tuple_speedup_k4_over_k1\": {:.2},\n  \
-         \"boolean_speedup_k4_over_k1\": {:.2},\n  \"merge_bound\": {{\n    \
+         \"boolean_speedup_k4_over_k1\": {:.2},\n  \
+         \"tuple_speedup_k4_over_k1_at_4_threads\": {:.2},\n  \
+         \"repeated_batch_cache_hit_rate\": {repeated_hit_rate:.2},\n  \
+         \"thread_sweep\": [\n{}\n  ],\n  \"merge_bound\": {{\n    \
          \"workload\": \"merge_bound_queries\",\n    \"queries\": {},\n    \
          \"answer_pairs\": {},\n    \"merge_k\": {},\n    \"stream_merge_ns\": {},\n    \
          \"concat_sort_ns\": {},\n    \"stream_merge_speedup\": {:.2}\n  }}\n}}\n",
@@ -309,6 +430,8 @@ fn bench(c: &mut Criterion) {
         speedup_at(&mixed, 4),
         speedup_at(&tuples, 4),
         speedup_at(&booleans, 4),
+        sweep_speedup(4),
+        sweep_json.join(",\n"),
         mb_queries.len(),
         mb_pairs_total,
         merge_k,

@@ -1,11 +1,34 @@
 //! Per-query timing probe for the sharded serving workload (dev tool).
 //! `cargo run --release -p gde-bench --bin probe_sharded [scale] [k]`
+//!
+//! Every measured call also prints the `ServingStats` **delta** it
+//! produced — stripe-eval vs memo/cache-build vs merge nanoseconds, and
+//! sub-relation cache hits/misses — so a flat tuple speedup is
+//! diagnosable from one run: a high memo share means the serial phase-1
+//! prefix dominates, a low hit rate on a repeated batch means the cache
+//! is being invalidated (or the queries aren't structurally stable).
 
-use gde_core::{MappingService, Semantics};
+use gde_core::{MappingService, Semantics, ServingStats};
 use gde_dataquery::CompiledQuery;
 use gde_workload::{sharded_serving_scenario, SHARDED_BOOLEAN_QUERIES};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The per-phase accounting of one serving call: `after - before` of the
+/// mapping's cumulative [`ServingStats`], rendered compactly.
+fn phases(before: &ServingStats, after: &ServingStats) -> String {
+    let eval = after.eval_ns - before.eval_ns;
+    let memo = after.memo_build_ns - before.memo_build_ns;
+    let merge = after.merge_ns - before.merge_ns;
+    let hits = after.cache_hits - before.cache_hits;
+    let misses = after.cache_misses - before.cache_misses;
+    format!(
+        "eval {:.2}ms, memo {:.2}ms, merge {:.2}ms, cache {hits}h/{misses}m",
+        eval as f64 / 1e6,
+        memo as f64 / 1e6,
+        merge as f64 / 1e6,
+    )
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -25,28 +48,50 @@ fn main() {
     let t = Instant::now();
     svc.prepare(id, Semantics::nulls()).unwrap();
     println!("prepare {:?}", t.elapsed());
+    let stats = || svc.serving_stats(id).unwrap();
     for (name, q) in &queries {
+        let before = stats();
         let t = Instant::now();
         let a = svc.answer(id, q, Semantics::nulls()).unwrap();
+        let elapsed = t.elapsed();
         let n = match a {
             gde_core::Answer::Tuples(t) => t.into_pairs().len(),
             _ => 0,
         };
-        println!("{name}: {:?} ({n} pairs)", t.elapsed());
+        println!(
+            "{name}: {elapsed:?} ({n} pairs; {})",
+            phases(&before, &stats())
+        );
     }
     for (name, q) in &queries {
+        let before = stats();
         let t = Instant::now();
         let a = svc.answer(id, q, Semantics::nulls_boolean()).unwrap();
-        println!("bool {name}: {:?} ({:?})", t.elapsed(), a.boolean());
+        println!(
+            "bool {name}: {:?} ({:?}; {})",
+            t.elapsed(),
+            a.boolean(),
+            phases(&before, &stats())
+        );
     }
     let batch: Vec<CompiledQuery> = queries.iter().map(|(_, q)| q.clone()).collect();
     for round in 0..2 {
+        let before = stats();
         let t = Instant::now();
         let _ = svc.answer_batch(id, &batch, Semantics::nulls());
-        println!("tuple batch round {round}: {:?}", t.elapsed());
+        println!(
+            "tuple batch round {round}: {:?} ({})",
+            t.elapsed(),
+            phases(&before, &stats())
+        );
+        let before = stats();
         let t = Instant::now();
         let _ = svc.answer_batch(id, &batch, Semantics::nulls_boolean());
-        println!("bool batch round {round}: {:?}", t.elapsed());
+        println!(
+            "bool batch round {round}: {:?} ({})",
+            t.elapsed(),
+            phases(&before, &stats())
+        );
     }
     // the sharded_serving bench's "mixed" serving loop: selective queries
     // in tuple mode, heavy analytics as existence checks
@@ -61,15 +106,24 @@ fn main() {
         .map(|(_, q)| q.clone())
         .collect();
     for round in 0..3 {
+        let before = stats();
         let t = Instant::now();
         let a = svc.answer_batch(id, &tuple_qs, Semantics::nulls());
         let mid = t.elapsed();
         let b = svc.answer_batch(id, &bool_qs, Semantics::nulls_boolean());
         println!(
-            "mixed round {round}: {:?} (tuple part {mid:?}, {} + {} answers)",
+            "mixed round {round}: {:?} (tuple part {mid:?}, {} + {} answers; {})",
             t.elapsed(),
             a.len(),
-            b.len()
+            b.len(),
+            phases(&before, &stats())
         );
     }
+    let end = stats();
+    println!(
+        "totals: memo share {:.2}, cache hit rate {:.2}, {} cache bytes resident",
+        end.memo_share(),
+        end.cache_hit_rate(),
+        end.cache_bytes,
+    );
 }

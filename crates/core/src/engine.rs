@@ -70,7 +70,9 @@ use gde_datagraph::{
     merge_sorted_runs, par, DataGraph, FxHashMap, FxHashSet, GraphDelta, GraphError, GraphSnapshot,
     Label, NodeId, ShardPlan, ShardedSnapshot,
 };
-use gde_dataquery::{CompiledQuery, DataQuery, RowEvalShared};
+use gde_dataquery::{
+    CompiledQuery, DataQuery, LruSubRelCache, RowEvalShared, SubRelCache, SubRelKey,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
@@ -264,10 +266,26 @@ pub struct ServingStats {
     pub tuple_evals: u64,
     /// Boolean-mode per-(query, stripe) evaluations.
     pub boolean_evals: u64,
-    /// Total evaluation wall-clock nanoseconds across both modes.
+    /// Total evaluation wall-clock nanoseconds across both modes (stripe
+    /// evaluation only; the shared phase-1 and merge work is accounted
+    /// separately below).
     pub eval_ns: u64,
     /// Total tuples produced by tuple-mode evaluations.
     pub tuples: u64,
+    /// Nanoseconds spent building shared phase-1 state (REE memos, full
+    /// conjunctive answers) ahead of the stripe fan-out — the serial work
+    /// that does not shrink with the stripe count.
+    pub memo_build_ns: u64,
+    /// Nanoseconds spent merging per-stripe sorted runs into final tuple
+    /// answers.
+    pub merge_ns: u64,
+    /// Sub-relation cache hits across sharded serving calls.
+    pub cache_hits: u64,
+    /// Sub-relation cache misses across sharded serving calls.
+    pub cache_misses: u64,
+    /// Resident bytes in the mapping's sub-relation caches — a gauge
+    /// (last observed value), unlike the cumulative counters above.
+    pub cache_bytes: u64,
     /// The same counters, split by stripe index (stripe 0 for unsharded
     /// serving). Grows to the largest stripe index observed.
     pub per_stripe: Vec<StripeServingStats>,
@@ -285,6 +303,45 @@ impl ServingStats {
     /// Mean tuples per tuple-mode evaluation (0 before the first one).
     pub fn mean_tuples(&self) -> u64 {
         self.tuples.checked_div(self.tuple_evals).unwrap_or(0)
+    }
+
+    /// Fraction of sharded serving time spent on shared phase-1 builds
+    /// (memo/cache construction) rather than stripe evaluation, in
+    /// `[0, 1]`. High values mean the serial prefix dominates and extra
+    /// stripes cannot pay off.
+    pub fn memo_share(&self) -> f64 {
+        let total = self.memo_build_ns + self.eval_ns;
+        if total == 0 {
+            return 0.0;
+        }
+        self.memo_build_ns as f64 / total as f64
+    }
+
+    /// Sub-relation cache hit rate in `[0, 1]` (0 before any lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// Fold one sharded call's shared-phase accounting in: phase-1 build
+    /// and merge nanoseconds, this call's cache hit/miss counts, and the
+    /// current cache-bytes gauge.
+    fn record_overheads(
+        &mut self,
+        memo_ns: u64,
+        merge_ns: u64,
+        hits: u64,
+        misses: u64,
+        bytes: u64,
+    ) {
+        self.memo_build_ns += memo_ns;
+        self.merge_ns += merge_ns;
+        self.cache_hits += hits;
+        self.cache_misses += misses;
+        self.cache_bytes = bytes;
     }
 
     fn record(&mut self, stripe: usize, ns: u64, tuples: usize, boolean: bool) {
@@ -319,6 +376,11 @@ impl ServingStats {
 /// * When observed evaluations are heavy (≥ 10 ms mean), stripes are
 ///   oversubscribed 2× so the dynamic `(query, stripe)` scheduler can
 ///   balance uneven stripes across workers.
+/// * When the observed workload spends most of its sharded time in the
+///   shared phase-1 build ([`ServingStats::memo_share`] > ½) — the
+///   serial prefix stripes cannot shrink — oversubscription is pointless
+///   and K is capped back to the thread count (Amdahl: extra stripes
+///   only add slice-and-merge overhead to a memo-bound workload).
 fn auto_shard_count(nodes: usize, threads: usize, stats: &ServingStats) -> usize {
     const MIN_STRIPE_ROWS: usize = 1024;
     const HEAVY_EVAL_NS: u64 = 10_000_000;
@@ -329,6 +391,9 @@ fn auto_shard_count(nodes: usize, threads: usize, stats: &ServingStats) -> usize
     }
     if stats.mean_eval_ns() >= HEAVY_EVAL_NS {
         k = (2 * k).min(by_size);
+    }
+    if stats.memo_share() > 0.5 {
+        k = k.min(threads.max(1));
     }
     k.clamp(1, 64)
 }
@@ -506,6 +571,11 @@ struct RefreezeCarry {
     stale_labels: FxHashSet<Label>,
     /// Dense rows (in `snapshot`) of nodes the patches touched.
     touched_rows: FxHashSet<u32>,
+    /// The sub-relation cache of the solution being patched: carried so
+    /// the refrozen solution keeps the same cache object (budget, byte
+    /// accounting), with superseded-generation entries purged at
+    /// assembly.
+    sub_cache: Option<Arc<LruSubRelCache>>,
     /// `false` once the node set changed (grew/shrank): a full freeze is
     /// required and only the accounting above survives.
     reusable: bool,
@@ -519,15 +589,18 @@ impl RefreezeCarry {
             stamps: prep.shard_stamps.clone(),
             stale_labels: FxHashSet::default(),
             touched_rows: FxHashSet::default(),
+            sub_cache: Some(prep.sub_cache.clone()),
             reusable: true,
         }
     }
 
     /// Approximate heap bytes the carry keeps alive (the previous
-    /// snapshot and shard slices), charged against the cache budget while
-    /// the slot waits for its refreeze.
+    /// snapshot, shard slices, and sub-relation cache), charged against
+    /// the cache budget while the slot waits for its refreeze.
     fn approx_bytes(&self) -> usize {
-        self.snapshot.approx_bytes() + self.sharded.as_ref().map_or(0, |s| s.approx_bytes())
+        self.snapshot.approx_bytes()
+            + self.sharded.as_ref().map_or(0, |s| s.approx_bytes())
+            + self.sub_cache.as_ref().map_or(0, |c| c.bytes())
     }
 
     /// Fold a patch summary into the carry.
@@ -561,10 +634,30 @@ pub struct PreparedSolution {
     /// touched rows in that stripe (so untouched stripes keep their
     /// slices — and their stamp — across a refreeze).
     shard_stamps: Vec<u64>,
+    /// The mapping generation this solution was frozen at: the stamp on
+    /// every sub-relation cache key this solution reads or writes.
+    generation: u64,
+    /// Evaluated sub-relations (closures, tail factors, per-stripe
+    /// answers), keyed `(generation, stripe-or-global, subplan hash)`.
+    /// Owned per prepared solution — the two flavours of one mapping
+    /// serve different solutions and never share entries — and carried
+    /// across delta refreezes (with superseded generations purged) via
+    /// [`RefreezeCarry`].
+    sub_cache: Arc<LruSubRelCache>,
+    /// Cache bytes currently charged against the service's eviction
+    /// budget for `sub_cache` (the cache fills while serving, so the
+    /// charge is re-synced on every serve; see
+    /// [`PreparedSolution::sync_cache_charge`]).
+    charged_cache_bytes: AtomicUsize,
     /// The owning mapping's serving-stats accumulator (a fresh, unshared
     /// one for solutions prepared outside a service, e.g. `answer_once`).
     serving: Arc<Mutex<ServingStats>>,
 }
+
+/// Default byte budget of one prepared solution's sub-relation cache.
+/// Self-bounding (the cache evicts LRU entries past this) on top of the
+/// service-level eviction budget its resident bytes are charged to.
+const SUB_REL_CACHE_BUDGET: usize = 256 << 20;
 
 impl PreparedSolution {
     fn new(solution: CanonicalSolution, shards: usize, generation: u64) -> PreparedSolution {
@@ -648,12 +741,25 @@ impl PreparedSolution {
         } else {
             (None, vec![generation])
         };
+        // keep the patched solution's cache object (its budget and byte
+        // accounting survive), but purge entries from superseded
+        // generations: a stripe's answer rows depend on the *whole*
+        // graph, so any delta invalidates every stripe's cached results
+        // — per-stripe stamps only validate row-local label slices,
+        // which `carry_from` above already reuses at a lower layer
+        let sub_cache = carry
+            .and_then(|c| c.sub_cache.clone())
+            .unwrap_or_else(|| Arc::new(LruSubRelCache::new(SUB_REL_CACHE_BUDGET)));
+        sub_cache.retain_generation(generation);
         PreparedSolution {
             solution,
             snapshot,
             invented_mask,
             sharded,
             shard_stamps,
+            generation,
+            sub_cache,
+            charged_cache_bytes: AtomicUsize::new(0),
             serving: Arc::new(Mutex::new(ServingStats::default())),
         }
     }
@@ -688,12 +794,56 @@ impl PreparedSolution {
     }
 
     /// Approximate heap footprint (solution + snapshot + mask + shard
-    /// slices), the unit the service's eviction budget is counted in.
+    /// slices + the sub-relation cache charge as of the last
+    /// [`PreparedSolution::sync_cache_charge`]), the unit the service's
+    /// eviction budget is counted in.
     pub fn approx_bytes(&self) -> usize {
         self.solution.approx_bytes()
             + self.snapshot.approx_bytes()
             + self.invented_mask.len()
             + self.sharded.as_ref().map_or(0, |s| s.approx_bytes())
+            + self.charged_cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Re-read the sub-relation cache's resident bytes into the charge
+    /// gauge; returns `(new, previous)` so the caller can settle the
+    /// difference against the service-level budget. The cache fills
+    /// *while serving* (after the build-time charge), so the service
+    /// re-syncs on every cache-hit serve; between serves the charge lags
+    /// by at most one call's insertions — bounded by the cache's own
+    /// byte budget.
+    fn sync_cache_charge(&self) -> (usize, usize) {
+        let live = self.sub_cache.bytes();
+        let prev = self.charged_cache_bytes.swap(live, Ordering::Relaxed);
+        (live, prev)
+    }
+
+    /// The sub-relation cache this solution serves through.
+    pub fn sub_cache(&self) -> &Arc<LruSubRelCache> {
+        &self.sub_cache
+    }
+
+    /// Shared row-evaluation state wired to this solution's sub-relation
+    /// cache at its generation — the per-query handle every sharded
+    /// serving call evaluates through.
+    fn row_shared(&self) -> RowEvalShared {
+        RowEvalShared::with_cache(
+            self.sub_cache.clone() as Arc<dyn SubRelCache>,
+            self.generation,
+        )
+    }
+
+    /// Fold one sharded call's shared-phase accounting (phase-1 build
+    /// and merge time, the handle's cache hit/miss counts) into the
+    /// serving stats, refreshing the cache-bytes gauge.
+    fn record_overheads(&self, memo_ns: u64, merge_ns: u64, shared: &RowEvalShared) {
+        lock(&self.serving).record_overheads(
+            memo_ns,
+            merge_ns,
+            shared.cache_hits(),
+            shared.cache_misses(),
+            self.sub_cache.bytes() as u64,
+        );
     }
 
     /// Unfreeze, keeping only the solution (the delta-patching path).
@@ -730,11 +880,19 @@ impl PreparedSolution {
                 pairs
             }
             Some(ss) => {
-                let shared = RowEvalShared::new();
+                // phase 1 (memo/cache build) runs before the fan-out so
+                // stripe workers never serialize on it
+                let shared = self.row_shared();
+                let prewarm = Instant::now();
+                q.prewarm_rows(ss, &shared);
+                let memo_ns = prewarm.elapsed().as_nanos() as u64;
                 let parts = par::map_shards(&ss.plan().ranges(), |shard, _| {
                     self.shard_pairs(q, shard, &shared)
                 });
-                merge_sorted_runs(&parts)
+                let merge = Instant::now();
+                let merged = merge_sorted_runs(&parts);
+                self.record_overheads(memo_ns, merge.elapsed().as_nanos() as u64, &shared);
+                merged
             }
         }
     }
@@ -753,6 +911,13 @@ impl PreparedSolution {
     /// sharded batch serving schedules, and the input shape of the
     /// streaming k-way merge. Also records the stripe's evaluation time
     /// and result cardinality into the serving stats.
+    ///
+    /// The stripe's evaluated relation is served through the
+    /// sub-relation cache under `(generation, stripe, plan hash)`, so a
+    /// repeated query (same structure, same generation) skips evaluation
+    /// entirely and goes straight to dom-filter + sort. The key carries
+    /// the **mapping** generation, not the stripe's stamp: a stripe's
+    /// answer rows depend on the whole graph, so any delta must miss.
     fn shard_pairs(
         &self,
         q: &CompiledQuery,
@@ -761,7 +926,14 @@ impl PreparedSolution {
     ) -> Vec<(NodeId, NodeId)> {
         let ss = self.sharded.as_ref().expect("sharded serving only");
         let started = Instant::now();
-        let mut pairs = self.dom_pairs(&q.eval_relation_rows(ss, shard, shared));
+        let rel = match shared.cache() {
+            Some(h) => h.get_or_insert(
+                SubRelKey::stripe(h.generation(), shard, q.plan_hash()),
+                || q.eval_relation_rows(ss, shard, shared),
+            ),
+            None => Arc::new(q.eval_relation_rows(ss, shard, shared)),
+        };
+        let mut pairs = self.dom_pairs(&rel);
         pairs.sort();
         self.record(shard, started.elapsed(), pairs.len(), false);
         pairs
@@ -789,7 +961,13 @@ impl PreparedSolution {
                 holds
             }
             Some(ss) => {
-                let shared = RowEvalShared::new();
+                // Boolean stripes stay uncached (no reusable relation is
+                // produced) but still share phase-1 artifacts through
+                // the cache, built before the fan-out
+                let shared = self.row_shared();
+                let prewarm = Instant::now();
+                q.prewarm_rows(ss, &shared);
+                let memo_ns = prewarm.elapsed().as_nanos() as u64;
                 let found = AtomicBool::new(false);
                 par::map_shards(&ss.plan().ranges(), |shard, _| {
                     if found.load(Ordering::Relaxed) {
@@ -799,6 +977,7 @@ impl PreparedSolution {
                         found.store(true, Ordering::Relaxed);
                     }
                 });
+                self.record_overheads(memo_ns, 0, &shared);
                 found.load(Ordering::Relaxed)
             }
         }
@@ -1163,7 +1342,23 @@ impl MappingService {
         let k = prep.shard_count();
         let pre: Vec<Result<(), ServeError>> =
             queries.iter().map(|q| check_fragment(q, sem)).collect();
-        let shareds: Vec<RowEvalShared> = queries.iter().map(|_| RowEvalShared::new()).collect();
+        let shareds: Vec<RowEvalShared> = queries.iter().map(|_| prep.row_shared()).collect();
+        // factor the batch's phase-1 work out before the stripe fan-out:
+        // queries build their memos in parallel, and because every build
+        // goes through the shared sub-relation cache, a closure or tail
+        // factor two queries have in common is computed once and reused
+        // (up to a benign race when structurally identical artifacts
+        // build concurrently — both compute, either result serves)
+        let ss = prep.sharded.as_ref().expect("batch fan-out is sharded");
+        let prewarm = Instant::now();
+        par::map_blocks(nq, 1, |range| {
+            for qi in range {
+                if pre[qi].is_ok() {
+                    queries[qi].prewarm_rows(ss, &shareds[qi]);
+                }
+            }
+        });
+        let memo_ns = prewarm.elapsed().as_nanos() as u64;
         let found: Vec<AtomicBool> = queries.iter().map(|_| AtomicBool::new(false)).collect();
         let mut parts: Vec<Option<Vec<(NodeId, NodeId)>>> = par::map_tasks(nq * k, |t| {
             // stripe-major order: task t → (query t % nq, stripe t / nq)
@@ -1184,7 +1379,8 @@ impl MappingService {
                 }
             }
         });
-        (0..nq)
+        let merge = Instant::now();
+        let answers: Vec<Result<Answer, ServeError>> = (0..nq)
             .map(|qi| {
                 pre[qi].clone()?;
                 Ok(match sem.mode() {
@@ -1199,7 +1395,22 @@ impl MappingService {
                     }
                 })
             })
-            .collect()
+            .collect();
+        let merge_ns = match sem.mode() {
+            Mode::Tuples => merge.elapsed().as_nanos() as u64,
+            Mode::Boolean => 0,
+        };
+        let (hits, misses) = shareds.iter().fold((0, 0), |(h, m), s| {
+            (h + s.cache_hits(), m + s.cache_misses())
+        });
+        lock(&prep.serving).record_overheads(
+            memo_ns,
+            merge_ns,
+            hits,
+            misses,
+            prep.sub_cache.bytes() as u64,
+        );
+        answers
     }
 
     /// Eagerly build (or re-freeze) the solution this semantics serves
@@ -1476,6 +1687,17 @@ impl MappingService {
             }
             match &slot.state {
                 SlotState::Ready(p) => {
+                    // the sub-relation cache filled (or got evicted)
+                    // while serving: settle the delta against the
+                    // service budget so `cached` tracks reality
+                    let (new, old) = p.sync_cache_charge();
+                    if new >= old {
+                        slot.bytes += new - old;
+                        self.add_bytes(new - old);
+                    } else {
+                        slot.bytes -= old - new;
+                        self.sub_bytes(old - new);
+                    }
                     slot.last_used = self.tick();
                     return Ok(p.clone());
                 }
@@ -1513,6 +1735,7 @@ impl MappingService {
             match built {
                 Ok(prep) => {
                     let prep = Arc::new(prep);
+                    prep.sync_cache_charge();
                     slot.bytes = prep.approx_bytes();
                     self.add_bytes(slot.bytes);
                     slot.last_used = self.tick();
@@ -2028,6 +2251,16 @@ mod tests {
         };
         assert_eq!(auto_shard_count(100_000, 4, &heavy), 8);
         assert_eq!(heavy.mean_eval_ns(), 50_000_000);
+        // ... unless phase-1 memo construction dominates: the serial
+        // prefix caps the useful stripe count at the thread budget
+        let memo_bound = ServingStats {
+            tuple_evals: 4,
+            eval_ns: 4 * 50_000_000,
+            memo_build_ns: 5 * 4 * 50_000_000,
+            ..Default::default()
+        };
+        assert!(memo_bound.memo_share() > 0.5);
+        assert_eq!(auto_shard_count(100_000, 4, &memo_bound), 4);
     }
 
     #[test]
@@ -2056,6 +2289,50 @@ mod tests {
         // the accumulator belongs to the mapping: eviction keeps it
         svc.evict_all();
         assert_eq!(svc.serving_stats(id).unwrap().tuple_evals, 3);
+    }
+
+    #[test]
+    fn sharded_serving_records_memo_and_cache_stats() {
+        let (m, gs) = scenario();
+        let svc = MappingService::new();
+        let id = svc.register(m.clone(), gs);
+        svc.set_shard_count(id, 2).unwrap();
+        let mut ta = m.target_alphabet().clone();
+        let q = gde_dataquery::DataQuery::from(parse_ree("(x y)+", &mut ta).unwrap()).compile();
+        // cold call: the closure memo is built once, before the stripe
+        // fan-out, and charged to memo_build_ns — not to stripe eval time
+        let cold = svc.answer(id, &q, Semantics::nulls()).unwrap();
+        let stats = svc.serving_stats(id).unwrap();
+        assert!(stats.memo_build_ns > 0, "phase-1 memo build must be timed");
+        assert!(stats.cache_misses > 0, "cold run populates the cache");
+        assert_eq!(stats.cache_hits, 0, "nothing to hit on a cold cache");
+        assert!(stats.cache_bytes > 0, "resident entries are accounted");
+        // warm call: stripe results and shared artifacts come from the
+        // cache, byte-identical to the cold answer
+        let warm = svc.answer(id, &q, Semantics::nulls()).unwrap();
+        assert_eq!(warm, cold);
+        let stats = svc.serving_stats(id).unwrap();
+        assert!(stats.cache_hits > 0, "repeat serving must hit");
+        assert!(stats.cache_hit_rate() > 0.0);
+        // a delta bumps the generation: stale entries never serve, the
+        // next call misses again and still matches an unsharded reference
+        let misses_before = stats.cache_misses;
+        let delta = GraphDelta::new().with_edge(NodeId(2), "a", NodeId(0));
+        svc.apply_delta(id, &delta).unwrap();
+        let (m2, gs2) = scenario();
+        let reference = MappingService::new();
+        let rid = reference.register(m2, gs2);
+        reference.apply_delta(rid, &delta).unwrap();
+        let fresh = svc.answer(id, &q, Semantics::nulls()).unwrap();
+        assert_eq!(
+            fresh,
+            reference.answer(rid, &q, Semantics::nulls()).unwrap()
+        );
+        let stats = svc.serving_stats(id).unwrap();
+        assert!(
+            stats.cache_misses > misses_before,
+            "post-delta serving must rebuild, not reuse stale generations"
+        );
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! The sub-relation cache: structural subplan keys and a
+//! generation-stamped, byte-budgeted store for evaluated sub-relations.
+//!
+//! Sharded serving evaluates the same *sub-plans* over and over: the
+//! closure bodies and non-head concatenation factors of an REE memo
+//! ([`crate::ReeRowMemo`]) are identical across every stripe, every call
+//! and — when two queries in a batch share a factor — across queries; a
+//! stripe's evaluated answer relation is identical across repeated calls
+//! at the same mapping generation. This module gives those artifacts
+//! **canonical keys** and a cache to live in:
+//!
+//! * [`subplan_hash`] — a 128-bit structural hash of any `Hash`-able
+//!   query AST (REE subexpressions, register-automaton sources, whole
+//!   [`crate::DataQuery`]s). Two structurally identical subexpressions
+//!   hash identically no matter which query they appear in, so a closure
+//!   body shared by two batch queries is computed once. 128 bits makes
+//!   accidental collision negligible (the cache stores no collision
+//!   payload; see the type docs).
+//! * [`SubRelKey`] — `(generation, stripe-or-global, subplan hash)`.
+//!   Generation stamps make invalidation free: a delta bumps the
+//!   mapping's generation, so every lookup from the refrozen solution
+//!   misses and stale entries are never served (they are purged by
+//!   [`SubRelCache::retain_generation`] on the next refreeze).
+//! * [`SubRelCache`] — the lookup/insert trait evaluation code is
+//!   written against, with [`LruSubRelCache`] as the byte-budgeted
+//!   LRU store the serving engine owns per prepared solution.
+//! * [`CacheHandle`] — a per-query view pairing a cache with the
+//!   generation it serves and hit/miss counters, carried by
+//!   [`crate::RowEvalShared`].
+
+use gde_datagraph::{FxHashMap, Relation};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// 128-bit FNV-1a over the `Hash` feed of a query AST, with a domain
+/// separator so different AST types (an REE subexpression vs a whole
+/// `DataQuery`) can never alias. Stable within a process — which is all a
+/// cache key needs — and structural: clones and re-parses of the same
+/// expression hash identically.
+pub fn subplan_hash<T: Hash + ?Sized>(domain: &str, t: &T) -> u128 {
+    let mut h = Fnv128::new();
+    domain.hash(&mut h);
+    t.hash(&mut h);
+    h.state
+}
+
+/// FNV-1a with the 128-bit prime/offset, fed through `std::hash::Hasher`
+/// so `#[derive(Hash)]` ASTs (enum discriminants, labels, variable names)
+/// serialize themselves.
+struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+
+    fn new() -> Fnv128 {
+        Fnv128 {
+            state: Fnv128::OFFSET,
+        }
+    }
+}
+
+impl Hasher for Fnv128 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(Fnv128::PRIME);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.state as u64
+    }
+}
+
+/// Marker stripe index for artifacts that are global to the snapshot
+/// (closures, tail factors, full conjunctive answers) rather than owned
+/// by one stripe.
+const GLOBAL_STRIPE: u32 = u32::MAX;
+
+/// The cache key of one evaluated sub-relation:
+/// `(generation, stripe-or-global, subplan hash)`.
+///
+/// * `generation` is the mapping generation the entry was computed at.
+///   Every entry — per-stripe ones included — keys on the **mapping**
+///   generation, not a per-stripe stamp: a stripe's answer rows depend on
+///   the whole graph (paths leave the stripe freely), so a delta touching
+///   any stripe invalidates every stripe's cached results. (Per-stripe
+///   stamps do validate per-stripe *label slices*, which are row-local;
+///   that reuse happens in `ShardedSnapshot::carry_from`, below this
+///   cache.)
+/// * `stripe` is [`u32::MAX`] for global artifacts, else the stripe
+///   index (only meaningful alongside a fixed shard plan — the engine
+///   guarantees a plan change always comes with a fresh cache or a fresh
+///   generation).
+/// * `hash` is [`subplan_hash`] of the sub-plan. There is no stored
+///   collision payload: at 128 bits the collision probability is far
+///   below hardware error rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SubRelKey {
+    /// Mapping generation the entry serves.
+    pub generation: u64,
+    /// Stripe index, or [`u32::MAX`] for snapshot-global artifacts.
+    pub stripe: u32,
+    /// Structural hash of the sub-plan ([`subplan_hash`]).
+    pub hash: u128,
+}
+
+impl SubRelKey {
+    /// Key for a snapshot-global artifact (closure, tail factor, full
+    /// answer of a non-decomposing query).
+    pub fn global(generation: u64, hash: u128) -> SubRelKey {
+        SubRelKey {
+            generation,
+            stripe: GLOBAL_STRIPE,
+            hash,
+        }
+    }
+
+    /// Key for one stripe's evaluated answer relation.
+    pub fn stripe(generation: u64, stripe: usize, hash: u128) -> SubRelKey {
+        let stripe = u32::try_from(stripe).unwrap_or(GLOBAL_STRIPE - 1);
+        SubRelKey {
+            generation,
+            stripe,
+            hash,
+        }
+    }
+
+    /// Is this a snapshot-global artifact key?
+    pub fn is_global(&self) -> bool {
+        self.stripe == GLOBAL_STRIPE
+    }
+}
+
+/// What evaluation code asks of a sub-relation cache: lookup and insert,
+/// both sharable across threads (stripe workers hit the cache
+/// concurrently). Implementations decide retention; entries are
+/// immutable `Arc<Relation>`s so a hit is an `Arc` clone, never a copy.
+pub trait SubRelCache: Send + Sync + std::fmt::Debug {
+    /// The cached relation under `key`, if resident.
+    fn lookup(&self, key: &SubRelKey) -> Option<Arc<Relation>>;
+    /// Insert (or refresh) `rel` under `key`.
+    fn insert(&self, key: SubRelKey, rel: Arc<Relation>);
+    /// Drop every entry whose generation differs from `generation`
+    /// (called on delta refreeze so superseded entries release their
+    /// bytes immediately instead of lingering until LRU pressure).
+    fn retain_generation(&self, generation: u64);
+    /// Approximate heap bytes currently resident.
+    fn bytes(&self) -> usize;
+}
+
+struct LruEntry {
+    rel: Arc<Relation>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct LruInner {
+    map: FxHashMap<SubRelKey, LruEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// The byte-budgeted LRU [`SubRelCache`] the serving engine owns per
+/// prepared solution. Entries are charged their
+/// [`Relation::heap_bytes`]; inserting past the budget evicts
+/// least-recently-used entries first (the entry being inserted is
+/// dropped last — an artifact bigger than the whole budget is simply
+/// not retained).
+pub struct LruSubRelCache {
+    inner: Mutex<LruInner>,
+    budget: usize,
+}
+
+impl std::fmt::Debug for LruSubRelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("LruSubRelCache")
+            .field("entries", &inner.map.len())
+            .field("bytes", &inner.bytes)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl LruSubRelCache {
+    /// An empty cache bounded to approximately `budget` bytes
+    /// (`0` = unlimited).
+    pub fn new(budget: usize) -> LruSubRelCache {
+        LruSubRelCache {
+            inner: Mutex::new(LruInner {
+                map: FxHashMap::default(),
+                bytes: 0,
+                tick: 0,
+            }),
+            budget,
+        }
+    }
+
+    /// The configured byte budget (0 = unlimited).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.lock().map.is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl SubRelCache for LruSubRelCache {
+    fn lookup(&self, key: &SubRelKey) -> Option<Arc<Relation>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.rel.clone()
+        })
+    }
+
+    fn insert(&self, key: SubRelKey, rel: Arc<Relation>) {
+        let bytes = rel.heap_bytes();
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key,
+            LruEntry {
+                rel,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        if self.budget == 0 {
+            return;
+        }
+        while inner.bytes > self.budget {
+            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            let e = inner.map.remove(&victim).expect("victim resident");
+            inner.bytes -= e.bytes;
+        }
+    }
+
+    fn retain_generation(&self, generation: u64) {
+        let mut inner = self.lock();
+        let mut freed = 0usize;
+        inner.map.retain(|k, e| {
+            let keep = k.generation == generation;
+            if !keep {
+                freed += e.bytes;
+            }
+            keep
+        });
+        inner.bytes -= freed;
+    }
+
+    fn bytes(&self) -> usize {
+        self.lock().bytes
+    }
+}
+
+/// A per-query view of a [`SubRelCache`]: the cache, the generation this
+/// query serves (all its keys are stamped with it), and hit/miss
+/// counters the serving engine folds into its `ServingStats`. Carried by
+/// [`crate::RowEvalShared`]; all lookups/inserts of one query go through
+/// its handle so attribution is per query even when many queries share
+/// one cache.
+#[derive(Debug)]
+pub struct CacheHandle {
+    cache: Arc<dyn SubRelCache>,
+    generation: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheHandle {
+    /// A handle over `cache` serving `generation`.
+    pub fn new(cache: Arc<dyn SubRelCache>, generation: u64) -> CacheHandle {
+        CacheHandle {
+            cache,
+            generation,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The generation every key from this handle is stamped with.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Counted lookup.
+    pub fn lookup(&self, key: &SubRelKey) -> Option<Arc<Relation>> {
+        let got = self.cache.lookup(key);
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Insert without counting (the miss was already counted by the
+    /// paired [`CacheHandle::lookup`]).
+    pub fn insert(&self, key: SubRelKey, rel: Arc<Relation>) {
+        self.cache.insert(key, rel);
+    }
+
+    /// Counted lookup-or-compute: on a miss, `build` runs **outside**
+    /// any cache lock (concurrent builders may duplicate work; the last
+    /// insert wins and both results are identical by construction).
+    pub fn get_or_insert(&self, key: SubRelKey, build: impl FnOnce() -> Relation) -> Arc<Relation> {
+        if let Some(rel) = self.lookup(&key) {
+            return rel;
+        }
+        let rel = Arc::new(build());
+        self.insert(key, rel.clone());
+        rel
+    }
+
+    /// Cache hits recorded through this handle.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded through this handle.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ree;
+    use gde_datagraph::Alphabet;
+
+    #[test]
+    fn structural_hash_is_structural() {
+        let mut al = Alphabet::new();
+        let a = parse_ree("(contact authored)=", &mut al).unwrap();
+        let b = parse_ree("(contact authored)=", &mut al).unwrap();
+        let c = parse_ree("(authored contact)=", &mut al).unwrap();
+        assert_eq!(subplan_hash("ree", &a), subplan_hash("ree", &b));
+        assert_eq!(subplan_hash("ree", &a), subplan_hash("ree", &a.clone()));
+        assert_ne!(subplan_hash("ree", &a), subplan_hash("ree", &c));
+        // domain separation: the same AST under a different domain
+        assert_ne!(subplan_hash("ree", &a), subplan_hash("query", &a));
+    }
+
+    #[test]
+    fn shared_subexpressions_hash_identically_across_queries() {
+        let mut al = Alphabet::new();
+        // the closure body `contact+` inside two different queries
+        let q1 = parse_ree("(contact+)=", &mut al).unwrap();
+        let q2 = parse_ree("contact+ authored", &mut al).unwrap();
+        let sub1 = match &q1 {
+            crate::Ree::Eq(inner) => (**inner).clone(),
+            _ => panic!("shape"),
+        };
+        let sub2 = match &q2 {
+            crate::Ree::Concat(es) => es[0].clone(),
+            _ => panic!("shape"),
+        };
+        assert_eq!(sub1, sub2);
+        assert_eq!(subplan_hash("ree", &sub1), subplan_hash("ree", &sub2));
+        assert_ne!(subplan_hash("ree", &q1), subplan_hash("ree", &q2));
+    }
+
+    #[test]
+    fn lru_cache_roundtrip_and_generation_retain() {
+        let cache = LruSubRelCache::new(0);
+        let k0 = SubRelKey::global(0, 42);
+        let k1 = SubRelKey::global(1, 42);
+        assert!(cache.lookup(&k0).is_none());
+        cache.insert(k0, Arc::new(Relation::identity(8)));
+        cache.insert(k1, Arc::new(Relation::identity(8)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&k0).is_some());
+        assert!(cache.bytes() > 0);
+        // a stale-generation key is a different key entirely
+        assert!(cache.lookup(&SubRelKey::global(2, 42)).is_none());
+        cache.retain_generation(1);
+        assert!(cache.lookup(&k0).is_none(), "old generation purged");
+        assert!(cache.lookup(&k1).is_some(), "current generation kept");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_cache_enforces_byte_budget() {
+        let one = Arc::new(Relation::identity(64));
+        let per = one.heap_bytes();
+        assert!(per > 0);
+        // room for about three entries
+        let cache = LruSubRelCache::new(3 * per + per / 2);
+        for i in 0..8u64 {
+            cache.insert(SubRelKey::global(0, i as u128), one.clone());
+            // touch the first entry so it stays hot
+            cache.lookup(&SubRelKey::global(0, 0));
+        }
+        assert!(cache.bytes() <= cache.budget(), "stays within budget");
+        assert!(cache.len() < 8, "something was evicted");
+        assert!(
+            cache.lookup(&SubRelKey::global(0, 0)).is_some(),
+            "hot entry survives LRU pressure"
+        );
+        assert!(
+            cache.lookup(&SubRelKey::global(0, 1)).is_none(),
+            "cold entry evicted"
+        );
+    }
+
+    #[test]
+    fn stripe_and_global_keys_do_not_alias() {
+        let g = SubRelKey::global(3, 7);
+        let s = SubRelKey::stripe(3, 0, 7);
+        assert_ne!(g, s);
+        assert!(g.is_global());
+        assert!(!s.is_global());
+        let cache = LruSubRelCache::new(0);
+        cache.insert(g, Arc::new(Relation::identity(4)));
+        assert!(cache.lookup(&s).is_none());
+    }
+
+    #[test]
+    fn handle_counts_hits_and_misses() {
+        let cache: Arc<dyn SubRelCache> = Arc::new(LruSubRelCache::new(0));
+        let h = CacheHandle::new(cache.clone(), 5);
+        assert_eq!(h.generation(), 5);
+        let key = SubRelKey::global(5, 99);
+        let built = h.get_or_insert(key, || Relation::identity(4));
+        assert_eq!(built.len(), 4);
+        assert_eq!((h.hits(), h.misses()), (0, 1));
+        let again = h.get_or_insert(key, || panic!("must hit"));
+        assert_eq!(again.len(), 4);
+        assert_eq!((h.hits(), h.misses()), (1, 1));
+        // a second handle over the same cache shares entries, not counters
+        let h2 = CacheHandle::new(cache, 5);
+        assert!(h2.lookup(&key).is_some());
+        assert_eq!((h2.hits(), h2.misses()), (1, 0));
+        assert_eq!((h.hits(), h.misses()), (1, 1));
+    }
+}

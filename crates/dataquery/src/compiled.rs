@@ -23,12 +23,13 @@
 //! ids. Building one snapshot and one compiled query and pairing them is
 //! exactly what `gde-core`'s `PreparedMapping` engine does.
 
+use crate::cache::{subplan_hash, CacheHandle, SubRelCache, SubRelKey};
 use crate::crpq::{join_atom_answers, AtomAnswers};
 use crate::query::DataQuery;
 use crate::ree::ReeRowMemo;
 use gde_automata::{Nfa, RegisterAutomaton};
 use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation, RelationBuilder, ShardedSnapshot};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// The lowered form of one query class.
 #[derive(Clone, Debug)]
@@ -59,6 +60,7 @@ pub struct CompiledQuery {
     form: Box<CompiledForm>,
     source: Box<DataQuery>,
     equality_only: bool,
+    plan_hash: u128,
 }
 
 impl CompiledQuery {
@@ -84,12 +86,22 @@ impl CompiledQuery {
             form: Box::new(form),
             source: Box::new(q.clone()),
             equality_only: q.is_equality_only(),
+            plan_hash: subplan_hash("query", q),
         }
     }
 
     /// The query this artifact was lowered from.
     pub fn source(&self) -> &DataQuery {
         &self.source
+    }
+
+    /// Structural hash of the whole query ([`crate::cache::subplan_hash`]
+    /// over the source AST): the canonical key under which this query's
+    /// evaluated answer artifacts live in a sub-relation cache.
+    /// Structurally identical queries — recompiled, cloned, re-parsed —
+    /// share one hash.
+    pub fn plan_hash(&self) -> u128 {
+        self.plan_hash
     }
 
     /// Does the query avoid inequality comparisons? (Cached from the source
@@ -181,14 +193,11 @@ impl CompiledQuery {
         match &*self.form {
             CompiledForm::Rpq(nfa) => nfa.eval_rows_snapshot(s, range),
             CompiledForm::Ree(e) => {
-                let memo = shared.ree_memo.get_or_init(|| ReeRowMemo::build(e, s));
+                let memo = shared.memo(e, s);
                 e.eval_rows_snapshot(shards, shard, memo)
             }
             CompiledForm::Rem(ra) => ra.eval_rows_snapshot(s, range),
-            CompiledForm::Conjunctive { .. } => shared
-                .full
-                .get_or_init(|| self.eval_relation(s))
-                .restrict_rows(range),
+            CompiledForm::Conjunctive { .. } => shared.full(self, s).restrict_rows(range),
         }
     }
 
@@ -208,10 +217,28 @@ impl CompiledQuery {
             CompiledForm::Rpq(nfa) => nfa.holds_in_rows(s, range),
             CompiledForm::Rem(ra) => ra.holds_in_rows(s, range),
             CompiledForm::Ree(_) => self.eval_relation_rows(shards, shard, shared).any(),
-            CompiledForm::Conjunctive { .. } => shared
-                .full
-                .get_or_init(|| self.eval_relation(s))
-                .any_in_rows(range),
+            CompiledForm::Conjunctive { .. } => shared.full(self, s).any_in_rows(range),
+        }
+    }
+
+    /// Build this query's phase-1 artifacts into `shared` ahead of the
+    /// stripe fan-out: the REE memo (through `shared`'s cache when it has
+    /// one) or the full answer of a non-decomposing conjunctive query.
+    /// Per-start classes (RPQ, REM) have no shared phase-1 state — a
+    /// no-op. Calling this before spawning stripe workers takes the most
+    /// expensive serial work off the per-stripe critical path; it is
+    /// idempotent and safe to skip (the first stripe worker would build
+    /// the same state lazily).
+    pub fn prewarm_rows(&self, shards: &ShardedSnapshot, shared: &RowEvalShared) {
+        let s = shards.base();
+        match &*self.form {
+            CompiledForm::Ree(e) => {
+                shared.memo(e, s);
+            }
+            CompiledForm::Conjunctive { .. } => {
+                shared.full(self, s);
+            }
+            CompiledForm::Rpq(_) | CompiledForm::Rem(_) => {}
         }
     }
 }
@@ -220,17 +247,71 @@ impl CompiledQuery {
 /// query against **one** sharded snapshot: the REE memo of globally
 /// materialised sub-relations, or (for classes that don't decompose) the
 /// full answer relation. Built lazily by the first stripe worker that
-/// needs it and reused by the rest.
+/// needs it and reused by the rest — or, better, ahead of the fan-out via
+/// [`CompiledQuery::prewarm_rows`].
+///
+/// Constructed [`RowEvalShared::with_cache`], phase-1 artifacts are
+/// looked up in / inserted into a [`SubRelCache`] under their structural
+/// subplan keys, so repeated calls (and queries sharing subexpressions)
+/// reuse closures and tail factors instead of recomputing them.
 #[derive(Debug, Default)]
 pub struct RowEvalShared {
     ree_memo: OnceLock<ReeRowMemo>,
-    full: OnceLock<Relation>,
+    full: OnceLock<Arc<Relation>>,
+    cache: Option<CacheHandle>,
 }
 
 impl RowEvalShared {
-    /// Fresh, empty shared state.
+    /// Fresh, empty shared state with no cache: every artifact is
+    /// computed from scratch (and dropped with this value).
     pub fn new() -> RowEvalShared {
         RowEvalShared::default()
+    }
+
+    /// Shared state whose phase-1 artifacts go through `cache`, keyed at
+    /// `generation` (the mapping generation of the snapshot being
+    /// served — stale-generation entries are never returned because the
+    /// generation is part of every key).
+    pub fn with_cache(cache: Arc<dyn SubRelCache>, generation: u64) -> RowEvalShared {
+        RowEvalShared {
+            ree_memo: OnceLock::new(),
+            full: OnceLock::new(),
+            cache: Some(CacheHandle::new(cache, generation)),
+        }
+    }
+
+    /// The cache handle, if this shared state was built with one.
+    pub fn cache(&self) -> Option<&CacheHandle> {
+        self.cache.as_ref()
+    }
+
+    /// Cache hits recorded through this shared state (0 when uncached).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.as_ref().map_or(0, CacheHandle::hits)
+    }
+
+    /// Cache misses recorded through this shared state (0 when uncached).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.as_ref().map_or(0, CacheHandle::misses)
+    }
+
+    /// Is the phase-1 state already built (memo or full answer)?
+    pub fn memo_ready(&self) -> bool {
+        self.ree_memo.get().is_some() || self.full.get().is_some()
+    }
+
+    fn memo(&self, e: &crate::ree::Ree, s: &GraphSnapshot) -> &ReeRowMemo {
+        self.ree_memo
+            .get_or_init(|| ReeRowMemo::build_cached(e, s, self.cache.as_ref()))
+    }
+
+    fn full(&self, q: &CompiledQuery, s: &GraphSnapshot) -> &Relation {
+        self.full.get_or_init(|| match &self.cache {
+            Some(h) => h.get_or_insert(SubRelKey::global(h.generation(), q.plan_hash()), || {
+                q.eval_relation(s)
+            }),
+            None => Arc::new(q.eval_relation(s)),
+        })
     }
 }
 
@@ -374,6 +455,112 @@ mod tests {
                     "stripes must union to the full answer (k={k}, {q:?})"
                 );
                 assert_eq!(holds, compiled.holds_somewhere(&snap));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_shared_state_serves_identical_stripe_answers() {
+        use crate::cache::{LruSubRelCache, SubRelCache};
+        use gde_datagraph::{ShardPlan, ShardedSnapshot, Value};
+        use std::sync::Arc;
+
+        let mut g = DataGraph::new();
+        for i in 0..16u32 {
+            g.add_node(NodeId(i), Value::int(i as i64 % 5)).unwrap();
+        }
+        for i in 0..16u32 {
+            g.add_edge_str(NodeId(i), "a", NodeId((i + 1) % 16))
+                .unwrap();
+            g.add_edge_str(NodeId(i), "b", NodeId((i * 3) % 16))
+                .unwrap();
+        }
+        let queries = all_query_classes(&mut g);
+        let extra: Vec<DataQuery> = ["a* (a+)= b*", "a+ b+", "(b b)!="]
+            .iter()
+            .map(|s| parse_ree(s, g.alphabet_mut()).unwrap().into())
+            .collect();
+        let snap = Arc::new(g.snapshot());
+        let shards = ShardedSnapshot::new(snap.clone(), ShardPlan::even(snap.n(), 4));
+        let eval_all = |shared: &RowEvalShared, cq: &CompiledQuery| -> Vec<Relation> {
+            (0..4)
+                .map(|s| cq.eval_relation_rows(&shards, s, shared))
+                .collect()
+        };
+        for q in queries.iter().chain(&extra) {
+            // a fresh cache per query: cross-query sharing is asserted below
+            let cache: Arc<dyn SubRelCache> = Arc::new(LruSubRelCache::new(0));
+            let cq = q.compile();
+            let plain = eval_all(&RowEvalShared::new(), &cq);
+            // cold pass populates the cache
+            let cold = RowEvalShared::with_cache(cache.clone(), 7);
+            assert_eq!(eval_all(&cold, &cq), plain, "cold cached run ({q:?})");
+            assert_eq!(cold.cache_hits(), 0, "first run cannot hit ({q:?})");
+            // warm pass serves the same artifacts from cache
+            let warm = RowEvalShared::with_cache(cache.clone(), 7);
+            assert_eq!(eval_all(&warm, &cq), plain, "warm cached run ({q:?})");
+            assert_eq!(warm.cache_misses(), 0, "warm run must not miss ({q:?})");
+            assert_eq!(
+                warm.cache_hits(),
+                cold.cache_misses(),
+                "warm hits = artifacts the cold run inserted ({q:?})"
+            );
+            // a recompiled (structurally identical) query shares entries
+            let warm2 = RowEvalShared::with_cache(cache.clone(), 7);
+            assert_eq!(eval_all(&warm2, &q.compile()), plain);
+            assert_eq!(warm2.cache_misses(), 0, "recompiled query hits ({q:?})");
+            // a new generation never sees old-generation entries
+            let stale = RowEvalShared::with_cache(cache.clone(), 8);
+            assert_eq!(eval_all(&stale, &cq), plain);
+            assert_eq!(stale.cache_hits(), 0, "stale generation must miss ({q:?})");
+        }
+        // different queries sharing a subexpression share cache entries:
+        // `(a b)=` stores the tail factor `b`, which `(b b)!=` then reuses
+        // for its own tail on a cold run
+        let cache: Arc<dyn SubRelCache> = Arc::new(LruSubRelCache::new(0));
+        let q1: DataQuery = parse_ree("(a b)=", g.alphabet_mut()).unwrap().into();
+        let q2: DataQuery = parse_ree("(b b)!=", g.alphabet_mut()).unwrap().into();
+        let s1 = RowEvalShared::with_cache(cache.clone(), 3);
+        eval_all(&s1, &q1.compile());
+        assert!(s1.cache_misses() > 0);
+        let s2 = RowEvalShared::with_cache(cache, 3);
+        eval_all(&s2, &q2.compile());
+        assert!(
+            s2.cache_hits() > 0,
+            "shared subexpression must hit across distinct queries"
+        );
+    }
+
+    #[test]
+    fn prewarm_builds_phase1_state_off_the_stripe_path() {
+        use gde_datagraph::{ShardPlan, ShardedSnapshot};
+        use std::sync::Arc;
+
+        let mut g = sample_graph();
+        let queries = all_query_classes(&mut g);
+        let snap = Arc::new(g.snapshot());
+        let shards = ShardedSnapshot::new(snap.clone(), ShardPlan::even(snap.n(), 2));
+        for q in &queries {
+            let cq = q.compile();
+            let shared = RowEvalShared::new();
+            assert!(!shared.memo_ready());
+            cq.prewarm_rows(&shards, &shared);
+            let needs_phase1 = matches!(
+                q,
+                DataQuery::Ree(_) | DataQuery::PathTest(_) | DataQuery::Conjunctive(_)
+            );
+            assert_eq!(
+                shared.memo_ready(),
+                needs_phase1,
+                "prewarm builds exactly the classes with shared state ({q:?})"
+            );
+            // prewarmed state serves the same answers
+            let fresh = RowEvalShared::new();
+            for s in 0..2 {
+                assert_eq!(
+                    cq.eval_relation_rows(&shards, s, &shared),
+                    cq.eval_relation_rows(&shards, s, &fresh),
+                );
             }
         }
     }

@@ -22,7 +22,7 @@ use gde_datagraph::{DataGraph, FxHashMap, NodeId};
 pub(crate) type AtomAnswers = (u32, u32, Vec<(NodeId, NodeId)>);
 
 /// One atom `from --query--> to` between variables.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CdAtom {
     /// Source variable.
     pub from: u32,
@@ -33,7 +33,7 @@ pub struct CdAtom {
 }
 
 /// A conjunctive (data) RPQ with a designated output pair.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ConjunctiveDataRpq {
     /// Output variables `(x, y)`.
     pub head: (u32, u32),

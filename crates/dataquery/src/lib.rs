@@ -27,6 +27,7 @@
 //! query once with [`DataQuery::compile`] and evaluate the resulting
 //! [`CompiledQuery`] against frozen `GraphSnapshot`s (see [`compiled`]).
 
+pub mod cache;
 pub mod compiled;
 pub mod crpq;
 pub mod parser;
@@ -35,6 +36,7 @@ pub mod query;
 pub mod ree;
 pub mod rem;
 
+pub use cache::{subplan_hash, CacheHandle, LruSubRelCache, SubRelCache, SubRelKey};
 pub use compiled::{CompiledQuery, RowEvalShared};
 pub use crpq::{CdAtom, ConjunctiveDataRpq};
 pub use parser::{parse_ree, parse_rem};

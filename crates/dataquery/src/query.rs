@@ -23,7 +23,7 @@ use gde_automata::{Nfa, Regex};
 use gde_datagraph::{DataGraph, DataPath, NodeId};
 
 /// A binary query over data graphs: any of the paper's path-based classes.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum DataQuery {
     /// A purely navigational RPQ (ignores data values).
     Rpq(Regex),

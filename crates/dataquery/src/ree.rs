@@ -17,10 +17,16 @@
 //! Membership `w ∈ L(e)` reuses the same algebra over the *positions* of the
 //! data path — both are instances of one internal evaluation context.
 
+use crate::cache::{subplan_hash, CacheHandle, SubRelKey};
 use gde_datagraph::{
     DataGraph, DataPath, FxHashMap, GraphSnapshot, Label, Relation, RelationBuilder,
     ShardedSnapshot, Value,
 };
+use std::sync::Arc;
+
+/// Domain separator for REE subexpression keys in the sub-relation cache
+/// (see [`crate::cache::subplan_hash`]).
+const REE_DOMAIN: &str = "ree";
 
 /// A regular expression with equality.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -422,18 +428,32 @@ fn identity_rows(n: usize, rows: std::ops::Range<usize>) -> Relation {
 ///   needed in full.
 ///
 /// Entries are keyed by the expression's stable pre-order node numbering,
-/// which [`Ree::eval_rows_snapshot`] reproduces during its walk.
+/// which [`Ree::eval_rows_snapshot`] reproduces during its walk. Values
+/// are `Arc`s so a memo entry served from the sub-relation cache
+/// ([`crate::cache`]) shares the cached relation instead of copying it.
 #[derive(Debug, Default)]
 pub struct ReeRowMemo {
-    rels: FxHashMap<usize, Relation>,
+    rels: FxHashMap<usize, Arc<Relation>>,
 }
 
 impl ReeRowMemo {
-    /// Build the memo for an expression against a snapshot.
+    /// Build the memo for an expression against a snapshot, computing
+    /// every artifact from scratch.
     pub fn build(e: &Ree, s: &GraphSnapshot) -> ReeRowMemo {
+        ReeRowMemo::build_cached(e, s, None)
+    }
+
+    /// Build the memo, looking each artifact up in `cache` (under its
+    /// structural subplan key, stamped with the cache handle's
+    /// generation) before computing it, and inserting what was computed.
+    /// With `None` this is [`ReeRowMemo::build`]. On a cache hit the
+    /// subexpression is not traversed at all — the memo borrows the
+    /// cached `Arc<Relation>` directly — so a warm cache makes memo
+    /// construction O(subexpression count) lookups.
+    pub fn build_cached(e: &Ree, s: &GraphSnapshot, cache: Option<&CacheHandle>) -> ReeRowMemo {
         let mut memo = ReeRowMemo::default();
         let mut id = 0usize;
-        build_memo(e, s, MemoMode::Spine, &mut id, &mut memo.rels);
+        build_memo(e, s, MemoMode::Spine, &mut id, &mut memo.rels, cache);
         memo
     }
 
@@ -451,6 +471,7 @@ impl ReeRowMemo {
         self.rels
             .get(&id)
             .expect("memo holds every closure and tail factor")
+            .as_ref()
     }
 }
 
@@ -470,14 +491,40 @@ enum MemoMode {
 
 /// One traversal serving all three modes, advancing the pre-order counter
 /// identically in each so memo keys line up with the phase-2 walk.
+///
+/// With a `cache` handle, every node that would insert a memo entry —
+/// closures on the spine, stored tail factors — first looks its
+/// structural key up; a hit skips the whole subtree (the counter jumps by
+/// [`Ree::subtree_size`], keeping phase-2 ids aligned) and borrows the
+/// cached relation. Subtrees of inserted nodes run in [`MemoMode::Inner`]
+/// and never insert, so a hit can never shadow a deeper entry phase 2
+/// would need.
 fn build_memo(
     e: &Ree,
     s: &GraphSnapshot,
     mode: MemoMode,
     id: &mut usize,
-    out: &mut FxHashMap<usize, Relation>,
+    out: &mut FxHashMap<usize, Arc<Relation>>,
+    cache: Option<&CacheHandle>,
 ) -> Option<Relation> {
     let my_id = *id;
+    // exactly the nodes the (mode, full) match below inserts into `out`
+    let memoises = mode == MemoMode::Stored
+        || (mode == MemoMode::Spine && matches!(e, Ree::Plus(_) | Ree::Star(_)));
+    let key = match (memoises, cache) {
+        (true, Some(h)) => Some(SubRelKey::global(
+            h.generation(),
+            subplan_hash(REE_DOMAIN, e),
+        )),
+        _ => None,
+    };
+    if let (Some(h), Some(k)) = (cache, key) {
+        if let Some(rel) = h.lookup(&k) {
+            *id = my_id + e.subtree_size();
+            out.insert(my_id, rel);
+            return None;
+        }
+    }
     *id += 1;
     let n = s.n();
     let full = match e {
@@ -493,17 +540,17 @@ fn build_memo(
             MemoMode::Spine => {
                 let mut it = es.iter();
                 if let Some(head) = it.next() {
-                    build_memo(head, s, MemoMode::Spine, id, out);
+                    build_memo(head, s, MemoMode::Spine, id, out, cache);
                 }
                 for child in it {
-                    build_memo(child, s, MemoMode::Stored, id, out);
+                    build_memo(child, s, MemoMode::Stored, id, out, cache);
                 }
                 None
             }
             _ => {
                 let mut acc: Option<Relation> = None;
                 for child in es {
-                    let f = build_memo(child, s, MemoMode::Inner, id, out)
+                    let f = build_memo(child, s, MemoMode::Inner, id, out, cache)
                         .expect("inner mode returns the full relation");
                     acc = Some(match acc {
                         None => f,
@@ -516,46 +563,46 @@ fn build_memo(
         Ree::Union(es) => match mode {
             MemoMode::Spine => {
                 for child in es {
-                    build_memo(child, s, MemoMode::Spine, id, out);
+                    build_memo(child, s, MemoMode::Spine, id, out, cache);
                 }
                 None
             }
             _ => Some(Relation::union_many_iter(
                 n,
                 es.iter().map(|child| {
-                    build_memo(child, s, MemoMode::Inner, id, out)
+                    build_memo(child, s, MemoMode::Inner, id, out, cache)
                         .expect("inner mode returns the full relation")
                 }),
             )),
         },
         Ree::Plus(b) => Some(
-            build_memo(b, s, MemoMode::Inner, id, out)
+            build_memo(b, s, MemoMode::Inner, id, out, cache)
                 .expect("inner mode returns the full relation")
                 .transitive_closure(),
         ),
         Ree::Star(b) => Some(
-            build_memo(b, s, MemoMode::Inner, id, out)
+            build_memo(b, s, MemoMode::Inner, id, out, cache)
                 .expect("inner mode returns the full relation")
                 .reflexive_transitive_closure(),
         ),
         Ree::Eq(b) => match mode {
             MemoMode::Spine => {
-                build_memo(b, s, MemoMode::Spine, id, out);
+                build_memo(b, s, MemoMode::Spine, id, out, cache);
                 None
             }
             _ => Some(
-                build_memo(b, s, MemoMode::Inner, id, out)
+                build_memo(b, s, MemoMode::Inner, id, out, cache)
                     .expect("inner mode returns the full relation")
                     .filter(|i, j| s.sql_eq(i as u32, j as u32)),
             ),
         },
         Ree::Neq(b) => match mode {
             MemoMode::Spine => {
-                build_memo(b, s, MemoMode::Spine, id, out);
+                build_memo(b, s, MemoMode::Spine, id, out, cache);
                 None
             }
             _ => Some(
-                build_memo(b, s, MemoMode::Inner, id, out)
+                build_memo(b, s, MemoMode::Inner, id, out, cache)
                     .expect("inner mode returns the full relation")
                     .filter(|i, j| s.sql_ne(i as u32, j as u32)),
             ),
@@ -565,6 +612,10 @@ fn build_memo(
         // closures memoise themselves even on the spine; stored factors
         // always do
         (MemoMode::Spine | MemoMode::Stored, Some(f)) => {
+            let f = Arc::new(f);
+            if let (Some(h), Some(k)) = (cache, key) {
+                h.insert(k, f.clone());
+            }
             out.insert(my_id, f);
             None
         }

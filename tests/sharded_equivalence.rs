@@ -2,7 +2,9 @@
 //! K ∈ {1, 2, 4, 8} node-range stripes must serve answers byte-identical
 //! to the unsharded engine for **every** `Semantics` × `Mode` on the
 //! social serving workload — through both `answer` and `answer_batch` —
-//! and stay identical while deltas patch stripes incrementally.
+//! and stay identical while deltas patch stripes incrementally, across
+//! worker-thread budgets, and with the generation-stamped sub-relation
+//! cache warm (stale generations must never serve).
 
 use gde_core::{Answer, ExactOptions, MappingService, Mode, Semantics, ServeError, ShardSpec};
 use gde_dataquery::CompiledQuery;
@@ -126,7 +128,85 @@ fn sharded_answers_survive_incremental_deltas() {
             svc.stats().patched_deltas >= 1,
             "churn must exercise the patch path at {k:?}"
         );
+        // the warm fingerprints before each delta and the batch half of
+        // every fingerprint reuse cached stripe results; the equivalence
+        // asserts above prove no stale generation ever served
+        if matches!(k, ShardSpec::Fixed(n) if *n >= 2) {
+            assert!(
+                svc.serving_stats(*id).unwrap().cache_hits > 0,
+                "churned serving at {k:?} must reuse the sub-relation cache"
+            );
+        }
     }
+}
+
+#[test]
+fn sharded_answers_identical_across_thread_counts() {
+    // `par::set_max_threads` is process-global; this is the only test in
+    // the binary that moves it, and answers must be identical at every
+    // setting anyway, so concurrent tests cannot observe a difference.
+    let sv: ServingScenario = social_serving_scenario(&SocialConfig {
+        persons: 24,
+        knows_per_person: 3,
+        posts: 12,
+        cities: 3,
+        seed: 0xC0DE,
+    });
+    let queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
+    let reference = MappingService::new();
+    let rid = reference.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    let expected = fingerprint(&reference, rid, &queries);
+    for threads in [1usize, 2, 4] {
+        gde_datagraph::par::set_max_threads(threads);
+        for spec in all_specs() {
+            let svc = MappingService::new();
+            let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+            svc.set_shard_count(id, spec).unwrap();
+            assert_eq!(
+                fingerprint(&svc, id, &queries),
+                expected,
+                "cold, {threads} thread(s), {spec:?}"
+            );
+            // second pass serves out of the warm sub-relation cache and
+            // must still be byte-identical
+            assert_eq!(
+                fingerprint(&svc, id, &queries),
+                expected,
+                "warm, {threads} thread(s), {spec:?}"
+            );
+        }
+    }
+    gde_datagraph::par::set_max_threads(0); // restore the env default
+}
+
+#[test]
+fn repeated_batches_hit_the_sub_relation_cache() {
+    let sv = sharded_serving_scenario(900, 0xCAFE);
+    let queries: Vec<CompiledQuery> = sv.queries.iter().map(|(_, q)| q.compile()).collect();
+    let svc = MappingService::new();
+    let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    svc.set_shard_count(id, 4).unwrap();
+    let cold = svc.answer_batch(id, &queries, Semantics::nulls());
+    assert!(cold.iter().any(|a| a.is_ok()));
+    let stats = svc.serving_stats(id).unwrap();
+    let (hits0, misses0) = (stats.cache_hits, stats.cache_misses);
+    assert!(misses0 > 0, "cold batch must populate the cache");
+    assert!(
+        stats.memo_build_ns > 0,
+        "phase-1 memo construction runs (and is timed) before the fan-out"
+    );
+    let warm = svc.answer_batch(id, &queries, Semantics::nulls());
+    assert_eq!(warm, cold, "warm batch must be byte-identical");
+    let stats = svc.serving_stats(id).unwrap();
+    assert!(
+        stats.cache_hits > hits0,
+        "repeated batch must hit the cache"
+    );
+    assert_eq!(
+        stats.cache_misses, misses0,
+        "steady-state serving takes no new misses"
+    );
+    assert!(stats.cache_hit_rate() > 0.0);
 }
 
 #[test]
