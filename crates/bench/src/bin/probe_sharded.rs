@@ -22,12 +22,31 @@ fn phases(before: &ServingStats, after: &ServingStats) -> String {
     let merge = after.merge_ns - before.merge_ns;
     let hits = after.cache_hits - before.cache_hits;
     let misses = after.cache_misses - before.cache_misses;
-    format!(
+    let mut out = format!(
         "eval {:.2}ms, memo {:.2}ms, merge {:.2}ms, cache {hits}h/{misses}m",
         eval as f64 / 1e6,
         memo as f64 / 1e6,
         merge as f64 / 1e6,
-    )
+    );
+    // fault-isolation counters only print when a call actually tripped
+    // one — a healthy probe run stays on one line per call
+    for (label, b, a) in [
+        ("rejected", before.rejected, after.rejected),
+        ("degraded", before.degraded, after.degraded),
+        (
+            "deadline",
+            before.deadline_exceeded,
+            after.deadline_exceeded,
+        ),
+        ("cancelled", before.cancelled, after.cancelled),
+        ("panics", before.worker_panics, after.worker_panics),
+        ("retries", before.retries, after.retries),
+    ] {
+        if a > b {
+            out.push_str(&format!(", {label} {}", a - b));
+        }
+    }
+    out
 }
 
 fn main() {
@@ -125,5 +144,14 @@ fn main() {
         end.memo_share(),
         end.cache_hit_rate(),
         end.cache_bytes,
+    );
+    println!(
+        "fault isolation: rejected {}, degraded {}, deadline {}, cancelled {}, worker panics {}, retries {}",
+        end.rejected,
+        end.degraded,
+        end.deadline_exceeded,
+        end.cancelled,
+        end.worker_panics,
+        end.retries,
     );
 }

@@ -62,31 +62,36 @@
 
 use crate::certain::{CertainAnswers, SolveError};
 use crate::exact::{exact_answers_from, exact_boolean_from, ExactError, ExactOptions};
+use crate::faults::{self, FaultSite};
 use crate::gsm::Gsm;
 use crate::solution::{
     least_informative_solution, universal_solution, CanonicalSolution, LavPatch, SolutionError,
 };
 use gde_datagraph::{
     merge_sorted_runs, par, DataGraph, FxHashMap, FxHashSet, GraphDelta, GraphError, GraphSnapshot,
-    Label, NodeId, ShardPlan, ShardedSnapshot,
+    Label, NodeId, ShardPlan, ShardedSnapshot, WorkerPanic,
 };
 use gde_dataquery::{
-    CompiledQuery, DataQuery, LruSubRelCache, RowEvalShared, SubRelCache, SubRelKey,
+    CompiledQuery, DataQuery, EvalControl, LruSubRelCache, RowEvalShared, StopCause, SubRelCache,
+    SubRelKey,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 // Poisoning recovery: a panicking worker must not wedge the whole service,
-// so every lock acquisition falls back to the inner value.
+// so every lock acquisition falls back to the inner value (the shared
+// helpers from `gde_datagraph::par`, kept under local names so every call
+// site in this module stays short).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    par::lock_recover(m)
 }
 fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    l.read().unwrap_or_else(|e| e.into_inner())
+    par::read_recover(l)
 }
 fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    l.write().unwrap_or_else(|e| e.into_inner())
+    par::write_recover(l)
 }
 
 /// Handle to a mapping registered in a [`MappingService`].
@@ -286,6 +291,26 @@ pub struct ServingStats {
     /// Resident bytes in the mapping's sub-relation caches — a gauge
     /// (last observed value), unlike the cumulative counters above.
     pub cache_bytes: u64,
+    /// Serves rejected at admission: the deadline or cancel flag had
+    /// already fired before any evaluation started, so the serve was
+    /// refused at the door without charging anything.
+    pub rejected: u64,
+    /// Serves that ran **without** the sub-relation cache because
+    /// admission control decided their estimated cache footprint could
+    /// not fit the service budget even after eviction.
+    pub degraded: u64,
+    /// Serves that returned [`ServeError::DeadlineExceeded`] after
+    /// evaluation had started.
+    pub deadline_exceeded: u64,
+    /// Serves that returned [`ServeError::Cancelled`] after evaluation
+    /// had started.
+    pub cancelled: u64,
+    /// Worker panics contained by the stripe fan-out (injected faults
+    /// and real bugs alike) — each panicking worker counts once.
+    pub worker_panics: u64,
+    /// Serves retried after a quarantine (panic containment rebuilds the
+    /// prepared solution once and re-runs the serve).
+    pub retries: u64,
     /// The same counters, split by stripe index (stripe 0 for unsharded
     /// serving). Grows to the largest stripe index observed.
     pub per_stripe: Vec<StripeServingStats>,
@@ -431,6 +456,91 @@ impl Answer {
     }
 }
 
+/// Per-call serving options for [`MappingService::answer_with`] /
+/// [`MappingService::answer_batch_with`]: an optional wall-clock deadline
+/// and a caller-owned cancel flag.
+///
+/// Both are **cooperative**: the engine checks between stripes of a
+/// fan-out, between phase-1 memo nodes, and before merges — a unit of
+/// work that has started runs to completion. An expired deadline returns
+/// [`ServeError::DeadlineExceeded`] (with partial-work stats), a raised
+/// cancel flag [`ServeError::Cancelled`]; in both cases nothing
+/// incomplete is cached, so an immediate retry recomputes from
+/// consistent state and returns byte-identical answers.
+///
+/// ```
+/// # use gde_core::engine::ServeOptions;
+/// # use std::time::{Duration, Instant};
+/// let opts = ServeOptions::new().with_deadline(Instant::now() + Duration::from_millis(50));
+/// let cancel = opts.cancel.clone(); // hand to another thread; store(true) to cancel
+/// # let _ = cancel;
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Serve must finish by this instant (checked cooperatively).
+    pub deadline: Option<Instant>,
+    /// Raised by the caller (from any thread) to cancel the serve.
+    pub cancel: Arc<AtomicBool>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            deadline: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Unbounded options: no deadline, a fresh (never raised) cancel flag.
+    pub fn new() -> ServeOptions {
+        ServeOptions::default()
+    }
+
+    /// Set the deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> ServeOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Use a caller-provided cancel flag (share clones across calls to
+    /// cancel a whole group at once).
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> ServeOptions {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The evaluation control one serve runs under (a fresh latch per
+    /// call, sharing this options value's deadline and cancel flag).
+    fn control(&self) -> EvalControl {
+        EvalControl::new(self.deadline, Some(self.cancel.clone()))
+    }
+}
+
+/// Map a fired stop cause to its serve error, carrying partial-work
+/// stats.
+fn stop_error(cause: StopCause, completed: usize, total: usize) -> ServeError {
+    match cause {
+        StopCause::Deadline => ServeError::DeadlineExceeded {
+            completed_stripes: completed,
+            total_stripes: total,
+        },
+        StopCause::Cancelled => ServeError::Cancelled {
+            completed_stripes: completed,
+            total_stripes: total,
+        },
+    }
+}
+
+/// Map a contained fan-out panic to its serve error.
+fn panic_error(p: WorkerPanic) -> ServeError {
+    ServeError::StripePanicked {
+        message: p.message,
+        stripes: p.indices,
+    }
+}
+
 /// Errors from the serving engine. `NoSolution` only surfaces from the
 /// solution accessors ([`MappingService::solution`] and the deprecated
 /// `PreparedMapping` ones); [`MappingService::answer`] converts it into the
@@ -458,6 +568,37 @@ pub enum ServeError {
     },
     /// A delta failed validation against the source graph.
     InvalidDelta(GraphError),
+    /// A stripe worker (or the shared phase-1/merge work) panicked and
+    /// the panic was contained. The first occurrence quarantines the
+    /// prepared solution and retries once; this error means the retry
+    /// panicked too.
+    StripePanicked {
+        /// The panic payload message of the first failed worker.
+        message: String,
+        /// Stripe (or task) indices whose workers panicked, sorted.
+        /// Empty when the panic happened outside the fan-out (phase-1
+        /// build, merge, refreeze).
+        stripes: Vec<usize>,
+    },
+    /// The [`ServeOptions`] deadline expired before the serve finished.
+    /// Nothing incomplete was cached: a retry recomputes from consistent
+    /// state and returns byte-identical answers.
+    DeadlineExceeded {
+        /// Stripes whose evaluation had completed when the serve stopped.
+        completed_stripes: usize,
+        /// Total stripes the serve was scheduled over (0 when the serve
+        /// was rejected before any plan was consulted).
+        total_stripes: usize,
+    },
+    /// The [`ServeOptions`] cancel flag was raised before the serve
+    /// finished. Same consistency guarantee as
+    /// [`ServeError::DeadlineExceeded`].
+    Cancelled {
+        /// Stripes whose evaluation had completed when the serve stopped.
+        completed_stripes: usize,
+        /// Total stripes the serve was scheduled over.
+        total_stripes: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -476,6 +617,27 @@ impl std::fmt::Display for ServeError {
                 "instance too large for exhaustive search ({invented} invented nodes; cap: {cap})"
             ),
             ServeError::InvalidDelta(e) => write!(f, "invalid delta: {e}"),
+            ServeError::StripePanicked { message, stripes } => {
+                if stripes.is_empty() {
+                    write!(f, "serving worker panicked: {message}")
+                } else {
+                    write!(f, "stripe worker(s) {stripes:?} panicked: {message}")
+                }
+            }
+            ServeError::DeadlineExceeded {
+                completed_stripes,
+                total_stripes,
+            } => write!(
+                f,
+                "deadline exceeded ({completed_stripes}/{total_stripes} stripes completed)"
+            ),
+            ServeError::Cancelled {
+                completed_stripes,
+                total_stripes,
+            } => write!(
+                f,
+                "cancelled ({completed_stripes}/{total_stripes} stripes completed)"
+            ),
         }
     }
 }
@@ -501,21 +663,32 @@ impl From<ExactError> for ServeError {
 }
 
 /// Convert a serving error back into the legacy `SolveError` (for the
-/// deprecated canonical-engine wrappers, which cannot hit the other arms).
+/// deprecated canonical-engine wrappers). The wrappers serve through a
+/// private single-mapping service with unbounded options, so the
+/// deadline/cancel arms cannot fire; a contained worker panic, however,
+/// *can* reach them, and the legacy error type predates typed panics —
+/// re-raise it so the pre-containment behaviour (a propagating panic) is
+/// preserved for the deprecated surface.
 pub(crate) fn solve_error(e: ServeError) -> SolveError {
     match e {
         ServeError::NotRelational => SolveError::NotRelational,
         ServeError::UnsupportedQuery(what) => SolveError::UnsupportedQuery(what),
+        ServeError::StripePanicked { message, .. } => {
+            panic!("serving worker panicked (legacy wrapper re-raise): {message}")
+        }
         other => unreachable!("canonical serving cannot fail with {other:?}"),
     }
 }
 
 /// Convert a serving error back into the legacy `ExactError` (for the
-/// exact-engine wrappers, which cannot hit the other arms).
+/// exact-engine wrappers; same re-raise contract as [`solve_error`]).
 pub(crate) fn exact_error(e: ServeError) -> ExactError {
     match e {
         ServeError::NotRelational => ExactError::NotRelational,
         ServeError::TooComplex { invented, cap } => ExactError::TooComplex { invented, cap },
+        ServeError::StripePanicked { message, .. } => {
+            panic!("exact serving worker panicked (legacy wrapper re-raise): {message}")
+        }
         other => unreachable!("exact serving cannot fail with {other:?}"),
     }
 }
@@ -699,6 +872,10 @@ impl PreparedSolution {
         generation: u64,
         carry: Option<&RefreezeCarry>,
     ) -> PreparedSolution {
+        // an injected panic here models a crash mid-(re)freeze: the slot
+        // the caller took the previous state from stays Empty with zero
+        // bytes charged, so containment leaves the service consistent
+        faults::point(FaultSite::Refreeze);
         let invented = solution.invented_set();
         let invented_mask = (0..snapshot.n() as u32)
             .map(|d| invented.contains(&snapshot.id_at(d)))
@@ -794,9 +971,8 @@ impl PreparedSolution {
     }
 
     /// Approximate heap footprint (solution + snapshot + mask + shard
-    /// slices + the sub-relation cache charge as of the last
-    /// [`PreparedSolution::sync_cache_charge`]), the unit the service's
-    /// eviction budget is counted in.
+    /// slices + the sub-relation cache charge as last settled by the
+    /// service), the unit the service's eviction budget is counted in.
     pub fn approx_bytes(&self) -> usize {
         self.solution.approx_bytes()
             + self.snapshot.approx_bytes()
@@ -823,6 +999,14 @@ impl PreparedSolution {
         &self.sub_cache
     }
 
+    /// Admission-control estimate of the extra sub-relation-cache bytes
+    /// one cold serve of this solution may charge: per-stripe evaluated
+    /// relations plus phase-1 artifacts are bounded by the snapshot's own
+    /// footprint, and the cache clamps itself at its byte budget.
+    fn estimated_serve_bytes(&self) -> usize {
+        self.snapshot.approx_bytes().min(SUB_REL_CACHE_BUDGET)
+    }
+
     /// Shared row-evaluation state wired to this solution's sub-relation
     /// cache at its generation — the per-query handle every sharded
     /// serving call evaluates through.
@@ -831,6 +1015,19 @@ impl PreparedSolution {
             self.sub_cache.clone() as Arc<dyn SubRelCache>,
             self.generation,
         )
+    }
+
+    /// [`PreparedSolution::row_shared`] under a deadline/cancel control;
+    /// `use_cache: false` is the admission-control degraded mode — every
+    /// artifact is computed from scratch and nothing is charged to the
+    /// cache budget.
+    fn row_shared_with(&self, ctrl: &Arc<EvalControl>, use_cache: bool) -> RowEvalShared {
+        let shared = if use_cache {
+            self.row_shared()
+        } else {
+            RowEvalShared::new()
+        };
+        shared.with_control(ctrl.clone())
     }
 
     /// Fold one sharded call's shared-phase accounting (phase-1 build
@@ -866,33 +1063,65 @@ impl PreparedSolution {
     /// in relation form: filtering walks the relation's rows with the
     /// dense invented mask, and only surviving pairs pay the node-id
     /// translation. Sharded, every stripe evaluates its own rows on a
-    /// [`par::map_shards`] worker into a **sorted run**, and the runs
+    /// [`par::try_map_shards`] worker into a **sorted run**, and the runs
     /// union through the streaming k-way merge
     /// ([`gde_datagraph::merge`]) — no intermediate concatenation, and
     /// the result is identical either way.
-    fn answers_over_dom(&self, q: &CompiledQuery) -> Vec<(NodeId, NodeId)> {
+    ///
+    /// A panicking stripe worker surfaces as
+    /// [`ServeError::StripePanicked`]; a fired deadline/cancel control as
+    /// [`ServeError::DeadlineExceeded`] / [`ServeError::Cancelled`]. In
+    /// both cases nothing incomplete was inserted into the sub-relation
+    /// cache.
+    fn answers_over_dom(
+        &self,
+        q: &CompiledQuery,
+        ctrl: &Arc<EvalControl>,
+        use_cache: bool,
+    ) -> Result<Vec<(NodeId, NodeId)>, ServeError> {
         match &self.sharded {
             None => {
+                if ctrl.should_stop() {
+                    let cause = ctrl.fired().expect("should_stop latched a cause");
+                    return Err(stop_error(cause, 0, 1));
+                }
                 let started = Instant::now();
                 let mut pairs = self.dom_pairs(&q.eval_relation(&self.snapshot));
                 pairs.sort();
                 self.record(0, started.elapsed(), pairs.len(), false);
-                pairs
+                Ok(pairs)
             }
             Some(ss) => {
                 // phase 1 (memo/cache build) runs before the fan-out so
                 // stripe workers never serialize on it
-                let shared = self.row_shared();
+                let shared = self.row_shared_with(ctrl, use_cache);
                 let prewarm = Instant::now();
                 q.prewarm_rows(ss, &shared);
                 let memo_ns = prewarm.elapsed().as_nanos() as u64;
-                let parts = par::map_shards(&ss.plan().ranges(), |shard, _| {
-                    self.shard_pairs(q, shard, &shared)
+                let completed = AtomicUsize::new(0);
+                let parts = par::try_map_shards(&ss.plan().ranges(), |shard, _| {
+                    if ctrl.should_stop() {
+                        return Vec::new();
+                    }
+                    let run = self.shard_pairs(q, shard, &shared);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    run
                 });
+                // stats stay consistent whatever the outcome — partial
+                // work is recorded, fabricated results are not
+                self.record_overheads(memo_ns, 0, &shared);
+                let parts = parts.map_err(panic_error)?;
+                if let Some(cause) = ctrl.fired() {
+                    return Err(stop_error(
+                        cause,
+                        completed.load(Ordering::Relaxed),
+                        ss.shard_count(),
+                    ));
+                }
                 let merge = Instant::now();
                 let merged = merge_sorted_runs(&parts);
-                self.record_overheads(memo_ns, merge.elapsed().as_nanos() as u64, &shared);
-                merged
+                lock(&self.serving).merge_ns += merge.elapsed().as_nanos() as u64;
+                Ok(merged)
             }
         }
     }
@@ -924,14 +1153,38 @@ impl PreparedSolution {
         shard: usize,
         shared: &RowEvalShared,
     ) -> Vec<(NodeId, NodeId)> {
+        // an injected panic here models a stripe worker dying at the top
+        // of its evaluation, before any shared state is touched
+        faults::point(FaultSite::StripeEval);
         let ss = self.sharded.as_ref().expect("sharded serving only");
         let started = Instant::now();
+        let ctrl = shared.control();
         let rel = match shared.cache() {
-            Some(h) => h.get_or_insert(
-                SubRelKey::stripe(h.generation(), shard, q.plan_hash()),
-                || q.eval_relation_rows(ss, shard, shared),
-            ),
-            None => Arc::new(q.eval_relation_rows(ss, shard, shared)),
+            Some(h) => {
+                let key = SubRelKey::stripe(h.generation(), shard, q.plan_hash());
+                match h.lookup(&key) {
+                    Some(rel) => rel,
+                    None => {
+                        let rel = Arc::new(q.eval_relation_rows(ss, shard, shared));
+                        // a control that fired mid-evaluation may have
+                        // truncated sub-factors: the relation is garbage
+                        // by design and must never reach the cache — the
+                        // caller discards it via `fired()`
+                        if ctrl.should_stop() {
+                            return Vec::new();
+                        }
+                        h.insert(key, rel.clone());
+                        rel
+                    }
+                }
+            }
+            None => {
+                let rel = Arc::new(q.eval_relation_rows(ss, shard, shared));
+                if ctrl.should_stop() {
+                    return Vec::new();
+                }
+                rel
+            }
         };
         let mut pairs = self.dom_pairs(&rel);
         pairs.sort();
@@ -942,6 +1195,7 @@ impl PreparedSolution {
     /// One stripe's Boolean evaluation, with stats recording (the Boolean
     /// counterpart of [`PreparedSolution::shard_pairs`]).
     fn shard_holds(&self, q: &CompiledQuery, shard: usize, shared: &RowEvalShared) -> bool {
+        faults::point(FaultSite::StripeEval);
         let ss = self.sharded.as_ref().expect("sharded serving only");
         let started = Instant::now();
         let holds = q.holds_in_rows(ss, shard, shared);
@@ -952,33 +1206,59 @@ impl PreparedSolution {
     /// Boolean projection: does the query hold anywhere? Sharded, stripes
     /// evaluate concurrently and OR-merge with a short-circuit flag (a
     /// stripe that finds a match stops the others from starting).
-    fn holds(&self, q: &CompiledQuery) -> bool {
+    ///
+    /// Because Boolean certain answers are monotone across stripes, a
+    /// short-circuit hit found *before* a deadline/cancel fired is still
+    /// a definitive `true` and is returned instead of the stop error.
+    fn holds(
+        &self,
+        q: &CompiledQuery,
+        ctrl: &Arc<EvalControl>,
+        use_cache: bool,
+    ) -> Result<bool, ServeError> {
         match &self.sharded {
             None => {
+                if ctrl.should_stop() {
+                    let cause = ctrl.fired().expect("should_stop latched a cause");
+                    return Err(stop_error(cause, 0, 1));
+                }
                 let started = Instant::now();
                 let holds = q.holds_somewhere(&self.snapshot);
                 self.record(0, started.elapsed(), 0, true);
-                holds
+                Ok(holds)
             }
             Some(ss) => {
                 // Boolean stripes stay uncached (no reusable relation is
                 // produced) but still share phase-1 artifacts through
                 // the cache, built before the fan-out
-                let shared = self.row_shared();
+                let shared = self.row_shared_with(ctrl, use_cache);
                 let prewarm = Instant::now();
                 q.prewarm_rows(ss, &shared);
                 let memo_ns = prewarm.elapsed().as_nanos() as u64;
                 let found = AtomicBool::new(false);
-                par::map_shards(&ss.plan().ranges(), |shard, _| {
-                    if found.load(Ordering::Relaxed) {
+                let completed = AtomicUsize::new(0);
+                let fanned = par::try_map_shards(&ss.plan().ranges(), |shard, _| {
+                    if found.load(Ordering::Relaxed) || ctrl.should_stop() {
                         return;
                     }
                     if self.shard_holds(q, shard, &shared) {
                         found.store(true, Ordering::Relaxed);
                     }
+                    completed.fetch_add(1, Ordering::Relaxed);
                 });
                 self.record_overheads(memo_ns, 0, &shared);
-                found.load(Ordering::Relaxed)
+                fanned.map_err(panic_error)?;
+                if found.load(Ordering::Relaxed) {
+                    return Ok(true);
+                }
+                if let Some(cause) = ctrl.fired() {
+                    return Err(stop_error(
+                        cause,
+                        completed.load(Ordering::Relaxed),
+                        ss.shard_count(),
+                    ));
+                }
+                Ok(false)
             }
         }
     }
@@ -1284,14 +1564,40 @@ impl MappingService {
     ///
     /// Mappings with no solution at all (ε-rule conflicts) make every
     /// answer vacuously certain: `Tuples(AllVacuously)` / `Boolean(true)`.
+    ///
+    /// Equivalent to [`MappingService::answer_with`] under unbounded
+    /// [`ServeOptions`] (no deadline, never cancelled).
     pub fn answer(
         &self,
         id: MappingId,
         q: &CompiledQuery,
         sem: Semantics,
     ) -> Result<Answer, ServeError> {
+        self.answer_with(id, q, sem, &ServeOptions::default())
+    }
+
+    /// [`MappingService::answer`] under per-call [`ServeOptions`]: an
+    /// optional cooperative deadline and a caller-owned cancel flag.
+    ///
+    /// Fault isolation applies on every path: a panicking stripe worker
+    /// is contained, the flavour's prepared solution is quarantined
+    /// (slot dropped, generation bumped so no poisoned cache entry can
+    /// ever serve again), and the serve retries once against a fresh
+    /// rebuild — a second panic surfaces as
+    /// [`ServeError::StripePanicked`]. Deadline/cancel expiry returns
+    /// [`ServeError::DeadlineExceeded`] / [`ServeError::Cancelled`]
+    /// without quarantining anything; a retry recomputes from consistent
+    /// caches and returns byte-identical answers.
+    pub fn answer_with(
+        &self,
+        id: MappingId,
+        q: &CompiledQuery,
+        sem: Semantics,
+        opts: &ServeOptions,
+    ) -> Result<Answer, ServeError> {
         let entry = self.entry(id)?;
-        self.answer_entry(&entry, q, sem)
+        let ctrl = Arc::new(opts.control());
+        self.answer_entry(&entry, q, sem, &ctrl)
     }
 
     /// Answer a whole batch under one semantics, fanning out over
@@ -1312,37 +1618,113 @@ impl MappingService {
         queries: &[CompiledQuery],
         sem: Semantics,
     ) -> Vec<Result<Answer, ServeError>> {
+        self.answer_batch_with(id, queries, sem, &ServeOptions::default())
+    }
+
+    /// [`MappingService::answer_batch`] under per-call [`ServeOptions`]:
+    /// one deadline/cancel control governs the whole batch. A fired
+    /// control stops the `(query, stripe)` scheduler cooperatively and
+    /// every query returns the stop error; nothing incomplete is cached
+    /// or half-recorded, so retrying the batch returns byte-identical
+    /// answers. A panicking worker quarantines the flavour and the whole
+    /// batch retries once against the rebuilt solution.
+    pub fn answer_batch_with(
+        &self,
+        id: MappingId,
+        queries: &[CompiledQuery],
+        sem: Semantics,
+        opts: &ServeOptions,
+    ) -> Vec<Result<Answer, ServeError>> {
         let entry = match self.entry(id) {
             Ok(e) => e,
             Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
         };
-        // warm the flavour once so workers don't serialize on the build
-        let prep = self.prepared(&entry, sem.flavour());
-        // the exact enumeration doesn't decompose by stripe: keep
-        // per-query scheduling for it (and for unsharded mappings)
-        let sharded = match (&prep, sem) {
-            (Ok(p), Semantics::Nulls(_) | Semantics::LeastInformative(_))
-                if p.sharded.is_some() =>
-            {
-                Some(p.clone())
+        let ctrl = Arc::new(opts.control());
+        if ctrl.should_stop() {
+            let cause = ctrl.fired().expect("should_stop latched a cause");
+            Self::note(&entry, |s| s.rejected += queries.len() as u64);
+            return queries
+                .iter()
+                .map(|_| Err(stop_error(cause, 0, 0)))
+                .collect();
+        }
+        let mut last_err: Option<ServeError> = None;
+        for attempt in 0..2 {
+            // warm the flavour once so workers don't serialize on the
+            // build; a panic mid-(re)freeze is contained like any other
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let prep = self.prepared(&entry, sem.flavour());
+                // the exact enumeration doesn't decompose by stripe: keep
+                // per-query scheduling for it (and for unsharded mappings)
+                let sharded = match (&prep, sem) {
+                    (Ok(p), Semantics::Nulls(_) | Semantics::LeastInformative(_))
+                        if p.sharded.is_some() =>
+                    {
+                        Some(p.clone())
+                    }
+                    _ => None,
+                };
+                match sharded {
+                    // per-query fallback: answer_entry contains its own
+                    // panics and applies its own quarantine/retry
+                    None => Ok(par::map_blocks(queries.len(), 1, |range| {
+                        range
+                            .map(|i| self.answer_entry(&entry, &queries[i], sem, &ctrl))
+                            .collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()),
+                    Some(prep) => self.batch_sharded(&entry, &prep, queries, sem, &ctrl),
+                }
+            }));
+            let err = match outcome {
+                Ok(Ok(answers)) => return answers,
+                Ok(Err(e)) => e,
+                Err(payload) => ServeError::StripePanicked {
+                    message: par::panic_message(&*payload),
+                    stripes: Vec::new(),
+                },
+            };
+            let panics = match &err {
+                ServeError::StripePanicked { stripes, .. } => stripes.len().max(1) as u64,
+                _ => 1,
+            };
+            Self::note(&entry, |s| s.worker_panics += panics);
+            self.quarantine(&entry, sem.flavour());
+            if attempt == 0 {
+                Self::note(&entry, |s| s.retries += 1);
             }
-            _ => None,
-        };
-        let Some(prep) = sharded else {
-            return par::map_blocks(queries.len(), 1, |range| {
-                range
-                    .map(|i| self.answer_entry(&entry, &queries[i], sem))
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-        };
+            last_err = Some(err);
+        }
+        let err = last_err.expect("two attempts ran");
+        queries.iter().map(|_| Err(err.clone())).collect()
+    }
+
+    /// The sharded `(query, stripe)` scheduler behind
+    /// [`MappingService::answer_batch_with`]. Returns `Err` only for a
+    /// contained worker panic (the caller quarantines and retries);
+    /// deadline/cancel outcomes are encoded per query in the `Ok` vec.
+    fn batch_sharded(
+        &self,
+        entry: &MappingEntry,
+        prep: &Arc<PreparedSolution>,
+        queries: &[CompiledQuery],
+        sem: Semantics,
+        ctrl: &Arc<EvalControl>,
+    ) -> Result<Vec<Result<Answer, ServeError>>, ServeError> {
         let nq = queries.len();
         let k = prep.shard_count();
         let pre: Vec<Result<(), ServeError>> =
             queries.iter().map(|q| check_fragment(q, sem)).collect();
-        let shareds: Vec<RowEvalShared> = queries.iter().map(|_| prep.row_shared()).collect();
+        let use_cache = self.admit_serve(entry, prep, sem.flavour());
+        if !use_cache {
+            Self::note(entry, |s| s.degraded += nq as u64);
+        }
+        let shareds: Vec<RowEvalShared> = queries
+            .iter()
+            .map(|_| prep.row_shared_with(ctrl, use_cache))
+            .collect();
         // factor the batch's phase-1 work out before the stripe fan-out:
         // queries build their memos in parallel, and because every build
         // goes through the shared sub-relation cache, a closure or tail
@@ -1351,34 +1733,69 @@ impl MappingService {
         // build concurrently — both compute, either result serves)
         let ss = prep.sharded.as_ref().expect("batch fan-out is sharded");
         let prewarm = Instant::now();
-        par::map_blocks(nq, 1, |range| {
+        let warmed = par::try_map_blocks(nq, 1, |range| {
             for qi in range {
-                if pre[qi].is_ok() {
+                if pre[qi].is_ok() && !ctrl.should_stop() {
                     queries[qi].prewarm_rows(ss, &shareds[qi]);
                 }
             }
         });
         let memo_ns = prewarm.elapsed().as_nanos() as u64;
         let found: Vec<AtomicBool> = queries.iter().map(|_| AtomicBool::new(false)).collect();
-        let mut parts: Vec<Option<Vec<(NodeId, NodeId)>>> = par::map_tasks(nq * k, |t| {
-            // stripe-major order: task t → (query t % nq, stripe t / nq)
-            let (qi, shard) = (t % nq, t / nq);
-            if pre[qi].is_err() {
-                return None;
-            }
-            let q = &queries[qi];
-            match sem.mode() {
-                Mode::Tuples => Some(prep.shard_pairs(q, shard, &shareds[qi])),
-                Mode::Boolean => {
-                    if !found[qi].load(Ordering::Relaxed)
-                        && prep.shard_holds(q, shard, &shareds[qi])
-                    {
-                        found[qi].store(true, Ordering::Relaxed);
-                    }
-                    None
+        let completed = AtomicUsize::new(0);
+        let fanned = match warmed {
+            Ok(_) => par::try_map_tasks(nq * k, |t| {
+                // stripe-major order: task t → (query t % nq, stripe t / nq)
+                let (qi, shard) = (t % nq, t / nq);
+                if pre[qi].is_err() || ctrl.should_stop() {
+                    return None;
                 }
-            }
+                let q = &queries[qi];
+                match sem.mode() {
+                    Mode::Tuples => {
+                        let run = prep.shard_pairs(q, shard, &shareds[qi]);
+                        // a fired control truncates runs: drop them here
+                        // so the merge below can never see one (the
+                        // latched cause short-circuits the whole batch)
+                        if ctrl.should_stop() {
+                            return None;
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        Some(run)
+                    }
+                    Mode::Boolean => {
+                        if !found[qi].load(Ordering::Relaxed)
+                            && prep.shard_holds(q, shard, &shareds[qi])
+                        {
+                            found[qi].store(true, Ordering::Relaxed);
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            }),
+            Err(p) => Err(p),
+        };
+        // record the shared-phase accounting whatever the outcome, so
+        // stats stay consistent across faulted and cancelled serves
+        let (hits, misses) = shareds.iter().fold((0, 0), |(h, m), s| {
+            (h + s.cache_hits(), m + s.cache_misses())
         });
+        lock(&prep.serving).record_overheads(
+            memo_ns,
+            0,
+            hits,
+            misses,
+            prep.sub_cache.bytes() as u64,
+        );
+        let mut parts: Vec<Option<Vec<(NodeId, NodeId)>>> = fanned.map_err(panic_error)?;
+        if let Some(cause) = ctrl.fired() {
+            let e = stop_error(cause, completed.load(Ordering::Relaxed), nq * k);
+            for _ in 0..nq {
+                Self::note_stop(entry, &e);
+            }
+            return Ok(queries.iter().map(|_| Err(e.clone())).collect());
+        }
         let merge = Instant::now();
         let answers: Vec<Result<Answer, ServeError>> = (0..nq)
             .map(|qi| {
@@ -1396,21 +1813,10 @@ impl MappingService {
                 })
             })
             .collect();
-        let merge_ns = match sem.mode() {
-            Mode::Tuples => merge.elapsed().as_nanos() as u64,
-            Mode::Boolean => 0,
-        };
-        let (hits, misses) = shareds.iter().fold((0, 0), |(h, m), s| {
-            (h + s.cache_hits(), m + s.cache_misses())
-        });
-        lock(&prep.serving).record_overheads(
-            memo_ns,
-            merge_ns,
-            hits,
-            misses,
-            prep.sub_cache.bytes() as u64,
-        );
-        answers
+        if sem.mode() == Mode::Tuples {
+            lock(&prep.serving).merge_ns += merge.elapsed().as_nanos() as u64;
+        }
+        Ok(answers)
     }
 
     /// Eagerly build (or re-freeze) the solution this semantics serves
@@ -1652,19 +2058,123 @@ impl MappingService {
         *slot = Slot::default();
     }
 
+    /// Record into a mapping's serving-stats accumulator.
+    fn note(entry: &MappingEntry, f: impl FnOnce(&mut ServingStats)) {
+        f(&mut lock(&entry.serving));
+    }
+
+    /// Count a stop-error outcome against the mapping's serving stats.
+    fn note_stop(entry: &MappingEntry, e: &ServeError) {
+        match e {
+            ServeError::DeadlineExceeded { .. } => {
+                Self::note(entry, |s| s.deadline_exceeded += 1);
+            }
+            ServeError::Cancelled { .. } => Self::note(entry, |s| s.cancelled += 1),
+            _ => {}
+        }
+    }
+
+    /// Quarantine one flavour after a contained worker panic: the panic
+    /// may have left the prepared solution's shared artifacts (sub-
+    /// relation cache, half-built memo state) in an arbitrary state, so
+    /// the slot is dropped and the mapping generation is bumped — every
+    /// cache key the poisoned solution could still write (from a
+    /// concurrent serve holding the old `Arc`) becomes unreachable, and
+    /// the next serve rebuilds from the source at the new generation.
+    fn quarantine(&self, entry: &MappingEntry, flavour: Flavour) {
+        let mut slots = lock(&entry.cache);
+        self.release(&mut slots[flavour as usize]);
+        entry.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Admission control for one serve: would letting this serve fill
+    /// the sub-relation cache blow the service budget? Returns `true`
+    /// when the serve may use the cache (evicting colder solutions first
+    /// if needed — evict-then-admit) and `false` when the estimated
+    /// footprint cannot fit even then, in which case the serve runs
+    /// degraded (uncached) instead of failing or thrashing the cache.
+    fn admit_serve(&self, entry: &MappingEntry, prep: &PreparedSolution, flavour: Flavour) -> bool {
+        let budget = self.budget.load(Ordering::Relaxed);
+        // only sharded serves fill the sub-relation cache; unsharded and
+        // exact serves charge nothing beyond the already-admitted
+        // solution, so there is nothing to gate
+        if budget == 0 || prep.sharded.is_none() {
+            return true;
+        }
+        let est = prep.estimated_serve_bytes();
+        // already-charged bytes for this solution count toward its own
+        // footprint, not against headroom
+        if prep.approx_bytes() + est > budget {
+            return false;
+        }
+        if self.cached.load(Ordering::Relaxed) + est > budget {
+            // evict-then-admit: free colder solutions until the estimate
+            // fits (the serving slot is protected)
+            self.enforce_budget_reserve(est, Some((entry.id, flavour)));
+        }
+        true
+    }
+
     fn answer_entry(
         &self,
         entry: &MappingEntry,
         q: &CompiledQuery,
         sem: Semantics,
+        ctrl: &Arc<EvalControl>,
     ) -> Result<Answer, ServeError> {
         check_fragment(q, sem)?;
-        let prep = match self.prepared(entry, sem.flavour()) {
-            Ok(p) => p,
-            Err(SolutionError::NotRelational) => return Err(ServeError::NotRelational),
-            Err(SolutionError::NoSolution { .. }) => return Ok(vacuous_answer(sem.mode())),
-        };
-        eval_semantics(&prep, q, sem)
+        // admission: a serve whose deadline already expired (or that was
+        // cancelled before it started) is rejected at the door
+        if ctrl.should_stop() {
+            let cause = ctrl.fired().expect("should_stop latched a cause");
+            Self::note(entry, |s| s.rejected += 1);
+            return Err(stop_error(cause, 0, 0));
+        }
+        for attempt in 0..2 {
+            // contain every panic on the serve path — stripe workers are
+            // caught by the try_ fan-outs; phase-1 builds, merges and
+            // (re)freezes run on this thread and are caught here
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Answer, ServeError> {
+                let prep = match self.prepared(entry, sem.flavour()) {
+                    Ok(p) => p,
+                    Err(SolutionError::NotRelational) => return Err(ServeError::NotRelational),
+                    Err(SolutionError::NoSolution { .. }) => return Ok(vacuous_answer(sem.mode())),
+                };
+                let use_cache = self.admit_serve(entry, &prep, sem.flavour());
+                if !use_cache {
+                    Self::note(entry, |s| s.degraded += 1);
+                }
+                eval_semantics(&prep, q, sem, ctrl, use_cache)
+            }));
+            let err = match outcome {
+                Ok(Err(e @ ServeError::StripePanicked { .. })) => e,
+                Ok(Err(
+                    e @ (ServeError::DeadlineExceeded { .. } | ServeError::Cancelled { .. }),
+                )) => {
+                    // a stop is not a fault: nothing is quarantined, no
+                    // retry — the caches are consistent as-is
+                    Self::note_stop(entry, &e);
+                    return Err(e);
+                }
+                Ok(done) => return done,
+                Err(payload) => ServeError::StripePanicked {
+                    message: par::panic_message(&*payload),
+                    stripes: Vec::new(),
+                },
+            };
+            let panics = match &err {
+                ServeError::StripePanicked { stripes, .. } => stripes.len().max(1) as u64,
+                _ => 1,
+            };
+            Self::note(entry, |s| s.worker_panics += panics);
+            self.quarantine(entry, sem.flavour());
+            if attempt == 0 {
+                Self::note(entry, |s| s.retries += 1);
+            } else {
+                return Err(err);
+            }
+        }
+        unreachable!("the retry loop always returns")
     }
 
     /// Get (building or re-freezing if necessary) the cached prepared
@@ -1705,7 +2215,15 @@ impl MappingService {
                 SlotState::Empty | SlotState::Patched { .. } => {}
             }
             let shards = self.resolve_shards(entry);
-            let built = match std::mem::take(&mut slot.state) {
+            // release the slot's previous charge *before* the build: a
+            // contained panic mid-(re)freeze then leaves an Empty slot
+            // with zero bytes — consistent, just cold — instead of a
+            // phantom charge no eviction could ever reclaim
+            let prev = std::mem::take(&mut slot.state);
+            self.sub_bytes(slot.bytes);
+            slot.bytes = 0;
+            slot.generation = generation;
+            let built = match prev {
                 // a delta-patched solution only needs re-freezing — and the
                 // carry keeps untouched labels/stripes from re-freezing too
                 SlotState::Patched { sol, carry } => {
@@ -1729,9 +2247,6 @@ impl MappingService {
                 p.serving = entry.serving.clone();
                 p
             });
-            self.sub_bytes(slot.bytes);
-            slot.bytes = 0;
-            slot.generation = generation;
             match built {
                 Ok(prep) => {
                     let prep = Arc::new(prep);
@@ -1774,6 +2289,15 @@ impl MappingService {
     /// at most one entry cache at a time (and is only ever called with no
     /// cache lock held), so builders in different entries cannot deadlock.
     fn enforce_budget(&self, protect: Option<(MappingId, Flavour)>) {
+        self.enforce_budget_reserve(0, protect);
+    }
+
+    /// [`MappingService::enforce_budget`] with `reserve` extra bytes held
+    /// back — the evict-then-admit half of admission control: eviction
+    /// continues until `cached + reserve` fits the budget, so an
+    /// incoming serve's estimated cache footprint has room before it
+    /// starts charging.
+    fn enforce_budget_reserve(&self, reserve: usize, protect: Option<(MappingId, Flavour)>) {
         let budget = self.budget.load(Ordering::Relaxed);
         if budget == 0 {
             return;
@@ -1781,7 +2305,7 @@ impl MappingService {
         // bounded sweeps: a concurrent toucher can invalidate one pick, not
         // starve the loop
         for _ in 0..64 {
-            if self.cached.load(Ordering::Relaxed) <= budget {
+            if self.cached.load(Ordering::Relaxed).saturating_add(reserve) <= budget {
                 return;
             }
             let entries: Vec<Arc<MappingEntry>> = read(&self.registry).values().cloned().collect();
@@ -1844,23 +2368,38 @@ fn vacuous_answer(mode: Mode) -> Answer {
 }
 
 /// Evaluate a query on a frozen solution under the chosen semantics.
+/// The deadline/cancel control is checked between stripes and phase-1
+/// units on the canonical engines; the exact enumeration checks only at
+/// entry (its search is not decomposed into cooperative units).
 fn eval_semantics(
     prep: &PreparedSolution,
     q: &CompiledQuery,
     sem: Semantics,
+    ctrl: &Arc<EvalControl>,
+    use_cache: bool,
 ) -> Result<Answer, ServeError> {
     Ok(match sem {
         Semantics::Nulls(Mode::Tuples) | Semantics::LeastInformative(Mode::Tuples) => {
-            Answer::Tuples(CertainAnswers::Pairs(prep.answers_over_dom(q)))
+            Answer::Tuples(CertainAnswers::Pairs(
+                prep.answers_over_dom(q, ctrl, use_cache)?,
+            ))
         }
         Semantics::Nulls(Mode::Boolean) | Semantics::LeastInformative(Mode::Boolean) => {
-            Answer::Boolean(prep.holds(q))
+            Answer::Boolean(prep.holds(q, ctrl, use_cache)?)
         }
-        Semantics::Exact(Mode::Tuples, opts) => {
-            Answer::Tuples(exact_answers_from(prep.solution(), q.source(), opts)?)
-        }
-        Semantics::Exact(Mode::Boolean, opts) => {
-            Answer::Boolean(exact_boolean_from(prep.solution(), q.source(), opts)?)
+        Semantics::Exact(mode, opts) => {
+            if ctrl.should_stop() {
+                let cause = ctrl.fired().expect("should_stop latched a cause");
+                return Err(stop_error(cause, 0, 1));
+            }
+            match mode {
+                Mode::Tuples => {
+                    Answer::Tuples(exact_answers_from(prep.solution(), q.source(), opts)?)
+                }
+                Mode::Boolean => {
+                    Answer::Boolean(exact_boolean_from(prep.solution(), q.source(), opts)?)
+                }
+            }
         }
     })
 }
@@ -1893,7 +2432,13 @@ pub fn answer_once(
             Mode::Boolean => Answer::Boolean(exact_boolean_from(&sol, q.source(), opts)?),
         });
     }
-    eval_semantics(&PreparedSolution::new(sol, 1, 0), q, sem)
+    eval_semantics(
+        &PreparedSolution::new(sol, 1, 0),
+        q,
+        sem,
+        &Arc::new(EvalControl::unbounded()),
+        true,
+    )
 }
 
 /// A schema mapping prepared against one source graph, serving certain

@@ -52,7 +52,13 @@
 //!   [`engine::MappingService::serving_stats`]) feed the `Auto` pick;
 //! * cached solutions live under a byte budget with least-recently-served
 //!   **eviction**, and the service is `Send + Sync`, so scoped threads
-//!   serve one instance concurrently.
+//!   serve one instance concurrently;
+//! * serving is **fault-isolated**: a panicking stripe worker is
+//!   contained and quarantines only its mapping (retried once against a
+//!   rebuild), per-call [`engine::ServeOptions`] impose cooperative
+//!   deadlines and cancellation with typed errors, admission control
+//!   degrades over-budget serves to uncached evaluation, and the seeded
+//!   [`faults`] harness replays any failure deterministically.
 //!
 //! One-shot callers can use [`engine::answer_once`], which skips registry
 //! and caches. The previous engines survive as thin deprecated wrappers:
@@ -70,6 +76,7 @@ pub mod arbitrary;
 pub mod certain;
 pub mod engine;
 pub mod exact;
+pub mod faults;
 pub mod gsm;
 pub mod integration;
 pub mod rel2graph;
@@ -87,7 +94,7 @@ pub use certain::{CertainAnswers, SolveError};
 pub use engine::PreparedMapping;
 pub use engine::{
     answer_once, Answer, DeltaReport, MappingId, MappingService, Mode, PreparedSolution, Semantics,
-    ServeError, ServiceStats, ServingStats, ShardSpec, StripeServingStats,
+    ServeError, ServeOptions, ServiceStats, ServingStats, ShardSpec, StripeServingStats,
 };
 pub use exact::{certain_answers_exact, certain_boolean_exact, ExactOptions};
 pub use gsm::{Gsm, MappingClass, Rule};
@@ -97,7 +104,8 @@ pub use solution::{least_informative_solution, universal_solution, CanonicalSolu
 /// Names used by virtually every program built on the library.
 pub mod prelude {
     pub use crate::engine::{
-        answer_once, Answer, MappingId, MappingService, Mode, Semantics, ServeError, ShardSpec,
+        answer_once, Answer, MappingId, MappingService, Mode, Semantics, ServeError, ServeOptions,
+        ShardSpec,
     };
     pub use crate::exact::{certain_answers_exact, ExactOptions};
     pub use crate::gsm::{Gsm, Rule};

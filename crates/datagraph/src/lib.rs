@@ -41,10 +41,17 @@
 //!   unions ([`Relation::union_many`]) without intermediate
 //!   concatenation;
 //! * homomorphisms between data graphs, both the exact form of §6 and the
-//!   null-absorbing form of §7 ([`hom`]).
+//!   null-absorbing form of §7 ([`hom`]);
+//! * fault-tolerance plumbing: panic-containing `try_` fan-out variants
+//!   ([`par::try_map_blocks`], [`par::try_map_tasks`],
+//!   [`par::try_map_shards`]) reporting [`WorkerPanic`] instead of
+//!   aborting, shared poisoned-lock recovery ([`par::lock_recover`]),
+//!   and the seeded, inert-unless-armed fault-injection points of
+//!   [`faults`] that the serving engine's recovery soak drives.
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fxhash;
 pub mod graph;
 pub mod hom;
@@ -66,6 +73,7 @@ pub use hom::{apply_hom, check_hom, find_hom, HomMode};
 pub use label::{Alphabet, Label};
 pub use merge::{concat_sort_dedup, merge_sorted_runs};
 pub use node::NodeId;
+pub use par::{lock_recover, read_recover, write_recover, WorkerPanic};
 pub use path::{DataPath, Path};
 pub use property::{Properties, PropertyGraph};
 pub use relation::{Relation, RelationBuilder, RowIter};

@@ -66,6 +66,10 @@ where
     T: Copy + Ord,
     R: AsRef<[T]>,
 {
+    // the serving engine's merge fault site lives here, on the per-batch
+    // entry — NOT in `merge_sorted_slices_into`, which is also the per-row
+    // hot path of the relation algebra
+    crate::faults::point(crate::faults::FaultSite::Merge);
     let slices: Vec<&[T]> = runs.iter().map(|r| r.as_ref()).collect();
     let mut out = Vec::new();
     merge_sorted_slices_into(&slices, &mut out);

@@ -22,8 +22,32 @@
 //! runtime; passing `0` restores the environment/auto default.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every invariant guarded by a mutex in this workspace is restored before
+/// the critical section ends (byte counters are settled, maps are left
+/// consistent), so a poisoned lock carries no information beyond "some
+/// thread panicked here once" — recovery is always safe and keeps one
+/// contained worker panic from wedging a shared cache forever. This is the
+/// single poison-recovery point shared by the serving engine, the
+/// sub-relation cache, and the fault harness.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`lock_recover`] for `RwLock` readers.
+pub fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`lock_recover`] for `RwLock` writers.
+pub fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// `0` = default (the `GDE_MAX_THREADS` env var, else available
 /// parallelism capped at [`AUTO_CAP`]).
@@ -92,35 +116,91 @@ pub(crate) fn threads_for(items: usize, min_per_thread: usize) -> usize {
     t.min(items / min_per_thread.max(1)).max(1)
 }
 
+/// A contained worker panic, reported by the `try_` fan-out variants
+/// instead of aborting the process.
+///
+/// Carries the first panic payload rendered as a string plus **every**
+/// failed index (task index for [`try_map_tasks`], block index for
+/// [`try_map_blocks`], stripe index for [`try_map_shards`]) — the whole
+/// fan-out is still driven to completion so one poisoned unit doesn't
+/// hide others.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The first caught panic payload (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub message: String,
+    /// The indices whose worker closure panicked, in ascending order.
+    pub indices: Vec<usize>,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked at {} of the fan-out (first failed index {}): {}",
+            self.indices.len(),
+            self.indices.first().copied().unwrap_or(0),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a caught panic payload for [`WorkerPanic::message`] (public so
+/// engines that `catch_unwind` on the calling thread report the same
+/// message shape as the `try_` fan-outs).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `f` over contiguous index blocks covering `0..items`, in scoped
 /// worker threads, and collect the per-block results **in block order**.
-/// Falls back to a single inline call when the work is too small.
+/// Falls back to a single inline call when the work is too small; `0`
+/// items yield no blocks at all.
 ///
 /// Public so engines layered above (the relation algebra here, batch
 /// serving in `gde-core`) share one fan-out primitive and one thread knob.
+/// A panicking block worker re-panics on the calling thread; serving
+/// paths that must survive poisoned workers use [`try_map_blocks`].
 pub fn map_blocks<T, F>(items: usize, min_per_thread: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
+    try_map_blocks(items, min_per_thread, f).unwrap_or_else(|p| panic!("relation worker: {p}"))
+}
+
+/// [`map_blocks`], but with every block worker wrapped in
+/// `catch_unwind`: a panicking block becomes an `Err(WorkerPanic)` naming
+/// the failed **block** indices instead of aborting the process. All
+/// blocks still run (results of surviving blocks are discarded on error).
+pub fn try_map_blocks<T, F>(
+    items: usize,
+    min_per_thread: usize,
+    f: F,
+) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if items == 0 {
+        return Ok(Vec::new());
+    }
     let t = threads_for(items, min_per_thread);
     if t <= 1 {
-        return vec![f(0..items)];
+        return try_run_indexed(1, 1, |_| f(0..items));
     }
     let per = items.div_ceil(t);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..t)
-            .map(|k| {
-                let lo = k * per;
-                let hi = items.min(lo + per);
-                scope.spawn(move || f(lo..hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("relation worker panicked"))
-            .collect()
+    try_run_indexed(t, t, |k| {
+        let lo = k * per;
+        f(lo..items.min(lo + per))
     })
 }
 
@@ -129,46 +209,89 @@ where
 /// time from a shared atomic queue — the dynamic scheduler behind
 /// [`map_shards`] and the sharded batch serving in `gde-core`, where task
 /// costs are too uneven for [`map_blocks`]'s static cuts. Runs inline
-/// when parallelism is off or there is at most one task.
+/// when parallelism is off or there is at most one task. A panicking task
+/// re-panics on the calling thread; see [`try_map_tasks`] for containment.
 pub fn map_tasks<T, F>(count: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let t = max_threads().min(count);
-    if t <= 1 {
-        return (0..count).map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let (f, next) = (&f, &next);
-        let handles: Vec<_> = (0..t)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break out;
+    try_map_tasks(count, f).unwrap_or_else(|p| panic!("task worker: {p}"))
+}
+
+/// [`map_tasks`], but with every task wrapped in `catch_unwind`
+/// (`AssertUnwindSafe` over the claimed-index loop): panicking tasks are
+/// contained, the queue keeps draining, and the caller gets an
+/// `Err(WorkerPanic)` listing every failed task index. Shared state
+/// captured by `f` must be restored to a consistent state by the caller
+/// (the engine quarantines the affected solution).
+pub fn try_map_tasks<T, F>(count: usize, f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_run_indexed(count, max_threads().min(count), f)
+}
+
+/// Shared driver: run `f(i)` for `i in 0..count` on up to `t` scoped
+/// workers (inline when `t <= 1`), catching each call's panic.
+fn try_run_indexed<T, F>(count: usize, t: usize, f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(&*p));
+    let parts: Vec<Vec<(usize, Result<T, String>)>> = if t <= 1 {
+        vec![(0..count).map(|i| (i, run(i))).collect()]
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (run, next) = (&run, &next);
+            let handles: Vec<_> = (0..t)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break out;
+                            }
+                            out.push((i, run(i)));
                         }
-                        out.push((i, f(i)));
-                    }
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("task worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker contains its own panics"))
+                .collect()
+        })
+    };
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    for (i, v) in parts.into_iter().flatten() {
-        slots[i] = Some(v);
+    let mut failed = Vec::new();
+    let mut message = None;
+    for (i, r) in parts.into_iter().flatten() {
+        match r {
+            Ok(v) => slots[i] = Some(v),
+            Err(m) => {
+                if message.is_none() {
+                    message = Some(m);
+                }
+                failed.push(i);
+            }
+        }
     }
-    slots
+    if let Some(message) = message {
+        failed.sort_unstable();
+        return Err(WorkerPanic {
+            message,
+            indices: failed,
+        });
+    }
+    Ok(slots
         .into_iter()
         .map(|s| s.expect("every task claimed"))
-        .collect()
+        .collect())
 }
 
 /// Run `f` over explicit index ranges — the stripes of a shard plan — on
@@ -185,6 +308,16 @@ where
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
     map_tasks(ranges.len(), |i| f(i, ranges[i].clone()))
+}
+
+/// [`map_shards`] with per-stripe panic containment: a poisoned stripe
+/// becomes an `Err(WorkerPanic)` whose indices are **stripe** indices.
+pub fn try_map_shards<T, F>(ranges: &[Range<usize>], f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    try_map_tasks(ranges.len(), |i| f(i, ranges[i].clone()))
 }
 
 #[cfg(test)]
@@ -270,11 +403,76 @@ mod tests {
             assert_eq!(map_shards(&[], |i, _| i), Vec::<usize>::new());
             assert_eq!(
                 map_blocks(0, 1, |r| r.len()),
-                vec![0],
-                "map_blocks reports one empty block"
+                Vec::<usize>::new(),
+                "zero items means zero blocks, not one phantom empty block"
             );
         }
         set_max_threads(0);
+    }
+
+    #[test]
+    fn try_variants_pass_results_through_on_success() {
+        let _guard = test_knob_lock();
+        for t in [1, 4] {
+            set_max_threads(t);
+            assert_eq!(
+                try_map_tasks(9, |i| i * 3).unwrap(),
+                (0..9).map(|i| i * 3).collect::<Vec<_>>()
+            );
+            let blocks = try_map_blocks(1025, 100, |r| r.collect::<Vec<usize>>()).unwrap();
+            let flat: Vec<usize> = blocks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..1025).collect::<Vec<usize>>());
+            let ranges = vec![0..5, 5..6, 6..40];
+            assert_eq!(
+                try_map_shards(&ranges, |i, r| (i, r.len())).unwrap(),
+                vec![(0, 5), (1, 1), (2, 34)]
+            );
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn try_map_tasks_contains_panics_and_gathers_every_failed_index() {
+        let _guard = test_knob_lock();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep injected panics off stderr
+        for t in [1, 4] {
+            set_max_threads(t);
+            let claims = AtomicUsize::new(0);
+            let err = try_map_tasks(20, |i| {
+                claims.fetch_add(1, Ordering::Relaxed);
+                if i % 7 == 3 {
+                    panic!("poisoned task {i}");
+                }
+                i
+            })
+            .unwrap_err();
+            // the queue drains fully even with failures in the middle
+            assert_eq!(claims.load(Ordering::Relaxed), 20);
+            assert_eq!(err.indices, vec![3, 10, 17]);
+            assert!(err.message.starts_with("poisoned task"), "{}", err.message);
+        }
+        set_max_threads(0);
+        std::panic::set_hook(hook);
+    }
+
+    #[test]
+    fn try_map_blocks_reports_block_indices() {
+        let _guard = test_knob_lock();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        set_max_threads(4);
+        let err = try_map_blocks(400, 50, |r| {
+            if r.start == 0 {
+                panic!("first block dies");
+            }
+            r.len()
+        })
+        .unwrap_err();
+        assert_eq!(err.indices, vec![0]);
+        assert_eq!(err.message, "first block dies");
+        set_max_threads(0);
+        std::panic::set_hook(hook);
     }
 
     #[test]

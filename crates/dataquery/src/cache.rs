@@ -28,6 +28,7 @@
 //!   generation it serves and hit/miss counters, carried by
 //!   [`crate::RowEvalShared`].
 
+use gde_datagraph::par::lock_recover;
 use gde_datagraph::{FxHashMap, Relation};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -177,7 +178,7 @@ pub struct LruSubRelCache {
 
 impl std::fmt::Debug for LruSubRelCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = lock_recover(&self.inner);
         f.debug_struct("LruSubRelCache")
             .field("entries", &inner.map.len())
             .field("bytes", &inner.bytes)
@@ -216,7 +217,9 @@ impl LruSubRelCache {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, LruInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        // shared poison recovery: a contained worker panic can never wedge
+        // the cache (byte accounting is settled before any unlock)
+        lock_recover(&self.inner)
     }
 }
 
@@ -232,6 +235,9 @@ impl SubRelCache for LruSubRelCache {
     }
 
     fn insert(&self, key: SubRelKey, rel: Arc<Relation>) {
+        // fault site sits before the lock: an injected panic models a
+        // worker dying at admission, never a torn byte ledger
+        gde_datagraph::faults::point(gde_datagraph::faults::FaultSite::CacheInsert);
         let bytes = rel.heap_bytes();
         let mut inner = self.lock();
         inner.tick += 1;

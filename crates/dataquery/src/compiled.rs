@@ -24,6 +24,7 @@
 //! exactly what `gde-core`'s `PreparedMapping` engine does.
 
 use crate::cache::{subplan_hash, CacheHandle, SubRelCache, SubRelKey};
+use crate::control::EvalControl;
 use crate::crpq::{join_atom_answers, AtomAnswers};
 use crate::query::DataQuery;
 use crate::ree::ReeRowMemo;
@@ -189,6 +190,11 @@ impl CompiledQuery {
         shared: &RowEvalShared,
     ) -> Relation {
         let s = shards.base();
+        // cooperative stop point between stripes: a fired control makes
+        // the remaining stripes no-ops (the caller discards the serve)
+        if shared.control.should_stop() {
+            return Relation::empty(s.n());
+        }
         let range = shards.plan().range(shard);
         match &*self.form {
             CompiledForm::Rpq(nfa) => nfa.eval_rows_snapshot(s, range),
@@ -212,6 +218,9 @@ impl CompiledQuery {
         shared: &RowEvalShared,
     ) -> bool {
         let s = shards.base();
+        if shared.control.should_stop() {
+            return false;
+        }
         let range = shards.plan().range(shard);
         match &*self.form {
             CompiledForm::Rpq(nfa) => nfa.holds_in_rows(s, range),
@@ -259,6 +268,7 @@ pub struct RowEvalShared {
     ree_memo: OnceLock<ReeRowMemo>,
     full: OnceLock<Arc<Relation>>,
     cache: Option<CacheHandle>,
+    control: Arc<EvalControl>,
 }
 
 impl RowEvalShared {
@@ -277,7 +287,22 @@ impl RowEvalShared {
             ree_memo: OnceLock::new(),
             full: OnceLock::new(),
             cache: Some(CacheHandle::new(cache, generation)),
+            control: Arc::new(EvalControl::unbounded()),
         }
+    }
+
+    /// Attach a deadline/cancellation control: row evaluation checks it
+    /// between stripes and between phase-1 memo nodes, returning empty
+    /// results (and inserting nothing into the cache) once it fires. The
+    /// caller must check [`EvalControl::fired`] and discard the serve.
+    pub fn with_control(mut self, control: Arc<EvalControl>) -> RowEvalShared {
+        self.control = control;
+        self
+    }
+
+    /// The deadline/cancellation control governing this shared state.
+    pub fn control(&self) -> &Arc<EvalControl> {
+        &self.control
     }
 
     /// The cache handle, if this shared state was built with one.
@@ -302,15 +327,23 @@ impl RowEvalShared {
 
     fn memo(&self, e: &crate::ree::Ree, s: &GraphSnapshot) -> &ReeRowMemo {
         self.ree_memo
-            .get_or_init(|| ReeRowMemo::build_cached(e, s, self.cache.as_ref()))
+            .get_or_init(|| ReeRowMemo::build_controlled(e, s, self.cache.as_ref(), &self.control))
     }
 
     fn full(&self, q: &CompiledQuery, s: &GraphSnapshot) -> &Relation {
-        self.full.get_or_init(|| match &self.cache {
-            Some(h) => h.get_or_insert(SubRelKey::global(h.generation(), q.plan_hash()), || {
-                q.eval_relation(s)
-            }),
-            None => Arc::new(q.eval_relation(s)),
+        self.full.get_or_init(|| {
+            // a fired control stops before the (expensive, uninterruptible)
+            // full evaluation and fabricates nothing into the cache
+            if self.control.should_stop() {
+                return Arc::new(Relation::empty(s.n()));
+            }
+            match &self.cache {
+                Some(h) => h
+                    .get_or_insert(SubRelKey::global(h.generation(), q.plan_hash()), || {
+                        q.eval_relation(s)
+                    }),
+                None => Arc::new(q.eval_relation(s)),
+            }
         })
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod cache;
 pub mod compiled;
+pub mod control;
 pub mod crpq;
 pub mod parser;
 pub mod pathtest;
@@ -38,6 +39,7 @@ pub mod rem;
 
 pub use cache::{subplan_hash, CacheHandle, LruSubRelCache, SubRelCache, SubRelKey};
 pub use compiled::{CompiledQuery, RowEvalShared};
+pub use control::{EvalControl, StopCause};
 pub use crpq::{CdAtom, ConjunctiveDataRpq};
 pub use parser::{parse_ree, parse_rem};
 pub use pathtest::PathTest;

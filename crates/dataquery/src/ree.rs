@@ -451,9 +451,24 @@ impl ReeRowMemo {
     /// cached `Arc<Relation>` directly — so a warm cache makes memo
     /// construction O(subexpression count) lookups.
     pub fn build_cached(e: &Ree, s: &GraphSnapshot, cache: Option<&CacheHandle>) -> ReeRowMemo {
+        ReeRowMemo::build_controlled(e, s, cache, &crate::control::EvalControl::unbounded())
+    }
+
+    /// [`ReeRowMemo::build_cached`] with a cooperative stop control,
+    /// checked **between phase-1 nodes** (each memoised artifact — a
+    /// closure or tail factor — is all-or-nothing). Once `ctrl` fires,
+    /// remaining artifacts are filled with empty placeholder relations so
+    /// phase 2 stays total, and **nothing** fabricated reaches the cache;
+    /// the caller must discard the serve when `ctrl.fired()` is set.
+    pub fn build_controlled(
+        e: &Ree,
+        s: &GraphSnapshot,
+        cache: Option<&CacheHandle>,
+        ctrl: &crate::control::EvalControl,
+    ) -> ReeRowMemo {
         let mut memo = ReeRowMemo::default();
         let mut id = 0usize;
-        build_memo(e, s, MemoMode::Spine, &mut id, &mut memo.rels, cache);
+        build_memo(e, s, MemoMode::Spine, &mut id, &mut memo.rels, cache, ctrl);
         memo
     }
 
@@ -506,11 +521,20 @@ fn build_memo(
     id: &mut usize,
     out: &mut FxHashMap<usize, Arc<Relation>>,
     cache: Option<&CacheHandle>,
+    ctrl: &crate::control::EvalControl,
 ) -> Option<Relation> {
     let my_id = *id;
     // exactly the nodes the (mode, full) match below inserts into `out`
     let memoises = mode == MemoMode::Stored
         || (mode == MemoMode::Spine && matches!(e, Ree::Plus(_) | Ree::Star(_)));
+    if memoises && ctrl.should_stop() {
+        // deadline/cancel between phase-1 nodes: skip the whole subtree,
+        // leave an empty placeholder so phase 2 stays total, and touch
+        // neither the cache nor the clock again (the control latches)
+        *id = my_id + e.subtree_size();
+        out.insert(my_id, Arc::new(Relation::empty(s.n())));
+        return None;
+    }
     let key = match (memoises, cache) {
         (true, Some(h)) => Some(SubRelKey::global(
             h.generation(),
@@ -540,17 +564,17 @@ fn build_memo(
             MemoMode::Spine => {
                 let mut it = es.iter();
                 if let Some(head) = it.next() {
-                    build_memo(head, s, MemoMode::Spine, id, out, cache);
+                    build_memo(head, s, MemoMode::Spine, id, out, cache, ctrl);
                 }
                 for child in it {
-                    build_memo(child, s, MemoMode::Stored, id, out, cache);
+                    build_memo(child, s, MemoMode::Stored, id, out, cache, ctrl);
                 }
                 None
             }
             _ => {
                 let mut acc: Option<Relation> = None;
                 for child in es {
-                    let f = build_memo(child, s, MemoMode::Inner, id, out, cache)
+                    let f = build_memo(child, s, MemoMode::Inner, id, out, cache, ctrl)
                         .expect("inner mode returns the full relation");
                     acc = Some(match acc {
                         None => f,
@@ -563,46 +587,46 @@ fn build_memo(
         Ree::Union(es) => match mode {
             MemoMode::Spine => {
                 for child in es {
-                    build_memo(child, s, MemoMode::Spine, id, out, cache);
+                    build_memo(child, s, MemoMode::Spine, id, out, cache, ctrl);
                 }
                 None
             }
             _ => Some(Relation::union_many_iter(
                 n,
                 es.iter().map(|child| {
-                    build_memo(child, s, MemoMode::Inner, id, out, cache)
+                    build_memo(child, s, MemoMode::Inner, id, out, cache, ctrl)
                         .expect("inner mode returns the full relation")
                 }),
             )),
         },
         Ree::Plus(b) => Some(
-            build_memo(b, s, MemoMode::Inner, id, out, cache)
+            build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
                 .expect("inner mode returns the full relation")
                 .transitive_closure(),
         ),
         Ree::Star(b) => Some(
-            build_memo(b, s, MemoMode::Inner, id, out, cache)
+            build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
                 .expect("inner mode returns the full relation")
                 .reflexive_transitive_closure(),
         ),
         Ree::Eq(b) => match mode {
             MemoMode::Spine => {
-                build_memo(b, s, MemoMode::Spine, id, out, cache);
+                build_memo(b, s, MemoMode::Spine, id, out, cache, ctrl);
                 None
             }
             _ => Some(
-                build_memo(b, s, MemoMode::Inner, id, out, cache)
+                build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
                     .expect("inner mode returns the full relation")
                     .filter(|i, j| s.sql_eq(i as u32, j as u32)),
             ),
         },
         Ree::Neq(b) => match mode {
             MemoMode::Spine => {
-                build_memo(b, s, MemoMode::Spine, id, out, cache);
+                build_memo(b, s, MemoMode::Spine, id, out, cache, ctrl);
                 None
             }
             _ => Some(
-                build_memo(b, s, MemoMode::Inner, id, out, cache)
+                build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
                     .expect("inner mode returns the full relation")
                     .filter(|i, j| s.sql_ne(i as u32, j as u32)),
             ),

@@ -1,6 +1,7 @@
 //! The user guide (`docs/GUIDE.md`) as one runnable program: build a
 //! graph, define a mapping, register it, compile a query, answer under
-//! every semantics, apply a delta, and tune sharding. Each step asserts
+//! every semantics, apply a delta, tune sharding, and bound a serve
+//! with deadlines and cancellation. Each step asserts
 //! the outcome the guide promises, so `cargo run --example guide` is an
 //! executable check of the documentation.
 
@@ -103,7 +104,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.tuples,
     );
 
-    // §8 — one-shot serving without a service
+    // §8 — bounded serves: deadlines and cancellation are typed errors,
+    // and a refused or stopped serve never perturbs later answers
+    let opts = ServeOptions::new().with_deadline(std::time::Instant::now());
+    assert!(matches!(
+        service.answer_with(id, &compiled, Semantics::nulls(), &opts),
+        Err(ServeError::DeadlineExceeded { .. })
+    ));
+    let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let opts = ServeOptions::new().with_cancel(cancel);
+    assert!(matches!(
+        service.answer_with(id, &compiled, Semantics::nulls(), &opts),
+        Err(ServeError::Cancelled { .. })
+    ));
+    assert_eq!(
+        service.answer(id, &compiled, Semantics::nulls())?,
+        unsharded
+    );
+    let stats = service.serving_stats(id).expect("registered");
+    assert_eq!(stats.rejected, 2);
+    println!("bounded serves refused at the door: {}", stats.rejected);
+
+    // §9 — one-shot serving without a service
     let gsm2 = service.gsm(id).expect("registered");
     let src2 = service.source(id).expect("registered");
     let once = answer_once(&gsm2, &src2, &compiled, Semantics::nulls())?;

@@ -1,0 +1,313 @@
+//! Seeded fault-injection soak and recovery-invariant tests for the
+//! serving engine.
+//!
+//! The fault plan ([`gde_core::faults`]) is process-global, so every test
+//! in this binary serialises on one mutex — an armed plan would otherwise
+//! leak injected panics into a neighbouring test's serves. Injected panic
+//! messages are swallowed by a quiet hook (they are deliberate and would
+//! flood the output); anything else still prints through the default
+//! hook, so a *real* bug surfacing mid-soak stays visible.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once};
+use std::time::{Duration, Instant};
+
+use gde_core::faults::{self, FaultPlan, FaultSite};
+use gde_core::{Answer, MappingId, MappingService, Semantics, ServeError, ServeOptions, ShardSpec};
+use gde_dataquery::CompiledQuery;
+use gde_workload::{social_serving_scenario, ServingScenario, SocialConfig};
+
+/// Serialises every test here: fault plans and the panic hook are
+/// process-global.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Swallow injected-fault panic messages; forward everything else.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            if !msg.is_some_and(faults::is_injected) {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn scenario(seed: u64) -> ServingScenario {
+    social_serving_scenario(&SocialConfig {
+        persons: 14,
+        knows_per_person: 3,
+        posts: 10,
+        cities: 3,
+        seed,
+    })
+}
+
+fn compiled_batch(sv: &ServingScenario) -> Vec<CompiledQuery> {
+    sv.queries.iter().map(|(_, q)| q.compile()).collect()
+}
+
+/// Answer every query under tuple and Boolean nulls semantics — the
+/// byte-level fingerprint recovery is checked against.
+fn fingerprint(svc: &MappingService, id: MappingId, qs: &[CompiledQuery]) -> Vec<Answer> {
+    let mut out = Vec::new();
+    for q in qs {
+        out.push(svc.answer(id, q, Semantics::nulls()).unwrap());
+        out.push(svc.answer(id, q, Semantics::nulls_boolean()).unwrap());
+    }
+    out
+}
+
+/// The soak: across ≥32 seeds (plus an optional `GDE_FAULT_SEED` smoke
+/// seed from the environment), drive a sharded service through batch and
+/// single serves while panics and delays fire at every injection site.
+/// The process must never abort, every error must be a typed contained
+/// one, and after each seed disarms the same service must return
+/// byte-identical answers with a consistent cache charge.
+#[test]
+fn seeded_soak_never_aborts_and_recovers_byte_identical() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let sv = scenario(0xFA);
+    let qs: Vec<CompiledQuery> = compiled_batch(&sv).into_iter().take(6).collect();
+    let svc = MappingService::new();
+    let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    svc.set_shard_count(id, 3).unwrap();
+    let reference = fingerprint(&svc, id, &qs);
+    let ref_batch: Vec<Answer> = svc
+        .answer_batch(id, &qs, Semantics::nulls())
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let baseline_bytes = svc.cached_bytes();
+    assert!(baseline_bytes > 0);
+
+    let mut seeds: Vec<u64> = (0..32).collect();
+    if let Ok(s) = std::env::var("GDE_FAULT_SEED") {
+        let s: u64 = s.parse().expect("GDE_FAULT_SEED must be a u64");
+        eprintln!("fault soak: extra smoke seed {s}");
+        seeds.push(s);
+    }
+
+    let (mut contained, mut total_hits) = (0u64, 0u64);
+    for seed in seeds {
+        let armed = faults::arm(FaultPlan::seeded(seed).delay(Duration::from_micros(20)));
+        for (i, r) in svc
+            .answer_batch(id, &qs, Semantics::nulls())
+            .into_iter()
+            .enumerate()
+        {
+            match r {
+                Ok(ans) => assert_eq!(ans, ref_batch[i], "seed {seed} query {i}"),
+                Err(ServeError::StripePanicked { message, .. }) => {
+                    assert!(
+                        faults::is_injected(&message),
+                        "seed {seed}: contained a non-injected panic: {message}"
+                    );
+                    contained += 1;
+                }
+                Err(e) => panic!("seed {seed}: unexpected serve error: {e}"),
+            }
+        }
+        for (qi, q) in qs.iter().enumerate() {
+            for sem in [Semantics::nulls(), Semantics::nulls_boolean()] {
+                match svc.answer(id, q, sem) {
+                    Ok(ans) => assert_eq!(ans, reference[qi * 2 + sem_index(sem)]),
+                    Err(ServeError::StripePanicked { message, .. }) => {
+                        assert!(faults::is_injected(&message), "seed {seed}: {message}");
+                        contained += 1;
+                    }
+                    Err(e) => panic!("seed {seed}: unexpected serve error: {e}"),
+                }
+            }
+        }
+        total_hits += FaultSite::ALL.iter().map(|&s| faults::hits(s)).sum::<u64>();
+        drop(armed);
+        // recovery: disarmed, the same service must serve the exact
+        // fault-free answers again from whatever the faults left behind
+        assert_eq!(fingerprint(&svc, id, &qs), reference, "seed {seed}");
+        // ... and the cache charge must settle back to the fault-free
+        // baseline: a quarantine that leaked a phantom charge would
+        // drift these bytes upward seed over seed
+        assert_eq!(svc.cached_bytes(), baseline_bytes, "seed {seed}");
+    }
+    assert!(contained > 0, "soak never saw a contained panic");
+    assert!(total_hits > 0, "injection points were never exercised");
+    let stats = svc.serving_stats(id).unwrap();
+    assert!(stats.worker_panics > 0, "no worker panic was counted");
+    assert!(stats.retries > 0, "no quarantine retry was counted");
+}
+
+fn sem_index(sem: Semantics) -> usize {
+    usize::from(sem == Semantics::nulls_boolean())
+}
+
+/// A panicking stripe quarantines only its own mapping: a sibling
+/// mapping's cached solution, counters and answers are untouched.
+#[test]
+fn panicking_stripe_quarantines_only_that_mapping() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let (sva, svb) = (scenario(0xA1), scenario(0xB2));
+    let (qa, qb) = (sva.queries[0].1.compile(), svb.queries[0].1.compile());
+    let svc = MappingService::new();
+    let ida = svc.register(sva.scenario.gsm.clone(), sva.scenario.source.clone());
+    let idb = svc.register(svb.scenario.gsm.clone(), svb.scenario.source.clone());
+    svc.set_shard_count(ida, 2).unwrap();
+    svc.set_shard_count(idb, 2).unwrap();
+    let ref_a = svc.answer(ida, &qa, Semantics::nulls()).unwrap();
+    let ref_b = svc.answer(idb, &qb, Semantics::nulls()).unwrap();
+    assert!(svc.is_cached(ida, Semantics::nulls()));
+    assert!(svc.is_cached(idb, Semantics::nulls()));
+
+    // every hit panics: the warm serve's stripe panics, the quarantine
+    // retry's rebuild panics at refreeze, and the serve surfaces the
+    // typed error after both contained attempts
+    let armed = faults::arm(FaultPlan::seeded(9).panic_one_in(1).delay_one_in(0));
+    match svc.answer(ida, &qa, Semantics::nulls()) {
+        Err(ServeError::StripePanicked { message, .. }) => {
+            assert!(faults::is_injected(&message), "{message}")
+        }
+        other => panic!("expected StripePanicked, got {other:?}"),
+    }
+    drop(armed);
+
+    // only mapping A was quarantined
+    assert!(!svc.is_cached(ida, Semantics::nulls()), "A is quarantined");
+    assert!(svc.is_cached(idb, Semantics::nulls()), "B is untouched");
+    let sa = svc.serving_stats(ida).unwrap();
+    assert!(sa.worker_panics >= 1);
+    assert!(sa.retries >= 1);
+    let sb = svc.serving_stats(idb).unwrap();
+    assert_eq!(sb.worker_panics, 0);
+    assert_eq!(sb.retries, 0);
+    // both recover to byte-identical answers
+    assert_eq!(svc.answer(ida, &qa, Semantics::nulls()).unwrap(), ref_a);
+    assert_eq!(svc.answer(idb, &qb, Semantics::nulls()).unwrap(), ref_b);
+}
+
+/// Cancelling mid-batch leaves every cache consistent: a retry of the
+/// same batch is byte-identical, at K = 1, K = 4 and under `Auto`.
+#[test]
+fn cancel_mid_batch_then_retry_is_byte_identical() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let sv = scenario(0xC3);
+    let qs = compiled_batch(&sv);
+    for spec in [ShardSpec::Fixed(1), ShardSpec::Fixed(4), ShardSpec::Auto] {
+        let svc = MappingService::new();
+        let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+        svc.set_shard_count(id, spec).unwrap();
+        let reference: Vec<Answer> = svc
+            .answer_batch(id, &qs, Semantics::nulls())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+
+        // raised before the call: refused at the door, every query gets
+        // the typed cancel error and the rejected counter moves
+        let cancel = Arc::new(AtomicBool::new(true));
+        let opts = ServeOptions::new().with_cancel(cancel);
+        for r in svc.answer_batch_with(id, &qs, Semantics::nulls(), &opts) {
+            assert!(matches!(r, Err(ServeError::Cancelled { .. })), "{spec:?}");
+        }
+        assert!(svc.serving_stats(id).unwrap().rejected >= qs.len() as u64);
+
+        // raised from another thread mid-flight: each query either
+        // finished with the exact reference answer or was cancelled
+        let cancel = Arc::new(AtomicBool::new(false));
+        let opts = ServeOptions::new().with_cancel(cancel.clone());
+        let flipper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(150));
+            cancel.store(true, Ordering::SeqCst);
+        });
+        let midway = svc.answer_batch_with(id, &qs, Semantics::nulls(), &opts);
+        flipper.join().unwrap();
+        for (i, r) in midway.into_iter().enumerate() {
+            match r {
+                Ok(ans) => assert_eq!(ans, reference[i], "{spec:?} query {i}"),
+                Err(ServeError::Cancelled { .. }) => {}
+                Err(e) => panic!("{spec:?}: unexpected serve error: {e}"),
+            }
+        }
+        // the retry must reproduce the reference bytes exactly
+        let retry: Vec<Answer> = svc
+            .answer_batch(id, &qs, Semantics::nulls())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(retry, reference, "{spec:?}");
+    }
+}
+
+/// Deadline expiry — at the door and mid-serve — never leaves a stale
+/// generation servable: the next unbounded serve is byte-identical.
+#[test]
+fn deadline_expiry_never_leaves_stale_answers() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let sv = scenario(0xD4);
+    let q = sv.queries[0].1.compile();
+    let svc = MappingService::new();
+    let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    svc.set_shard_count(id, 3).unwrap();
+    let reference = svc.answer(id, &q, Semantics::nulls()).unwrap();
+
+    // already expired: refused at the door with zero completed stripes
+    let opts = ServeOptions::new().with_deadline(Instant::now());
+    match svc.answer_with(id, &q, Semantics::nulls(), &opts) {
+        Err(ServeError::DeadlineExceeded {
+            completed_stripes, ..
+        }) => assert_eq!(completed_stripes, 0),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(svc.serving_stats(id).unwrap().rejected >= 1);
+
+    // a spread of horizons that may expire mid-serve: success must be
+    // exact, expiry must be typed, and the follow-up unbounded serve must
+    // always return the reference bytes
+    for micros in [1u64, 50, 200, 1000] {
+        let opts =
+            ServeOptions::new().with_deadline(Instant::now() + Duration::from_micros(micros));
+        match svc.answer_with(id, &q, Semantics::nulls(), &opts) {
+            Ok(ans) => assert_eq!(ans, reference),
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(e) => panic!("unexpected serve error: {e}"),
+        }
+        assert_eq!(svc.answer(id, &q, Semantics::nulls()).unwrap(), reference);
+    }
+}
+
+/// Admission control degrades rather than refuses: when the estimated
+/// sub-relation-cache footprint cannot fit the budget, the serve runs
+/// uncached, still answers exactly, and the degraded counter moves.
+#[test]
+fn over_budget_serve_degrades_to_uncached_and_stays_exact() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let sv = scenario(0xE5);
+    let q = sv.queries[0].1.compile();
+    let svc = MappingService::new();
+    let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    svc.set_shard_count(id, 3).unwrap();
+    let reference = svc.answer(id, &q, Semantics::nulls()).unwrap();
+    assert_eq!(svc.serving_stats(id).unwrap().degraded, 0);
+
+    // a budget no sub-relation cache can fit under
+    svc.set_cache_budget(1);
+    assert_eq!(svc.answer(id, &q, Semantics::nulls()).unwrap(), reference);
+    assert!(svc.serving_stats(id).unwrap().degraded >= 1);
+
+    // back to unlimited: serving recovers the cached path
+    svc.set_cache_budget(0);
+    assert_eq!(svc.answer(id, &q, Semantics::nulls()).unwrap(), reference);
+}
