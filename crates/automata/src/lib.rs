@@ -14,6 +14,8 @@
 //!   including configuration-BFS evaluation on graphs and a symbolic
 //!   (partition-based) nonemptiness check with witness extraction.
 
+#![deny(unsafe_code)]
+
 pub mod dfa;
 pub mod nfa;
 pub mod parser;

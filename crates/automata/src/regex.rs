@@ -127,6 +127,46 @@ impl Regex {
         collect(inner, &mut seen) && seen.iter().all(|&b| b)
     }
 
+    /// Every label mentioned in the expression, sorted and deduplicated.
+    ///
+    /// This over-approximates the labels of `L(e)` (an `∅`-annihilated
+    /// branch still contributes its letters), which is the safe direction
+    /// for the static analyses built on it: a query whose mentioned labels
+    /// are disjoint from a mapping's produced labels is certainly empty.
+    pub fn labels(&self) -> Vec<Label> {
+        fn go(e: &Regex, out: &mut Vec<Label>) {
+            match e {
+                Regex::Empty | Regex::Epsilon => {}
+                Regex::Atom(l) => out.push(*l),
+                Regex::Concat(es) | Regex::Union(es) => {
+                    for e in es {
+                        go(e, out);
+                    }
+                }
+                Regex::Plus(e) | Regex::Star(e) => go(e, out),
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Maximum nesting depth of iteration (`⁺`/`*`) constructors: `a b` is
+    /// 0, `a*` is 1, `(a+ b)*` is 2. A proxy for closure cost — each level
+    /// multiplies the reachable-pair fan-out a relation-algebra or
+    /// product-BFS evaluation explores — used by the cardinality estimator.
+    pub fn star_depth(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Atom(_) => 0,
+            Regex::Concat(es) | Regex::Union(es) => {
+                es.iter().map(Regex::star_depth).max().unwrap_or(0)
+            }
+            Regex::Plus(e) | Regex::Star(e) => 1 + e.star_depth(),
+        }
+    }
+
     /// Does ε belong to `L(e)`?
     pub fn nullable(&self) -> bool {
         match self {
@@ -316,6 +356,25 @@ mod tests {
         );
         assert!(Regex::Union(vec![Regex::Atom(a), Regex::Epsilon]).nullable());
         assert!(!Regex::Empty.nullable());
+    }
+
+    #[test]
+    fn label_collection_and_star_depth() {
+        let (_, a, b) = ab();
+        let e = Regex::Concat(vec![
+            Regex::Atom(b),
+            Regex::Star(Box::new(Regex::Union(vec![
+                Regex::Atom(a),
+                Regex::Plus(Box::new(Regex::Atom(b))),
+            ]))),
+        ]);
+        assert_eq!(e.labels(), vec![a, b]);
+        assert_eq!(e.star_depth(), 2);
+        assert_eq!(Regex::Epsilon.labels(), vec![]);
+        assert_eq!(Regex::word(&[a, b]).star_depth(), 0);
+        // ∅-annihilated branches still count (over-approximation)
+        let dead = Regex::Concat(vec![Regex::Empty, Regex::Atom(a)]);
+        assert_eq!(dead.labels(), vec![a]);
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn phases(before: &ServingStats, after: &ServingStats) -> String {
         ("cancelled", before.cancelled, after.cancelled),
         ("panics", before.worker_panics, after.worker_panics),
         ("retries", before.retries, after.retries),
+        ("static-empty", before.static_empty, after.static_empty),
     ] {
         if a > b {
             out.push_str(&format!(", {label} {}", a - b));
@@ -63,12 +64,31 @@ fn main() {
     let svc = MappingService::new();
     let id = svc.register(Arc::new(sv.scenario.gsm), Arc::new(sv.scenario.source));
     svc.set_shard_count(id, k).unwrap();
+    // register the workload so the analyzer can prune dead/subsumed rules
+    // before the build, and the cost model sees the workload's labels
+    let all: Vec<CompiledQuery> = queries.iter().map(|(_, q)| q.clone()).collect();
+    svc.register_queries(id, &all).unwrap();
     println!("gen {:?}; preparing…", t0.elapsed());
     let t = Instant::now();
     svc.prepare(id, Semantics::nulls()).unwrap();
     println!("prepare {:?}", t.elapsed());
+    let report = svc.analyze(id, &all).unwrap();
+    println!(
+        "analyzer: {}/{} rules live ({} dead, {} subsumed); {} statically empty queries, {} closure hazards",
+        report.live_rules(),
+        report.rule_count,
+        report.dead_rules.len(),
+        report.subsumed_rules.len(),
+        report.statically_empty(),
+        report.closure_hazards(),
+    );
+    let empty: Vec<bool> = report.verdicts.iter().map(|v| v.statically_empty).collect();
     let stats = || svc.serving_stats(id).unwrap();
-    for (name, q) in &queries {
+    for ((name, q), &skip) in queries.iter().zip(&empty) {
+        if skip {
+            println!("{name}: skipped (statically empty)");
+            continue;
+        }
         let before = stats();
         let t = Instant::now();
         let a = svc.answer(id, q, Semantics::nulls()).unwrap();
@@ -82,7 +102,11 @@ fn main() {
             phases(&before, &stats())
         );
     }
-    for (name, q) in &queries {
+    for ((name, q), &skip) in queries.iter().zip(&empty) {
+        if skip {
+            println!("bool {name}: skipped (statically empty)");
+            continue;
+        }
         let before = stats();
         let t = Instant::now();
         let a = svc.answer(id, q, Semantics::nulls_boolean()).unwrap();

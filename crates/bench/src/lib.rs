@@ -8,6 +8,8 @@
 //!   experiment table (pass experiment ids like `E3 E4` to select);
 //! * `cargo bench -p gde-bench` runs the criterion timing benches.
 
+#![deny(unsafe_code)]
+
 pub mod experiments;
 pub mod table;
 

@@ -60,6 +60,7 @@
 //! this service. One-shot callers can also use [`answer_once`], which
 //! skips the registry and caches entirely.
 
+use crate::analyze::{self, MappingFacts, MappingReport, WorkloadProfile};
 use crate::certain::{CertainAnswers, SolveError};
 use crate::exact::{exact_answers_from, exact_boolean_from, ExactError, ExactOptions};
 use crate::faults::{self, FaultSite};
@@ -299,6 +300,13 @@ pub struct ServingStats {
     /// admission control decided their estimated cache footprint could
     /// not fit the service budget even after eviction.
     pub degraded: u64,
+    /// Serves answered from the static analyzer's empty verdict — the
+    /// query's labels are disjoint from every label the mapping can
+    /// produce and it cannot match an isolated node, so its certain
+    /// answer is empty on every source graph. These serves touch no
+    /// stripe, no prepared solution, and no cache, and record no
+    /// evaluations.
+    pub static_empty: u64,
     /// Serves that returned [`ServeError::DeadlineExceeded`] after
     /// evaluation had started.
     pub deadline_exceeded: u64,
@@ -825,6 +833,11 @@ pub struct PreparedSolution {
     /// The owning mapping's serving-stats accumulator (a fresh, unshared
     /// one for solutions prepared outside a service, e.g. `answer_once`).
     serving: Arc<Mutex<ServingStats>>,
+    /// Cold-start admission prior: estimated sub-relation-cache bytes a
+    /// serve of the *registered workload* may charge, from per-label edge
+    /// counts of the labels the workload actually reads. `None` without a
+    /// workload; ignored once serving statistics exist.
+    cold_bytes: Option<usize>,
 }
 
 /// Default byte budget of one prepared solution's sub-relation cache.
@@ -833,9 +846,14 @@ pub struct PreparedSolution {
 const SUB_REL_CACHE_BUDGET: usize = 256 << 20;
 
 impl PreparedSolution {
-    fn new(solution: CanonicalSolution, shards: usize, generation: u64) -> PreparedSolution {
+    fn new(
+        solution: CanonicalSolution,
+        shards: usize,
+        generation: u64,
+        prior: Option<&WorkloadProfile>,
+    ) -> PreparedSolution {
         let snapshot = Arc::new(solution.graph.snapshot());
-        PreparedSolution::assemble(solution, snapshot, shards, generation, None)
+        PreparedSolution::assemble(solution, snapshot, shards, generation, None, prior)
     }
 
     /// Refreeze a delta-patched solution, reusing whatever the carry says
@@ -846,6 +864,7 @@ impl PreparedSolution {
         carry: Option<RefreezeCarry>,
         shards: usize,
         generation: u64,
+        prior: Option<&WorkloadProfile>,
     ) -> PreparedSolution {
         if let Some(c) = carry {
             if c.reusable {
@@ -858,11 +877,12 @@ impl PreparedSolution {
                         shards,
                         generation,
                         Some(&c),
+                        prior,
                     );
                 }
             }
         }
-        PreparedSolution::new(solution, shards, generation)
+        PreparedSolution::new(solution, shards, generation, prior)
     }
 
     fn assemble(
@@ -871,6 +891,7 @@ impl PreparedSolution {
         shards: usize,
         generation: u64,
         carry: Option<&RefreezeCarry>,
+        prior: Option<&WorkloadProfile>,
     ) -> PreparedSolution {
         // an injected panic here models a crash mid-(re)freeze: the slot
         // the caller took the previous state from stays Empty with zero
@@ -891,7 +912,14 @@ impl PreparedSolution {
                 Some(prev) if prev.plan().n() == snapshot.n() && prev.plan().shard_count() == k => {
                     prev.plan().clone()
                 }
-                _ => ShardPlan::by_cost(&snapshot, k),
+                // with a registered workload, the analyzer's label set
+                // focuses the cost model on the labels serving will
+                // actually walk (cold-start prior; the layout stays a
+                // contiguous partition, so answers are unchanged)
+                _ => match prior.filter(|p| !p.labels().is_empty()) {
+                    Some(p) => ShardPlan::by_cost_focused(&snapshot, k, p.labels()),
+                    None => ShardPlan::by_cost(&snapshot, k),
+                },
             };
             let ss = ShardedSnapshot::new(snapshot.clone(), plan);
             let mut stamps = vec![generation; ss.shard_count()];
@@ -928,6 +956,19 @@ impl PreparedSolution {
             .and_then(|c| c.sub_cache.clone())
             .unwrap_or_else(|| Arc::new(LruSubRelCache::new(SUB_REL_CACHE_BUDGET)));
         sub_cache.retain_generation(generation);
+        // cold-start admission prior: sub-relations over workload labels
+        // are bounded by those labels' edge mass (per stripe artifacts,
+        // closures and merge rows ≈ tens of bytes per pair), not by the
+        // whole snapshot
+        let cold_bytes = prior.map(|p| {
+            let pairs: usize = p
+                .labels()
+                .iter()
+                .map(|&l| snapshot.label_edge_count(l))
+                .sum::<usize>()
+                + if p.any_isolated() { snapshot.n() } else { 0 };
+            pairs.saturating_mul(64)
+        });
         PreparedSolution {
             solution,
             snapshot,
@@ -938,6 +979,7 @@ impl PreparedSolution {
             sub_cache,
             charged_cache_bytes: AtomicUsize::new(0),
             serving: Arc::new(Mutex::new(ServingStats::default())),
+            cold_bytes,
         }
     }
 
@@ -1002,9 +1044,21 @@ impl PreparedSolution {
     /// Admission-control estimate of the extra sub-relation-cache bytes
     /// one cold serve of this solution may charge: per-stripe evaluated
     /// relations plus phase-1 artifacts are bounded by the snapshot's own
-    /// footprint, and the cache clamps itself at its byte budget.
+    /// footprint, and the cache clamps itself at its byte budget. Before
+    /// any serving statistics exist, a registered workload's label
+    /// densities give a sharper cold-start prior ([`Self::cold_bytes`])
+    /// than the whole-snapshot bound.
     fn estimated_serve_bytes(&self) -> usize {
-        self.snapshot.approx_bytes().min(SUB_REL_CACHE_BUDGET)
+        let full = self.snapshot.approx_bytes();
+        let stats_cold = {
+            let s = lock(&self.serving);
+            s.tuple_evals + s.boolean_evals == 0
+        };
+        let est = match (stats_cold, self.cold_bytes) {
+            (true, Some(prior)) => prior.min(full),
+            _ => full,
+        };
+        est.min(SUB_REL_CACHE_BUDGET)
     }
 
     /// Shared row-evaluation state wired to this solution's sub-relation
@@ -1082,7 +1136,9 @@ impl PreparedSolution {
         match &self.sharded {
             None => {
                 if ctrl.should_stop() {
-                    let cause = ctrl.fired().expect("should_stop latched a cause");
+                    let cause = ctrl
+                        .fired()
+                        .expect("invariant: should_stop latched a cause");
                     return Err(stop_error(cause, 0, 1));
                 }
                 let started = Instant::now();
@@ -1156,7 +1212,10 @@ impl PreparedSolution {
         // an injected panic here models a stripe worker dying at the top
         // of its evaluation, before any shared state is touched
         faults::point(FaultSite::StripeEval);
-        let ss = self.sharded.as_ref().expect("sharded serving only");
+        let ss = self
+            .sharded
+            .as_ref()
+            .expect("invariant: sharded serving only");
         let started = Instant::now();
         let ctrl = shared.control();
         let rel = match shared.cache() {
@@ -1196,7 +1255,10 @@ impl PreparedSolution {
     /// counterpart of [`PreparedSolution::shard_pairs`]).
     fn shard_holds(&self, q: &CompiledQuery, shard: usize, shared: &RowEvalShared) -> bool {
         faults::point(FaultSite::StripeEval);
-        let ss = self.sharded.as_ref().expect("sharded serving only");
+        let ss = self
+            .sharded
+            .as_ref()
+            .expect("invariant: sharded serving only");
         let started = Instant::now();
         let holds = q.holds_in_rows(ss, shard, shared);
         self.record(shard, started.elapsed(), 0, true);
@@ -1219,7 +1281,9 @@ impl PreparedSolution {
         match &self.sharded {
             None => {
                 if ctrl.should_stop() {
-                    let cause = ctrl.fired().expect("should_stop latched a cause");
+                    let cause = ctrl
+                        .fired()
+                        .expect("invariant: should_stop latched a cause");
                     return Err(stop_error(cause, 0, 1));
                 }
                 let started = Instant::now();
@@ -1306,6 +1370,19 @@ struct Slot {
 struct MappingEntry {
     id: MappingId,
     gsm: Arc<Gsm>,
+    /// The mapping actually served from: `gsm` minus statically dead and
+    /// subsumed rules once a workload is registered (recomputed whenever
+    /// the workload grows; answer-equivalent to `gsm` for every covered
+    /// query). Lock order: `cache` before `serve_gsm`.
+    serve_gsm: RwLock<Arc<Gsm>>,
+    /// The accumulated query workload: labels read and nullability, from
+    /// [`MappingService::register_queries`] plus every query served while
+    /// a workload is active. Lock order: `workload` before `cache`.
+    workload: Mutex<WorkloadProfile>,
+    /// Graph-independent facts about the **full** mapping (producible
+    /// labels, always-solvable), computed once at registration — the
+    /// substrate of the statically-empty short-circuit.
+    facts: MappingFacts,
     source: RwLock<Arc<DataGraph>>,
     generation: AtomicU64,
     /// Encoded [`ShardSpec`]: the stripe count the mapping's prepared
@@ -1333,6 +1410,10 @@ pub struct MappingService {
     cached: AtomicUsize,
     /// Whether additive LAV deltas patch caches in place (default true).
     patching_off: AtomicBool,
+    /// Whether statically dead/subsumed rules are pruned from the served
+    /// mapping once a workload is registered (default true; see
+    /// [`MappingService::set_rule_pruning`]).
+    pruning_off: AtomicBool,
     evictions: AtomicU64,
     patched_deltas: AtomicU64,
     invalidating_deltas: AtomicU64,
@@ -1396,9 +1477,14 @@ impl MappingService {
         source: impl Into<Arc<DataGraph>>,
     ) -> MappingId {
         let id = MappingId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let gsm: Arc<Gsm> = gsm.into();
+        let facts = MappingFacts::of(&gsm);
         let entry = Arc::new(MappingEntry {
             id,
-            gsm: gsm.into(),
+            serve_gsm: RwLock::new(gsm.clone()),
+            workload: Mutex::new(WorkloadProfile::new()),
+            facts,
+            gsm,
             source: RwLock::new(source.into()),
             generation: AtomicU64::new(0),
             shards: AtomicUsize::new(1),
@@ -1457,6 +1543,146 @@ impl MappingService {
         read(&self.registry)
             .get(&id)
             .map(|e| lock(&e.serving).clone())
+    }
+
+    /// Register the query workload a mapping will serve: folds every
+    /// query's labels and nullability into the mapping's workload
+    /// profile and (unless [`MappingService::set_rule_pruning`] turned it
+    /// off) recomputes the served mapping — statically dead and subsumed
+    /// rules are dropped, so the next preparation builds a smaller
+    /// canonical solution. Sound for every registered query; a later
+    /// *uncovered* query (new labels, or the first nullable one)
+    /// auto-extends the workload and rebuilds, so answers are always
+    /// byte-identical to serving the full mapping.
+    pub fn register_queries(
+        &self,
+        id: MappingId,
+        queries: &[CompiledQuery],
+    ) -> Result<(), ServeError> {
+        let entry = self.entry(id)?;
+        let mut changed = false;
+        {
+            let mut w = lock(&entry.workload);
+            for q in queries {
+                changed |= w.extend_with(q.shape());
+            }
+            // first registration activates pruning even when the queries
+            // add no new labels (e.g. an empty slice after a non-empty one)
+            changed |= !queries.is_empty();
+        }
+        if changed {
+            self.reprune(&entry);
+        }
+        Ok(())
+    }
+
+    /// Run the static analyzer on a mapping: rule dependency graph, dead
+    /// and subsumed rules (against the registered workload plus
+    /// `queries`), per-query statically-empty verdicts, and — when a
+    /// universal prepared solution is resident — cardinality estimates
+    /// and closure hazards from its snapshot's label densities. Pure
+    /// inspection: nothing is built, pruned, or invalidated.
+    pub fn analyze(
+        &self,
+        id: MappingId,
+        queries: &[CompiledQuery],
+    ) -> Result<MappingReport, ServeError> {
+        let entry = self.entry(id)?;
+        let base = lock(&entry.workload).clone();
+        let snap = {
+            let slots = lock(&entry.cache);
+            match &slots[Flavour::Universal as usize].state {
+                SlotState::Ready(p) => Some(p.snapshot.clone()),
+                _ => None,
+            }
+        };
+        let qrefs: Vec<&CompiledQuery> = queries.iter().collect();
+        Ok(analyze::analyze_mapping_with(
+            &entry.gsm,
+            &qrefs,
+            base,
+            snap.as_deref(),
+        ))
+    }
+
+    /// Enable/disable rule pruning (on by default): whether registering a
+    /// workload drops statically dead and subsumed rules from the served
+    /// mapping. Toggling recomputes every mapping's served rules and
+    /// evicts solutions built under the previous setting — answers are
+    /// byte-identical either way; only `approx_bytes` and build work
+    /// change.
+    pub fn set_rule_pruning(&self, on: bool) {
+        self.pruning_off.store(!on, Ordering::Relaxed);
+        let entries: Vec<Arc<MappingEntry>> = read(&self.registry).values().cloned().collect();
+        for e in entries {
+            self.reprune(&e);
+        }
+    }
+
+    /// The mapping the service actually serves from: the registered one,
+    /// minus statically dead / subsumed rules once a workload is
+    /// registered (see [`MappingService::register_queries`]).
+    pub fn serve_gsm(&self, id: MappingId) -> Option<Arc<Gsm>> {
+        read(&self.registry)
+            .get(&id)
+            .map(|e| read(&e.serve_gsm).clone())
+    }
+
+    /// Recompute a mapping's served rule set from its workload profile
+    /// and the pruning toggle; on change, drop resident solutions and
+    /// bump the generation so every stale cache key dies with them.
+    fn reprune(&self, entry: &MappingEntry) {
+        let target: Arc<Gsm> = if self.pruning_off.load(Ordering::Relaxed) {
+            entry.gsm.clone()
+        } else {
+            let profile = lock(&entry.workload).clone();
+            if profile.is_empty() {
+                entry.gsm.clone()
+            } else {
+                analyze::pruned_gsm(&entry.gsm, &profile)
+                    .map(Arc::new)
+                    .unwrap_or_else(|| entry.gsm.clone())
+            }
+        };
+        // lock order: cache, then serve_gsm (prepared()/apply_delta read
+        // serve_gsm while holding the cache lock)
+        let mut slots = lock(&entry.cache);
+        let mut cur = write(&entry.serve_gsm);
+        if cur.rules() == target.rules() {
+            return;
+        }
+        *cur = target;
+        for slot in slots.iter_mut() {
+            self.release(slot);
+        }
+        entry.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Guarantee the workload profile covers these queries before they
+    /// are served from a (possibly pruned) mapping: uncovered queries
+    /// extend the profile and trigger a reprune, so dead-rule pruning can
+    /// never drop a rule some served query actually needs. No-op until a
+    /// workload is registered (the full mapping covers everything).
+    fn ensure_covered<'q>(
+        &self,
+        entry: &MappingEntry,
+        queries: impl IntoIterator<Item = &'q CompiledQuery>,
+    ) {
+        let mut grew = false;
+        {
+            let mut w = lock(&entry.workload);
+            if w.is_empty() {
+                return;
+            }
+            for q in queries {
+                if !w.covers(q.shape()) {
+                    grew |= w.extend_with(q.shape());
+                }
+            }
+        }
+        if grew {
+            self.reprune(entry);
+        }
     }
 
     /// Resolve a mapping's encoded [`ShardSpec`] to a concrete stripe
@@ -1641,13 +1867,24 @@ impl MappingService {
         };
         let ctrl = Arc::new(opts.control());
         if ctrl.should_stop() {
-            let cause = ctrl.fired().expect("should_stop latched a cause");
+            let cause = ctrl
+                .fired()
+                .expect("invariant: should_stop latched a cause");
             Self::note(&entry, |s| s.rejected += queries.len() as u64);
             return queries
                 .iter()
                 .map(|_| Err(stop_error(cause, 0, 0)))
                 .collect();
         }
+        // cover the evaluated queries up front so one reprune-and-rebuild
+        // serves the whole batch (statically-empty queries never touch
+        // the solution and don't constrain pruning)
+        self.ensure_covered(
+            &entry,
+            queries
+                .iter()
+                .filter(|q| !analyze::statically_empty(q.shape(), &entry.facts)),
+        );
         let mut last_err: Option<ServeError> = None;
         for attempt in 0..2 {
             // warm the flavour once so workers don't serialize on the
@@ -1697,7 +1934,7 @@ impl MappingService {
             }
             last_err = Some(err);
         }
-        let err = last_err.expect("two attempts ran");
+        let err = last_err.expect("invariant: two attempts ran");
         queries.iter().map(|_| Err(err.clone())).collect()
     }
 
@@ -1717,6 +1954,16 @@ impl MappingService {
         let k = prep.shard_count();
         let pre: Vec<Result<(), ServeError>> =
             queries.iter().map(|q| check_fragment(q, sem)).collect();
+        // statically-empty pre-pass: these queries get their empty answer
+        // without a single (query, stripe) task, prewarm, or cache touch
+        let empty: Vec<bool> = queries
+            .iter()
+            .map(|q| analyze::statically_empty(q.shape(), &entry.facts))
+            .collect();
+        let n_empty = (0..nq).filter(|&i| pre[i].is_ok() && empty[i]).count() as u64;
+        if n_empty > 0 {
+            Self::note(entry, |s| s.static_empty += n_empty);
+        }
         let use_cache = self.admit_serve(entry, prep, sem.flavour());
         if !use_cache {
             Self::note(entry, |s| s.degraded += nq as u64);
@@ -1731,11 +1978,14 @@ impl MappingService {
         // factor two queries have in common is computed once and reused
         // (up to a benign race when structurally identical artifacts
         // build concurrently — both compute, either result serves)
-        let ss = prep.sharded.as_ref().expect("batch fan-out is sharded");
+        let ss = prep
+            .sharded
+            .as_ref()
+            .expect("invariant: batch fan-out is sharded");
         let prewarm = Instant::now();
         let warmed = par::try_map_blocks(nq, 1, |range| {
             for qi in range {
-                if pre[qi].is_ok() && !ctrl.should_stop() {
+                if pre[qi].is_ok() && !empty[qi] && !ctrl.should_stop() {
                     queries[qi].prewarm_rows(ss, &shareds[qi]);
                 }
             }
@@ -1747,7 +1997,7 @@ impl MappingService {
             Ok(_) => par::try_map_tasks(nq * k, |t| {
                 // stripe-major order: task t → (query t % nq, stripe t / nq)
                 let (qi, shard) = (t % nq, t / nq);
-                if pre[qi].is_err() || ctrl.should_stop() {
+                if pre[qi].is_err() || empty[qi] || ctrl.should_stop() {
                     return None;
                 }
                 let q = &queries[qi];
@@ -1800,13 +2050,20 @@ impl MappingService {
         let answers: Vec<Result<Answer, ServeError>> = (0..nq)
             .map(|qi| {
                 pre[qi].clone()?;
+                if empty[qi] {
+                    return Ok(empty_answer(sem.mode()));
+                }
                 Ok(match sem.mode() {
                     Mode::Boolean => Answer::Boolean(found[qi].load(Ordering::Relaxed)),
                     Mode::Tuples => {
                         // per-stripe sorted runs union through the
                         // streaming k-way merge — no intermediate concat
                         let runs: Vec<Vec<(NodeId, NodeId)>> = (0..k)
-                            .map(|shard| parts[shard * nq + qi].take().expect("tuple task ran"))
+                            .map(|shard| {
+                                parts[shard * nq + qi]
+                                    .take()
+                                    .expect("invariant: tuple task ran")
+                            })
                             .collect();
                         Answer::Tuples(CertainAnswers::Pairs(merge_sorted_runs(&runs)))
                     }
@@ -1909,16 +2166,17 @@ impl MappingService {
             .copied()
             .collect();
         let try_patch = !self.patching_off.load(Ordering::Relaxed);
+        // Cached solutions were built from the *served* (possibly pruned)
+        // mapping, so patching reasons about that rule set. Pruning
+        // decisions are data-independent (rules + workload only), so a
+        // delta never invalidates them.
+        let serve = read(&entry.serve_gsm).clone();
         // Under a LAV mapping, source answers are exactly the per-label edge
         // sets: changes matching no rule atom leave every cached solution —
         // snapshots included — valid as-is.
-        let class = entry.gsm.classify();
+        let class = serve.classify();
         let matches_rule = |&(_, l, _): &(NodeId, Label, NodeId)| {
-            entry
-                .gsm
-                .rules()
-                .iter()
-                .any(|r| r.source.as_atom() == Some(l))
+            serve.rules().iter().any(|r| r.source.as_atom() == Some(l))
         };
         if try_patch
             && class.lav
@@ -1971,13 +2229,13 @@ impl MappingService {
                         _ => unreachable!(),
                     };
                     let outcome = sol
-                        .patch_lav_edges(&entry.gsm, &source, &net_added, universal)
+                        .patch_lav_edges(&serve, &source, &net_added, universal)
                         .map(|add| {
                             add.and_then(|mut summary| {
                                 if net_removed.is_empty() {
                                     return Some(summary);
                                 }
-                                sol.unpatch_lav_edges(&entry.gsm, &source, &net_removed)
+                                sol.unpatch_lav_edges(&serve, &source, &net_removed)
                                     .map(|rem| {
                                         summary.merge(rem);
                                         summary
@@ -2126,10 +2384,23 @@ impl MappingService {
         // admission: a serve whose deadline already expired (or that was
         // cancelled before it started) is rejected at the door
         if ctrl.should_stop() {
-            let cause = ctrl.fired().expect("should_stop latched a cause");
+            let cause = ctrl
+                .fired()
+                .expect("invariant: should_stop latched a cause");
             Self::note(entry, |s| s.rejected += 1);
             return Err(stop_error(cause, 0, 0));
         }
+        // the analyzer's statically-empty verdict: the query's labels are
+        // disjoint from everything the mapping can produce and it cannot
+        // match an isolated node — its certain answer is empty on every
+        // source graph, under every semantics. O(1), no solution, no
+        // stripes, no cache. (Such a query also never constrains pruning,
+        // so it is deliberately not folded into the workload.)
+        if analyze::statically_empty(q.shape(), &entry.facts) {
+            Self::note(entry, |s| s.static_empty += 1);
+            return Ok(empty_answer(sem.mode()));
+        }
+        self.ensure_covered(entry, std::iter::once(q));
         for attempt in 0..2 {
             // contain every panic on the serve path — stripe workers are
             // caught by the try_ fan-outs; phase-1 builds, merges and
@@ -2186,6 +2457,16 @@ impl MappingService {
         entry: &MappingEntry,
         flavour: Flavour,
     ) -> Result<Arc<PreparedSolution>, SolutionError> {
+        // the workload profile seeds cold-start cost estimates; taken
+        // before the cache lock (lock order: workload before cache)
+        let prior = {
+            let w = lock(&entry.workload);
+            if w.is_empty() {
+                None
+            } else {
+                Some(w.clone())
+            }
+        };
         let out;
         {
             let mut slots = lock(&entry.cache);
@@ -2226,18 +2507,24 @@ impl MappingService {
             let built = match prev {
                 // a delta-patched solution only needs re-freezing — and the
                 // carry keeps untouched labels/stripes from re-freezing too
-                SlotState::Patched { sol, carry } => {
-                    Ok(PreparedSolution::refreeze(*sol, carry, shards, generation))
-                }
+                SlotState::Patched { sol, carry } => Ok(PreparedSolution::refreeze(
+                    *sol,
+                    carry,
+                    shards,
+                    generation,
+                    prior.as_ref(),
+                )),
                 SlotState::Empty => {
                     let source = read(&entry.source).clone();
+                    // build from the served (possibly pruned) mapping —
+                    // answer-equivalent for every covered query, smaller
+                    // when the analyzer dropped dead/subsumed rules
+                    let gsm = read(&entry.serve_gsm).clone();
                     match flavour {
-                        Flavour::Universal => universal_solution(&entry.gsm, &source),
-                        Flavour::LeastInformative => {
-                            least_informative_solution(&entry.gsm, &source)
-                        }
+                        Flavour::Universal => universal_solution(&gsm, &source),
+                        Flavour::LeastInformative => least_informative_solution(&gsm, &source),
                     }
-                    .map(|sol| PreparedSolution::new(sol, shards, generation))
+                    .map(|sol| PreparedSolution::new(sol, shards, generation, prior.as_ref()))
                 }
                 _ => unreachable!("ready/failed handled above"),
             }
@@ -2367,6 +2654,14 @@ fn vacuous_answer(mode: Mode) -> Answer {
     }
 }
 
+/// The statically-empty answer: no pair is certain, nothing holds.
+fn empty_answer(mode: Mode) -> Answer {
+    match mode {
+        Mode::Tuples => Answer::Tuples(CertainAnswers::Pairs(Vec::new())),
+        Mode::Boolean => Answer::Boolean(false),
+    }
+}
+
 /// Evaluate a query on a frozen solution under the chosen semantics.
 /// The deadline/cancel control is checked between stripes and phase-1
 /// units on the canonical engines; the exact enumeration checks only at
@@ -2389,7 +2684,9 @@ fn eval_semantics(
         }
         Semantics::Exact(mode, opts) => {
             if ctrl.should_stop() {
-                let cause = ctrl.fired().expect("should_stop latched a cause");
+                let cause = ctrl
+                    .fired()
+                    .expect("invariant: should_stop latched a cause");
                 return Err(stop_error(cause, 0, 1));
             }
             match mode {
@@ -2433,7 +2730,7 @@ pub fn answer_once(
         });
     }
     eval_semantics(
-        &PreparedSolution::new(sol, 1, 0),
+        &PreparedSolution::new(sol, 1, 0, None),
         q,
         sem,
         &Arc::new(EvalControl::unbounded()),

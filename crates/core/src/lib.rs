@@ -70,8 +70,10 @@
 //! delta-aware patching beats full re-preparation on the churn workload
 //! (`service_churn` bench, `BENCH_service.json`).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod arbitrary;
 pub mod certain;
 pub mod engine;
@@ -83,6 +85,10 @@ pub mod rel2graph;
 pub mod solution;
 pub mod translate;
 
+pub use analyze::{
+    analyze_mapping, analyze_mapping_with, pruned_gsm, statically_empty, Diagnostic, MappingFacts,
+    MappingReport, QueryVerdict, WorkloadProfile,
+};
 pub use arbitrary::{certain_answers_arbitrary, ArbitraryOptions};
 #[allow(deprecated)]
 pub use certain::{

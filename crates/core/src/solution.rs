@@ -182,8 +182,11 @@ impl CanonicalSolution {
         // failure modes, so the mutation below cannot stop halfway
         let mut matches: Vec<(Vec<Label>, NodeId, NodeId)> = Vec::new();
         for rule in m.rules() {
-            let atom = rule.source.as_atom().expect("LAV checked");
-            let word = rule.target.as_word().expect("relational checked");
+            let atom = rule.source.as_atom().expect("invariant: LAV checked");
+            let word = rule
+                .target
+                .as_word()
+                .expect("invariant: relational checked");
             for &(u, l, v) in new_edges {
                 if l != atom {
                     continue;
@@ -216,10 +219,12 @@ impl CanonicalSolution {
         for (word, u, v) in matches {
             for endpoint in [u, v] {
                 if !self.graph.has_node(endpoint) {
-                    let val = source.value(endpoint).expect("delta endpoint exists");
+                    let val = source
+                        .value(endpoint)
+                        .expect("invariant: delta endpoint exists");
                     self.graph
                         .add_node(endpoint, val.clone())
-                        .expect("checked absent");
+                        .expect("invariant: checked absent");
                     summary.grew = true;
                 } else {
                     summary.touched_nodes.push(endpoint);
@@ -242,7 +247,9 @@ impl CanonicalSolution {
                     summary.grew = true;
                     id
                 };
-                self.graph.add_edge(cur, label, next).expect("nodes exist");
+                self.graph
+                    .add_edge(cur, label, next)
+                    .expect("invariant: nodes exist");
                 cur = next;
             }
         }
@@ -293,8 +300,11 @@ impl CanonicalSolution {
         let mut summary = LavPatch::default();
         let mut endpoints: Vec<NodeId> = Vec::new();
         for rule in m.rules() {
-            let atom = rule.source.as_atom().expect("LAV checked");
-            let word = rule.target.as_word().expect("relational checked");
+            let atom = rule.source.as_atom().expect("invariant: LAV checked");
+            let word = rule
+                .target
+                .as_word()
+                .expect("invariant: relational checked");
             for &(u, l, v) in removed_edges {
                 if l != atom {
                     continue;
@@ -315,10 +325,14 @@ impl CanonicalSolution {
                         // nothing, so it stales no labels or stripes
                         let tl = word[0];
                         let justified = m.rules().iter().any(|r2| {
-                            r2.target.as_word().expect("relational checked").as_slice() == [tl]
+                            r2.target
+                                .as_word()
+                                .expect("invariant: relational checked")
+                                .as_slice()
+                                == [tl]
                                 && source.contains_edge(
                                     u,
-                                    r2.source.as_atom().expect("LAV checked"),
+                                    r2.source.as_atom().expect("invariant: LAV checked"),
                                     v,
                                 )
                         });
@@ -337,7 +351,7 @@ impl CanonicalSolution {
                             middles_out.insert(mid);
                             cur = mid;
                         }
-                        edges_out.insert((cur, *word.last().expect("k ≥ 2"), v));
+                        edges_out.insert((cur, *word.last().expect("invariant: k ≥ 2"), v));
                         endpoints.push(u);
                         endpoints.push(v);
                         summary.touched_labels.extend(word.iter().copied());
@@ -352,7 +366,7 @@ impl CanonicalSolution {
         let atoms: FxHashSet<Label> = m
             .rules()
             .iter()
-            .map(|r| r.source.as_atom().expect("LAV checked"))
+            .map(|r| r.source.as_atom().expect("invariant: LAV checked"))
             .collect();
         let mut dom_out: Vec<NodeId> = Vec::new();
         for &x in &endpoints {
@@ -415,7 +429,7 @@ impl CanonicalSolution {
             claimed: &FxHashSet<NodeId>,
             acc: &mut Vec<NodeId>,
         ) -> bool {
-            let (label, rest) = word.split_first().expect("nonempty word");
+            let (label, rest) = word.split_first().expect("invariant: nonempty word");
             if rest.is_empty() {
                 return sol.graph.contains_edge(cur, *label, v);
             }
@@ -468,15 +482,18 @@ fn build(
 
     // Step 1: dom(M, G_s) with source values.
     for id in m.dom(gs) {
-        let val = gs.value(id).expect("dom node in source").clone();
-        gt.add_node(id, val).expect("distinct dom nodes");
+        let val = gs.value(id).expect("invariant: dom node in source").clone();
+        gt.add_node(id, val).expect("invariant: distinct dom nodes");
     }
 
     // Step 2: fresh paths per rule and source pair.
     let mut invented = Vec::new();
     let mut fresh_counter: u64 = 0;
     for rule in m.rules() {
-        let word = rule.target.as_word().expect("relational checked");
+        let word = rule
+            .target
+            .as_word()
+            .expect("invariant: relational checked");
         for (u, v) in m.source_answers(rule, gs) {
             if word.is_empty() {
                 if u != v {
@@ -500,7 +517,8 @@ fn build(
                     invented.push(id);
                     id
                 };
-                gt.add_edge(cur, label, next).expect("nodes exist");
+                gt.add_edge(cur, label, next)
+                    .expect("invariant: nodes exist");
                 cur = next;
             }
         }

@@ -49,6 +49,7 @@
 //!   and the seeded, inert-unless-armed fault-injection points of
 //!   [`faults`] that the serving engine's recovery soak drives.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;

@@ -129,7 +129,10 @@ impl Dense {
         }
         let mask = (1u64 << rem) - 1;
         for i in 0..n {
-            *self.row_mut(i).last_mut().unwrap() &= mask;
+            *self
+                .row_mut(i)
+                .last_mut()
+                .expect("invariant: row has words") &= mask;
         }
     }
 }
@@ -872,7 +875,7 @@ impl Relation {
                     }
                     if low[vu] == index[vu] {
                         loop {
-                            let w = stack.pop().expect("tarjan stack");
+                            let w = stack.pop().expect("invariant: tarjan stack");
                             on_stack[w as usize] = false;
                             comp[w as usize] = n_comp;
                             if w as usize == vu {

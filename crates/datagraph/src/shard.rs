@@ -93,6 +93,25 @@ impl ShardPlan {
     /// row-restricted eval) is unchanged. Falls back to the seed when the
     /// model has nothing to add (`k = 1`, empty graphs).
     pub fn by_cost(s: &GraphSnapshot, k: usize) -> ShardPlan {
+        ShardPlan::cost_model(s, k, None)
+    }
+
+    /// [`ShardPlan::by_cost`] with the cost model **focused** on a label
+    /// subset — typically the labels a registered query workload actually
+    /// reads. Edges of other labels still count their adjacency visit
+    /// (the seed partition and the per-edge base term are unchanged) but
+    /// skip the density and boundary terms: evaluation never walks them,
+    /// so they should not move the cut points. An empty `focus` means no
+    /// workload knowledge and falls back to the full model.
+    pub fn by_cost_focused(s: &GraphSnapshot, k: usize, focus: &[Label]) -> ShardPlan {
+        if focus.is_empty() {
+            ShardPlan::by_cost(s, k)
+        } else {
+            ShardPlan::cost_model(s, k, Some(focus))
+        }
+    }
+
+    fn cost_model(s: &GraphSnapshot, k: usize, focus: Option<&[Label]>) -> ShardPlan {
         let k = k.max(1);
         let n = s.n();
         if k == 1 || n == 0 {
@@ -100,7 +119,9 @@ impl ShardPlan {
         }
         let seed = ShardPlan::by_out_degree(s, k);
         // label weight = 1 + mean out-degree of the label (integer floor):
-        // compose/closure over E_label touch rows proportional to density
+        // compose/closure over E_label touch rows proportional to density.
+        // Labels outside the focus keep the base visit cost only.
+        let in_focus = |li: usize| focus.is_none_or(|f| f.iter().any(|&l| l.index() == li));
         let mut label_totals = vec![0u64; s.label_count()];
         for (li, t) in label_totals.iter_mut().enumerate() {
             let l = Label(li as u16);
@@ -108,7 +129,11 @@ impl ShardPlan {
                 *t += s.out(l, u as u32).len() as u64;
             }
         }
-        let lw: Vec<u64> = label_totals.iter().map(|&t| 1 + t / n as u64).collect();
+        let lw: Vec<u64> = label_totals
+            .iter()
+            .enumerate()
+            .map(|(li, &t)| if in_focus(li) { 1 + t / n as u64 } else { 1 })
+            .collect();
         /// Extra cost per edge that crosses out of its stripe.
         const BOUNDARY_WEIGHT: u64 = 2;
         let mut weight = vec![1u64; n];
@@ -121,6 +146,9 @@ impl ShardPlan {
                     continue;
                 }
                 *w += out.len() as u64 * w_l;
+                if !in_focus(li) {
+                    continue;
+                }
                 let crossing = out
                     .iter()
                     .filter(|&&v| !stripe.contains(&(v as usize)))
@@ -199,7 +227,7 @@ impl ShardPlan {
 
     /// The node domain size being partitioned.
     pub fn n(&self) -> usize {
-        *self.bounds.last().expect("bounds nonempty") as usize
+        *self.bounds.last().expect("invariant: bounds nonempty") as usize
     }
 
     /// The dense-index range of stripe `i`.
@@ -491,6 +519,34 @@ mod tests {
         // empty graph degenerates gracefully
         let empty = DataGraph::new().snapshot();
         assert_eq!(ShardPlan::by_cost(&empty, 4).n(), 0);
+    }
+
+    #[test]
+    fn focused_cost_plan_matches_full_model_on_full_focus() {
+        let g = ring(96);
+        let s = g.snapshot();
+        let all: Vec<Label> = (0..s.label_count()).map(|i| Label(i as u16)).collect();
+        for k in [2, 4] {
+            // full focus and empty focus both reproduce the full model
+            assert_eq!(
+                ShardPlan::by_cost_focused(&s, k, &all),
+                ShardPlan::by_cost(&s, k)
+            );
+            assert_eq!(
+                ShardPlan::by_cost_focused(&s, k, &[]),
+                ShardPlan::by_cost(&s, k)
+            );
+            // a strict focus still partitions the domain into k stripes
+            let plan = ShardPlan::by_cost_focused(&s, k, &all[..1]);
+            assert_eq!(plan.shard_count(), k);
+            let mut covered = 0;
+            for i in 0..k {
+                let r = plan.range(i);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, 96);
+        }
     }
 
     #[test]

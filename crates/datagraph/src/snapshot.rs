@@ -359,6 +359,19 @@ impl GraphSnapshot {
         NO_VID
     }
 
+    /// Number of edges carrying `label` (0 for labels the snapshot has
+    /// never seen). O(1) from the CSR offset arrays — this is the label
+    /// density statistic behind static cardinality estimation and the
+    /// shard cost model, cheap enough to query per serve.
+    pub fn label_edge_count(&self, label: Label) -> usize {
+        if label.index() >= self.n_labels {
+            return 0;
+        }
+        let stripe = self.n + 1;
+        let base = label.index() * stripe;
+        (self.fwd_off[base + self.n] - self.fwd_off[base]) as usize
+    }
+
     /// The single-letter edge relation `E_label` as a bitset [`Relation`],
     /// built on first use and cached for the life of the snapshot. `None`
     /// for labels the snapshot has never seen (their relation is empty).
@@ -591,5 +604,22 @@ mod tests {
         assert_eq!(s.n(), 0);
         assert_eq!(s.edge_count(), 0);
         assert_eq!(s.value_count(), 0);
+    }
+
+    #[test]
+    fn per_label_edge_counts() {
+        let mut g = g();
+        let a = g.alphabet().label("a").unwrap();
+        let b = g.alphabet().label("b").unwrap();
+        let s = g.snapshot();
+        assert_eq!(
+            s.label_edge_count(a) + s.label_edge_count(b),
+            s.edge_count()
+        );
+        assert_eq!(s.label_edge_count(a), s.label_relation(a).unwrap().len());
+        // foreign labels count zero
+        assert_eq!(s.label_edge_count(Label(99)), 0);
+        g.add_edge_str(NodeId(0), "a", NodeId(0)).unwrap();
+        assert_eq!(g.snapshot().label_edge_count(a), s.label_edge_count(a) + 1);
     }
 }

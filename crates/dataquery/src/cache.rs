@@ -260,7 +260,10 @@ impl SubRelCache for LruSubRelCache {
             let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
-            let e = inner.map.remove(&victim).expect("victim resident");
+            let e = inner
+                .map
+                .remove(&victim)
+                .expect("invariant: victim resident");
             inner.bytes -= e.bytes;
         }
     }

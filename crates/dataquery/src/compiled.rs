@@ -23,6 +23,7 @@
 //! ids. Building one snapshot and one compiled query and pairing them is
 //! exactly what `gde-core`'s `PreparedMapping` engine does.
 
+use crate::analyze::QueryShape;
 use crate::cache::{subplan_hash, CacheHandle, SubRelCache, SubRelKey};
 use crate::control::EvalControl;
 use crate::crpq::{join_atom_answers, AtomAnswers};
@@ -62,6 +63,7 @@ pub struct CompiledQuery {
     source: Box<DataQuery>,
     equality_only: bool,
     plan_hash: u128,
+    shape: QueryShape,
 }
 
 impl CompiledQuery {
@@ -88,7 +90,16 @@ impl CompiledQuery {
             source: Box::new(q.clone()),
             equality_only: q.is_equality_only(),
             plan_hash: subplan_hash("query", q),
+            shape: QueryShape::of(q),
         }
+    }
+
+    /// The statically decidable shape of the source query (label
+    /// footprint, trivial-path matching, star depth), computed once at
+    /// compile time. Input of the static analyzer's emptiness and
+    /// cardinality verdicts.
+    pub fn shape(&self) -> &QueryShape {
+        &self.shape
     }
 
     /// The query this artifact was lowered from.

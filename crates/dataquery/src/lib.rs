@@ -27,6 +27,9 @@
 //! query once with [`DataQuery::compile`] and evaluate the resulting
 //! [`CompiledQuery`] against frozen `GraphSnapshot`s (see [`compiled`]).
 
+#![deny(unsafe_code)]
+
+pub mod analyze;
 pub mod cache;
 pub mod compiled;
 pub mod control;
@@ -37,6 +40,7 @@ pub mod query;
 pub mod ree;
 pub mod rem;
 
+pub use analyze::{estimate_cardinality, CardinalityEstimate, QueryShape};
 pub use cache::{subplan_hash, CacheHandle, LruSubRelCache, SubRelCache, SubRelKey};
 pub use compiled::{CompiledQuery, RowEvalShared};
 pub use control::{EvalControl, StopCause};

@@ -79,7 +79,10 @@ impl Ree {
     pub fn any_of(labels: impl IntoIterator<Item = Label>) -> Ree {
         let atoms: Vec<Ree> = labels.into_iter().map(Ree::Atom).collect();
         match atoms.len() {
-            1 => atoms.into_iter().next().unwrap(),
+            1 => atoms
+                .into_iter()
+                .next()
+                .expect("invariant: singleton union"),
             _ => Ree::Union(atoms),
         }
     }
@@ -95,7 +98,7 @@ impl Ree {
         }
         match out.len() {
             0 => Ree::Epsilon,
-            1 => out.pop().unwrap(),
+            1 => out.pop().expect("invariant: singleton concat"),
             _ => Ree::Concat(out),
         }
     }
@@ -104,7 +107,7 @@ impl Ree {
     pub fn union(parts: impl IntoIterator<Item = Ree>) -> Ree {
         let out: Vec<Ree> = parts.into_iter().collect();
         match out.len() {
-            1 => out.into_iter().next().unwrap(),
+            1 => out.into_iter().next().expect("invariant: singleton union"),
             _ => Ree::Union(out),
         }
     }
@@ -485,7 +488,7 @@ impl ReeRowMemo {
     fn get(&self, id: usize) -> &Relation {
         self.rels
             .get(&id)
-            .expect("memo holds every closure and tail factor")
+            .expect("invariant: memo holds every closure and tail factor")
             .as_ref()
     }
 }
@@ -575,7 +578,7 @@ fn build_memo(
                 let mut acc: Option<Relation> = None;
                 for child in es {
                     let f = build_memo(child, s, MemoMode::Inner, id, out, cache, ctrl)
-                        .expect("inner mode returns the full relation");
+                        .expect("invariant: inner mode returns the full relation");
                     acc = Some(match acc {
                         None => f,
                         Some(a) => a.compose(&f),
@@ -595,18 +598,18 @@ fn build_memo(
                 n,
                 es.iter().map(|child| {
                     build_memo(child, s, MemoMode::Inner, id, out, cache, ctrl)
-                        .expect("inner mode returns the full relation")
+                        .expect("invariant: inner mode returns the full relation")
                 }),
             )),
         },
         Ree::Plus(b) => Some(
             build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
-                .expect("inner mode returns the full relation")
+                .expect("invariant: inner mode returns the full relation")
                 .transitive_closure(),
         ),
         Ree::Star(b) => Some(
             build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
-                .expect("inner mode returns the full relation")
+                .expect("invariant: inner mode returns the full relation")
                 .reflexive_transitive_closure(),
         ),
         Ree::Eq(b) => match mode {
@@ -616,7 +619,7 @@ fn build_memo(
             }
             _ => Some(
                 build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
-                    .expect("inner mode returns the full relation")
+                    .expect("invariant: inner mode returns the full relation")
                     .filter(|i, j| s.sql_eq(i as u32, j as u32)),
             ),
         },
@@ -627,7 +630,7 @@ fn build_memo(
             }
             _ => Some(
                 build_memo(b, s, MemoMode::Inner, id, out, cache, ctrl)
-                    .expect("inner mode returns the full relation")
+                    .expect("invariant: inner mode returns the full relation")
                     .filter(|i, j| s.sql_ne(i as u32, j as u32)),
             ),
         },

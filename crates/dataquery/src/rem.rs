@@ -56,7 +56,12 @@ impl VarCond {
     }
 
     fn compile(&self, vars: &[String]) -> Cond {
-        let reg = |x: &str| Reg(vars.iter().position(|v| v == x).expect("var collected") as u8);
+        let reg = |x: &str| {
+            Reg(vars
+                .iter()
+                .position(|v| v == x)
+                .expect("invariant: var collected") as u8)
+        };
         match self {
             VarCond::Eq(x) => Cond::Eq(reg(x)),
             VarCond::Neq(x) => Cond::Neq(reg(x)),
@@ -103,7 +108,7 @@ impl Rem {
         let out: Vec<Rem> = parts.into_iter().collect();
         match out.len() {
             0 => Rem::Epsilon,
-            1 => out.into_iter().next().unwrap(),
+            1 => out.into_iter().next().expect("invariant: singleton concat"),
             _ => Rem::Concat(out),
         }
     }
@@ -182,7 +187,10 @@ impl Rem {
                     return Rem::Epsilon.build(b, vars);
                 }
                 let mut iter = es.iter();
-                let (start, mut end) = iter.next().unwrap().build(b, vars);
+                let (start, mut end) = iter
+                    .next()
+                    .expect("invariant: nonempty concat")
+                    .build(b, vars);
                 for e in iter {
                     let (s2, e2) = e.build(b, vars);
                     b.add_eps(end, EpsAction::Jump, s2);
@@ -224,7 +232,12 @@ impl Rem {
                 let (s2, e2) = e.build(b, vars);
                 let regs: Vec<Reg> = xs
                     .iter()
-                    .map(|x| Reg(vars.iter().position(|v| v == x).unwrap() as u8))
+                    .map(|x| {
+                        Reg(vars
+                            .iter()
+                            .position(|v| v == x)
+                            .expect("invariant: var collected") as u8)
+                    })
                     .collect();
                 b.add_eps(s, EpsAction::Store(regs), s2);
                 (s, e2)

@@ -24,6 +24,8 @@
 //! which is exactly why query answering under mappings is undecidable for
 //! them (Theorem 6); the gadget lives in `gde-reductions`.
 
+#![deny(unsafe_code)]
+
 pub mod ast;
 pub mod eval;
 pub mod parser;

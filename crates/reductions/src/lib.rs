@@ -18,6 +18,8 @@
 //!   encoding of Lemma 2 and the `ϕ_G ∧ ϕ_δ ∧ ¬ϕ` construction of
 //!   Theorem 7 that pins a concrete graph inside any satisfying model.
 
+#![deny(unsafe_code)]
+
 pub mod gxpath_gadget;
 pub mod pcp;
 pub mod thm1;

@@ -20,6 +20,8 @@
 //!   nulls decode (SQL null vs fresh distinct constants — the two solution
 //!   styles of §7 and §8).
 
+#![deny(unsafe_code)]
+
 pub mod certain;
 pub mod chase;
 pub mod cq;

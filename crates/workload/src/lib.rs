@@ -6,6 +6,8 @@
 //! given a seed (`SmallRng`), so experiments in `EXPERIMENTS.md` are
 //! reproducible.
 
+#![deny(unsafe_code)]
+
 pub mod graphs;
 pub mod queries;
 pub mod scenarios;

@@ -1,0 +1,11 @@
+//! Seeded lint-violation fixture. NOT compiled — this file exists so CI
+//! and the xtask self-test can prove the lint gate actually fires. Every
+//! rule is tripped exactly once below.
+
+fn serve_badly(x: Option<u32>, m: &std::sync::Mutex<u32>) -> u32 {
+    let guard = m.lock(); // raw lock: should use par::lock_recover
+    let v = x.unwrap(); // bare unwrap on a serve path
+    let w = x.expect("present"); // expect without the "invariant: " prefix
+    cache.insert(key, v); // insert bypassing the CacheHandle
+    v + w + *guard.unwrap_or_default()
+}

@@ -1,0 +1,75 @@
+//! Repo automation tasks, in the cargo-xtask style: plain Rust instead of
+//! shell scripts, so the gates run identically on every platform with no
+//! extra tooling. The only task today is the **serve-path lint**:
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # lint the repo's serve-path files
+//! cargo run -p xtask -- lint FILE...    # lint specific files (fixtures, CI)
+//! ```
+//!
+//! The lint exits non-zero when any violation is found; see [`lint`] for
+//! the rules and the rationale. CI runs both forms: the tree must pass,
+//! and the seeded fixture under `fixtures/` must fail.
+
+#![deny(unsafe_code)]
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("invariant: manifest dir has two ancestors")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let explicit: Vec<PathBuf> = args.map(PathBuf::from).collect();
+            let root = workspace_root();
+            let files: Vec<PathBuf> = if explicit.is_empty() {
+                lint::SERVE_PATH_FILES
+                    .iter()
+                    .map(|rel| root.join(rel))
+                    .collect()
+            } else {
+                explicit
+            };
+            let mut violations = Vec::new();
+            for file in &files {
+                let text = match std::fs::read_to_string(file) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("xtask lint: cannot read {}: {e}", file.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                violations.extend(lint::lint_file(file, &text));
+            }
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            if violations.is_empty() {
+                println!("xtask lint: {} file(s) clean", files.len());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [FILE...]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -125,7 +125,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.rejected, 2);
     println!("bounded serves refused at the door: {}", stats.rejected);
 
-    // §9 — one-shot serving without a service
+    // §9 — the static analyzer: rule- and query-level verdicts without
+    // evaluating anything, and workload-driven pruning on the serve path
+    let never = DataQuery::Rpq(parse_regex("absent", &mut ta)?).compile();
+    let report = service.analyze(id, &[compiled.clone(), never.clone()])?;
+    assert_eq!(report.statically_empty(), 1); // no rule produces `absent`
+    assert!(report.verdicts[0].estimate.is_some(), "snapshot resident");
+    service.register_queries(id, std::slice::from_ref(&compiled))?;
+    let before = service.serving_stats(id).expect("registered");
+    let empty = service.answer(id, &never, Semantics::nulls())?;
+    assert_eq!(empty.into_pairs(), vec![]);
+    let after = service.serving_stats(id).expect("registered");
+    assert_eq!(after.static_empty, before.static_empty + 1);
+    assert_eq!(after.tuple_evals, before.tuple_evals, "no stripe touched");
+    println!(
+        "analyzer: {}/{} rules live, {} statically empty quer(ies) served O(1)",
+        report.live_rules(),
+        report.rule_count,
+        report.statically_empty(),
+    );
+
+    // §10 — one-shot serving without a service
     let gsm2 = service.gsm(id).expect("registered");
     let src2 = service.source(id).expect("registered");
     let once = answer_once(&gsm2, &src2, &compiled, Semantics::nulls())?;

@@ -89,6 +89,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_code)]
+
 /// The end-to-end user guide, compiled straight from `docs/GUIDE.md` so
 /// every code block in it is a doctest (`cargo test --doc`) and the guide
 /// can never drift from the library. The same program as one runnable
