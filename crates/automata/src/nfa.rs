@@ -36,6 +36,24 @@ impl Nfa {
         self.eps.len()
     }
 
+    /// A copy of this automaton with every transition label rewritten
+    /// through `f`. States, ε-transitions and acceptance are untouched, so
+    /// the copy is exactly the Thompson NFA of the label-substituted
+    /// regex — this is how compiled query *templates* stamp out bound
+    /// instances without re-running the construction.
+    pub fn map_labels(&self, mut f: impl FnMut(Label) -> Label) -> Nfa {
+        Nfa {
+            initial: self.initial,
+            accepting: self.accepting.clone(),
+            eps: self.eps.clone(),
+            steps: self
+                .steps
+                .iter()
+                .map(|ts| ts.iter().map(|&(l, t)| (f(l), t)).collect())
+                .collect(),
+        }
+    }
+
     /// Thompson construction.
     pub fn from_regex(e: &Regex) -> Nfa {
         let mut nfa = Nfa {

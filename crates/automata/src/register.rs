@@ -269,6 +269,25 @@ impl RegisterAutomaton {
         self.accepting.len()
     }
 
+    /// A copy of this automaton with every transition label rewritten
+    /// through `f`. States, registers, ε-actions and acceptance are
+    /// untouched, so the copy is exactly the compiled automaton of the
+    /// label-substituted REM — how compiled query *templates* stamp out
+    /// bound instances without re-running Thompson construction.
+    pub fn map_labels(&self, mut f: impl FnMut(Label) -> Label) -> RegisterAutomaton {
+        RegisterAutomaton {
+            n_regs: self.n_regs,
+            initial: self.initial,
+            accepting: self.accepting.clone(),
+            eps: self.eps.clone(),
+            steps: self
+                .steps
+                .iter()
+                .map(|ts| ts.iter().map(|&(l, t)| (f(l), t)).collect())
+                .collect(),
+        }
+    }
+
     /// Does the automaton accept this data path?
     pub fn accepts(&self, w: &DataPath) -> bool {
         // Value table for the path: registers hold indices into it.

@@ -73,8 +73,8 @@ use gde_datagraph::{
     Label, NodeId, ShardPlan, ShardedSnapshot, WorkerPanic,
 };
 use gde_dataquery::{
-    CompiledQuery, DataQuery, EvalControl, LruSubRelCache, RowEvalShared, StopCause, SubRelCache,
-    SubRelKey,
+    canonicalize, BindError, CompiledQuery, DataQuery, EvalControl, LruSubRelCache, PlanSkeleton,
+    QueryTemplate, RowEvalShared, StopCause, SubRelCache, SubRelKey,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -109,6 +109,26 @@ impl MappingId {
 impl std::fmt::Display for MappingId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "mapping#{}", self.0)
+    }
+}
+
+/// Handle to a query template interned in a mapping via
+/// [`MappingService::register_template`]. The id is the skeleton's
+/// structural hash, so it is stable across re-registration (and across
+/// services) for one canonical query shape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TemplateId(u128);
+
+impl TemplateId {
+    /// The skeleton hash backing this id ([`PlanSkeleton::hash`]).
+    pub fn skeleton_hash(self) -> u128 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TemplateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "template#{:032x}", self.0)
     }
 }
 
@@ -265,7 +285,9 @@ pub struct StripeServingStats {
 /// them to operators. The accumulator survives shard-count changes and
 /// cache evictions (it belongs to the mapping, not to a prepared
 /// solution). The exact-enumeration engine ([`Semantics::Exact`]) does
-/// not decompose into stripes and is not recorded.
+/// not decompose into stripes; its serves are recorded as single
+/// evaluations under stripe 0, so hit-rate and template numbers cover
+/// every semantics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServingStats {
     /// Tuple-mode per-(query, stripe) evaluations.
@@ -319,6 +341,17 @@ pub struct ServingStats {
     /// Serves retried after a quarantine (panic containment rebuilds the
     /// prepared solution once and re-runs the serve).
     pub retries: u64,
+    /// Serves answered through an already-interned query template —
+    /// explicitly via `answer_bound`, or transparently when
+    /// canonicalisation routed an ad-hoc query onto an existing
+    /// skeleton. The first serve of a new skeleton interns (and
+    /// compiles) its template and does not count.
+    pub template_hits: u64,
+    /// Nanoseconds of query compilation skipped by template reuse: each
+    /// template hit credits the template's one-time compile cost here,
+    /// so the gauge reads as "compilation work traffic would have done
+    /// without parameterized plans".
+    pub compile_skipped_ns: u64,
     /// The same counters, split by stripe index (stripe 0 for unsharded
     /// serving). Grows to the largest stripe index observed.
     pub per_stripe: Vec<StripeServingStats>,
@@ -567,6 +600,17 @@ pub enum ServeError {
     },
     /// The query is outside the fragment the chosen semantics supports.
     UnsupportedQuery(&'static str),
+    /// No template is interned under this id for the mapping (never
+    /// registered, or registered on a different mapping).
+    UnknownTemplate(TemplateId),
+    /// The binding vector's length does not match the template
+    /// skeleton's slot count.
+    BindingArity {
+        /// Slots the skeleton expects.
+        expected: usize,
+        /// Labels the caller supplied.
+        got: usize,
+    },
     /// The exact engine's search bounds were exceeded.
     TooComplex {
         /// Number of invented nodes in the skeleton.
@@ -620,6 +664,11 @@ impl std::fmt::Display for ServeError {
                 pair.0, pair.1
             ),
             ServeError::UnsupportedQuery(what) => write!(f, "unsupported query: {what}"),
+            ServeError::UnknownTemplate(id) => write!(f, "unknown {id}"),
+            ServeError::BindingArity { expected, got } => write!(
+                f,
+                "binding arity mismatch: template has {expected} slot(s), got {got}"
+            ),
             ServeError::TooComplex { invented, cap } => write!(
                 f,
                 "instance too large for exhaustive search ({invented} invented nodes; cap: {cap})"
@@ -1220,7 +1269,8 @@ impl PreparedSolution {
         let ctrl = shared.control();
         let rel = match shared.cache() {
             Some(h) => {
-                let key = SubRelKey::stripe(h.generation(), shard, q.plan_hash());
+                let key = SubRelKey::stripe(h.generation(), shard, q.plan_hash())
+                    .with_binding(q.binding_hash());
                 match h.lookup(&key) {
                     Some(rel) => rel,
                     None => {
@@ -1394,6 +1444,11 @@ struct MappingEntry {
     /// [`PreparedSolution`] built for this mapping so recording needs no
     /// registry access. Survives evictions and shard-count changes.
     serving: Arc<Mutex<ServingStats>>,
+    /// Interned query templates, keyed by skeleton hash: one compiled
+    /// artifact per canonical query shape, shared by `answer_bound` and
+    /// by canonicalisation-routed ad-hoc serves. Survives evictions,
+    /// deltas and shard-count changes (templates are graph-independent).
+    templates: Mutex<FxHashMap<u128, Arc<QueryTemplate>>>,
 }
 
 /// The owned, concurrent serving engine. See the module docs for the
@@ -1414,6 +1469,10 @@ pub struct MappingService {
     /// mapping once a workload is registered (default true; see
     /// [`MappingService::set_rule_pruning`]).
     pruning_off: AtomicBool,
+    /// Whether ad-hoc `answer`/`answer_batch` queries are routed through
+    /// canonicalisation onto shared templates (default true; see
+    /// [`MappingService::set_canonicalisation`]).
+    canon_off: AtomicBool,
     evictions: AtomicU64,
     patched_deltas: AtomicU64,
     invalidating_deltas: AtomicU64,
@@ -1490,6 +1549,7 @@ impl MappingService {
             shards: AtomicUsize::new(1),
             cache: Mutex::new(Default::default()),
             serving: Arc::new(Mutex::new(ServingStats::default())),
+            templates: Mutex::new(FxHashMap::default()),
         });
         write(&self.registry).insert(id, entry);
         id
@@ -1617,6 +1677,19 @@ impl MappingService {
         for e in entries {
             self.reprune(&e);
         }
+    }
+
+    /// Enable/disable transparent canonicalisation of ad-hoc queries (on
+    /// by default): whether [`MappingService::answer`] /
+    /// [`MappingService::answer_batch`] normalise each query onto its
+    /// canonical skeleton so alpha-equivalent variants share one interned
+    /// template — one compilation, one set of cached stripe answers.
+    /// Answers are byte-identical either way (canonicalisation preserves
+    /// the query's language); only compilation work and cache identity
+    /// change. Explicit [`MappingService::answer_bound`] serves are
+    /// unaffected by the toggle.
+    pub fn set_canonicalisation(&self, on: bool) {
+        self.canon_off.store(!on, Ordering::Relaxed);
     }
 
     /// The mapping the service actually serves from: the registered one,
@@ -1823,7 +1896,119 @@ impl MappingService {
     ) -> Result<Answer, ServeError> {
         let entry = self.entry(id)?;
         let ctrl = Arc::new(opts.control());
-        self.answer_entry(&entry, q, sem, &ctrl)
+        match self.route_template(&entry, q) {
+            Some(bound) => self.answer_entry(&entry, &bound, sem, &ctrl),
+            None => self.answer_entry(&entry, q, sem, &ctrl),
+        }
+    }
+
+    /// Intern a prepared-statement template for this mapping: the
+    /// skeleton compiles **once** (Thompson/NFA construction,
+    /// register-automaton lowering, plan analysis) and every subsequent
+    /// [`MappingService::answer_bound`] serves from the shared artifact.
+    /// Idempotent — re-registering an identical skeleton returns the
+    /// same [`TemplateId`] without recompiling. Templates are
+    /// graph-independent: they survive deltas, evictions and shard-count
+    /// changes.
+    pub fn register_template(
+        &self,
+        id: MappingId,
+        skeleton: &PlanSkeleton,
+    ) -> Result<TemplateId, ServeError> {
+        let entry = self.entry(id)?;
+        let hash = skeleton.hash();
+        if lock(&entry.templates).contains_key(&hash) {
+            return Ok(TemplateId(hash));
+        }
+        // compile outside the lock; racing registrations build identical
+        // templates and the first insert wins
+        let built = Arc::new(QueryTemplate::new(skeleton.clone()));
+        lock(&entry.templates).entry(hash).or_insert(built);
+        Ok(TemplateId(hash))
+    }
+
+    /// Serve a bound instance of an interned template: no query
+    /// compilation happens on this path — the template's precompiled
+    /// artifact is label-rewritten through `bindings` (memoised per
+    /// binding vector, so a repeat binding is an `Arc` clone) and served
+    /// like any compiled query. The bound instance's cache identity is
+    /// `(skeleton hash, binding hash)`, so repeat bindings hit the
+    /// sub-relation cache stripes their earlier serves populated.
+    pub fn answer_bound(
+        &self,
+        id: MappingId,
+        template: TemplateId,
+        bindings: &[Label],
+        sem: Semantics,
+    ) -> Result<Answer, ServeError> {
+        self.answer_bound_with(id, template, bindings, sem, &ServeOptions::default())
+    }
+
+    /// [`MappingService::answer_bound`] under per-call [`ServeOptions`]
+    /// (deadline/cancel), with the same fault isolation as
+    /// [`MappingService::answer_with`].
+    pub fn answer_bound_with(
+        &self,
+        id: MappingId,
+        template: TemplateId,
+        bindings: &[Label],
+        sem: Semantics,
+        opts: &ServeOptions,
+    ) -> Result<Answer, ServeError> {
+        let entry = self.entry(id)?;
+        let tpl = lock(&entry.templates)
+            .get(&template.0)
+            .cloned()
+            .ok_or(ServeError::UnknownTemplate(template))?;
+        let bound = tpl.bind_shared(bindings).map_err(|e| match e {
+            BindError::Arity { expected, got } => ServeError::BindingArity { expected, got },
+        })?;
+        Self::note(&entry, |s| {
+            s.template_hits += 1;
+            s.compile_skipped_ns += tpl.compile_ns();
+        });
+        let ctrl = Arc::new(opts.control());
+        self.answer_entry(&entry, &bound, sem, &ctrl)
+    }
+
+    /// Route an ad-hoc query onto its interned template: canonicalise
+    /// the source, intern the skeleton's template (compiling it on first
+    /// encounter), bind the lifted labels back in. Returns `None` when
+    /// canonicalisation is off or the query is already template-bound
+    /// (binding discriminant ≠ 0) — re-routing a bound instance would
+    /// only rediscover its own skeleton. Template *hits* (and the
+    /// compile work they skipped) are recorded only when the skeleton
+    /// was already interned — the first encounter pays the compile.
+    fn route_template(
+        &self,
+        entry: &MappingEntry,
+        q: &CompiledQuery,
+    ) -> Option<Arc<CompiledQuery>> {
+        if self.canon_off.load(Ordering::Relaxed) || q.binding_hash() != 0 {
+            return None;
+        }
+        let (skeleton, bindings) = canonicalize(q.source());
+        let hash = skeleton.hash();
+        let existing = lock(&entry.templates).get(&hash).cloned();
+        let (template, hit) = match existing {
+            Some(t) => (t, true),
+            None => {
+                let built = Arc::new(QueryTemplate::new(skeleton));
+                let mut templates = lock(&entry.templates);
+                let t = Arc::clone(templates.entry(hash).or_insert(built));
+                (t, false)
+            }
+        };
+        if hit {
+            Self::note(entry, |s| {
+                s.template_hits += 1;
+                s.compile_skipped_ns += template.compile_ns();
+            });
+        }
+        let bound = template
+            .bind_shared(bindings.labels())
+            .expect("invariant: canonical bindings match their skeleton's arity");
+        Some(bound)
     }
 
     /// Answer a whole batch under one semantics, fanning out over
@@ -1876,6 +2061,24 @@ impl MappingService {
                 .map(|_| Err(stop_error(cause, 0, 0)))
                 .collect();
         }
+        // canonicalisation routing: each ad-hoc query is replaced by the
+        // bound instance of its interned template, so alpha-equivalent
+        // batch members share one plan and its cached stripes (answers
+        // are byte-identical — routing preserves the query's language)
+        let routed: Option<Vec<CompiledQuery>> = if self.canon_off.load(Ordering::Relaxed) {
+            None
+        } else {
+            Some(
+                queries
+                    .iter()
+                    .map(|q| match self.route_template(&entry, q) {
+                        Some(bound) => (*bound).clone(),
+                        None => q.clone(),
+                    })
+                    .collect(),
+            )
+        };
+        let queries: &[CompiledQuery] = routed.as_deref().unwrap_or(queries);
         // cover the evaluated queries up front so one reprune-and-rebuild
         // serves the whole batch (statically-empty queries never touch
         // the solution and don't constrain pruning)
@@ -2689,12 +2892,25 @@ fn eval_semantics(
                     .expect("invariant: should_stop latched a cause");
                 return Err(stop_error(cause, 0, 1));
             }
+            // the exact enumeration doesn't decompose into stripes, but
+            // its serves are recorded all the same (as one stripe-0
+            // evaluation) so hit-rate and template numbers cover every
+            // semantics
+            let started = Instant::now();
             match mode {
                 Mode::Tuples => {
-                    Answer::Tuples(exact_answers_from(prep.solution(), q.source(), opts)?)
+                    let answers = exact_answers_from(prep.solution(), q.source(), opts)?;
+                    let tuples = match &answers {
+                        CertainAnswers::Pairs(pairs) => pairs.len(),
+                        CertainAnswers::AllVacuously => 0,
+                    };
+                    prep.record(0, started.elapsed(), tuples, false);
+                    Answer::Tuples(answers)
                 }
                 Mode::Boolean => {
-                    Answer::Boolean(exact_boolean_from(prep.solution(), q.source(), opts)?)
+                    let holds = exact_boolean_from(prep.solution(), q.source(), opts)?;
+                    prep.record(0, started.elapsed(), 0, true);
+                    Answer::Boolean(holds)
                 }
             }
         }

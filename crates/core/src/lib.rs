@@ -101,6 +101,7 @@ pub use engine::PreparedMapping;
 pub use engine::{
     answer_once, Answer, DeltaReport, MappingId, MappingService, Mode, PreparedSolution, Semantics,
     ServeError, ServeOptions, ServiceStats, ServingStats, ShardSpec, StripeServingStats,
+    TemplateId,
 };
 pub use exact::{certain_answers_exact, certain_boolean_exact, ExactOptions};
 pub use gsm::{Gsm, MappingClass, Rule};
@@ -111,11 +112,11 @@ pub use solution::{least_informative_solution, universal_solution, CanonicalSolu
 pub mod prelude {
     pub use crate::engine::{
         answer_once, Answer, MappingId, MappingService, Mode, Semantics, ServeError, ServeOptions,
-        ShardSpec,
+        ShardSpec, TemplateId,
     };
     pub use crate::exact::{certain_answers_exact, ExactOptions};
     pub use crate::gsm::{Gsm, Rule};
     pub use crate::solution::universal_solution;
     pub use gde_datagraph::GraphDelta;
-    pub use gde_dataquery::{CompiledQuery, DataQuery};
+    pub use gde_dataquery::{canonicalize, CompiledQuery, DataQuery, PlanSkeleton, QueryTemplate};
 }

@@ -82,7 +82,7 @@ impl Hasher for Fnv128 {
 const GLOBAL_STRIPE: u32 = u32::MAX;
 
 /// The cache key of one evaluated sub-relation:
-/// `(generation, stripe-or-global, subplan hash)`.
+/// `(generation, stripe-or-global, subplan hash, binding)`.
 ///
 /// * `generation` is the mapping generation the entry was computed at.
 ///   Every entry — per-stripe ones included — keys on the **mapping**
@@ -99,6 +99,14 @@ const GLOBAL_STRIPE: u32 = u32::MAX;
 /// * `hash` is [`subplan_hash`] of the sub-plan. There is no stored
 ///   collision payload: at 128 bits the collision probability is far
 ///   below hardware error rates.
+/// * `binding` is the bind-time parameter discriminant. For directly
+///   compiled queries and binding-independent artifacts (REE memo
+///   entries are keyed by their *bound* sub-ASTs, so identical
+///   subexpressions of different bindings already collide) it is `0`;
+///   for template-bound queries whose `hash` is the label-free
+///   *skeleton* hash it is the binding-vector hash
+///   (`gde-dataquery`'s `canon::binding_hash`), so two bindings of one
+///   skeleton never alias while repeat bindings share entries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SubRelKey {
     /// Mapping generation the entry serves.
@@ -107,6 +115,9 @@ pub struct SubRelKey {
     pub stripe: u32,
     /// Structural hash of the sub-plan ([`subplan_hash`]).
     pub hash: u128,
+    /// Binding discriminant: `0` for unparameterised artifacts, else the
+    /// binding-vector hash of a template-bound query.
+    pub binding: u64,
 }
 
 impl SubRelKey {
@@ -117,6 +128,7 @@ impl SubRelKey {
             generation,
             stripe: GLOBAL_STRIPE,
             hash,
+            binding: 0,
         }
     }
 
@@ -127,7 +139,15 @@ impl SubRelKey {
             generation,
             stripe,
             hash,
+            binding: 0,
         }
+    }
+
+    /// The same key under a binding discriminant (`0` leaves the key
+    /// unchanged — the unparameterised form).
+    pub fn with_binding(mut self, binding: u64) -> SubRelKey {
+        self.binding = binding;
+        self
     }
 
     /// Is this a snapshot-global artifact key?

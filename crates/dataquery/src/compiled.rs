@@ -30,7 +30,9 @@ use crate::crpq::{join_atom_answers, AtomAnswers};
 use crate::query::DataQuery;
 use crate::ree::ReeRowMemo;
 use gde_automata::{Nfa, RegisterAutomaton};
-use gde_datagraph::{DataGraph, GraphSnapshot, NodeId, Relation, RelationBuilder, ShardedSnapshot};
+use gde_datagraph::{
+    DataGraph, GraphSnapshot, Label, NodeId, Relation, RelationBuilder, ShardedSnapshot,
+};
 use std::sync::{Arc, OnceLock};
 
 /// The lowered form of one query class.
@@ -49,6 +51,42 @@ enum CompiledForm {
     },
 }
 
+impl CompiledForm {
+    /// Rewrite every transition/AST label through the binding vector
+    /// (slot label → `bindings[slot]`). Structure — automaton states,
+    /// registers, memo layout — is untouched; this is the cheap half of
+    /// template binding.
+    fn map_labels(&self, bindings: &[Label]) -> CompiledForm {
+        let mut subst = |l: Label| bindings[l.index()];
+        match self {
+            CompiledForm::Rpq(nfa) => CompiledForm::Rpq(nfa.map_labels(&mut subst)),
+            CompiledForm::Ree(e) => CompiledForm::Ree(crate::canon::map_ree(e, &mut subst)),
+            CompiledForm::Rem(ra) => CompiledForm::Rem(ra.map_labels(&mut subst)),
+            CompiledForm::Conjunctive { head, atoms } => CompiledForm::Conjunctive {
+                head: *head,
+                atoms: atoms
+                    .iter()
+                    .map(|(from, to, cq)| {
+                        // inner atoms never key caches on their own; a
+                        // bound atom is indistinguishable from a direct
+                        // compile of its bound source
+                        let source = crate::canon::map_query_labels(&cq.source, &mut subst);
+                        let bound = CompiledQuery {
+                            form: Box::new(cq.form.map_labels(bindings)),
+                            equality_only: cq.equality_only,
+                            plan_hash: subplan_hash("query", &source),
+                            binding: 0,
+                            shape: QueryShape::of(&source),
+                            source: Box::new(source),
+                        };
+                        (*from, *to, bound)
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
 /// A [`DataQuery`] lowered once for repeated evaluation.
 ///
 /// The source query is retained (it is query-sized, not graph-sized), so a
@@ -63,6 +101,7 @@ pub struct CompiledQuery {
     source: Box<DataQuery>,
     equality_only: bool,
     plan_hash: u128,
+    binding: u64,
     shape: QueryShape,
 }
 
@@ -90,7 +129,40 @@ impl CompiledQuery {
             source: Box::new(q.clone()),
             equality_only: q.is_equality_only(),
             plan_hash: subplan_hash("query", q),
+            binding: 0,
             shape: QueryShape::of(q),
+        }
+    }
+
+    /// Stamp out a bound instance of this compiled *skeleton* (the
+    /// compiled artifact held by a `canon::QueryTemplate`, whose labels
+    /// are slot indices): transition labels are rewritten through
+    /// `bindings` — a linear copy of the transition tables, never a
+    /// re-compilation — and the instance's cache identity becomes
+    /// `(skeleton_hash, binding_hash(bindings))`. Binding-independent
+    /// shape facts (trivial-path matching, star depth, equality-onlyness)
+    /// carry over from the skeleton; the binding-sensitive label
+    /// footprint is recomputed from the binding vector, so the static
+    /// analyzer's per-query verdicts stay exact on bound instances.
+    ///
+    /// The caller (`QueryTemplate::bind`) has already checked arity:
+    /// every slot label indexes into `bindings`.
+    pub(crate) fn bind_template(&self, bindings: &[Label], skeleton_hash: u128) -> CompiledQuery {
+        let source = crate::canon::map_query_labels(&self.source, &mut |l| bindings[l.index()]);
+        let mut labels: Vec<Label> = bindings.to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        CompiledQuery {
+            form: Box::new(self.form.map_labels(bindings)),
+            source: Box::new(source),
+            equality_only: self.equality_only,
+            plan_hash: skeleton_hash,
+            binding: crate::canon::binding_hash(bindings),
+            shape: QueryShape {
+                labels,
+                may_match_isolated: self.shape.may_match_isolated,
+                star_depth: self.shape.star_depth,
+            },
         }
     }
 
@@ -114,6 +186,17 @@ impl CompiledQuery {
     /// share one hash.
     pub fn plan_hash(&self) -> u128 {
         self.plan_hash
+    }
+
+    /// The binding discriminant of this artifact's cache identity: `0`
+    /// for directly compiled queries (whose [`CompiledQuery::plan_hash`]
+    /// covers their concrete labels), else the binding-vector hash of
+    /// the template binding that produced it (whose `plan_hash` is the
+    /// label-free *skeleton* hash). Cache keys carry
+    /// `(plan_hash, binding)` so two bindings of one skeleton never
+    /// alias.
+    pub fn binding_hash(&self) -> u64 {
+        self.binding
     }
 
     /// Does the query avoid inequality comparisons? (Cached from the source
@@ -349,10 +432,10 @@ impl RowEvalShared {
                 return Arc::new(Relation::empty(s.n()));
             }
             match &self.cache {
-                Some(h) => h
-                    .get_or_insert(SubRelKey::global(h.generation(), q.plan_hash()), || {
-                        q.eval_relation(s)
-                    }),
+                Some(h) => h.get_or_insert(
+                    SubRelKey::global(h.generation(), q.plan_hash()).with_binding(q.binding),
+                    || q.eval_relation(s),
+                ),
                 None => Arc::new(q.eval_relation(s)),
             }
         })

@@ -31,6 +31,7 @@
 
 pub mod analyze;
 pub mod cache;
+pub mod canon;
 pub mod compiled;
 pub mod control;
 pub mod crpq;
@@ -42,6 +43,7 @@ pub mod rem;
 
 pub use analyze::{estimate_cardinality, CardinalityEstimate, QueryShape};
 pub use cache::{subplan_hash, CacheHandle, LruSubRelCache, SubRelCache, SubRelKey};
+pub use canon::{binding_hash, canonicalize, BindError, Bindings, PlanSkeleton, QueryTemplate};
 pub use compiled::{CompiledQuery, RowEvalShared};
 pub use control::{EvalControl, StopCause};
 pub use crpq::{CdAtom, ConjunctiveDataRpq};

@@ -9,12 +9,14 @@
 #![deny(unsafe_code)]
 
 pub mod graphs;
+pub mod param;
 pub mod queries;
 pub mod scenarios;
 pub mod serving;
 pub mod social;
 
 pub use graphs::{chain_graph, cycle_graph, random_data_graph, GraphConfig};
+pub use param::{param_family_scenario, param_request, zipf_trace, ParamConfig, ParamScenario};
 pub use queries::{random_path_test, random_ree, random_rem, QueryConfig};
 pub use scenarios::{random_scenario, ExchangeScenario, ScenarioConfig};
 pub use serving::{

@@ -1,0 +1,242 @@
+//! Parameterized repeated-traffic workload: one canonical query skeleton
+//! served under many label bindings, with a Zipf-distributed request mix.
+//!
+//! The prepared-plan story (canonical skeletons + bind-time parameters)
+//! needs a workload where requests are *textually* fresh — new memory
+//! variable names every time — but structurally identical up to the
+//! labels they mention. This module packages that shape: a graph whose
+//! edge labels form a family `rel_0 .. rel_{V-1}` over a shared `contact`
+//! backbone, an identity LAV exchange, an alpha-fresh request builder for
+//! the one-skeleton query family, and a Zipf(α) trace sampler for the
+//! classic head-heavy production mix. The `param_plans` bench consumes
+//! all three.
+
+use crate::scenarios::ExchangeScenario;
+use gde_automata::Regex;
+use gde_core::Gsm;
+use gde_datagraph::{Alphabet, DataGraph, NodeId, Value};
+use gde_dataquery::{parse_rem, DataQuery};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`param_family_scenario`].
+#[derive(Clone, Debug)]
+pub struct ParamConfig {
+    /// Number of parameter variants: labels `rel_0 .. rel_{variants-1}`.
+    pub variants: usize,
+    /// Source-graph node count.
+    pub nodes: usize,
+    /// Extra random `contact` edges per node, on top of the ring backbone.
+    pub contact_per_node: usize,
+    /// Random `rel_i` edges per variant.
+    pub edges_per_variant: usize,
+    /// Data-value pool size: small pools make `[v=]` equality tests fire.
+    pub value_pool: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParamConfig {
+    fn default() -> ParamConfig {
+        ParamConfig {
+            variants: 32,
+            nodes: 400,
+            contact_per_node: 2,
+            edges_per_variant: 48,
+            value_pool: 8,
+            seed: 0x9A7A,
+        }
+    }
+}
+
+/// A parameter-family serving workload: an identity LAV exchange over a
+/// graph whose labels are the variant family plus the `contact` backbone.
+#[derive(Clone, Debug)]
+pub struct ParamScenario {
+    /// The mapping and its source graph.
+    pub scenario: ExchangeScenario,
+    /// Variant label names; `variants[i]` is `rel_i`.
+    pub variants: Vec<String>,
+}
+
+/// Build the parameter-family exchange scenario.
+///
+/// The source graph has a `contact` ring backbone (so `contact+` reaches
+/// every node) plus random extra `contact` edges, and per-variant random
+/// `rel_i` edges; node values are drawn from a small pool so the family's
+/// equality tests genuinely fire. The mapping is relational LAV with one
+/// identity word rule per label — the canonical solution is label-faithful,
+/// so serving cost is all in query evaluation, which is what the
+/// prepared-plan benches measure.
+pub fn param_family_scenario(cfg: &ParamConfig) -> ParamScenario {
+    assert!(cfg.variants > 0, "family needs at least one variant");
+    assert!(cfg.nodes > 1, "graph needs nodes");
+    let variants: Vec<String> = (0..cfg.variants).map(|i| format!("rel_{i}")).collect();
+    let mut label_names: Vec<&str> = vec!["contact"];
+    label_names.extend(variants.iter().map(String::as_str));
+    let alphabet = Alphabet::from_labels(label_names.iter().copied());
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut source = DataGraph::with_alphabet(alphabet.clone());
+    for i in 0..cfg.nodes {
+        let v = rng.gen_range(0..cfg.value_pool.max(1)) as i64;
+        source
+            .add_node(NodeId(i as u32), Value::int(v))
+            .expect("fresh ids are distinct");
+    }
+    let contact = alphabet.label("contact").expect("interned above");
+    let n = cfg.nodes as u32;
+    for i in 0..n {
+        source
+            .add_edge(NodeId(i), contact, NodeId((i + 1) % n))
+            .expect("both endpoints exist");
+    }
+    for i in 0..n {
+        for _ in 0..cfg.contact_per_node {
+            let j = rng.gen_range(0..cfg.nodes) as u32;
+            source
+                .add_edge(NodeId(i), contact, NodeId(j))
+                .expect("both endpoints exist");
+        }
+    }
+    for name in &variants {
+        let l = alphabet.label(name).expect("interned above");
+        for _ in 0..cfg.edges_per_variant {
+            let u = rng.gen_range(0..cfg.nodes) as u32;
+            let v = rng.gen_range(0..cfg.nodes) as u32;
+            source
+                .add_edge(NodeId(u), l, NodeId(v))
+                .expect("both endpoints exist");
+        }
+    }
+
+    let mut gsm = Gsm::new(alphabet.clone(), alphabet.clone());
+    for name in label_names {
+        let l = alphabet.label(name).expect("interned above");
+        gsm.add_rule(Regex::Atom(l), Regex::word(&[l]));
+    }
+    debug_assert!(gsm.classify().relational && gsm.classify().lav);
+
+    ParamScenario {
+        scenario: ExchangeScenario { gsm, source },
+        variants,
+    }
+}
+
+/// An alpha-fresh request from the one-skeleton query family:
+/// `@v{serial}.({variant} contact+[v{serial}=])` — "take a `{variant}`
+/// edge, then walk `contact` back to a node carrying the start node's
+/// data value".
+///
+/// Every `serial` produces a differently-named memory variable, so
+/// repeated traffic is never textually identical; all requests are
+/// alpha-equivalent up to the variant label, and a canonicalising service
+/// must collapse the whole family onto **one** skeleton with per-variant
+/// bindings. The query is equality-only, so every semantics serves it.
+pub fn param_request(ta: &mut Alphabet, variant: &str, serial: u64) -> DataQuery {
+    let src = format!("@v{serial}.({variant} contact+[v{serial}=])");
+    parse_rem(&src, ta)
+        .expect("param-family request parses")
+        .into()
+}
+
+/// A Zipf(α)-distributed request trace over `variants` indices: index `k`
+/// is drawn with probability proportional to `1/(k+1)^α`. At α ≈ 1.1 the
+/// head of the family dominates — the classic production mix where a few
+/// hot parameters take most of the traffic and a long tail stays warm.
+/// Deterministic in `seed`.
+pub fn zipf_trace(variants: usize, alpha: f64, len: usize, seed: u64) -> Vec<usize> {
+    assert!(variants > 0, "trace needs at least one variant");
+    let mut cumulative = Vec::with_capacity(variants);
+    let mut total = 0.0f64;
+    for k in 0..variants {
+        total += ((k + 1) as f64).powf(-alpha);
+        cumulative.push(total);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let u = rng.gen_range(0.0..total);
+            cumulative.partition_point(|&c| c <= u).min(variants - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde_core::{MappingService, Semantics};
+    use gde_dataquery::canonicalize;
+
+    #[test]
+    fn scenario_is_relational_lav_and_serves() {
+        let ps = param_family_scenario(&ParamConfig {
+            variants: 6,
+            nodes: 60,
+            ..ParamConfig::default()
+        });
+        let c = ps.scenario.gsm.classify();
+        assert!(c.relational && c.lav);
+        assert_eq!(ps.variants.len(), 6);
+        let mut ta = ps.scenario.gsm.target_alphabet().clone();
+        let svc = MappingService::new();
+        let id = svc.register(ps.scenario.gsm.clone(), ps.scenario.source.clone());
+        let mut nonempty = 0usize;
+        for (serial, name) in ps.variants.iter().enumerate() {
+            let q = param_request(&mut ta, name, serial as u64).compile();
+            let ans = svc
+                .answer(id, &q, Semantics::nulls())
+                .expect("family request serves");
+            nonempty += usize::from(!ans.into_pairs().is_empty());
+        }
+        assert!(nonempty > 0, "the family must produce real answers");
+    }
+
+    #[test]
+    fn family_collapses_to_one_skeleton_with_per_variant_bindings() {
+        let ps = param_family_scenario(&ParamConfig {
+            variants: 5,
+            nodes: 40,
+            ..ParamConfig::default()
+        });
+        let mut ta = ps.scenario.gsm.target_alphabet().clone();
+        let mut skeletons = Vec::new();
+        let mut bindings = Vec::new();
+        for (i, name) in ps.variants.iter().enumerate() {
+            // two alpha-fresh serials per variant
+            let (s1, b1) = canonicalize(&param_request(&mut ta, name, i as u64));
+            let (s2, b2) = canonicalize(&param_request(&mut ta, name, 1000 + i as u64));
+            assert_eq!(s1.hash(), s2.hash(), "serials must not split the skeleton");
+            assert_eq!(b1, b2, "same variant, same bindings");
+            skeletons.push(s1.hash());
+            bindings.push(b1);
+        }
+        assert!(
+            skeletons.windows(2).all(|w| w[0] == w[1]),
+            "the whole family shares one skeleton"
+        );
+        for w in bindings.windows(2) {
+            assert_ne!(w[0], w[1], "variants must differ only in bindings");
+        }
+    }
+
+    #[test]
+    fn zipf_trace_is_deterministic_and_head_heavy() {
+        let t1 = zipf_trace(16, 1.1, 4000, 0x21F);
+        let t2 = zipf_trace(16, 1.1, 4000, 0x21F);
+        assert_eq!(t1, t2);
+        assert!(t1.iter().all(|&k| k < 16));
+        let mut counts = [0usize; 16];
+        for &k in &t1 {
+            counts[k] += 1;
+        }
+        assert!(
+            counts[0] > counts[15] && counts[0] > t1.len() / 8,
+            "α=1.1 must put the head in front: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "4000 draws over 16 variants keep the tail warm: {counts:?}"
+        );
+    }
+}

@@ -35,6 +35,8 @@ use std::path::Path;
 pub const SERVE_PATH_FILES: &[&str] = &[
     "crates/core/src/engine.rs",
     "crates/core/src/solution.rs",
+    "crates/dataquery/src/canon.rs",
+    "crates/dataquery/src/compiled.rs",
     "crates/dataquery/src/ree.rs",
     "crates/dataquery/src/rem.rs",
     "crates/dataquery/src/cache.rs",

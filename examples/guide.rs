@@ -1,12 +1,13 @@
 //! The user guide (`docs/GUIDE.md`) as one runnable program: build a
 //! graph, define a mapping, register it, compile a query, answer under
-//! every semantics, apply a delta, tune sharding, and bound a serve
-//! with deadlines and cancellation. Each step asserts
+//! every semantics, apply a delta, tune sharding, bound a serve
+//! with deadlines and cancellation, consult the static analyzer, and
+//! serve a prepared template by binding labels per call. Each step asserts
 //! the outcome the guide promises, so `cargo run --example guide` is an
 //! executable check of the documentation.
 
 use graph_data_exchange::automata::parse_regex;
-use graph_data_exchange::dataquery::parse_ree;
+use graph_data_exchange::dataquery::{parse_ree, parse_rem};
 use graph_data_exchange::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -145,7 +146,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.statically_empty(),
     );
 
-    // §10 — one-shot serving without a service
+    // §10 — prepared templates: canonicalise once, bind labels per call
+    let q1: DataQuery = parse_rem("@u.(knows trusts[u=])", &mut ta)?.into();
+    let q2: DataQuery = parse_rem("@v.(knows trusts[v=])", &mut ta)?.into();
+    let (skeleton, bind1) = canonicalize(&q1);
+    let (skeleton2, bind2) = canonicalize(&q2);
+    assert_eq!(skeleton.hash(), skeleton2.hash(), "alpha variants collide");
+    assert_eq!(bind1, bind2, "same labels, same binding vector");
+    let tpl = service.register_template(id, &skeleton)?;
+    let bound = service.answer_bound(id, tpl, bind1.labels(), Semantics::nulls())?;
+    assert_eq!(
+        bound,
+        service.answer(id, &q1.compile(), Semantics::nulls())?,
+        "bound serves are byte-identical to ad-hoc serves"
+    );
+    let stats = service.serving_stats(id).expect("registered");
+    assert!(stats.template_hits >= 2, "bound + routed ad-hoc both hit");
+    println!(
+        "prepared template {tpl}: {} hits, {} ns of compilation skipped",
+        stats.template_hits, stats.compile_skipped_ns,
+    );
+
+    // §11 — one-shot serving without a service
     let gsm2 = service.gsm(id).expect("registered");
     let src2 = service.source(id).expect("registered");
     let once = answer_once(&gsm2, &src2, &compiled, Semantics::nulls())?;
