@@ -232,6 +232,9 @@ impl Regex {
     }
 
     /// Pretty-print against an alphabet (labels are printed by name).
+    /// The output parses back to the same regex: label names the grammar
+    /// cannot read bare (`likes/src`, `@name`, the `eps`/`empty`
+    /// keywords) come out in the parser's `'…'` quoted form.
     pub fn display(&self, alphabet: &Alphabet) -> String {
         let mut s = String::new();
         self.fmt_prec(alphabet, 0, &mut s);
@@ -244,7 +247,12 @@ impl Regex {
             Regex::Empty => out.push('∅'),
             Regex::Epsilon => out.push('ε'),
             Regex::Atom(l) => {
-                let _ = write!(out, "{}", alphabet.name(*l));
+                let name = alphabet.name(*l);
+                if needs_quoting(name) {
+                    let _ = write!(out, "'{name}'");
+                } else {
+                    let _ = write!(out, "{name}");
+                }
             }
             Regex::Concat(es) if es.len() == 1 => es[0].fmt_prec(alphabet, prec, out),
             Regex::Concat(es) => {
@@ -294,6 +302,31 @@ impl Regex {
             }
         }
     }
+}
+
+/// Does this label name need the parser's `'…'` quoted form? Bare
+/// identifiers (alphabetic/`_` start, alphanumeric/`_` rest) other than
+/// the `eps`/`empty` keywords parse unquoted, as do the grammar's
+/// single-character symbolic labels (`#`, `↔`, `@`, …).
+fn needs_quoting(name: &str) -> bool {
+    if name == "eps" || name == "empty" {
+        return true;
+    }
+    let mut chars = name.chars();
+    let first = match chars.next() {
+        Some(c) => c,
+        None => return true,
+    };
+    if (first.is_alphabetic() || first == '_')
+        && chars.clone().all(|c| c.is_alphanumeric() || c == '_')
+    {
+        return false;
+    }
+    let symbolic = matches!(
+        first,
+        '#' | '↔' | '←' | '→' | '⇠' | '⇢' | '$' | '@' | '%' | '^' | '&' | '!' | '~'
+    ) && chars.next().is_none();
+    !symbolic
 }
 
 #[cfg(test)]
@@ -402,5 +435,27 @@ mod tests {
             Regex::Plus(Box::new(Regex::Atom(a))),
         ]);
         assert_eq!(e.display(&al), "(a | b) a+");
+    }
+
+    #[test]
+    fn display_quotes_non_identifier_labels() {
+        let mut al = Alphabet::new();
+        let slash = al.intern("likes/src");
+        let at = al.intern("@name");
+        let hash = al.intern("#");
+        let kw = al.intern("eps");
+        let e = Regex::Concat(vec![
+            Regex::Atom(slash),
+            Regex::Atom(at),
+            Regex::Atom(hash),
+            Regex::Atom(kw),
+        ]);
+        let printed = e.display(&al);
+        assert_eq!(printed, "'likes/src' '@name' # 'eps'");
+        // and the printed form parses back to the same regex
+        let mut al2 = al.clone();
+        let back = crate::parse_regex(&printed, &mut al2).unwrap();
+        assert_eq!(back.display(&al2), printed);
+        assert_eq!(back, e);
     }
 }

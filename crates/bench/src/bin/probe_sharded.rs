@@ -63,6 +63,9 @@ fn main() {
         .collect();
     let svc = MappingService::new();
     let id = svc.register(Arc::new(sv.scenario.gsm), Arc::new(sv.scenario.source));
+    // label the stats so aggregated reports (and this probe's output) say
+    // which tenant namespace the counters belong to
+    svc.set_tenant_label(id, "probe").unwrap();
     svc.set_shard_count(id, k).unwrap();
     // register the workload so the analyzer can prune dead/subsumed rules
     // before the build, and the cost model sees the workload's labels
@@ -164,7 +167,8 @@ fn main() {
     }
     let end = stats();
     println!(
-        "totals: memo share {:.2}, cache hit rate {:.2}, {} cache bytes resident",
+        "totals[tenant {:?}]: memo share {:.2}, cache hit rate {:.2}, {} cache bytes resident",
+        end.tenant,
         end.memo_share(),
         end.cache_hit_rate(),
         end.cache_bytes,

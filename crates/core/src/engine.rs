@@ -290,6 +290,12 @@ pub struct StripeServingStats {
 /// every semantics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServingStats {
+    /// The tenant namespace this mapping serves under (empty when the
+    /// mapping is unlabelled). Set by
+    /// [`MappingService::set_tenant_label`]; multi-tenant front-ends
+    /// label every mapping so cross-mapping aggregation
+    /// ([`ServingStats::absorb`]) can refuse to mix tenants.
+    pub tenant: String,
     /// Tuple-mode per-(query, stripe) evaluations.
     pub tuple_evals: u64,
     /// Boolean-mode per-(query, stripe) evaluations.
@@ -390,6 +396,60 @@ impl ServingStats {
             return 0.0;
         }
         self.cache_hits as f64 / total as f64
+    }
+
+    /// Fold another mapping's cumulative stats into this accumulator —
+    /// the aggregation step a multi-tenant front-end runs per tenant.
+    /// Returns `false` (and absorbs **nothing**) when the two sides
+    /// carry different tenant labels: cumulative counters from one
+    /// tenant must never bleed into another tenant's aggregate. An
+    /// unlabelled accumulator (`tenant.is_empty()`) with no recorded
+    /// work adopts the other side's label, so
+    /// `stats.absorb(&svc.serving_stats(id)?)` folds a tenant's mappings
+    /// starting from `ServingStats::default()`.
+    ///
+    /// Cumulative counters add; the `cache_bytes` gauge adds too
+    /// (resident bytes across a tenant's mappings are disjoint);
+    /// per-stripe rows add element-wise.
+    pub fn absorb(&mut self, other: &ServingStats) -> bool {
+        if self.tenant != other.tenant {
+            let fresh = self.tuple_evals == 0
+                && self.boolean_evals == 0
+                && self.eval_ns == 0
+                && self.per_stripe.is_empty();
+            if !(self.tenant.is_empty() && fresh) {
+                return false;
+            }
+            self.tenant = other.tenant.clone();
+        }
+        self.tuple_evals += other.tuple_evals;
+        self.boolean_evals += other.boolean_evals;
+        self.eval_ns += other.eval_ns;
+        self.tuples += other.tuples;
+        self.memo_build_ns += other.memo_build_ns;
+        self.merge_ns += other.merge_ns;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_bytes += other.cache_bytes;
+        self.rejected += other.rejected;
+        self.degraded += other.degraded;
+        self.static_empty += other.static_empty;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.cancelled += other.cancelled;
+        self.worker_panics += other.worker_panics;
+        self.retries += other.retries;
+        self.template_hits += other.template_hits;
+        self.compile_skipped_ns += other.compile_skipped_ns;
+        if self.per_stripe.len() < other.per_stripe.len() {
+            self.per_stripe
+                .resize(other.per_stripe.len(), StripeServingStats::default());
+        }
+        for (mine, theirs) in self.per_stripe.iter_mut().zip(&other.per_stripe) {
+            mine.evals += theirs.evals;
+            mine.eval_ns += theirs.eval_ns;
+            mine.tuples += theirs.tuples;
+        }
+        true
     }
 
     /// Fold one sharded call's shared-phase accounting in: phase-1 build
@@ -1603,6 +1663,26 @@ impl MappingService {
         read(&self.registry)
             .get(&id)
             .map(|e| lock(&e.serving).clone())
+    }
+
+    /// Label a mapping's serving statistics with the tenant namespace it
+    /// serves under. The label rides along on every
+    /// [`MappingService::serving_stats`] clone, and
+    /// [`ServingStats::absorb`] refuses to fold stats across different
+    /// labels — so a multi-tenant front-end aggregating per tenant can
+    /// never bleed one tenant's counters into another's report.
+    pub fn set_tenant_label(&self, id: MappingId, tenant: &str) -> Result<(), ServeError> {
+        let entry = self.entry(id)?;
+        lock(&entry.serving).tenant = tenant.to_string();
+        Ok(())
+    }
+
+    /// The tenant label set by [`MappingService::set_tenant_label`]
+    /// (empty when the mapping is unlabelled).
+    pub fn tenant_label(&self, id: MappingId) -> Option<String> {
+        read(&self.registry)
+            .get(&id)
+            .map(|e| lock(&e.serving).tenant.clone())
     }
 
     /// Register the query workload a mapping will serve: folds every

@@ -1,0 +1,161 @@
+//! A minimal blocking HTTP/1.1 client for the serving tier.
+//!
+//! Deliberately tiny: one keep-alive connection, JSON in, JSON out, no
+//! redirects, no TLS. It exists so tests, the load-generator bench and the
+//! guide walkthrough can speak to the server without an external HTTP
+//! dependency — and so equivalence tests can compare the *bytes* the
+//! server produced, not a re-serialisation ([`Response::raw_body`]).
+
+use crate::json::{self, Json};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response from the server.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The exact body bytes as received (byte-identity checks use this).
+    pub raw_body: Vec<u8>,
+}
+
+impl Response {
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        json::parse(&self.raw_body).map_err(|e| format!("bad response JSON: {}", e.msg))
+    }
+
+    /// The `error.code` field of an error body, if present.
+    pub fn error_code(&self) -> Option<String> {
+        let j = self.json().ok()?;
+        Some(j.get("error")?.get("code")?.as_str()?.to_string())
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client { addr, stream })
+    }
+
+    /// Issue one request. `body` of [`Json::Null`] sends an empty body.
+    /// Reconnects once transparently if the keep-alive connection was
+    /// closed by the server in the meantime.
+    pub fn request(&mut self, method: &str, path: &str, body: &Json) -> io::Result<Response> {
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::UnexpectedEof
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                self.stream = TcpStream::connect(self.addr)?;
+                self.stream.set_nodelay(true)?;
+                self.stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))?;
+                self.request_once(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn request_once(&mut self, method: &str, path: &str, body: &Json) -> io::Result<Response> {
+        let payload = match body {
+            Json::Null => String::new(),
+            other => other.encode(),
+        };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: gde\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            payload.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(payload.as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+
+    /// `POST` helper.
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<Response> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET` helper.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, &Json::Null)
+    }
+
+    /// `PUT` helper.
+    pub fn put(&mut self, path: &str, body: &Json) -> io::Result<Response> {
+        self.request("PUT", path, body)
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response headers",
+                ))
+            }
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+        }
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            n => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Response {
+        status,
+        raw_body: body,
+    })
+}

@@ -1,0 +1,41 @@
+//! `gde-server`: the network serving tier over [`gde_core`]'s
+//! [`MappingService`](gde_core::engine::MappingService).
+//!
+//! A multi-tenant HTTP/1.1 + JSON front-end on a hand-rolled
+//! `std::net::TcpListener` loop (the build environment is offline — no
+//! async runtime). The crate is layered so the wire format is swappable:
+//!
+//! * [`json`] — dependency-free JSON with deterministic encoding (object
+//!   order preserved, integers exact to 2⁵³) so equivalence tests can
+//!   compare response *bytes*;
+//! * [`http`] — transport only: framing, limits, typed transport errors;
+//! * [`protocol`] — requests/responses as data ([`protocol::ApiRequest`],
+//!   [`protocol::ApiResponse`]) plus the JSON codecs for graphs, deltas,
+//!   answers and stats;
+//! * [`handlers`] — the route table, mapping protocol requests onto the
+//!   engine (this module is under the serve-path lint gate);
+//! * [`tenant`] — per-tenant namespaces: one engine per tenant for
+//!   isolated cache budgets, door admission control, tenant-labelled
+//!   statistics;
+//! * [`server`] — accept loop + worker pool + keep-alive + per-request
+//!   panic containment;
+//! * [`client`] — a minimal blocking client for tests, benches and the
+//!   guide.
+//!
+//! Start a server in-process with [`server::start`]; the
+//! `gde-server` binary wraps the same call for standalone use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use client::{Client, Response};
+pub use server::{start, ServerHandle};
+pub use tenant::{ServerConfig, ServerState, Tenant};

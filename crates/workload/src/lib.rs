@@ -20,7 +20,7 @@ pub use param::{param_family_scenario, param_request, zipf_trace, ParamConfig, P
 pub use queries::{random_path_test, random_ree, random_rem, QueryConfig};
 pub use scenarios::{random_scenario, ExchangeScenario, ScenarioConfig};
 pub use serving::{
-    merge_bound_queries, sharded_serving_scenario, social_churn_deltas, social_serving_scenario,
-    ServingScenario, SHARDED_BOOLEAN_QUERIES,
+    merge_bound_queries, serving_request_trace, sharded_serving_scenario, social_churn_deltas,
+    social_serving_scenario, ServingRequest, ServingScenario, SHARDED_BOOLEAN_QUERIES,
 };
 pub use social::{social_data_graph, social_network, SocialConfig};

@@ -337,6 +337,43 @@ pub fn social_churn_deltas(
         .collect()
 }
 
+/// One request in a serving trace: which query to issue and whether to ask
+/// for the boolean projection instead of the tuple answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServingRequest {
+    /// Index into the workload's query list.
+    pub query: usize,
+    /// Ask in boolean mode (certain-answer non-emptiness) instead of tuples.
+    pub boolean: bool,
+}
+
+/// A Zipf-skewed request trace for a serving front-end: query indices drawn
+/// from [`crate::zipf_trace`] (a few hot queries dominate, the tail stays
+/// warm) with `boolean_share` of the requests flipped to boolean mode.
+/// Deterministic in `seed` — load generators on both ends of a wire can
+/// regenerate the same trace independently.
+pub fn serving_request_trace(
+    queries: usize,
+    alpha: f64,
+    boolean_share: f64,
+    len: usize,
+    seed: u64,
+) -> Vec<ServingRequest> {
+    assert!(
+        (0.0..=1.0).contains(&boolean_share),
+        "boolean_share is a probability"
+    );
+    let indices = crate::zipf_trace(queries, alpha, len, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    indices
+        .into_iter()
+        .map(|query| ServingRequest {
+            query,
+            boolean: rng.gen_range(0.0..1.0) < boolean_share,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,5 +447,27 @@ mod tests {
             assert_eq!(na, nb);
             assert_eq!(qa, qb);
         }
+    }
+
+    #[test]
+    fn request_trace_is_deterministic_head_heavy_and_mixes_modes() {
+        let t1 = serving_request_trace(8, 1.1, 0.25, 2000, 0x7AC3);
+        let t2 = serving_request_trace(8, 1.1, 0.25, 2000, 0x7AC3);
+        assert_eq!(t1, t2, "same seed, same trace");
+        assert!(t1.iter().all(|r| r.query < 8));
+        let head = t1.iter().filter(|r| r.query == 0).count();
+        assert!(
+            head * 8 > t1.len(),
+            "Zipf head must beat the uniform share ({head}/{})",
+            t1.len()
+        );
+        let booleans = t1.iter().filter(|r| r.boolean).count() as f64 / t1.len() as f64;
+        assert!(
+            (0.15..=0.35).contains(&booleans),
+            "boolean share ~0.25, got {booleans:.2}"
+        );
+        assert!(serving_request_trace(8, 1.1, 0.0, 64, 1)
+            .iter()
+            .all(|r| !r.boolean));
     }
 }

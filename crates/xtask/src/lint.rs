@@ -34,6 +34,7 @@ use std::path::Path;
 /// deliberately absent.
 pub const SERVE_PATH_FILES: &[&str] = &[
     "crates/core/src/engine.rs",
+    "crates/server/src/handlers.rs",
     "crates/core/src/solution.rs",
     "crates/dataquery/src/canon.rs",
     "crates/dataquery/src/compiled.rs",

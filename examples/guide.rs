@@ -1,11 +1,13 @@
 //! The user guide (`docs/GUIDE.md`) as one runnable program: build a
 //! graph, define a mapping, register it, compile a query, answer under
 //! every semantics, apply a delta, tune sharding, bound a serve
-//! with deadlines and cancellation, consult the static analyzer, and
-//! serve a prepared template by binding labels per call. Each step asserts
+//! with deadlines and cancellation, consult the static analyzer, serve a
+//! prepared template by binding labels per call, and put the same engine
+//! behind the `gde-server` network front-end. Each step asserts
 //! the outcome the guide promises, so `cargo run --example guide` is an
 //! executable check of the documentation.
 
+use gde_server::json::Json;
 use graph_data_exchange::automata::parse_regex;
 use graph_data_exchange::dataquery::{parse_ree, parse_rem};
 use graph_data_exchange::prelude::*;
@@ -167,7 +169,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.template_hits, stats.compile_skipped_ns,
     );
 
-    // §11 — one-shot serving without a service
+    // §11 — the same engine over the network: a multi-tenant server on
+    // an ephemeral port, the mapping uploaded as graph JSON + rule text
+    let server = gde_server::start(gde_server::ServerConfig {
+        workers: 2,
+        ..gde_server::ServerConfig::default()
+    })?;
+    let mut client = gde_server::Client::connect(server.addr())?;
+    assert_eq!(client.put("/tenants/acme", &Json::obj([]))?.status, 201);
+    let upload = Json::obj([
+        ("name", Json::str("m")),
+        (
+            "source",
+            Json::obj([
+                (
+                    "nodes",
+                    Json::Arr(vec![
+                        Json::obj([("id", Json::num(0.0)), ("value", Json::str("ann"))]),
+                        Json::obj([("id", Json::num(1.0)), ("value", Json::str("bob"))]),
+                    ]),
+                ),
+                (
+                    "edges",
+                    Json::Arr(vec![Json::Arr(vec![
+                        Json::num(0.0),
+                        Json::str("follows"),
+                        Json::num(1.0),
+                    ])]),
+                ),
+            ]),
+        ),
+        (
+            "rules",
+            Json::Arr(vec![Json::obj([
+                ("source", Json::str("follows")),
+                ("target", Json::str("knows trusts")),
+            ])]),
+        ),
+    ]);
+    assert_eq!(client.post("/tenants/acme/mappings", &upload)?.status, 201);
+    let r = client.post(
+        "/tenants/acme/mappings/m/query",
+        &Json::obj([("query", Json::str("knows trusts"))]),
+    )?;
+    assert_eq!(r.status, 200);
+    let pairs = r.json().expect("json body");
+    assert_eq!(
+        pairs.get("pairs").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(1),
+        "ann knows·trusts bob in every solution"
+    );
+    println!("served over the wire: {}", pairs.encode());
+
+    // §12 — one-shot serving without a service
     let gsm2 = service.gsm(id).expect("registered");
     let src2 = service.source(id).expect("registered");
     let once = answer_once(&gsm2, &src2, &compiled, Semantics::nulls())?;

@@ -259,3 +259,84 @@ fn delta_validation_and_unknown_mappings() {
         Err(ServeError::UnknownMapping(_))
     ));
 }
+
+#[test]
+fn tenant_labels_stick_and_unknown_mappings_refuse_them() {
+    let sv = scenario(0x21);
+    let svc = MappingService::new();
+    let id = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    assert_eq!(svc.tenant_label(id).as_deref(), Some(""), "unlabelled");
+    svc.set_tenant_label(id, "acme").unwrap();
+    assert_eq!(svc.tenant_label(id).as_deref(), Some("acme"));
+    let stats = svc.serving_stats(id).unwrap();
+    assert_eq!(stats.tenant, "acme", "stats carry the label");
+    // relabelling is allowed (tenant rename); stats follow
+    svc.set_tenant_label(id, "zenith").unwrap();
+    assert_eq!(svc.serving_stats(id).unwrap().tenant, "zenith");
+    let dangling = {
+        let tmp = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+        svc.unregister(tmp);
+        tmp
+    };
+    assert!(matches!(
+        svc.set_tenant_label(dangling, "acme"),
+        Err(ServeError::UnknownMapping(_))
+    ));
+    assert_eq!(svc.tenant_label(dangling), None);
+}
+
+#[test]
+fn absorb_aggregates_within_a_tenant_and_refuses_cross_tenant_bleed() {
+    use gde_core::engine::ServingStats;
+
+    let sv = scenario(0x22);
+    let queries = compiled_batch(&sv);
+    let svc = MappingService::new();
+    let a1 = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    let a2 = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    let b = svc.register(sv.scenario.gsm.clone(), sv.scenario.source.clone());
+    svc.set_tenant_label(a1, "acme").unwrap();
+    svc.set_tenant_label(a2, "acme").unwrap();
+    svc.set_tenant_label(b, "zenith").unwrap();
+    for id in [a1, a2, b] {
+        for q in &queries {
+            svc.answer(id, q, Semantics::nulls()).unwrap();
+            svc.answer(id, q, Semantics::nulls_boolean()).unwrap();
+        }
+    }
+    let s1 = svc.serving_stats(a1).unwrap();
+    let s2 = svc.serving_stats(a2).unwrap();
+    let sb = svc.serving_stats(b).unwrap();
+    assert!(s1.tuple_evals > 0 && s2.tuple_evals > 0 && sb.tuple_evals > 0);
+
+    // same-tenant aggregation sums every counter
+    let mut acme = ServingStats {
+        tenant: "acme".to_string(),
+        ..ServingStats::default()
+    };
+    assert!(acme.absorb(&s1));
+    assert!(acme.absorb(&s2));
+    assert_eq!(acme.tuple_evals, s1.tuple_evals + s2.tuple_evals);
+    assert_eq!(acme.boolean_evals, s1.boolean_evals + s2.boolean_evals);
+    assert_eq!(acme.tuples, s1.tuples + s2.tuples);
+    assert_eq!(acme.cache_bytes, s1.cache_bytes + s2.cache_bytes);
+    assert_eq!(
+        acme.per_stripe.len(),
+        s1.per_stripe.len().max(s2.per_stripe.len())
+    );
+
+    // cross-tenant absorption is refused and absorbs nothing
+    let snapshot = acme.clone();
+    assert!(!acme.absorb(&sb), "zenith stats must not fold into acme");
+    assert_eq!(acme.tuple_evals, snapshot.tuple_evals);
+    assert_eq!(acme.boolean_evals, snapshot.boolean_evals);
+    assert_eq!(acme.cache_bytes, snapshot.cache_bytes);
+
+    // an unlabelled accumulator with no recorded work adopts the first
+    // label it sees, then defends it
+    let mut fresh = ServingStats::default();
+    assert!(fresh.absorb(&sb));
+    assert_eq!(fresh.tenant, "zenith");
+    assert!(!fresh.absorb(&s1));
+    assert_eq!(fresh.tuple_evals, sb.tuple_evals);
+}
